@@ -1,0 +1,399 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§4), one target per panel, plus the ablation studies
+// listed in DESIGN.md §7. Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute throughputs are virtual DPU seconds (the substrate is a
+// simulator); the orderings, factors and crossovers are the
+// reproduction targets — see EXPERIMENTS.md for the paper-vs-measured
+// comparison. Each benchmark reports its headline numbers as custom
+// metrics.
+package pimstm_test
+
+import (
+	"testing"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+	"pimstm/internal/harness"
+	"pimstm/internal/host"
+	"pimstm/internal/workloads"
+)
+
+// benchOpts keeps figure sweeps tractable under `go test -bench`.
+func benchOpts() harness.Options {
+	return harness.Options{
+		Scale:    0.2,
+		Tasklets: []int{1, 5, 11},
+		Seeds:    []uint64{1},
+	}
+}
+
+// reportPanel publishes the per-algorithm peak throughput of a panel.
+func reportPanel(b *testing.B, p harness.Panel) {
+	b.Helper()
+	for _, s := range p.Series {
+		b.ReportMetric(s.Peak(), "tx/s:"+shortName(s.Algorithm))
+	}
+	b.ReportMetric(p.Best(), "tx/s:best")
+}
+
+func shortName(a core.Algorithm) string {
+	out := make([]byte, 0, len(a.String()))
+	for i := 0; i < len(a.String()); i++ {
+		if c := a.String()[i]; c != ' ' {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+func benchPanel(b *testing.B, workload string, tier dpu.Tier) {
+	spec, err := harness.SpecByName(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var panel harness.Panel
+	for i := 0; i < b.N; i++ {
+		panel, err = harness.RunPanel(spec, tier, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPanel(b, panel)
+}
+
+// --- Fig 4: MRAM metadata, ArrayBench and Linked-List ---
+
+func BenchmarkFig4ArrayBenchA(b *testing.B)  { benchPanel(b, "ArrayBench A", dpu.MRAM) }
+func BenchmarkFig4ArrayBenchB(b *testing.B)  { benchPanel(b, "ArrayBench B", dpu.MRAM) }
+func BenchmarkFig4LinkedListLC(b *testing.B) { benchPanel(b, "Linked-List LC", dpu.MRAM) }
+func BenchmarkFig4LinkedListHC(b *testing.B) { benchPanel(b, "Linked-List HC", dpu.MRAM) }
+
+// --- Fig 5: MRAM metadata, KMeans and Labyrinth ---
+
+func BenchmarkFig5KMeansLC(b *testing.B)   { benchPanel(b, "KMeans LC", dpu.MRAM) }
+func BenchmarkFig5KMeansHC(b *testing.B)   { benchPanel(b, "KMeans HC", dpu.MRAM) }
+func BenchmarkFig5LabyrinthS(b *testing.B) { benchPanel(b, "Labyrinth S", dpu.MRAM) }
+func BenchmarkFig5LabyrinthL(b *testing.B) { benchPanel(b, "Labyrinth L", dpu.MRAM) }
+
+// --- Fig 6: normalized peak-throughput distributions ---
+
+func benchFig6(b *testing.B, tier dpu.Tier) {
+	opt := benchOpts()
+	opt.Scale = 0.12
+	var rows []harness.Fig6Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.Fig6(tier, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The winner's mean normalized ratio (1.0 = always best).
+	b.ReportMetric(rows[0].Mean, "ratio:"+shortName(rows[0].Algorithm))
+	b.ReportMetric(rows[len(rows)-1].Mean, "ratio:worst")
+}
+
+func BenchmarkFig6MRAM(b *testing.B) { benchFig6(b, dpu.MRAM) }
+func BenchmarkFig6WRAM(b *testing.B) { benchFig6(b, dpu.WRAM) }
+
+// --- Fig 9 / Fig 10: WRAM metadata ---
+
+func BenchmarkFig9ArrayBenchA(b *testing.B)  { benchPanel(b, "ArrayBench A", dpu.WRAM) }
+func BenchmarkFig9ArrayBenchB(b *testing.B)  { benchPanel(b, "ArrayBench B", dpu.WRAM) }
+func BenchmarkFig9LinkedListLC(b *testing.B) { benchPanel(b, "Linked-List LC", dpu.WRAM) }
+func BenchmarkFig9LinkedListHC(b *testing.B) { benchPanel(b, "Linked-List HC", dpu.WRAM) }
+func BenchmarkFig10KMeansLC(b *testing.B)    { benchPanel(b, "KMeans LC", dpu.WRAM) }
+func BenchmarkFig10KMeansHC(b *testing.B)    { benchPanel(b, "KMeans HC", dpu.WRAM) }
+
+// --- Fig 7: multi-DPU speedups over the CPU baselines ---
+
+func BenchmarkFig7KMeans(b *testing.B) {
+	opt := host.Fig7Options{
+		DPUCounts:    []int{1, 64, 512},
+		PointsPerDPU: 300,
+		Tasklets:     11,
+	}
+	var series []host.Fig7Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = host.Fig7KMeans(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range series {
+		pts := s.Points
+		b.ReportMetric(pts[0].Speedup, "speedup@1:"+shortWorkload(s.Workload))
+		b.ReportMetric(pts[len(pts)-1].Speedup, "speedup@512:"+shortWorkload(s.Workload))
+	}
+}
+
+func BenchmarkFig7Labyrinth(b *testing.B) {
+	opt := host.Fig7Options{
+		DPUCounts:        []int{1, 64, 512},
+		PathsPerInstance: 15,
+		Tasklets:         8,
+	}
+	var series []host.Fig7Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = host.Fig7Labyrinth(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range series {
+		pts := s.Points
+		b.ReportMetric(pts[len(pts)-1].Speedup, "speedup@512:"+shortWorkload(s.Workload))
+	}
+}
+
+// --- Fig 8: speedup and energy gain at the full fleet ---
+
+func BenchmarkFig8(b *testing.B) {
+	opt := host.Fig7Options{PointsPerDPU: 300, PathsPerInstance: 15, Tasklets: 11}
+	var rows []host.Fig8Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = host.Fig8(2500, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup, "speedup:"+shortWorkload(r.Workload))
+		b.ReportMetric(r.EnergyGain, "egain:"+shortWorkload(r.Workload))
+	}
+}
+
+func shortWorkload(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c != ' ' {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// --- §3.1 latency table ---
+
+func BenchmarkLatencyLocalMRAMRead(b *testing.B) {
+	var ns float64
+	for i := 0; i < b.N; i++ {
+		ns = harness.LocalMRAMReadLatency()
+	}
+	b.ReportMetric(ns, "ns/read")
+	b.ReportMetric(231, "ns/read-paper")
+}
+
+func BenchmarkLatencyInterDPURead(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = host.InterDPURead64Seconds()
+	}
+	b.ReportMetric(s*1e9, "ns/read")
+	b.ReportMetric(331e3, "ns/read-paper")
+}
+
+// --- §4.2.3 tier gains ---
+
+func BenchmarkTierGains(b *testing.B) {
+	opt := harness.Options{Scale: 0.25, Tasklets: []int{5}, Seeds: []uint64{1}}
+	heavy, _ := harness.SpecByName("ArrayBench B")
+	light, _ := harness.SpecByName("KMeans LC")
+	var gHeavy, gLight float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		if gHeavy, err = harness.TierGain(heavy, core.NOrec, opt); err != nil {
+			b.Fatal(err)
+		}
+		if gLight, err = harness.TierGain(light, core.NOrec, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(gHeavy, "x:ArrayBenchB")
+	b.ReportMetric(gLight, "x:KMeansLC")
+}
+
+// --- Ablations (DESIGN.md §7) ---
+
+// BenchmarkAblationNOrecStartWait toggles NOrec's start-wait contention
+// management on the high-contention ArrayBench B.
+func BenchmarkAblationNOrecStartWait(b *testing.B) {
+	run := func(disable bool) float64 {
+		w := workloads.NewArrayBenchB()
+		w.OpsPerTasklet = 40
+		res, err := workloads.Run(w, dpu.Config{MRAMSize: 4 << 20, Seed: 1},
+			core.Config{Algorithm: core.NOrec, DisableStartWait: disable}, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.ThroughputTxS
+	}
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		on = run(false)
+		off = run(true)
+	}
+	b.ReportMetric(on, "tx/s:wait-on")
+	b.ReportMetric(off, "tx/s:wait-off")
+}
+
+// BenchmarkAblationTinyExtension compares Tiny with and without
+// snapshot extension (TL2-style) on the read-heavy ArrayBench A.
+func BenchmarkAblationTinyExtension(b *testing.B) {
+	run := func(disable bool) (float64, float64) {
+		w := workloads.NewArrayBenchA()
+		w.OpsPerTasklet = 5
+		res, err := workloads.Run(w, dpu.Config{MRAMSize: 4 << 20, Seed: 1},
+			core.Config{Algorithm: core.TinyETLWB, LockTableEntries: 16384, DisableExtension: disable}, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.ThroughputTxS, res.Stats.AbortRate()
+	}
+	var tOn, tOff, aOn, aOff float64
+	for i := 0; i < b.N; i++ {
+		tOn, aOn = run(false)
+		tOff, aOff = run(true)
+	}
+	b.ReportMetric(tOn, "tx/s:ext-on")
+	b.ReportMetric(tOff, "tx/s:ext-off")
+	b.ReportMetric(aOn*100, "abort%:ext-on")
+	b.ReportMetric(aOff*100, "abort%:ext-off")
+}
+
+// BenchmarkAblationLockTableSize sweeps the ORec table size on
+// ArrayBench A: small tables alias the 12,500-word array and inflate
+// false conflicts (paper §3.2.1, "Tiny").
+func BenchmarkAblationLockTableSize(b *testing.B) {
+	run := func(entries int) (float64, float64) {
+		w := workloads.NewArrayBenchA()
+		w.OpsPerTasklet = 5
+		res, err := workloads.Run(w, dpu.Config{MRAMSize: 4 << 20, Seed: 1},
+			core.Config{Algorithm: core.TinyETLWB, LockTableEntries: entries}, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.ThroughputTxS, res.Stats.AbortRate()
+	}
+	sizes := []int{256, 2048, 16384}
+	tput := make([]float64, len(sizes))
+	abort := make([]float64, len(sizes))
+	for i := 0; i < b.N; i++ {
+		for j, n := range sizes {
+			tput[j], abort[j] = run(n)
+		}
+	}
+	for j, n := range sizes {
+		b.ReportMetric(tput[j], "tx/s:"+itoa(n))
+		b.ReportMetric(abort[j]*100, "abort%:"+itoa(n))
+	}
+}
+
+// BenchmarkAblationWaitOnContention evaluates the design choice the
+// paper's taxonomy mentions but does not explore (§3.2): Tiny writers
+// spin briefly on a busy ORec instead of aborting immediately.
+func BenchmarkAblationWaitOnContention(b *testing.B) {
+	run := func(wait int) (float64, float64) {
+		w := workloads.NewLinkedListHC()
+		w.OpsPerTasklet = 50
+		res, err := workloads.Run(w, dpu.Config{MRAMSize: 4 << 20, Seed: 1},
+			core.Config{Algorithm: core.TinyETLWB, WaitOnContention: wait}, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.ThroughputTxS, res.Stats.AbortRate()
+	}
+	var tOff, tOn, aOff, aOn float64
+	for i := 0; i < b.N; i++ {
+		tOff, aOff = run(0)
+		tOn, aOn = run(500)
+	}
+	b.ReportMetric(tOff, "tx/s:abort-now")
+	b.ReportMetric(tOn, "tx/s:wait500")
+	b.ReportMetric(aOff*100, "abort%:abort-now")
+	b.ReportMetric(aOn*100, "abort%:wait500")
+}
+
+// BenchmarkAblationBackoff sweeps the randomized retry backoff bound
+// under heavy conflicts.
+func BenchmarkAblationBackoff(b *testing.B) {
+	run := func(max int) float64 {
+		w := workloads.NewArrayBenchB()
+		w.OpsPerTasklet = 40
+		res, err := workloads.Run(w, dpu.Config{MRAMSize: 4 << 20, Seed: 1},
+			core.Config{Algorithm: core.VRETLWB, MaxBackoff: max}, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.ThroughputTxS
+	}
+	var small, large float64
+	for i := 0; i < b.N; i++ {
+		small = run(64)
+		large = run(4096)
+	}
+	b.ReportMetric(small, "tx/s:backoff64")
+	b.ReportMetric(large, "tx/s:backoff4096")
+}
+
+// --- STM operation microbenchmarks ---
+
+func benchOps(b *testing.B, alg core.Algorithm, tier dpu.Tier, readOnly bool) {
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 20, Seed: 1})
+	tm, err := core.New(d, core.Config{Algorithm: alg, MetaTier: tier, LockTableEntries: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := d.MustAlloc(dpu.MRAM, 64*8, 8)
+	b.ResetTimer()
+	var cycles uint64
+	progs := []func(*dpu.Tasklet){func(t *dpu.Tasklet) {
+		tx := tm.NewTx(t)
+		for i := 0; i < b.N; i++ {
+			tx.Atomic(func(tx *core.Tx) {
+				for j := 0; j < 8; j++ {
+					a := base + dpu.Addr((j%64)*8)
+					v := tx.Read(a)
+					if !readOnly {
+						tx.Write(a, v+1)
+					}
+				}
+			})
+		}
+	}}
+	c, err := d.Run(progs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycles = c
+	b.ReportMetric(float64(cycles)/float64(b.N), "dpu-cycles/tx")
+}
+
+func BenchmarkTxReadOnlyNOrec(b *testing.B)     { benchOps(b, core.NOrec, dpu.MRAM, true) }
+func BenchmarkTxReadOnlyTinyETLWB(b *testing.B) { benchOps(b, core.TinyETLWB, dpu.MRAM, true) }
+func BenchmarkTxReadOnlyVRETLWB(b *testing.B)   { benchOps(b, core.VRETLWB, dpu.MRAM, true) }
+func BenchmarkTxUpdateNOrec(b *testing.B)       { benchOps(b, core.NOrec, dpu.MRAM, false) }
+func BenchmarkTxUpdateTinyETLWB(b *testing.B)   { benchOps(b, core.TinyETLWB, dpu.MRAM, false) }
+func BenchmarkTxUpdateVRETLWB(b *testing.B)     { benchOps(b, core.VRETLWB, dpu.MRAM, false) }
+func BenchmarkTxUpdateNOrecWRAM(b *testing.B)   { benchOps(b, core.NOrec, dpu.WRAM, false) }
+func BenchmarkTxUpdateTinyWRAM(b *testing.B)    { benchOps(b, core.TinyETLWB, dpu.WRAM, false) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

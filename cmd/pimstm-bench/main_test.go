@@ -1,0 +1,31 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 3,11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 11 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean = %f", g)
+	}
+	if geomean(nil) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+	if g := geomean([]float64{3}); g != 3 {
+		t.Fatalf("singleton geomean = %f", g)
+	}
+}

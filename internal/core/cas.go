@@ -1,0 +1,61 @@
+package core
+
+import "pimstm/internal/dpu"
+
+// The UPMEM DPU has no compare-and-swap instruction. As in the paper
+// (§3.2.1, "Hardware synchronization primitives"), CAS is emulated by
+// taking the hardware atomic-register bit hashed from the target
+// address, checking the current value, conditionally storing, and
+// releasing the bit. Two words whose addresses hash to the same of the
+// 256 register bits serialize needlessly (lock aliasing); the simulator
+// reproduces this.
+
+// cas64 atomically replaces the word at a with new if it equals old,
+// reporting success.
+func cas64(t *dpu.Tasklet, a dpu.Addr, old, new uint64) bool {
+	t.Acquire(a)
+	v := t.Load64(a)
+	ok := v == old
+	if ok {
+		t.Store64(a, new)
+	}
+	t.Release(a)
+	return ok
+}
+
+// cas32 is cas64 for the 32-bit rw-lock words of the VR design.
+func cas32(t *dpu.Tasklet, a dpu.Addr, old, new uint32) bool {
+	t.Acquire(a)
+	v := t.Load32(a)
+	ok := v == old
+	if ok {
+		t.Store32(a, new)
+	}
+	t.Release(a)
+	return ok
+}
+
+// fetchAdd64 atomically adds delta to the word at a and returns the new
+// value, built from acquire/load/store/release like the C library's
+// emulated atomic increment of the version clock.
+func fetchAdd64(t *dpu.Tasklet, a dpu.Addr, delta uint64) uint64 {
+	t.Acquire(a)
+	v := t.Load64(a) + delta
+	t.Store64(a, v)
+	t.Release(a)
+	return v
+}
+
+// update32 applies f to the word at a inside the register critical
+// section and returns (old, new). Used for read-write lock transitions
+// where the new value depends on the old.
+func update32(t *dpu.Tasklet, a dpu.Addr, f func(uint32) (uint32, bool)) (uint32, bool) {
+	t.Acquire(a)
+	v := t.Load32(a)
+	nv, ok := f(v)
+	if ok && nv != v {
+		t.Store32(a, nv)
+	}
+	t.Release(a)
+	return v, ok
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pimstm/internal/dpu"
+)
+
+// Misuse and failure-injection tests: the library must fail loudly and
+// predictably on API misuse, and application panics must propagate
+// unchanged (not be swallowed by the abort machinery).
+
+func expectPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("unexpected panic payload %T: %v", r, r)
+		}
+		if !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not mention %q", msg, substr)
+		}
+	}()
+	f()
+}
+
+func TestOpsOutsideTransactionPanic(t *testing.T) {
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 20})
+	tm, err := New(d, Config{Algorithm: NOrec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.MustAlloc(dpu.MRAM, 8, 8)
+	_, _ = d.Run([]func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+		tx := tm.NewTx(tk)
+		expectPanic(t, "outside an active transaction", func() { tx.Read(a) })
+		expectPanic(t, "outside an active transaction", func() { tx.Write(a, 1) })
+		expectPanic(t, "outside an active transaction", func() { tx.Commit() })
+		expectPanic(t, "outside an active transaction", func() { tx.Abort() })
+	}})
+}
+
+func TestNestedStartPanics(t *testing.T) {
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 20})
+	tm, err := New(d, Config{Algorithm: TinyETLWB, LockTableEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = d.Run([]func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+		tx := tm.NewTx(tk)
+		tx.Start()
+		expectPanic(t, "no nesting", func() { tx.Start() })
+	}})
+}
+
+// TestApplicationPanicPropagates: a non-abort panic inside an Atomic
+// body must reach the caller of DPU.Run, with encounter-time state
+// still released by nobody — the process is faulting, not recovering.
+func TestApplicationPanicPropagates(t *testing.T) {
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 20})
+	tm, err := New(d, Config{Algorithm: VRETLWB, LockTableEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.MustAlloc(dpu.MRAM, 8, 8)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("expected the application panic, got %v", r)
+		}
+	}()
+	_, _ = d.Run([]func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+		tx := tm.NewTx(tk)
+		tx.Atomic(func(tx *Tx) {
+			tx.Write(a, 1)
+			panic("boom")
+		})
+	}})
+	t.Fatal("panic did not propagate")
+}
+
+// TestDescriptorReusableAfterCommitAndAbort: the same Tx must drive an
+// arbitrary mix of committed, aborted and restarted transactions.
+func TestDescriptorLifecycle(t *testing.T) {
+	forAllConfigs(t, func(t *testing.T, cfg Config) {
+		d, base, txs := runSTM(t, cfg, 2, 1, func(tx *Tx, base dpu.Addr) {
+			// Commit.
+			tx.Atomic(func(tx *Tx) { tx.Write(word(base, 0), 1) })
+			// Explicit abort, then a fresh commit.
+			tx.Start()
+			func() {
+				defer func() { recover() }()
+				tx.Write(word(base, 1), 99)
+				tx.Abort()
+			}()
+			tx.Atomic(func(tx *Tx) { tx.Write(word(base, 1), 2) })
+			// Read-only.
+			tx.Atomic(func(tx *Tx) { _ = tx.Read(word(base, 0)) })
+		})
+		if d.HostRead64(word(base, 0)) != 1 || d.HostRead64(word(base, 1)) != 2 {
+			t.Fatal("descriptor reuse corrupted state")
+		}
+		st := txs[0].Stats()
+		if st.Commits != 3 || st.AbortsBy[AbortExplicit] != 1 {
+			t.Fatalf("lifecycle stats wrong: %+v", st)
+		}
+	})
+}
+
+// TestLockTableReleaseAfterAbortStorm: after heavy aborting, no ORec
+// may remain locked once all transactions are done (lock leak check).
+func TestNoLockLeakAfterAbortStorm(t *testing.T) {
+	for _, alg := range []Algorithm{TinyETLWB, TinyETLWT, TinyCTLWB, VRETLWB, VRETLWT, VRCTLWB} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := Config{Algorithm: alg, LockTableEntries: 64}
+			d, _, _ := runSTM(t, cfg, 4, 8, func(tx *Tx, base dpu.Addr) {
+				tk := tx.Tasklet()
+				for i := 0; i < 30; i++ {
+					tx.Atomic(func(tx *Tx) {
+						a := tk.RandN(4)
+						tx.Write(word(base, a), tx.Read(word(base, a))+1)
+						tk.Exec(50)
+					})
+				}
+			})
+			// Scan the lock table from the host: every word must be in
+			// the released state (version word for Tiny: even; zero or
+			// version for VR: no mode bits). The table is the first
+			// allocation after the reserved nil word (see New/allocORecs
+			// order in runSTM's TM).
+			entrySize := 8
+			if alg == VRETLWB || alg == VRETLWT || alg == VRCTLWB {
+				entrySize = 4
+			}
+			for i := 0; i < 64; i++ {
+				off := dpu.MRAMAddr(uint32(8 + i*entrySize))
+				if entrySize == 8 {
+					if v := d.HostRead64(off); v&1 != 0 {
+						t.Fatalf("Tiny ORec %d still locked: %#x", i, v)
+					}
+				} else {
+					if v := d.HostRead32(off); v&3 != 0 {
+						t.Fatalf("VR rw-lock %d still held: %#x", i, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestZeroValueConfigWorks: Config{} must behave as documented (NOrec,
+// MRAM).
+func TestZeroValueConfig(t *testing.T) {
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 20})
+	tm, err := New(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Config().Algorithm != NOrec || tm.Config().MetaTier != dpu.MRAM {
+		t.Fatalf("zero-value defaults wrong: %+v", tm.Config())
+	}
+	if tm.Config().LockTableEntries != 4096 || tm.Config().MaxBackoff != 1024 {
+		t.Fatalf("fill defaults wrong: %+v", tm.Config())
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import "pimstm/internal/dpu"
+
+// norecEngine implements NOrec (Dalessandro, Spear & Scott, PPoPP 2010)
+// on the DPU: a single sequence lock serializes the commit phase of
+// update transactions; reads are invisible and validated by value
+// whenever a concurrent commit is detected. Commit-time locking and
+// write-back are inherent to the design (Fig 2 of the paper).
+type norecEngine struct {
+	tm *TM
+}
+
+// start snapshots the sequence lock, waiting until it is even (no
+// writer committing). The wait doubles as contention management: the
+// paper (§3.2.1) describes it as "a simple back-off policy that delays
+// transaction start if the lock is found busy", so the retry delay
+// grows exponentially (with deterministic per-tasklet jitter) instead
+// of hammering the sequence lock through the DMA engine.
+func (n *norecEngine) start(tx *Tx) {
+	t := tx.t
+	backoff := 16
+	for {
+		s := t.Load64(n.tm.seqLock)
+		if s&1 == 0 {
+			tx.snapshot = s
+			return
+		}
+		if n.tm.cfg.DisableStartWait {
+			// Ablation mode: take the (odd) snapshot's predecessor and
+			// let the first read trigger validation instead of waiting.
+			tx.snapshot = s - 1
+			return
+		}
+		t.Exec(4 + t.RandN(backoff))
+		if backoff < n.tm.cfg.MaxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// read returns the buffered value for addresses written earlier in the
+// transaction, otherwise performs the NOrec post-validated read loop.
+func (n *norecEngine) read(tx *Tx, a dpu.Addr) uint64 {
+	if v, ok := tx.wsLookup(a); ok {
+		return v
+	}
+	t := tx.t
+	v := t.Load64(a)
+	for {
+		s := t.Load64(n.tm.seqLock)
+		if s == tx.snapshot {
+			break
+		}
+		// A concurrent transaction committed: re-validate the readset
+		// and re-read the target until a consistent snapshot is found.
+		tx.snapshot = n.validate(tx, false)
+		v = t.Load64(a)
+	}
+	tx.rsAdd(a, v)
+	return v
+}
+
+// write buffers the store; NOrec is write-back by construction.
+func (n *norecEngine) write(tx *Tx, a dpu.Addr, v uint64) {
+	tx.wsPut(a, v)
+}
+
+// validate re-checks every read value against memory and returns the
+// sequence-lock snapshot the readset was proven consistent at. It
+// unwinds the attempt if any value changed.
+func (n *norecEngine) validate(tx *Tx, commitPhase bool) uint64 {
+	t := tx.t
+	var snap uint64
+	ok := tx.validateBracket(commitPhase, func() bool {
+		for {
+			s := t.Load64(n.tm.seqLock)
+			if s&1 == 1 {
+				t.Exec(4) // writer in its commit critical section
+				continue
+			}
+			for i := range tx.rs {
+				e := &tx.rs[i]
+				t.ChargePrivate(tx.metaTier(), 16)
+				if t.Load64(e.key) != e.val {
+					return false
+				}
+			}
+			if t.Load64(n.tm.seqLock) == s {
+				snap = s
+				return true
+			}
+		}
+	})
+	if !ok {
+		tx.abort(AbortValidation)
+	}
+	return snap
+}
+
+// commit serializes update transactions on the sequence lock, validating
+// if anyone committed since the snapshot, then writes back.
+func (n *norecEngine) commit(tx *Tx) {
+	if len(tx.ws) == 0 {
+		return // read-only: the readset was valid at tx.snapshot
+	}
+	t := tx.t
+	for !cas64(t, n.tm.seqLock, tx.snapshot, tx.snapshot+1) {
+		tx.snapshot = n.validate(tx, true)
+	}
+	// Sequence lock held (odd): write back and release.
+	for i := range tx.ws {
+		t.ChargePrivate(tx.metaTier(), 16) // load the buffered entry
+		t.Store64(tx.ws[i].addr, tx.ws[i].val)
+	}
+	t.Store64(n.tm.seqLock, tx.snapshot+2)
+}
+
+// rollback: NOrec has no encounter-time effects; an abort can only
+// happen while the sequence lock is not held by this transaction.
+func (n *norecEngine) rollback(tx *Tx) {}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimstm/internal/dpu"
+)
+
+// Property-based tests (testing/quick) over the core invariants:
+// serializability of random workloads, rw-lock word encoding, and
+// stripe-mapping stability.
+
+// TestQuickSerializability generates random transactional programs and
+// checks that the final memory state equals a sequential replay of the
+// committed transactions in their commit order. Each committed
+// transaction logs its reads; replaying verifies that what it read is
+// exactly what the serial order would have produced.
+func TestQuickSerializability(t *testing.T) {
+	type opRecord struct {
+		addr  int
+		write bool
+	}
+	// One generated scenario: a seed plus a small op script per tasklet.
+	check := func(seed uint64, algPick uint8, scriptBytes []byte) bool {
+		alg := Algorithms[int(algPick)%len(Algorithms)]
+		const words, tasklets = 8, 4
+		if len(scriptBytes) == 0 {
+			return true
+		}
+		// Build per-tasklet scripts of (addr, read|write) ops.
+		scripts := make([][]opRecord, tasklets)
+		for i, b := range scriptBytes {
+			tk := i % tasklets
+			scripts[tk] = append(scripts[tk], opRecord{addr: int(b) % words, write: b&0x80 != 0})
+		}
+
+		d := dpu.New(dpu.Config{MRAMSize: 1 << 18, Seed: seed})
+		tm, err := New(d, Config{Algorithm: alg, LockTableEntries: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := d.MustAlloc(dpu.MRAM, words*8, 8)
+
+		// committed records (tasklet, txIndex, reads, writes) in commit
+		// order; commit order is captured by a monotonically increasing
+		// token handed out inside the (serializable) transaction itself.
+		type committedTx struct {
+			token      uint64
+			reads      map[int]uint64
+			writes     map[int]uint64 // final value written per address
+			writeCount map[int]int    // increments applied per address
+		}
+		tokenAddr := d.MustAlloc(dpu.MRAM, 8, 8)
+		var log []committedTx
+
+		progs := make([]func(*dpu.Tasklet), tasklets)
+		for i := range progs {
+			progs[i] = func(tk *dpu.Tasklet) {
+				tx := tm.NewTx(tk)
+				script := scripts[tk.ID]
+				// Split each script into transactions of up to 4 ops.
+				for start := 0; start < len(script); start += 4 {
+					end := start + 4
+					if end > len(script) {
+						end = len(script)
+					}
+					ops := script[start:end]
+					var rec committedTx
+					tx.Atomic(func(tx *Tx) {
+						rec = committedTx{reads: map[int]uint64{}, writes: map[int]uint64{}, writeCount: map[int]int{}}
+						for _, op := range ops {
+							if op.write {
+								v := tx.Read(word(base, op.addr)) + 1
+								tx.Write(word(base, op.addr), v)
+								rec.writes[op.addr] = v
+								rec.writeCount[op.addr]++
+							} else {
+								v := tx.Read(word(base, op.addr))
+								if w, wrote := rec.writes[op.addr]; wrote {
+									if w != v {
+										t.Errorf("read did not observe own write")
+									}
+								} else {
+									if prev, seen := rec.reads[op.addr]; seen && prev != v {
+										t.Errorf("non-repeatable read within a transaction")
+									}
+									rec.reads[op.addr] = v
+								}
+							}
+						}
+						// Commit-order token: reading+writing it inside
+						// the transaction makes the token order a valid
+						// serialization order of the committed history.
+						tok := tx.Read(tokenAddr)
+						tx.Write(tokenAddr, tok+1)
+						rec.token = tok
+					})
+					log = append(log, rec)
+				}
+			}
+		}
+		if _, err := d.Run(progs); err != nil {
+			t.Fatal(err)
+		}
+
+		// Replay serially in token order.
+		order := make([]*committedTx, len(log))
+		for i := range log {
+			order[log[i].token] = &log[i]
+		}
+		state := make([]uint64, words)
+		for _, rec := range order {
+			if rec == nil {
+				return false // token gap: commit order broken
+			}
+			for a, v := range rec.reads {
+				if _, overwritten := rec.writes[a]; overwritten {
+					continue // read-after-own-write checked above
+				}
+				if state[a] != v {
+					return false // read something the serial order disallows
+				}
+			}
+			for a, v := range rec.writes {
+				if v != state[a]+uint64(rec.writeCount[a]) {
+					return false // increments lost or duplicated
+				}
+				state[a] = v
+			}
+		}
+		// Final memory must match the serial state.
+		for a := 0; a < words; a++ {
+			if d.HostRead64(word(base, a)) != state[a] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVRLockWord checks the Fig 3 lock-word encoding round-trips
+// for arbitrary tasklet subsets: adding then removing every reader
+// returns the word to free.
+func TestQuickVRLockWord(t *testing.T) {
+	check := func(mask uint32) bool {
+		mask &= (1 << 24) - 1 // 24 tasklets
+		w := uint32(0)
+		n := 0
+		for id := 0; id < 24; id++ {
+			if mask&(1<<id) == 0 {
+				continue
+			}
+			w = (w | vrReadBit | vrReaderFlag(id)) + 1<<26
+			n++
+		}
+		if n == 0 {
+			return w == 0
+		}
+		if w&vrReadBit == 0 || w&vrWriteBit != 0 {
+			return false
+		}
+		if int(vrReaderCount(w)) != n {
+			return false
+		}
+		for id := 0; id < 24; id++ {
+			if mask&(1<<id) == 0 {
+				continue
+			}
+			if w&vrReaderFlag(id) == 0 {
+				return false
+			}
+			w = (w &^ vrReaderFlag(id)) - 1<<26
+			if vrReaderCount(w) == 0 {
+				w = 0
+			}
+		}
+		return w == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVRWriteWord: the write-mode word stores the owner and never
+// collides with a read-mode word.
+func TestQuickVRWriteWord(t *testing.T) {
+	check := func(id uint8) bool {
+		tid := int(id) % 24
+		w := vrWriteWord(tid)
+		if w&vrWriteBit == 0 || w&vrReadBit != 0 {
+			return false
+		}
+		return w>>2 == uint32(tid+1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStripeMapping: the stripe hash must be stable, in range, and
+// independent of the tier bit's low-order layout assumptions.
+func TestQuickStripeMapping(t *testing.T) {
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 16})
+	tm, err := New(d, Config{Algorithm: TinyETLWB, LockTableEntries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(off uint32) bool {
+		a := dpu.MRAMAddr(off % (1 << 16))
+		s1 := tm.stripe(a)
+		s2 := tm.stripe(a)
+		if s1 != s2 {
+			return false
+		}
+		if s1 >= 512 {
+			return false
+		}
+		// Same 8-byte word → same stripe.
+		return tm.stripe(a&^7) == s1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTinyLockWord: owner words are always locked and never equal
+// version words.
+func TestQuickTinyLockWord(t *testing.T) {
+	check := func(id uint8, ver uint32) bool {
+		tid := int(id) % 24
+		w := tinyOwnerWord(tid)
+		if w&tinyLockedBit == 0 {
+			return false
+		}
+		versionWord := uint64(ver) << 1
+		return versionWord&tinyLockedBit == 0 && w != versionWord
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package core implements PIM-STM: seven software transactional memory
+// algorithms for the (simulated) UPMEM DPU, covering the design-space
+// taxonomy of the paper (Fig 2):
+//
+//   - NOrec        — no ownership records, invisible reads, commit-time
+//     locking, write-back, value-based validation.
+//   - TinyETLWB / TinyETLWT / TinyCTLWB — TinySTM-style ownership records
+//     (versioned lock table + global clock), invisible reads with
+//     timestamp validation and snapshot extension.
+//   - VRETLWB / VRETLWT / VRCTLWB — the paper's Visible Reads design:
+//     per-stripe 32-bit read-write lock words (Fig 3), no validation.
+//
+// All algorithms are word-based (64-bit) and single-version, and restrict
+// transactions to data hosted on the local DPU, as the paper prescribes.
+// Shared metadata (sequence lock, version clock, lock tables) lives in
+// simulated WRAM or MRAM according to Config, reproducing the paper's
+// metadata-placement study; per-transaction private metadata charges
+// accesses to the same tier.
+package core
+
+import (
+	"fmt"
+
+	"pimstm/internal/dpu"
+)
+
+// Algorithm selects one of the seven STM implementations.
+type Algorithm int
+
+// The seven viable design-space points of the paper's taxonomy (Fig 2).
+const (
+	// NOrec: coarse metadata, invisible reads, CTL, write-back.
+	NOrec Algorithm = iota
+	// TinyETLWB: ORecs, invisible reads, encounter-time locking, write-back.
+	TinyETLWB
+	// TinyETLWT: ORecs, invisible reads, encounter-time locking, write-through.
+	TinyETLWT
+	// TinyCTLWB: ORecs, invisible reads, commit-time locking, write-back.
+	TinyCTLWB
+	// VRETLWB: ORecs, visible reads, encounter-time locking, write-back.
+	VRETLWB
+	// VRETLWT: ORecs, visible reads, encounter-time locking, write-through.
+	VRETLWT
+	// VRCTLWB: ORecs, visible reads, commit-time locking, write-back.
+	VRCTLWB
+
+	numAlgorithms
+)
+
+// Algorithms lists all seven variants in the order the paper's figures
+// use.
+var Algorithms = []Algorithm{TinyCTLWB, TinyETLWB, TinyETLWT, NOrec, VRETLWT, VRETLWB, VRCTLWB}
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case NOrec:
+		return "NOrec"
+	case TinyETLWB:
+		return "Tiny ETLWB"
+	case TinyETLWT:
+		return "Tiny ETLWT"
+	case TinyCTLWB:
+		return "Tiny CTLWB"
+	case VRETLWB:
+		return "VR ETLWB"
+	case VRETLWT:
+		return "VR ETLWT"
+	case VRCTLWB:
+		return "VR CTLWB"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves a name like "norec" or "Tiny ETLWB".
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a := Algorithm(0); a < numAlgorithms; a++ {
+		if normalize(a.String()) == normalize(s) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown STM algorithm %q", s)
+}
+
+func normalize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		case c == ' ' || c == '-' || c == '_':
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// Config parameterizes a TM instance. The zero value selects NOrec with
+// all metadata in MRAM.
+type Config struct {
+	// Algorithm is the STM variant.
+	Algorithm Algorithm
+	// MetaTier is where shared and private STM metadata live (paper's
+	// compile-time macro). Default MRAM.
+	MetaTier dpu.Tier
+	// LockTableTier optionally overrides the tier of the ORec lock table
+	// alone; the paper's appendix uses this for ArrayBench A, whose lock
+	// table exceeds WRAM. Nil means "same as MetaTier".
+	LockTableTier *dpu.Tier
+	// LockTableEntries is the number of ORec stripes (power of two).
+	// Default 4096. Ignored by NOrec.
+	LockTableEntries int
+	// DisableStartWait turns off NOrec's wait-until-unlocked contention
+	// management at transaction start (ablation knob; paper §4.2.2 F2a).
+	DisableStartWait bool
+	// DisableExtension turns off Tiny's snapshot extension, degrading it
+	// to TL2-style behaviour (ablation knob; paper §3.2.1 "Tiny").
+	DisableExtension bool
+	// WaitOnContention makes Tiny writers spin briefly on a busy ORec
+	// before aborting, the "allow transactions to wait when lock
+	// contention is encountered, rather than simply aborting" design the
+	// paper's taxonomy mentions but does not explore (§3.2). The value
+	// is the maximum wait in instructions; 0 aborts immediately (the
+	// paper's behaviour).
+	WaitOnContention int
+	// MaxBackoff bounds the randomized abort backoff in instructions
+	// (0 selects the default of 1024). The backoff breaks retry symmetry
+	// between deterministic tasklets, standing in for the timing jitter
+	// of real hardware.
+	MaxBackoff int
+}
+
+func (c *Config) fill() error {
+	if c.LockTableEntries == 0 {
+		c.LockTableEntries = 4096
+	}
+	if c.LockTableEntries&(c.LockTableEntries-1) != 0 {
+		return fmt.Errorf("core: LockTableEntries must be a power of two, got %d", c.LockTableEntries)
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 1024
+	}
+	return nil
+}
+
+func (c *Config) lockTier() dpu.Tier {
+	if c.LockTableTier != nil {
+		return *c.LockTableTier
+	}
+	return c.MetaTier
+}
+
+// TM is one transactional-memory instance bound to one DPU. Create it
+// before launching the DPU program; every tasklet then obtains its own
+// Tx with NewTx.
+type TM struct {
+	cfg Config
+	d   *dpu.DPU
+	eng engine
+
+	// NOrec state.
+	seqLock dpu.Addr
+
+	// ORec state (Tiny and VR).
+	clock     dpu.Addr // Tiny's global version clock
+	lockTab   dpu.Addr // base address of the lock table
+	entrySize int      // bytes per lock-table entry
+	stripeBit uint32   // log2(LockTableEntries)
+}
+
+// engine is the algorithm-specific part of a TM.
+type engine interface {
+	start(tx *Tx)
+	read(tx *Tx, a dpu.Addr) uint64
+	write(tx *Tx, a dpu.Addr, v uint64)
+	// commit either returns normally (committed) or unwinds via
+	// tx.abort (which first calls rollback to clean up).
+	commit(tx *Tx)
+	// rollback undoes encounter-time and partial commit-time effects of
+	// an aborting attempt (locks released, write-through stores undone).
+	rollback(tx *Tx)
+}
+
+// New creates a TM on the given DPU, allocating its shared metadata in
+// the configured tiers. It must be called before the DPU program runs.
+func New(d *dpu.DPU, cfg Config) (*TM, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	tm := &TM{cfg: cfg, d: d}
+	var err error
+	switch cfg.Algorithm {
+	case NOrec:
+		tm.seqLock, err = d.Alloc(cfg.MetaTier, 8, 8)
+		if err != nil {
+			return nil, err
+		}
+		tm.eng = &norecEngine{tm: tm}
+	case TinyETLWB, TinyETLWT, TinyCTLWB:
+		if err = tm.allocORecs(8); err != nil {
+			return nil, err
+		}
+		tm.clock, err = d.Alloc(cfg.MetaTier, 8, 8)
+		if err != nil {
+			return nil, err
+		}
+		tm.eng = &tinyEngine{
+			tm:  tm,
+			ctl: cfg.Algorithm == TinyCTLWB,
+			wt:  cfg.Algorithm == TinyETLWT,
+		}
+	case VRETLWB, VRETLWT, VRCTLWB:
+		if err = tm.allocORecs(4); err != nil {
+			return nil, err
+		}
+		tm.eng = &vrEngine{
+			tm:  tm,
+			ctl: cfg.Algorithm == VRCTLWB,
+			wt:  cfg.Algorithm == VRETLWT,
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
+	}
+	return tm, nil
+}
+
+func (tm *TM) allocORecs(entrySize int) error {
+	tm.entrySize = entrySize
+	n := tm.cfg.LockTableEntries
+	for n > 1 {
+		n >>= 1
+		tm.stripeBit++
+	}
+	var err error
+	tm.lockTab, err = tm.d.Alloc(tm.cfg.lockTier(), tm.cfg.LockTableEntries*entrySize, 8)
+	return err
+}
+
+// Config returns the TM configuration (with defaults filled in).
+func (tm *TM) Config() Config { return tm.cfg }
+
+// MetadataBytes reports how many bytes of shared metadata the TM
+// allocated, and in which tier, for footprint accounting.
+func (tm *TM) MetadataBytes() (tier dpu.Tier, bytes int) {
+	if tm.cfg.Algorithm == NOrec {
+		return tm.cfg.MetaTier, 8
+	}
+	return tm.cfg.lockTier(), tm.cfg.LockTableEntries*tm.entrySize + 8
+}
+
+// stripe maps a word address to its lock-table entry index. As in
+// TinySTM, consecutive words map to consecutive entries and wrap at the
+// table size, so an array smaller than the table suffers no aliasing and
+// a larger one aliases at table-size strides — the size/aliasing
+// trade-off the paper discusses (§3.2.1, "Tiny").
+func (tm *TM) stripe(a dpu.Addr) uint32 {
+	word := uint32(a) >> 3
+	return word & (uint32(tm.cfg.LockTableEntries) - 1)
+}
+
+// orecAddr returns the address of the lock word for a stripe index.
+func (tm *TM) orecAddr(stripe uint32) dpu.Addr {
+	return tm.lockTab + dpu.Addr(int(stripe)*tm.entrySize)
+}

@@ -1,0 +1,216 @@
+package core
+
+import "pimstm/internal/dpu"
+
+// tinyEngine implements the Tiny family (TinySTM: Felber, Fetzer &
+// Riegel, PPoPP 2008): ownership records in a versioned lock table, a
+// global version clock, invisible reads validated by timestamps, and
+// snapshot extension. Three variants share the code: encounter-time
+// locking with write-back or write-through, and commit-time locking
+// with write-back.
+//
+// Lock-word layout (64 bits, one per stripe):
+//
+//	bit 0       — locked
+//	bits 1..63  — owner tasklet ID + 1 when locked, version otherwise
+type tinyEngine struct {
+	tm  *TM
+	ctl bool // commit-time locking (TinyCTLWB)
+	wt  bool // write-through (TinyETLWT)
+}
+
+const tinyLockedBit = 1
+
+func tinyOwnerWord(taskletID int) uint64 {
+	return uint64(taskletID+1)<<1 | tinyLockedBit
+}
+
+// start takes the version-clock snapshot that bounds the visible
+// interval; extension may later advance the upper bound.
+func (e *tinyEngine) start(tx *Tx) {
+	tx.ub = tx.t.Load64(e.tm.clock)
+}
+
+// read is the invisible, timestamp-validated read: load the ORec, load
+// the value, re-load the ORec ("reading twice the lock to detect
+// concurrent writes", paper §4.2.1), and extend the snapshot when the
+// stripe's version is newer than the upper bound.
+func (e *tinyEngine) read(tx *Tx, a dpu.Addr) uint64 {
+	t := tx.t
+	if e.ctl {
+		// Commit-time locking buffers writes without acquiring ORecs, so
+		// every read must first probe the writeset (paper §3.2, "Lock
+		// timing").
+		if v, ok := tx.wsLookup(a); ok {
+			return v
+		}
+	}
+	s := e.tm.stripe(a)
+	oa := e.tm.orecAddr(s)
+	tx.chargeSnapshot()
+	for {
+		l := t.Load64(oa)
+		if l&tinyLockedBit != 0 {
+			if !e.ctl && l == tinyOwnerWord(t.ID) {
+				// My own encounter-time lock: return my latest write.
+				if e.wt {
+					return t.Load64(a)
+				}
+				if v, ok := tx.wsLookup(a); ok {
+					return v
+				}
+				return t.Load64(a)
+			}
+			tx.abort(AbortLockBusy)
+		}
+		ver := l >> 1
+		v := t.Load64(a)
+		if t.Load64(oa) != l {
+			continue // the stripe changed under us: retry
+		}
+		if ver > tx.ub {
+			e.extend(tx)
+			continue // re-read under the extended snapshot
+		}
+		tx.rsAdd(dpu.Addr(s), ver)
+		return v
+	}
+}
+
+// extend advances the snapshot upper bound to the current clock after
+// proving the readset still valid; otherwise the attempt aborts. This
+// is the mechanism that spares Tiny aborts a TL2-style design would
+// incur (paper §3.2.1).
+func (e *tinyEngine) extend(tx *Tx) {
+	if e.tm.cfg.DisableExtension {
+		tx.abort(AbortValidation)
+	}
+	now := tx.t.Load64(e.tm.clock)
+	if !tx.validateBracket(false, func() bool { return e.validateRS(tx) }) {
+		tx.abort(AbortValidation)
+	}
+	tx.ub = now
+}
+
+// validateRS checks that every stripe read still carries the version
+// observed at read time (or is locked by this transaction with that
+// same pre-acquisition version).
+func (e *tinyEngine) validateRS(tx *Tx) bool {
+	t := tx.t
+	for i := range tx.rs {
+		s := uint32(tx.rs[i].key)
+		ver := tx.rs[i].val
+		t.ChargePrivate(tx.metaTier(), 16)
+		l := t.Load64(e.tm.orecAddr(s))
+		if l&tinyLockedBit != 0 {
+			if l != tinyOwnerWord(t.ID) {
+				return false
+			}
+			if idx, ok := tx.ownedIdx[s]; !ok || tx.owned[idx].prevVer != ver {
+				return false
+			}
+			continue
+		}
+		if l>>1 != ver {
+			return false
+		}
+	}
+	return true
+}
+
+// write: encounter-time variants acquire the ORec immediately;
+// write-through stores in place with an undo record, write-back buffers.
+func (e *tinyEngine) write(tx *Tx, a dpu.Addr, v uint64) {
+	t := tx.t
+	if e.ctl {
+		tx.wsPut(a, v)
+		return
+	}
+	e.acquire(tx, e.tm.stripe(a))
+	if e.wt {
+		tx.undoAdd(a, t.Load64(a))
+		t.Store64(a, v)
+		return
+	}
+	tx.wsPut(a, v)
+}
+
+// acquire takes the ORec of a stripe for writing, aborting on conflict
+// (or spinning first under the WaitOnContention policy).
+func (e *tinyEngine) acquire(tx *Tx, s uint32) {
+	t := tx.t
+	if _, mine := tx.ownedIdx[s]; mine {
+		return
+	}
+	oa := e.tm.orecAddr(s)
+	waited := 0
+	for {
+		l := t.Load64(oa)
+		if l&tinyLockedBit != 0 {
+			// Cannot be mine: ownedIdx says no.
+			if w := e.tm.cfg.WaitOnContention; w > 0 && waited < w {
+				step := 16 + t.RandN(16)
+				t.Exec(step)
+				waited += step
+				continue
+			}
+			tx.abort(AbortLockBusy)
+		}
+		if l>>1 > tx.ub {
+			// The stripe moved past the snapshot: extend rather than
+			// drag an inconsistent bound to commit validation.
+			e.extend(tx)
+			continue
+		}
+		if !cas64(t, oa, l, tinyOwnerWord(t.ID)) {
+			continue // raced with another writer: re-inspect
+		}
+		tx.ownedIdx[s] = len(tx.owned)
+		tx.owned = append(tx.owned, ownedStripe{stripe: s, prevVer: l >> 1})
+		return
+	}
+}
+
+// commit: CTL first acquires all write locks; then the clock is bumped,
+// the readset validated if anyone committed since the snapshot, buffered
+// writes applied and all stripes released at the new version.
+func (e *tinyEngine) commit(tx *Tx) {
+	t := tx.t
+	if e.ctl {
+		if len(tx.ws) == 0 {
+			return // read-only
+		}
+		for i := range tx.ws {
+			e.acquire(tx, e.tm.stripe(tx.ws[i].addr))
+		}
+	} else if len(tx.owned) == 0 {
+		return // read-only
+	}
+	wv := fetchAdd64(t, e.tm.clock, 1)
+	if wv > tx.ub+1 {
+		if !tx.validateBracket(true, func() bool { return e.validateRS(tx) }) {
+			tx.abort(AbortValidation)
+		}
+	}
+	if !e.wt {
+		for i := range tx.ws {
+			t.ChargePrivate(tx.metaTier(), 16)
+			t.Store64(tx.ws[i].addr, tx.ws[i].val)
+		}
+	}
+	for i := range tx.owned {
+		t.Store64(e.tm.orecAddr(tx.owned[i].stripe), wv<<1)
+	}
+}
+
+// rollback undoes write-through stores and releases acquired stripes at
+// their pre-acquisition versions.
+func (e *tinyEngine) rollback(tx *Tx) {
+	tx.undoAll()
+	for i := range tx.owned {
+		o := tx.owned[i]
+		tx.t.Store64(e.tm.orecAddr(o.stripe), o.prevVer<<1)
+	}
+	tx.owned = tx.owned[:0]
+	clear(tx.ownedIdx)
+}

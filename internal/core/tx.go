@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+
+	"pimstm/internal/dpu"
+)
+
+// Phase indexes the time-breakdown buckets of the paper's figures
+// (Figs 4, 5, 9, 10).
+type Phase int
+
+// The breakdown buckets, in the order the paper's legends list them.
+const (
+	PhaseReading Phase = iota
+	PhaseWriting
+	PhaseValidateExec
+	PhaseOtherExec
+	PhaseValidateCommit
+	PhaseOtherCommit
+	PhaseWasted
+	NumPhases
+)
+
+// String returns the paper's label for the bucket.
+func (p Phase) String() string {
+	switch p {
+	case PhaseReading:
+		return "Reading"
+	case PhaseWriting:
+		return "Writing"
+	case PhaseValidateExec:
+		return "Validating (Executing)"
+	case PhaseOtherExec:
+		return "Other (Executing)"
+	case PhaseValidateCommit:
+		return "Validating (Commit)"
+	case PhaseOtherCommit:
+		return "Other (Commit)"
+	case PhaseWasted:
+		return "Time Wasted"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// AbortReason classifies why an attempt aborted, for diagnostics and
+// the analyses of §4.2.1 (e.g. VR's upgrade aborts).
+type AbortReason int
+
+// Abort causes.
+const (
+	AbortLockBusy     AbortReason = iota // ORec/write lock held by another tx
+	AbortValidation                      // readset validation failed
+	AbortUpgrade                         // VR read→write upgrade with other readers
+	AbortReadLockBusy                    // VR read acquisition on write-locked stripe
+	AbortExplicit                        // user called Tx.Abort / Restart
+	numAbortReasons
+)
+
+// String names the abort cause.
+func (r AbortReason) String() string {
+	switch r {
+	case AbortLockBusy:
+		return "lock-busy"
+	case AbortValidation:
+		return "validation"
+	case AbortUpgrade:
+		return "upgrade"
+	case AbortReadLockBusy:
+		return "read-lock-busy"
+	case AbortExplicit:
+		return "explicit"
+	}
+	return fmt.Sprintf("AbortReason(%d)", int(r))
+}
+
+// Stats aggregates transaction outcomes and the cycle-level time
+// breakdown for one tasklet (merge across tasklets with Merge).
+type Stats struct {
+	Commits uint64
+	Aborts  uint64
+	// Phases holds cycles spent per breakdown bucket.
+	Phases [NumPhases]uint64
+	// AbortsBy counts aborts per cause.
+	AbortsBy [numAbortReasons]uint64
+	// Reads and Writes count transactional operations issued (including
+	// those of aborted attempts).
+	Reads, Writes uint64
+}
+
+// Merge accumulates o into s.
+func (s *Stats) Merge(o *Stats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	for i := range s.Phases {
+		s.Phases[i] += o.Phases[i]
+	}
+	for i := range s.AbortsBy {
+		s.AbortsBy[i] += o.AbortsBy[i]
+	}
+}
+
+// AbortRate returns aborts / (commits + aborts) in [0, 1].
+func (s *Stats) AbortRate() float64 {
+	tot := s.Commits + s.Aborts
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(tot)
+}
+
+// TotalCycles returns the cycles accounted across all buckets.
+func (s *Stats) TotalCycles() uint64 {
+	var t uint64
+	for _, v := range s.Phases {
+		t += v
+	}
+	return t
+}
+
+// abortSignal is the panic payload used to unwind an aborted attempt
+// back to the Atomic retry loop (the sigsetjmp/longjmp of C STMs).
+type abortSignal struct{ reason AbortReason }
+
+// wsEntry is one buffered write (write-back) or one lock record.
+type wsEntry struct {
+	addr dpu.Addr
+	val  uint64
+}
+
+// rsEntry is one read record; val holds the observed value (NOrec) or
+// the observed ORec version (Tiny).
+type rsEntry struct {
+	key dpu.Addr // address (NOrec) or stripe index (Tiny)
+	val uint64
+}
+
+// undoEntry restores a word overwritten by a write-through store.
+type undoEntry struct {
+	addr dpu.Addr
+	old  uint64
+}
+
+// Tx is a per-tasklet transaction descriptor, reused across
+// transactions. Obtain one per tasklet with TM.NewTx and drive it either
+// with Atomic (automatic retry) or manually with Start/Read/Write/Commit.
+type Tx struct {
+	tm *TM
+	t  *dpu.Tasklet
+
+	// Private metadata buffers. These are charged to the metadata tier
+	// on every logical access (see dpu.Tasklet.ChargePrivate).
+	rs    []rsEntry
+	ws    []wsEntry
+	wsIdx map[dpu.Addr]int
+	undo  []undoEntry
+
+	// Tiny state: acquired stripes with the version to restore on abort.
+	// Slices keep acquisition order so release order is deterministic
+	// (Go map iteration order is randomized and would perturb the
+	// simulation schedule).
+	ub       uint64 // snapshot upper bound
+	owned    []ownedStripe
+	ownedIdx map[uint32]int
+
+	// VR state: read- and write-locked stripes. The maps are the source
+	// of truth (an upgraded read lock is flipped to false); the slices
+	// preserve order for deterministic release.
+	readLocks  []uint32
+	readIdx    map[uint32]bool
+	writeLocks []uint32
+	writeIdx   map[uint32]bool
+
+	// NOrec state.
+	snapshot uint64
+
+	status   txStatus
+	attempts int
+
+	// Phase accounting for the current attempt.
+	attemptStart uint64
+	acc          [NumPhases]uint64
+
+	stats Stats
+}
+
+type txStatus int
+
+const (
+	txIdle txStatus = iota
+	txActive
+)
+
+// ownedStripe records a Tiny lock acquisition: the stripe index and the
+// pre-acquisition version restored if the transaction aborts.
+type ownedStripe struct {
+	stripe  uint32
+	prevVer uint64
+}
+
+// NewTx creates the transaction descriptor of one tasklet.
+func (tm *TM) NewTx(t *dpu.Tasklet) *Tx {
+	return &Tx{
+		tm:       tm,
+		t:        t,
+		wsIdx:    make(map[dpu.Addr]int),
+		ownedIdx: make(map[uint32]int),
+		readIdx:  make(map[uint32]bool),
+		writeIdx: make(map[uint32]bool),
+	}
+}
+
+// Tasklet returns the tasklet this descriptor is bound to.
+func (tx *Tx) Tasklet() *dpu.Tasklet { return tx.t }
+
+// Stats returns the accumulated statistics of this descriptor.
+func (tx *Tx) Stats() *Stats { return &tx.stats }
+
+// Atomic executes body as a transaction, retrying on abort until it
+// commits. It is the TM_START/TM_COMMIT block of C TM APIs. The body may
+// run multiple times and must confine its side effects to Tx operations
+// and idempotent private state.
+func (tx *Tx) Atomic(body func(*Tx)) {
+	tx.attempts = 0
+	for {
+		tx.Start()
+		if tx.attempt(body) {
+			return
+		}
+		tx.backoff()
+	}
+}
+
+// attempt runs body once, converting execution-time abort panics into a
+// false return.
+func (tx *Tx) attempt(body func(*Tx)) (committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				committed = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(tx)
+	return tx.Commit()
+}
+
+// Start begins a new attempt. Calling Start on an active transaction is
+// a programming error.
+func (tx *Tx) Start() {
+	if tx.status == txActive {
+		panic("core: Start on an active transaction (no nesting support)")
+	}
+	tx.reset()
+	tx.status = txActive
+	tx.attempts++
+	tx.attemptStart = tx.t.Now()
+	tx.tm.eng.start(tx)
+}
+
+// Read performs a transactional 64-bit load.
+func (tx *Tx) Read(a dpu.Addr) uint64 {
+	tx.ensureActive("Read")
+	tx.stats.Reads++
+	t0 := tx.t.Now()
+	v0 := tx.acc[PhaseValidateExec]
+	v := tx.tm.eng.read(tx, a)
+	// Validation nested inside the read is charged to its own bucket.
+	tx.acc[PhaseReading] += tx.t.Now() - t0 - (tx.acc[PhaseValidateExec] - v0)
+	return v
+}
+
+// Write performs a transactional 64-bit store.
+func (tx *Tx) Write(a dpu.Addr, v uint64) {
+	tx.ensureActive("Write")
+	tx.stats.Writes++
+	t0 := tx.t.Now()
+	v0 := tx.acc[PhaseValidateExec]
+	tx.tm.eng.write(tx, a, v)
+	tx.acc[PhaseWriting] += tx.t.Now() - t0 - (tx.acc[PhaseValidateExec] - v0)
+}
+
+// Commit attempts to commit the transaction and reports success. On
+// failure the transaction is already rolled back and may be restarted
+// with Start.
+func (tx *Tx) Commit() bool {
+	tx.ensureActive("Commit")
+	commitStart := tx.t.Now()
+	execElapsed := commitStart - tx.attemptStart
+	if !tx.runCommit() {
+		// Bookkeeping (stats, rollback, status) happened in tx.abort.
+		return false
+	}
+	commitElapsed := tx.t.Now() - commitStart
+	tx.status = txIdle
+	tx.stats.Commits++
+	stmExec := tx.acc[PhaseReading] + tx.acc[PhaseWriting] + tx.acc[PhaseValidateExec]
+	var otherExec uint64
+	if execElapsed > stmExec {
+		otherExec = execElapsed - stmExec
+	}
+	var otherCommit uint64
+	if commitElapsed > tx.acc[PhaseValidateCommit] {
+		otherCommit = commitElapsed - tx.acc[PhaseValidateCommit]
+	}
+	tx.stats.Phases[PhaseReading] += tx.acc[PhaseReading]
+	tx.stats.Phases[PhaseWriting] += tx.acc[PhaseWriting]
+	tx.stats.Phases[PhaseValidateExec] += tx.acc[PhaseValidateExec]
+	tx.stats.Phases[PhaseOtherExec] += otherExec
+	tx.stats.Phases[PhaseValidateCommit] += tx.acc[PhaseValidateCommit]
+	tx.stats.Phases[PhaseOtherCommit] += otherCommit
+	return true
+}
+
+// runCommit invokes the engine commit, converting an abort unwind into
+// a false return so manual drivers see Commit() == false rather than a
+// panic.
+func (tx *Tx) runCommit() (committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				committed = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	tx.tm.eng.commit(tx)
+	return true
+}
+
+// Abort aborts the current attempt and unwinds to the Atomic loop (or
+// to the manual driver via the abort panic). The transaction's
+// encounter-time effects are rolled back first.
+func (tx *Tx) Abort() {
+	tx.abort(AbortExplicit)
+}
+
+// abort rolls back and unwinds with an abortSignal panic.
+func (tx *Tx) abort(reason AbortReason) {
+	tx.ensureActive("abort")
+	tx.tm.eng.rollback(tx)
+	tx.status = txIdle
+	tx.stats.Aborts++
+	tx.stats.AbortsBy[reason]++
+	tx.stats.Phases[PhaseWasted] += tx.t.Now() - tx.attemptStart
+	panic(abortSignal{reason})
+}
+
+// backoff injects a short randomized delay after an abort to break the
+// retry symmetry of deterministic tasklets (hardware jitter stand-in).
+func (tx *Tx) backoff() {
+	max := tx.attempts * 64
+	if max > tx.tm.cfg.MaxBackoff {
+		max = tx.tm.cfg.MaxBackoff
+	}
+	if max <= 0 {
+		return
+	}
+	tx.t.Exec(tx.t.RandN(max))
+}
+
+func (tx *Tx) ensureActive(op string) {
+	if tx.status != txActive {
+		panic("core: " + op + " outside an active transaction")
+	}
+}
+
+func (tx *Tx) reset() {
+	tx.rs = tx.rs[:0]
+	tx.ws = tx.ws[:0]
+	tx.undo = tx.undo[:0]
+	tx.owned = tx.owned[:0]
+	tx.readLocks = tx.readLocks[:0]
+	tx.writeLocks = tx.writeLocks[:0]
+	clear(tx.wsIdx)
+	clear(tx.ownedIdx)
+	clear(tx.readIdx)
+	clear(tx.writeIdx)
+	tx.acc = [NumPhases]uint64{}
+}
+
+// metaTier is the tier charged for private metadata traffic.
+func (tx *Tx) metaTier() dpu.Tier { return tx.tm.cfg.MetaTier }
+
+// chargeSnapshot models consulting the transaction descriptor's
+// snapshot fields, which live in the metadata tier. The invisible-read
+// designs pay this on every read (paper §4.2.1: "reading the
+// transaction snapshot"); VR has no snapshot to consult.
+func (tx *Tx) chargeSnapshot() { tx.t.ChargePrivate(tx.metaTier(), 8) }
+
+// Private-set helpers. Every logical access charges the metadata tier.
+
+func (tx *Tx) rsAdd(key dpu.Addr, val uint64) {
+	tx.t.ChargePrivateStore(tx.metaTier(), 16)
+	tx.rs = append(tx.rs, rsEntry{key, val})
+}
+
+func (tx *Tx) wsPut(a dpu.Addr, v uint64) {
+	tx.t.ChargePrivateStore(tx.metaTier(), 16)
+	if i, ok := tx.wsIdx[a]; ok {
+		tx.ws[i].val = v
+		return
+	}
+	tx.wsIdx[a] = len(tx.ws)
+	tx.ws = append(tx.ws, wsEntry{a, v})
+}
+
+// wsLookup returns the buffered value for a, charging one probe when the
+// writeset is non-empty. CTL and write-back designs pay this on every
+// read (paper §3.2, "Lock timing"); an empty writeset is detected from a
+// register-resident size counter and costs nothing.
+func (tx *Tx) wsLookup(a dpu.Addr) (uint64, bool) {
+	if len(tx.ws) == 0 {
+		return 0, false
+	}
+	tx.t.ChargePrivate(tx.metaTier(), 8)
+	if i, ok := tx.wsIdx[a]; ok {
+		return tx.ws[i].val, true
+	}
+	return 0, false
+}
+
+func (tx *Tx) undoAdd(a dpu.Addr, old uint64) {
+	tx.t.ChargePrivateStore(tx.metaTier(), 16)
+	tx.undo = append(tx.undo, undoEntry{a, old})
+}
+
+// undoAll replays the undo log backwards, restoring overwritten words.
+func (tx *Tx) undoAll() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		e := tx.undo[i]
+		tx.t.ChargePrivate(tx.metaTier(), 16)
+		tx.t.Store64(e.addr, e.old)
+	}
+	tx.undo = tx.undo[:0]
+}
+
+// validateBracket charges elapsed validation cycles to the right bucket.
+func (tx *Tx) validateBracket(commitPhase bool, f func() bool) bool {
+	t0 := tx.t.Now()
+	ok := f()
+	d := tx.t.Now() - t0
+	if commitPhase {
+		tx.acc[PhaseValidateCommit] += d
+	} else {
+		tx.acc[PhaseValidateExec] += d
+	}
+	return ok
+}

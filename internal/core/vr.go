@@ -1,0 +1,210 @@
+package core
+
+import "pimstm/internal/dpu"
+
+// vrEngine implements the paper's Visible Reads design (§3.2.1, Fig 3):
+// every stripe is guarded by a 32-bit read-write lock word; reads take
+// the lock in read mode as soon as they execute, so no validation is
+// ever needed. A transaction aborts whenever it finds a lock held in an
+// incompatible mode — including read→write upgrades while other readers
+// hold the lock, the source of VR's spurious aborts.
+//
+// Lock-word layout (Fig 3):
+//
+//	bit 0        — read bit
+//	bit 1        — write bit
+//	read mode:   bits 2..25 reader-flag bitmap (one per tasklet),
+//	             bits 26..31 reader count
+//	write mode:  bits 2..31 owner. The paper stores the word-aligned
+//	             address of the owner's readset; we store tasklet ID+1,
+//	             which carries the same information in the simulator.
+type vrEngine struct {
+	tm  *TM
+	ctl bool // commit-time write locking (VRCTLWB)
+	wt  bool // write-through (VRETLWT)
+}
+
+// Lock-word encoding helpers (exported via smalltest hooks in tests).
+const (
+	vrReadBit  uint32 = 1 << 0
+	vrWriteBit uint32 = 1 << 1
+)
+
+func vrReaderFlag(taskletID int) uint32 { return 1 << (2 + uint(taskletID)) }
+
+func vrReaderCount(w uint32) uint32 { return w >> 26 }
+
+func vrWriteWord(taskletID int) uint32 {
+	return vrWriteBit | uint32(taskletID+1)<<2
+}
+
+func vrSoleReader(taskletID int) uint32 {
+	return vrReadBit | vrReaderFlag(taskletID) | 1<<26
+}
+
+func (e *vrEngine) start(tx *Tx) {}
+
+// read ensures visibility by acquiring the stripe's lock in read mode
+// (unless this transaction already holds it in either mode) and then
+// loads the value. Holding read locks to commit keeps the snapshot
+// consistent with no validation (2-phase locking).
+func (e *vrEngine) read(tx *Tx, a dpu.Addr) uint64 {
+	t := tx.t
+	s := e.tm.stripe(a)
+	if e.ctl {
+		// CTL buffers writes without locks, so reads must probe the
+		// writeset for read-after-write.
+		if v, ok := tx.wsLookup(a); ok {
+			return v
+		}
+	}
+	if tx.writeIdx[s] {
+		// I hold the write lock: with write-back the freshest value may
+		// be buffered; the reader-flag design spares this probe in all
+		// other cases (paper §3.2.1).
+		if !e.wt {
+			if v, ok := tx.wsLookup(a); ok {
+				return v
+			}
+		}
+		return t.Load64(a)
+	}
+	e.acquireRead(tx, s)
+	return t.Load64(a)
+}
+
+// acquireRead takes the stripe lock in read mode, registering this
+// tasklet in the reader flags; it aborts if the stripe is write-locked
+// by another transaction.
+func (e *vrEngine) acquireRead(tx *Tx, s uint32) {
+	if tx.readIdx[s] {
+		return // already registered
+	}
+	t := tx.t
+	oa := e.tm.orecAddr(s)
+	_, ok := update32(t, oa, func(w uint32) (uint32, bool) {
+		if w&vrWriteBit != 0 {
+			return w, false // write-locked by another transaction
+		}
+		nw := (w | vrReadBit | vrReaderFlag(t.ID)) + 1<<26
+		return nw, true
+	})
+	if !ok {
+		tx.abort(AbortReadLockBusy)
+	}
+	tx.readIdx[s] = true
+	// The read-lock list is VR's readset: it exists only to release the
+	// locks at the end (no validation), but appending it still costs a
+	// metadata access.
+	t.ChargePrivateStore(tx.metaTier(), 16)
+	tx.readLocks = append(tx.readLocks, s)
+}
+
+// acquireWrite takes the stripe lock in write mode, upgrading a read
+// lock this transaction holds alone; any other holder forces an abort.
+func (e *vrEngine) acquireWrite(tx *Tx, s uint32) {
+	if tx.writeIdx[s] {
+		return
+	}
+	t := tx.t
+	oa := e.tm.orecAddr(s)
+	iAmReader := tx.readIdx[s]
+	_, ok := update32(t, oa, func(w uint32) (uint32, bool) {
+		switch {
+		case w&vrWriteBit != 0:
+			return w, false // another writer
+		case w&vrReadBit != 0:
+			if iAmReader && w == vrSoleReader(t.ID) {
+				return vrWriteWord(t.ID), true // upgrade
+			}
+			return w, false // other readers present
+		default:
+			return vrWriteWord(t.ID), true
+		}
+	})
+	if !ok {
+		if iAmReader {
+			tx.abort(AbortUpgrade)
+		}
+		tx.abort(AbortLockBusy)
+	}
+	if iAmReader {
+		tx.readIdx[s] = false // upgraded: release as a write lock only
+	}
+	tx.writeIdx[s] = true
+	tx.writeLocks = append(tx.writeLocks, s)
+}
+
+// write: encounter-time variants lock immediately; write-through stores
+// in place with an undo record, write-back buffers; commit-time buffers
+// without locking.
+func (e *vrEngine) write(tx *Tx, a dpu.Addr, v uint64) {
+	t := tx.t
+	if e.ctl {
+		tx.wsPut(a, v)
+		return
+	}
+	e.acquireWrite(tx, e.tm.stripe(a))
+	if e.wt {
+		tx.undoAdd(a, t.Load64(a))
+		t.Store64(a, v)
+		return
+	}
+	tx.wsPut(a, v)
+}
+
+// commit: CTL acquires all write locks now (the paper's analysis of
+// VR CTLWB's commit-time upgrade storms happens here), write-back
+// applies the buffered stores, and every lock is released. There is no
+// validation phase by design.
+func (e *vrEngine) commit(tx *Tx) {
+	t := tx.t
+	if e.ctl {
+		for i := range tx.ws {
+			e.acquireWrite(tx, e.tm.stripe(tx.ws[i].addr))
+		}
+	}
+	if !e.wt {
+		for i := range tx.ws {
+			t.ChargePrivate(tx.metaTier(), 16)
+			t.Store64(tx.ws[i].addr, tx.ws[i].val)
+		}
+	}
+	e.releaseAll(tx)
+}
+
+// rollback undoes write-through stores and releases every held lock.
+func (e *vrEngine) rollback(tx *Tx) {
+	tx.undoAll()
+	e.releaseAll(tx)
+}
+
+// releaseAll frees write locks and read locks in acquisition order.
+func (e *vrEngine) releaseAll(tx *Tx) {
+	t := tx.t
+	for _, s := range tx.writeLocks {
+		if !tx.writeIdx[s] {
+			continue
+		}
+		tx.writeIdx[s] = false
+		update32(t, e.tm.orecAddr(s), func(w uint32) (uint32, bool) {
+			return 0, true
+		})
+	}
+	tx.writeLocks = tx.writeLocks[:0]
+	for _, s := range tx.readLocks {
+		if !tx.readIdx[s] {
+			continue // upgraded to a write lock and already released
+		}
+		tx.readIdx[s] = false
+		update32(t, e.tm.orecAddr(s), func(w uint32) (uint32, bool) {
+			nw := w &^ vrReaderFlag(t.ID)
+			nw -= 1 << 26
+			if vrReaderCount(nw) == 0 {
+				return 0, true
+			}
+			return nw, true
+		})
+	}
+	tx.readLocks = tx.readLocks[:0]
+}

@@ -1,0 +1,198 @@
+// Package cpustm is the CPU-side baseline of the paper's §4.3 study: a
+// NOrec software transactional memory (Dalessandro, Spear & Scott,
+// PPoPP 2010) for real host threads, built on sync/atomic. The paper
+// compares its multi-DPU ports of KMeans and Labyrinth against exactly
+// this algorithm running on a Xeon; here it runs on whatever host
+// executes the benchmarks.
+//
+// Transactional memory is a slice of 64-bit words (Mem); transactions
+// address words by index. NOrec provides opacity through a global
+// sequence lock and value-based validation.
+package cpustm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Mem is a transactional address space: a fixed-size array of words.
+type Mem struct {
+	words []atomic.Uint64
+}
+
+// NewMem allocates a transactional memory of n words, zero-initialized.
+func NewMem(n int) *Mem {
+	return &Mem{words: make([]atomic.Uint64, n)}
+}
+
+// Len returns the number of words.
+func (m *Mem) Len() int { return len(m.words) }
+
+// Load reads a word non-transactionally (e.g. for verification or
+// read-only snapshots between phases).
+func (m *Mem) Load(i int) uint64 { return m.words[i].Load() }
+
+// Store writes a word non-transactionally; only safe while no
+// transactions run.
+func (m *Mem) Store(i int, v uint64) { m.words[i].Store(v) }
+
+// TM is a NOrec instance guarding one Mem.
+type TM struct {
+	mem     *Mem
+	seqLock atomic.Uint64
+}
+
+// New creates a NOrec TM over the given memory.
+func New(mem *Mem) *TM { return &TM{mem: mem} }
+
+// Mem returns the underlying memory.
+func (tm *TM) Mem() *Mem { return tm.mem }
+
+type readEntry struct {
+	idx int
+	val uint64
+}
+
+// Tx is a per-thread transaction descriptor, reused across transactions.
+// It must not be shared between goroutines.
+type Tx struct {
+	tm       *TM
+	snapshot uint64
+	rs       []readEntry
+	ws       []readEntry
+	wsIdx    map[int]int
+	active   bool
+
+	// Commits and Aborts count outcomes for reporting.
+	Commits, Aborts uint64
+}
+
+// NewTx creates a transaction descriptor for one goroutine.
+func (tm *TM) NewTx() *Tx {
+	return &Tx{tm: tm, wsIdx: make(map[int]int)}
+}
+
+type abortSignal struct{}
+
+// Atomic runs body as a transaction, retrying until it commits.
+func (tx *Tx) Atomic(body func(*Tx)) {
+	for {
+		tx.start()
+		if tx.attempt(body) {
+			return
+		}
+		tx.Aborts++
+	}
+}
+
+func (tx *Tx) attempt(body func(*Tx)) (committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				committed = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(tx)
+	return tx.commit()
+}
+
+func (tx *Tx) start() {
+	tx.rs = tx.rs[:0]
+	tx.ws = tx.ws[:0]
+	clear(tx.wsIdx)
+	tx.active = true
+	for {
+		s := tx.tm.seqLock.Load()
+		if s&1 == 0 {
+			tx.snapshot = s
+			return
+		}
+		runtime.Gosched() // writer in its commit section: brief back-off
+	}
+}
+
+// Read performs a transactional load of word i.
+func (tx *Tx) Read(i int) uint64 {
+	if j, ok := tx.wsIdx[i]; ok {
+		return tx.ws[j].val
+	}
+	v := tx.tm.mem.words[i].Load()
+	for {
+		s := tx.tm.seqLock.Load()
+		if s == tx.snapshot {
+			break
+		}
+		tx.snapshot = tx.validate()
+		v = tx.tm.mem.words[i].Load()
+	}
+	tx.rs = append(tx.rs, readEntry{i, v})
+	return v
+}
+
+// Write buffers a transactional store to word i.
+func (tx *Tx) Write(i int, v uint64) {
+	if j, ok := tx.wsIdx[i]; ok {
+		tx.ws[j].val = v
+		return
+	}
+	tx.wsIdx[i] = len(tx.ws)
+	tx.ws = append(tx.ws, readEntry{i, v})
+}
+
+// validate re-checks the readset by value and returns the sequence-lock
+// snapshot it was proven consistent at, aborting on any change.
+func (tx *Tx) validate() uint64 {
+	for {
+		s := tx.tm.seqLock.Load()
+		if s&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		ok := true
+		for _, e := range tx.rs {
+			if tx.tm.mem.words[e.idx].Load() != e.val {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			tx.active = false
+			panic(abortSignal{})
+		}
+		if tx.tm.seqLock.Load() == s {
+			return s
+		}
+	}
+}
+
+// commit serializes update transactions on the sequence lock.
+func (tx *Tx) commit() bool {
+	if !tx.active {
+		return false
+	}
+	tx.active = false
+	if len(tx.ws) == 0 {
+		tx.Commits++
+		return true
+	}
+	for !tx.tm.seqLock.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		tx.active = true
+		tx.snapshot = tx.validate() // panics on conflict
+		tx.active = false
+	}
+	for _, e := range tx.ws {
+		tx.tm.mem.words[e.idx].Store(e.val)
+	}
+	tx.tm.seqLock.Store(tx.snapshot + 2)
+	tx.Commits++
+	return true
+}
+
+// Abort aborts the current attempt (restarting it if inside Atomic).
+func (tx *Tx) Abort() {
+	tx.active = false
+	panic(abortSignal{})
+}

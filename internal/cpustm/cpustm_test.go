@@ -1,0 +1,185 @@
+package cpustm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleThreadSemantics(t *testing.T) {
+	mem := NewMem(8)
+	tm := New(mem)
+	tx := tm.NewTx()
+	tx.Atomic(func(tx *Tx) {
+		tx.Write(0, 41)
+		if got := tx.Read(0); got != 41 {
+			t.Errorf("read-your-write = %d", got)
+		}
+		tx.Write(0, tx.Read(0)+1)
+	})
+	if mem.Load(0) != 42 {
+		t.Fatalf("committed value = %d", mem.Load(0))
+	}
+	if tx.Commits != 1 || tx.Aborts != 0 {
+		t.Fatalf("stats wrong: %d/%d", tx.Commits, tx.Aborts)
+	}
+}
+
+func TestCounterParallel(t *testing.T) {
+	const threads, iters = 8, 2000
+	mem := NewMem(1)
+	tm := New(mem)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := tm.NewTx()
+			for j := 0; j < iters; j++ {
+				tx.Atomic(func(tx *Tx) {
+					tx.Write(0, tx.Read(0)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := mem.Load(0); got != threads*iters {
+		t.Fatalf("lost updates: %d, want %d", got, threads*iters)
+	}
+}
+
+func TestTransferInvariantParallel(t *testing.T) {
+	const accounts, threads, iters, initial = 32, 6, 3000, 1000
+	mem := NewMem(accounts)
+	for i := 0; i < accounts; i++ {
+		mem.Store(i, initial)
+	}
+	tm := New(mem)
+	var wg sync.WaitGroup
+	bad := make(chan uint64, threads*4)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			tx := tm.NewTx()
+			rng := uint64(seed + 1)
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for j := 0; j < iters; j++ {
+				from, to := next(accounts), next(accounts)
+				amt := uint64(next(5))
+				tx.Atomic(func(tx *Tx) {
+					f, g := tx.Read(from), tx.Read(to)
+					if from == to {
+						return
+					}
+					tx.Write(from, f-amt)
+					tx.Write(to, g+amt)
+				})
+				if j%100 == 0 {
+					var sum uint64
+					tx.Atomic(func(tx *Tx) {
+						sum = 0
+						for a := 0; a < accounts; a++ {
+							sum += tx.Read(a)
+						}
+					})
+					if sum != accounts*initial {
+						select {
+						case bad <- sum:
+						default:
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(bad)
+	if s, broke := <-bad; broke {
+		t.Fatalf("audit saw inconsistent total %d", s)
+	}
+	var sum uint64
+	for i := 0; i < accounts; i++ {
+		sum += mem.Load(i)
+	}
+	if sum != accounts*initial {
+		t.Fatalf("final sum %d, want %d", sum, accounts*initial)
+	}
+}
+
+func TestExplicitAbort(t *testing.T) {
+	mem := NewMem(2)
+	tm := New(mem)
+	tx := tm.NewTx()
+	done := false
+	tx.Atomic(func(tx *Tx) {
+		if !done {
+			done = true
+			tx.Write(0, 99)
+			tx.Abort() // first attempt aborts; retry writes nothing
+		}
+	})
+	if mem.Load(0) != 0 {
+		t.Fatal("aborted write leaked")
+	}
+	if tx.Aborts != 1 {
+		t.Fatalf("aborts = %d", tx.Aborts)
+	}
+}
+
+func TestReadOnlyNoSeqLockBump(t *testing.T) {
+	mem := NewMem(4)
+	tm := New(mem)
+	tx := tm.NewTx()
+	before := tm.seqLock.Load()
+	tx.Atomic(func(tx *Tx) {
+		_ = tx.Read(0) + tx.Read(1)
+	})
+	if tm.seqLock.Load() != before {
+		t.Fatal("read-only transaction bumped the sequence lock")
+	}
+}
+
+// TestQuickSequentialEquivalence drives random single-thread programs
+// and compares against a plain map: with one thread the STM must be a
+// transparent memory.
+func TestQuickSequentialEquivalence(t *testing.T) {
+	mem := NewMem(16)
+	tm := New(mem)
+	tx := tm.NewTx()
+	shadow := make([]uint64, 16)
+	check := func(script []byte) bool {
+		tx.Atomic(func(tx *Tx) {
+			for _, b := range script {
+				i := int(b) % 16
+				if b&0x80 != 0 {
+					v := tx.Read(i) + uint64(b)
+					tx.Write(i, v)
+				} else {
+					_ = tx.Read(i)
+				}
+			}
+		})
+		// Replay on the shadow.
+		for _, b := range script {
+			i := int(b) % 16
+			if b&0x80 != 0 {
+				shadow[i] += uint64(b)
+			}
+		}
+		for i := range shadow {
+			if mem.Load(i) != shadow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package dpu
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AllocMRAM reserves size bytes of MRAM with the given power-of-two
+// alignment (0 or 1 means byte alignment) and returns the base address.
+// Allocation is a bump allocator, like the UPMEM heap: there is no free.
+func (d *DPU) AllocMRAM(size, align int) (Addr, error) {
+	off, err := bump(&d.mramBrk, len(d.mram), size, align, "MRAM")
+	if err != nil {
+		return NilAddr, err
+	}
+	return MRAMAddr(off), nil
+}
+
+// AllocWRAM reserves size bytes of WRAM and returns the base address.
+func (d *DPU) AllocWRAM(size, align int) (Addr, error) {
+	off, err := bump(&d.wramBrk, len(d.wram), size, align, "WRAM")
+	if err != nil {
+		return NilAddr, err
+	}
+	return WRAMAddr(off), nil
+}
+
+// Alloc reserves size bytes in the requested tier.
+func (d *DPU) Alloc(tier Tier, size, align int) (Addr, error) {
+	if tier == WRAM {
+		return d.AllocWRAM(size, align)
+	}
+	return d.AllocMRAM(size, align)
+}
+
+// MustAlloc is Alloc for static program layout: it panics on exhaustion,
+// which in a DPU program corresponds to a link-time failure.
+func (d *DPU) MustAlloc(tier Tier, size, align int) Addr {
+	a, err := d.Alloc(tier, size, align)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// WRAMFree returns the number of unallocated WRAM bytes, used by
+// configurations that spill metadata to MRAM when WRAM is exhausted.
+func (d *DPU) WRAMFree() int { return len(d.wram) - int(d.wramBrk) }
+
+// MRAMFree returns the number of unallocated MRAM bytes.
+func (d *DPU) MRAMFree() int { return len(d.mram) - int(d.mramBrk) }
+
+func bump(brk *uint32, capacity, size, align int, tier string) (uint32, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("dpu: negative allocation")
+	}
+	off := *brk
+	if align > 1 {
+		a := uint32(align)
+		off = (off + a - 1) &^ (a - 1)
+	}
+	if int(off)+size > capacity {
+		return 0, fmt.Errorf("dpu: %s exhausted: need %d bytes at offset %d, capacity %d", tier, size, off, capacity)
+	}
+	*brk = off + uint32(size)
+	return off, nil
+}
+
+// Host-side accessors. The CPU may only touch DPU memory while the DPU is
+// not running (paper §2.1); in the simulator that means outside Run.
+// These helpers are used by the multi-DPU host layer and by tests.
+
+// HostRead64 reads a 64-bit word from simulated memory from the host.
+func (d *DPU) HostRead64(a Addr) uint64 {
+	return binary.LittleEndian.Uint64(d.tierSlice(a)[a.Offset():])
+}
+
+// HostWrite64 writes a 64-bit word into simulated memory from the host.
+func (d *DPU) HostWrite64(a Addr, v uint64) {
+	binary.LittleEndian.PutUint64(d.tierSlice(a)[a.Offset():], v)
+}
+
+// HostRead32 reads a 32-bit word from the host.
+func (d *DPU) HostRead32(a Addr) uint32 {
+	return binary.LittleEndian.Uint32(d.tierSlice(a)[a.Offset():])
+}
+
+// HostWrite32 writes a 32-bit word from the host.
+func (d *DPU) HostWrite32(a Addr, v uint32) {
+	binary.LittleEndian.PutUint32(d.tierSlice(a)[a.Offset():], v)
+}
+
+// HostReadBulk copies simulated memory into dst from the host.
+func (d *DPU) HostReadBulk(dst []byte, a Addr) {
+	copy(dst, d.tierSlice(a)[a.Offset():])
+}
+
+// HostWriteBulk copies src into simulated memory from the host.
+func (d *DPU) HostWriteBulk(a Addr, src []byte) {
+	copy(d.tierSlice(a)[a.Offset():], src)
+}

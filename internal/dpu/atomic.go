@@ -1,0 +1,140 @@
+package dpu
+
+// atomicRegister models the 256-bit hardware atomic register of the DPU.
+// acquire/release operate on one bit selected by a hardware hash of the
+// target address; two different addresses may hash to the same bit and
+// be needlessly serialized (lock aliasing, paper §3.2.1).
+type atomicRegister struct {
+	owner   [AtomicBits]*Tasklet
+	waiters [AtomicBits][]*Tasklet
+}
+
+// HashBit is the hardware hash mapping an address to one of the 256
+// logical lock bits. The DPU hashes the (4-byte aligned) word address
+// with a multiplicative hash; the exact function is unspecified in the
+// UPMEM documentation, so we pick a fixed, well-mixing one. It is
+// exported so tests can construct deliberate aliasing.
+func HashBit(a Addr) int {
+	x := uint32(a) >> 2
+	x *= 2654435761 // Knuth multiplicative hash
+	return int(x >> 24)
+}
+
+// Acquire takes the logical lock bit associated with address a. If the
+// bit is held the tasklet blocks until it is released (FIFO), mirroring
+// the hardware instruction that suspends the issuing thread. Costs one
+// instruction plus any wait.
+func (t *Tasklet) Acquire(a Addr) { t.AcquireBit(HashBit(a)) }
+
+// Release frees the logical lock bit associated with address a, waking
+// the first waiter if any.
+func (t *Tasklet) Release(a Addr) { t.ReleaseBit(HashBit(a)) }
+
+// TryAcquire attempts to take the bit for a without blocking and reports
+// whether it succeeded.
+func (t *Tasklet) TryAcquire(a Addr) bool { return t.TryAcquireBit(HashBit(a)) }
+
+// AcquireBit takes the given register bit directly, blocking if held.
+func (t *Tasklet) AcquireBit(bit int) {
+	t.yield()
+	t.instr(1)
+	r := &t.dpu.reg
+	if r.owner[bit] == nil {
+		r.owner[bit] = t
+		return
+	}
+	if r.owner[bit] == t {
+		panic("dpu: tasklet re-acquired an atomic bit it already holds (self-deadlock)")
+	}
+	r.waiters[bit] = append(r.waiters[bit], t)
+	t.state = stateBlocked
+	t.blockedBit = bit
+	t.yield() // woken by ReleaseBit with ownership already transferred
+	t.instr(1)
+}
+
+// TryAcquireBit attempts to take the given register bit without
+// blocking.
+func (t *Tasklet) TryAcquireBit(bit int) bool {
+	t.yield()
+	t.instr(1)
+	r := &t.dpu.reg
+	if r.owner[bit] == nil {
+		r.owner[bit] = t
+		return true
+	}
+	return false
+}
+
+// ReleaseBit frees the given register bit. Releasing a bit the tasklet
+// does not hold is a programming error and panics, like the hardware
+// raising a fault.
+func (t *Tasklet) ReleaseBit(bit int) {
+	t.yield()
+	t.instr(1)
+	r := &t.dpu.reg
+	if r.owner[bit] != t {
+		panic("dpu: tasklet released an atomic bit it does not hold")
+	}
+	if len(r.waiters[bit]) == 0 {
+		r.owner[bit] = nil
+		return
+	}
+	next := r.waiters[bit][0]
+	r.waiters[bit] = r.waiters[bit][1:]
+	r.owner[bit] = next
+	next.AdvanceTo(t.now)
+	next.state = stateRunnable
+}
+
+// Mutex is the lock abstraction the UPMEM runtime library offers on top
+// of the atomic register: each mutex pins one register bit.
+type Mutex struct {
+	bit int
+}
+
+// NewMutex allocates a mutex bound to the register bit hashed from a
+// fresh pseudo-address, matching how the UPMEM runtime derives mutex
+// bits from the mutex variable's WRAM address.
+func NewMutex(addr Addr) *Mutex { return &Mutex{bit: HashBit(addr)} }
+
+// Lock acquires the mutex, blocking the tasklet if contended.
+func (m *Mutex) Lock(t *Tasklet) { t.AcquireBit(m.bit) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock(t *Tasklet) { t.ReleaseBit(m.bit) }
+
+// Barrier synchronizes all tasklets of a DPU program, like the UPMEM
+// runtime's barrier_wait. The zero value is not usable; create one per
+// rendezvous group with NewBarrier.
+type Barrier struct {
+	n       int
+	arrived []*Tasklet
+	maxTime uint64
+}
+
+// NewBarrier creates a barrier for n tasklets.
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// Wait blocks the tasklet until all n tasklets have arrived; every
+// waiter resumes at the virtual time of the latest arrival.
+func (b *Barrier) Wait(t *Tasklet) {
+	t.yield()
+	t.instr(1)
+	if t.now > b.maxTime {
+		b.maxTime = t.now
+	}
+	if len(b.arrived)+1 == b.n {
+		for _, w := range b.arrived {
+			w.AdvanceTo(b.maxTime)
+			w.state = stateRunnable
+		}
+		b.arrived = b.arrived[:0]
+		b.maxTime = 0
+		return
+	}
+	b.arrived = append(b.arrived, t)
+	t.state = stateBlocked
+	t.blockedBit = -1
+	t.yield()
+}

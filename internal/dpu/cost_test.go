@@ -1,0 +1,155 @@
+package dpu
+
+import "testing"
+
+// Cost-model regression tests: the calibration points documented in
+// dpu.go must hold, or every experiment shifts.
+
+func TestPostedStoreCheaperThanLoad(t *testing.T) {
+	d := newTestDPU()
+	a := d.MustAlloc(MRAM, 8, 8)
+	var loadCyc, storeCyc uint64
+	mustRun(t, d, []func(*Tasklet){func(tk *Tasklet) {
+		t0 := tk.Now()
+		tk.Load64(a)
+		loadCyc = tk.Now() - t0
+		t0 = tk.Now()
+		tk.Store64(a, 1)
+		storeCyc = tk.Now() - t0
+	}})
+	if storeCyc >= loadCyc {
+		t.Fatalf("posted store (%d cyc) should be cheaper than load (%d cyc)", storeCyc, loadCyc)
+	}
+}
+
+func TestPostedStoreStillSerializesEngine(t *testing.T) {
+	// Stores occupy the engine: many concurrent stores must slow each
+	// other down even though each store is posted.
+	run := func(n int) uint64 {
+		d := newTestDPU()
+		a := make([]Addr, n)
+		for i := range a {
+			a[i] = d.MustAlloc(MRAM, 8, 8)
+		}
+		progs := make([]func(*Tasklet), n)
+		for i := range progs {
+			addr := a[i]
+			progs[i] = func(tk *Tasklet) {
+				for j := 0; j < 200; j++ {
+					tk.Store64(addr, uint64(j))
+				}
+			}
+		}
+		return mustRun(t, d, progs)
+	}
+	one := run(1)
+	eight := run(8)
+	if eight < one*3 {
+		t.Fatalf("8 store streams should contend on the engine: 1→%d, 8→%d", one, eight)
+	}
+}
+
+func TestStoreVisibleToSubsequentLoad(t *testing.T) {
+	// Posted stores are applied at issue in simulation order: a later
+	// load (same or another tasklet) must observe the value.
+	d := newTestDPU()
+	a := d.MustAlloc(MRAM, 8, 8)
+	var got uint64
+	mustRun(t, d, []func(*Tasklet){
+		func(tk *Tasklet) {
+			tk.Store64(a, 123)
+		},
+		func(tk *Tasklet) {
+			tk.Exec(1000) // run after the store in virtual time
+			got = tk.Load64(a)
+		},
+	})
+	if got != 123 {
+		t.Fatalf("store not visible: %d", got)
+	}
+}
+
+// TestStreamingBandwidth: large transfers should move ≈2 bytes/cycle
+// (700 MB/s at 350 MHz).
+func TestStreamingBandwidth(t *testing.T) {
+	d := New(Config{MRAMSize: 4 << 20})
+	const total = 1 << 20
+	a := d.MustAlloc(MRAM, total, 8)
+	buf := make([]byte, 2048)
+	var cyc uint64
+	mustRun(t, d, []func(*Tasklet){func(tk *Tasklet) {
+		t0 := tk.Now()
+		for off := 0; off < total; off += len(buf) {
+			tk.ReadBulk(buf, a+Addr(off))
+		}
+		cyc = tk.Now() - t0
+	}})
+	bytesPerCycle := float64(total) / float64(cyc)
+	if bytesPerCycle < 1.2 || bytesPerCycle > 2.0 {
+		t.Fatalf("streaming bandwidth = %.2f B/cyc, want ≈1.5-2", bytesPerCycle)
+	}
+}
+
+// TestSmallTransferAggregateRate: 8-byte loads from many tasklets
+// should sustain roughly one transfer per engine occupancy (28 cyc),
+// not one per full latency (81 cyc).
+func TestSmallTransferAggregateRate(t *testing.T) {
+	d := newTestDPU()
+	const n, per = 11, 300
+	addrs := make([]Addr, n)
+	for i := range addrs {
+		addrs[i] = d.MustAlloc(MRAM, 8, 8)
+	}
+	progs := make([]func(*Tasklet), n)
+	for i := range progs {
+		a := addrs[i]
+		progs[i] = func(tk *Tasklet) {
+			for j := 0; j < per; j++ {
+				tk.Load64(a)
+			}
+		}
+	}
+	cyc := mustRun(t, d, progs)
+	perTransfer := float64(cyc) / float64(n*per)
+	if perTransfer > 45 {
+		t.Fatalf("aggregate small-transfer cost = %.1f cyc, engine occupancy should dominate (≈28-39)", perTransfer)
+	}
+	if perTransfer < 25 {
+		t.Fatalf("aggregate small-transfer cost = %.1f cyc, below the engine bound", perTransfer)
+	}
+}
+
+// TestPipelineAdaptsToLiveCount: the issue interval shrinks once
+// tasklets beyond the pipeline depth retire. The surviving tasklet must
+// issue through yielding accesses (as real programs do at every memory
+// operation) for the new interval to take effect — Exec charges its
+// whole block at the rate sampled on entry.
+func TestPipelineAdaptsToLiveCount(t *testing.T) {
+	d := newTestDPU()
+	const n = 22
+	w := d.MustAlloc(WRAM, 8, 8)
+	progs := make([]func(*Tasklet), n)
+	var lateStart, lateEnd uint64
+	for i := range progs {
+		id := i
+		progs[i] = func(tk *Tasklet) {
+			if id == 0 {
+				// Fall far behind, then issue 1000 yielding WRAM loads
+				// once every other tasklet has retired.
+				tk.Exec(2000)
+				lateStart = tk.Now()
+				for j := 0; j < 1000; j++ {
+					tk.Load64(w)
+				}
+				lateEnd = tk.Now()
+			} else {
+				tk.Exec(10)
+			}
+		}
+	}
+	mustRun(t, d, progs)
+	perInstr := float64(lateEnd-lateStart) / 1000
+	if perInstr > float64(PipelineDepth)+1 {
+		t.Fatalf("lone tasklet should issue every ~%d cycles, got %.1f", PipelineDepth, perInstr)
+	}
+}

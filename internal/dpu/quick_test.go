@@ -1,0 +1,150 @@
+package dpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests of the simulator's low-level invariants.
+
+// TestQuickAllocatorNonOverlap: allocations never overlap, never hand
+// out the nil address, and respect alignment.
+func TestQuickAllocatorNonOverlap(t *testing.T) {
+	check := func(sizes []uint16) bool {
+		d := New(Config{MRAMSize: 1 << 20, WRAMSize: 1 << 14})
+		type span struct{ lo, hi uint32 }
+		var mram, wram []span
+		for i, s := range sizes {
+			size := int(s%2048) + 1
+			align := 1 << (i % 4) // 1,2,4,8
+			tier := MRAM
+			spans := &mram
+			if i%3 == 0 {
+				tier = WRAM
+				spans = &wram
+			}
+			a, err := d.Alloc(tier, size, align)
+			if err != nil {
+				continue // exhaustion is legal
+			}
+			if a == NilAddr {
+				return false
+			}
+			if align > 1 && a.Offset()%uint32(align) != 0 {
+				return false
+			}
+			lo := a.Offset()
+			hi := lo + uint32(size)
+			for _, sp := range *spans {
+				if lo < sp.hi && sp.lo < hi {
+					return false // overlap
+				}
+			}
+			*spans = append(*spans, span{lo, hi})
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHashBitRange: the hardware hash always lands in [0, 256) and
+// is a pure function of the address.
+func TestQuickHashBitRange(t *testing.T) {
+	check := func(a uint32) bool {
+		b := HashBit(Addr(a))
+		return b >= 0 && b < AtomicBits && b == HashBit(Addr(a))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWordRoundTrip: Store64/Load64 round-trip arbitrary values at
+// arbitrary aligned offsets in both tiers.
+func TestQuickWordRoundTrip(t *testing.T) {
+	d := New(Config{MRAMSize: 1 << 16})
+	check := func(v uint64, off uint16, wramSide bool) bool {
+		o := uint32(off) &^ 7
+		var a Addr
+		if wramSide {
+			a = WRAMAddr(o % (64<<10 - 8))
+		} else {
+			a = MRAMAddr(o % (1<<16 - 8))
+		}
+		var got uint64
+		d.Reset()
+		_, err := d.Run([]func(*Tasklet){func(tk *Tasklet) {
+			tk.Store64(a, v)
+			got = tk.Load64(a)
+		}})
+		return err == nil && got == v
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTimeMonotonic: a tasklet's clock never moves backwards
+// across any operation mix.
+func TestQuickTimeMonotonic(t *testing.T) {
+	check := func(ops []byte) bool {
+		d := New(Config{MRAMSize: 1 << 16, Seed: 5})
+		a := d.MustAlloc(MRAM, 64, 8)
+		w := d.MustAlloc(WRAM, 64, 8)
+		ok := true
+		_, err := d.Run([]func(*Tasklet){func(tk *Tasklet) {
+			last := tk.Now()
+			for _, op := range ops {
+				switch op % 6 {
+				case 0:
+					tk.Exec(int(op))
+				case 1:
+					tk.Load64(a)
+				case 2:
+					tk.Store64(w, uint64(op))
+				case 3:
+					tk.ChargePrivate(MRAM, 16)
+				case 4:
+					tk.Acquire(a)
+					tk.Release(a)
+				case 5:
+					tk.ChargePrivateStore(WRAM, 8)
+				}
+				if tk.Now() < last {
+					ok = false
+				}
+				last = tk.Now()
+			}
+		}})
+		return err == nil && ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetRunPreservesMemory: run-state reset keeps memory and
+// allocations, enabling the relaunch-between-batches host pattern.
+func TestResetRunPreservesMemory(t *testing.T) {
+	d := New(Config{MRAMSize: 1 << 16})
+	a := d.MustAlloc(MRAM, 8, 8)
+	mustRun(t, d, []func(*Tasklet){func(tk *Tasklet) { tk.Store64(a, 777) }})
+	d.ResetRun()
+	var got uint64
+	mustRun(t, d, []func(*Tasklet){func(tk *Tasklet) { got = tk.Load64(a) }})
+	if got != 777 {
+		t.Fatalf("memory lost across ResetRun: %d", got)
+	}
+	// The allocator must continue, not restart.
+	b := d.MustAlloc(MRAM, 8, 8)
+	if b == a {
+		t.Fatal("allocator restarted after ResetRun")
+	}
+	// Full Reset clears both.
+	d.Reset()
+	if d.HostRead64(a) != 0 {
+		t.Fatal("Reset did not clear memory")
+	}
+}

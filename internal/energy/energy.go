@@ -1,0 +1,54 @@
+// Package energy models the energy accounting of the paper's §4.3.3.
+//
+// The UPMEM system has no energy counters, so the paper estimates DPU
+// energy as the system's thermal design power (370 W when all DPUs are
+// active, per Falevoz & Legriel 2023) multiplied by execution time. CPU
+// energy in the paper is measured with RAPL; without RAPL access we
+// substitute per-workload constant power draws calibrated from the
+// paper's own (speedup, energy-gain) pairs in Fig 8 — so the *time*
+// ratios come from this reproduction while the *power* ratios are the
+// paper's measurements. The substitution is documented in DESIGN.md.
+package energy
+
+// DPUSystemTDPWatts is the thermal design power of the full UPMEM
+// system with all DPUs active (paper §4.3.3, citing [16]).
+const DPUSystemTDPWatts = 370.0
+
+// CPUPowerWatts returns the calibrated CPU+DRAM power draw for one of
+// the multi-DPU workloads. Values are derived from the paper's Fig 8:
+// P_cpu = P_dpu × gain / speedup. The Labyrinth baselines run 4
+// processes × 8 threads (near-full socket); KMeans runs 4 threads.
+func CPUPowerWatts(workload string) float64 {
+	switch workload {
+	case "Labyrinth S":
+		return 218
+	case "Labyrinth M":
+		return 156
+	case "Labyrinth L":
+		return 127
+	case "KMeans LC":
+		return 90
+	case "KMeans HC":
+		return 88
+	default:
+		return 95 // generic mid-size multi-threaded draw
+	}
+}
+
+// DPUEnergyJ estimates the energy of a full-fleet DPU execution.
+func DPUEnergyJ(seconds float64) float64 { return DPUSystemTDPWatts * seconds }
+
+// CPUEnergyJ estimates the energy of the CPU baseline for a workload.
+func CPUEnergyJ(workload string, seconds float64) float64 {
+	return CPUPowerWatts(workload) * seconds
+}
+
+// Gain returns the energy gain E_cpu / E_dpu (values below 1 mean the
+// PIM system consumed more energy, as the paper reports for
+// Labyrinth L).
+func Gain(workload string, cpuSeconds, dpuSeconds float64) float64 {
+	if dpuSeconds <= 0 {
+		return 0
+	}
+	return CPUEnergyJ(workload, cpuSeconds) / DPUEnergyJ(dpuSeconds)
+}

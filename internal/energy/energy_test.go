@@ -1,0 +1,57 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDPUEnergy(t *testing.T) {
+	if DPUEnergyJ(2) != 740 {
+		t.Fatalf("DPU energy = %f", DPUEnergyJ(2))
+	}
+}
+
+func TestCPUPowerTable(t *testing.T) {
+	// Every multi-DPU workload has a calibrated draw below the DPU
+	// system's 370 W TDP (that is why energy gains trail speedups).
+	for _, w := range []string{"Labyrinth S", "Labyrinth M", "Labyrinth L", "KMeans LC", "KMeans HC", "other"} {
+		p := CPUPowerWatts(w)
+		if p <= 0 || p >= DPUSystemTDPWatts {
+			t.Fatalf("%s draw %f implausible", w, p)
+		}
+	}
+}
+
+// TestGainReproducesFig8Pairs checks the calibration round-trips: with
+// the paper's own speedups, the model returns the paper's energy gains.
+func TestGainReproducesFig8Pairs(t *testing.T) {
+	cases := []struct {
+		workload string
+		speedup  float64
+		gain     float64
+	}{
+		{"Labyrinth S", 8.48, 5.00},
+		{"Labyrinth M", 3.11, 1.31},
+		{"Labyrinth L", 2.22, 0.76},
+		{"KMeans LC", 6.03, 1.47},
+		{"KMeans HC", 14.53, 3.45},
+	}
+	for _, c := range cases {
+		// speedup = t_cpu / t_dpu; pick t_dpu = 1.
+		got := Gain(c.workload, c.speedup, 1.0)
+		if math.Abs(got-c.gain)/c.gain > 0.02 {
+			t.Errorf("%s: gain %.3f, paper %.3f", c.workload, got, c.gain)
+		}
+	}
+	// Labyrinth L must land below 1: the PIM run costs ~31.5% more
+	// energy despite its 2.22x speedup (paper §4.3.3).
+	if g := Gain("Labyrinth L", 2.22, 1.0); g >= 1 {
+		t.Fatalf("Labyrinth L gain %.2f, want < 1", g)
+	}
+}
+
+func TestGainDegenerate(t *testing.T) {
+	if Gain("KMeans LC", 1, 0) != 0 {
+		t.Fatal("zero DPU time should yield zero gain")
+	}
+}

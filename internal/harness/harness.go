@@ -1,0 +1,524 @@
+// Package harness runs the paper's single-DPU experiments: it sweeps
+// STM algorithm × tasklet count × metadata tier × seed over the
+// benchmark workloads, aggregates throughput / abort rate / time
+// breakdown, and renders the series behind Figs 4, 5, 6, 9 and 10 plus
+// the latency and tier-gain measurements quoted in the text.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+	"pimstm/internal/workloads"
+)
+
+// WorkloadSpec describes one benchmark in the sweep: a factory for
+// fresh instances plus its STM sizing quirks.
+type WorkloadSpec struct {
+	// Name is the paper's workload name.
+	Name string
+	// New builds a fresh instance (workloads hold per-run state).
+	New func(scale float64) workloads.Workload
+	// LockTableEntries sizes the ORec table for this workload.
+	LockTableEntries int
+	// SpillLockTable marks workloads whose lock table exceeds WRAM in
+	// WRAM-metadata mode and must live in MRAM (ArrayBench A, paper
+	// appendix A).
+	SpillLockTable bool
+	// SupportsWRAM is false for workloads whose transactional footprint
+	// exceeds WRAM entirely (Labyrinth, paper §4.2.3).
+	SupportsWRAM bool
+}
+
+// scaleInt scales a workload size, keeping at least min.
+func scaleInt(v int, scale float64, min int) int {
+	s := int(math.Round(float64(v) * scale))
+	if s < min {
+		return min
+	}
+	return s
+}
+
+// Specs returns the paper's eight single-DPU workloads. The scale
+// factor passed to New shrinks per-tasklet operation counts for quick
+// runs (1.0 reproduces the paper's sizes).
+func Specs() []WorkloadSpec {
+	return []WorkloadSpec{
+		{
+			Name: "ArrayBench A",
+			New: func(s float64) workloads.Workload {
+				w := workloads.NewArrayBenchA()
+				w.OpsPerTasklet = scaleInt(w.OpsPerTasklet, s, 2)
+				return w
+			},
+			// 12,500 words need a table larger than WRAM can host
+			// (16384 × 8 B = 128 KB).
+			LockTableEntries: 16384,
+			SpillLockTable:   true,
+			SupportsWRAM:     true,
+		},
+		{
+			Name: "ArrayBench B",
+			New: func(s float64) workloads.Workload {
+				w := workloads.NewArrayBenchB()
+				w.OpsPerTasklet = scaleInt(w.OpsPerTasklet, s, 10)
+				return w
+			},
+			LockTableEntries: 4096,
+			SupportsWRAM:     true,
+		},
+		{
+			Name: "Linked-List LC",
+			New: func(s float64) workloads.Workload {
+				w := workloads.NewLinkedListLC()
+				w.OpsPerTasklet = scaleInt(w.OpsPerTasklet, s, 10)
+				return w
+			},
+			LockTableEntries: 4096,
+			SupportsWRAM:     true,
+		},
+		{
+			Name: "Linked-List HC",
+			New: func(s float64) workloads.Workload {
+				w := workloads.NewLinkedListHC()
+				w.OpsPerTasklet = scaleInt(w.OpsPerTasklet, s, 10)
+				return w
+			},
+			LockTableEntries: 4096,
+			SupportsWRAM:     true,
+		},
+		{
+			Name: "KMeans LC",
+			New: func(s float64) workloads.Workload {
+				w := workloads.NewKMeansLC()
+				w.TotalPoints = scaleInt(w.TotalPoints, s, 48)
+				return w
+			},
+			LockTableEntries: 1024,
+			SupportsWRAM:     true,
+		},
+		{
+			Name: "KMeans HC",
+			New: func(s float64) workloads.Workload {
+				w := workloads.NewKMeansHC()
+				w.TotalPoints = scaleInt(w.TotalPoints, s, 48)
+				return w
+			},
+			LockTableEntries: 1024,
+			SupportsWRAM:     true,
+		},
+		{
+			Name: "Labyrinth S",
+			New: func(s float64) workloads.Workload {
+				w := workloads.NewLabyrinthS()
+				w.NumPaths = scaleInt(w.NumPaths, s, 10)
+				return w
+			},
+			LockTableEntries: 1024,
+		},
+		{
+			Name: "Labyrinth L",
+			New: func(s float64) workloads.Workload {
+				w := workloads.NewLabyrinthL()
+				w.NumPaths = scaleInt(w.NumPaths, s, 8)
+				return w
+			},
+			LockTableEntries: 4096,
+		},
+	}
+}
+
+// SpecByName finds a workload spec.
+func SpecByName(name string) (WorkloadSpec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return WorkloadSpec{}, fmt.Errorf("harness: unknown workload %q", name)
+}
+
+// Options control a sweep.
+type Options struct {
+	// Scale shrinks workload sizes (1.0 = paper sizes).
+	Scale float64
+	// Tasklets lists the x-axis points; defaults to {1,3,5,7,9,11}.
+	Tasklets []int
+	// Seeds lists DPU seeds; each seed is one "run" of the paper's
+	// 10-run averaging. Defaults to {1, 2, 3}.
+	Seeds []uint64
+	// MRAMSize for the simulated DPUs (default 8 MB: every workload
+	// fits and runs stay light).
+	MRAMSize int
+	// Parallelism bounds concurrent simulations (they are independent);
+	// 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+func (o *Options) fill() {
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+	if len(o.Tasklets) == 0 {
+		o.Tasklets = []int{1, 3, 5, 7, 9, 11}
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1, 2, 3}
+	}
+	if o.MRAMSize == 0 {
+		o.MRAMSize = 8 << 20
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Point is one aggregated sweep point: one workload, algorithm and
+// tasklet count, averaged over seeds.
+type Point struct {
+	Tasklets int
+	// ThroughputTxS is the mean committed-transactions-per-virtual-
+	// second across seeds; Std its standard deviation.
+	ThroughputTxS float64
+	Std           float64
+	// AbortRate is the mean abort ratio in [0,1].
+	AbortRate float64
+	// PhaseFrac is the mean fraction of accounted cycles per phase.
+	PhaseFrac [core.NumPhases]float64
+}
+
+// Series is the per-algorithm curve of one workload panel.
+type Series struct {
+	Algorithm core.Algorithm
+	Points    []Point
+}
+
+// Peak returns the maximum mean throughput of the series.
+func (s Series) Peak() float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.ThroughputTxS > best {
+			best = p.ThroughputTxS
+		}
+	}
+	return best
+}
+
+// Panel is one workload's full result (a column of Fig 4/5/9/10).
+type Panel struct {
+	Workload string
+	MetaTier dpu.Tier
+	Series   []Series
+}
+
+// Best returns the highest peak throughput across algorithms.
+func (p Panel) Best() float64 {
+	best := 0.0
+	for _, s := range p.Series {
+		if pk := s.Peak(); pk > best {
+			best = pk
+		}
+	}
+	return best
+}
+
+// stmConfig assembles the core.Config for one (spec, tier) pair,
+// applying the paper's lock-table spill rule.
+func stmConfig(spec WorkloadSpec, alg core.Algorithm, tier dpu.Tier) core.Config {
+	cfg := core.Config{
+		Algorithm:        alg,
+		MetaTier:         tier,
+		LockTableEntries: spec.LockTableEntries,
+	}
+	if tier == dpu.WRAM && spec.SpillLockTable {
+		m := dpu.MRAM
+		cfg.LockTableTier = &m
+	}
+	return cfg
+}
+
+// RunPanel sweeps every algorithm and tasklet count for one workload.
+func RunPanel(spec WorkloadSpec, tier dpu.Tier, opt Options) (Panel, error) {
+	opt.fill()
+	type job struct {
+		alg      core.Algorithm
+		ai       int
+		tasklets int
+		ti       int
+		seed     uint64
+		si       int
+	}
+	var jobs []job
+	for ai, alg := range core.Algorithms {
+		for ti, n := range opt.Tasklets {
+			for si, seed := range opt.Seeds {
+				jobs = append(jobs, job{alg, ai, n, ti, seed, si})
+			}
+		}
+	}
+	// results[alg][tasklet][seed]
+	results := make([][][]workloads.Result, len(core.Algorithms))
+	for i := range results {
+		results[i] = make([][]workloads.Result, len(opt.Tasklets))
+		for j := range results[i] {
+			results[i][j] = make([]workloads.Result, len(opt.Seeds))
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, opt.Parallelism)
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			w := spec.New(opt.Scale)
+			dcfg := dpu.Config{MRAMSize: opt.MRAMSize, Seed: j.seed}
+			res, err := workloads.Run(w, dcfg, stmConfig(spec, j.alg, tier), j.tasklets)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			results[j.ai][j.ti][j.si] = res
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Panel{}, firstErr
+	}
+
+	panel := Panel{Workload: spec.Name, MetaTier: tier}
+	for ai, alg := range core.Algorithms {
+		s := Series{Algorithm: alg}
+		for ti, n := range opt.Tasklets {
+			s.Points = append(s.Points, aggregate(n, results[ai][ti]))
+		}
+		panel.Series = append(panel.Series, s)
+	}
+	return panel, nil
+}
+
+// aggregate folds the per-seed results of one sweep point.
+func aggregate(tasklets int, runs []workloads.Result) Point {
+	p := Point{Tasklets: tasklets}
+	var tps []float64
+	var abort float64
+	var phases [core.NumPhases]float64
+	for _, r := range runs {
+		tps = append(tps, r.ThroughputTxS)
+		abort += r.Stats.AbortRate()
+		total := float64(r.Stats.TotalCycles())
+		if total > 0 {
+			for ph := 0; ph < int(core.NumPhases); ph++ {
+				phases[ph] += float64(r.Stats.Phases[ph]) / total
+			}
+		}
+	}
+	n := float64(len(runs))
+	p.ThroughputTxS = mean(tps)
+	p.Std = stddev(tps)
+	p.AbortRate = abort / n
+	for ph := range phases {
+		p.PhaseFrac[ph] = phases[ph] / n
+	}
+	return p
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Figure is a named collection of panels (one of the paper's figures).
+type Figure struct {
+	Name   string
+	Title  string
+	Panels []Panel
+}
+
+// figureSpec lists which workloads a figure sweeps and in which tier.
+var figureSpecs = map[string]struct {
+	title     string
+	workloads []string
+	tier      dpu.Tier
+}{
+	"fig4":  {"Throughput, abort rate and time breakdown — metadata in MRAM (ArrayBench, Linked-List)", []string{"ArrayBench A", "ArrayBench B", "Linked-List LC", "Linked-List HC"}, dpu.MRAM},
+	"fig5":  {"Throughput, abort rate and time breakdown — metadata in MRAM (KMeans, Labyrinth)", []string{"KMeans LC", "KMeans HC", "Labyrinth S", "Labyrinth L"}, dpu.MRAM},
+	"fig9":  {"Throughput, abort rate and time breakdown — metadata in WRAM (ArrayBench, Linked-List)", []string{"ArrayBench A", "ArrayBench B", "Linked-List LC", "Linked-List HC"}, dpu.WRAM},
+	"fig10": {"Throughput, abort rate and time breakdown — metadata in WRAM (KMeans)", []string{"KMeans LC", "KMeans HC"}, dpu.WRAM},
+}
+
+// RunFigure produces one of fig4, fig5, fig9, fig10.
+func RunFigure(name string, opt Options) (Figure, error) {
+	fs, ok := figureSpecs[name]
+	if !ok {
+		return Figure{}, fmt.Errorf("harness: unknown figure %q", name)
+	}
+	fig := Figure{Name: name, Title: fs.title}
+	for _, wname := range fs.workloads {
+		spec, err := SpecByName(wname)
+		if err != nil {
+			return Figure{}, err
+		}
+		if fs.tier == dpu.WRAM && !spec.SupportsWRAM {
+			continue // Labyrinth: sets exceed WRAM (paper appendix A)
+		}
+		panel, err := RunPanel(spec, fs.tier, opt)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+// Fig6Row is one algorithm's normalized-peak-throughput distribution
+// across all workloads (lower is better; 1.0 = best for the workload).
+type Fig6Row struct {
+	Algorithm core.Algorithm
+	Ratios    []float64 // one per workload, best/self
+	Mean      float64
+	Median    float64
+	Max       float64
+}
+
+// Fig6 reproduces the distribution plot: for each algorithm, the ratio
+// between the best STM's peak throughput and its own, across all
+// workloads hosted in the given tier.
+func Fig6(tier dpu.Tier, opt Options) ([]Fig6Row, error) {
+	rows := make([]Fig6Row, len(core.Algorithms))
+	for i, a := range core.Algorithms {
+		rows[i].Algorithm = a
+	}
+	for _, spec := range Specs() {
+		if tier == dpu.WRAM && !spec.SupportsWRAM {
+			continue
+		}
+		panel, err := RunPanel(spec, tier, opt)
+		if err != nil {
+			return nil, err
+		}
+		best := panel.Best()
+		for i, s := range panel.Series {
+			pk := s.Peak()
+			if pk <= 0 {
+				return nil, fmt.Errorf("harness: %s/%v has zero peak throughput", spec.Name, s.Algorithm)
+			}
+			rows[i].Ratios = append(rows[i].Ratios, best/pk)
+		}
+	}
+	for i := range rows {
+		rows[i].Mean = mean(rows[i].Ratios)
+		rows[i].Median = median(rows[i].Ratios)
+		rows[i].Max = maxOf(rows[i].Ratios)
+	}
+	// Sort by mean ratio ascending, as the paper's panels order by
+	// competitiveness.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Mean < rows[j].Mean })
+	return rows, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+func maxOf(xs []float64) float64 {
+	best := 0.0
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// TierGain compares peak throughput with metadata in WRAM vs MRAM for
+// one workload and algorithm (the §4.2.3 speedup study).
+func TierGain(spec WorkloadSpec, alg core.Algorithm, opt Options) (float64, error) {
+	opt.fill()
+	run := func(tier dpu.Tier) (float64, error) {
+		panel, err := RunPanel(WorkloadSpec{
+			Name:             spec.Name,
+			New:              spec.New,
+			LockTableEntries: spec.LockTableEntries,
+			SpillLockTable:   spec.SpillLockTable,
+			SupportsWRAM:     spec.SupportsWRAM,
+		}, tier, opt)
+		if err != nil {
+			return 0, err
+		}
+		for _, s := range panel.Series {
+			if s.Algorithm == alg {
+				return s.Peak(), nil
+			}
+		}
+		return 0, fmt.Errorf("harness: algorithm %v missing from panel", alg)
+	}
+	m, err := run(dpu.MRAM)
+	if err != nil {
+		return 0, err
+	}
+	w, err := run(dpu.WRAM)
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("harness: zero MRAM throughput for %s", spec.Name)
+	}
+	return w / m, nil
+}
+
+// LocalMRAMReadLatency measures the 64-bit local MRAM read latency the
+// paper quotes (231 ns), in nanoseconds.
+func LocalMRAMReadLatency() float64 {
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 16})
+	a := d.MustAlloc(dpu.MRAM, 8, 8)
+	var start, end uint64
+	_, err := d.Run([]func(*dpu.Tasklet){func(t *dpu.Tasklet) {
+		start = t.Now()
+		t.Load64(a)
+		end = t.Now()
+	}})
+	if err != nil {
+		panic(err)
+	}
+	return d.Seconds(end-start) * 1e9
+}

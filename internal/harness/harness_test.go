@@ -1,0 +1,332 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+// quickOpts keeps sweeps small: one seed, three tasklet points, scaled
+// workloads.
+func quickOpts() Options {
+	return Options{Scale: 0.25, Tasklets: []int{1, 5, 11}, Seeds: []uint64{1}}
+}
+
+func findSeries(p Panel, alg core.Algorithm) Series {
+	for _, s := range p.Series {
+		if s.Algorithm == alg {
+			return s
+		}
+	}
+	return Series{}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 8 {
+		t.Fatalf("the paper evaluates 8 single-DPU workloads, got %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate spec %q", s.Name)
+		}
+		names[s.Name] = true
+		w := s.New(0.1)
+		if w.Name() != s.Name {
+			t.Fatalf("factory name mismatch: %q vs %q", w.Name(), s.Name)
+		}
+		if s.LockTableEntries&(s.LockTableEntries-1) != 0 {
+			t.Fatalf("%s lock table not a power of two", s.Name)
+		}
+	}
+	if _, err := SpecByName("ArrayBench A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown spec should error")
+	}
+}
+
+func TestRunPanelShape(t *testing.T) {
+	spec, _ := SpecByName("ArrayBench B")
+	panel, err := RunPanel(spec, dpu.MRAM, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Series) != len(core.Algorithms) {
+		t.Fatalf("series count = %d, want %d", len(panel.Series), len(core.Algorithms))
+	}
+	for _, s := range panel.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%v has %d points, want 3", s.Algorithm, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.ThroughputTxS <= 0 {
+				t.Fatalf("%v @%d tasklets has no throughput", s.Algorithm, p.Tasklets)
+			}
+			var sum float64
+			for _, f := range p.PhaseFrac {
+				sum += f
+			}
+			if sum < 0.95 || sum > 1.05 {
+				t.Fatalf("%v phase fractions sum to %.2f", s.Algorithm, sum)
+			}
+		}
+	}
+	if panel.Best() <= 0 {
+		t.Fatal("panel best not computed")
+	}
+}
+
+// TestPanelDeterministicAcrossRuns: equal options must reproduce the
+// exact numbers (the simulation is deterministic; the sweep must not
+// introduce scheduling sensitivity).
+func TestPanelDeterministicAcrossRuns(t *testing.T) {
+	spec, _ := SpecByName("Linked-List HC")
+	opt := Options{Scale: 0.2, Tasklets: []int{3}, Seeds: []uint64{7}}
+	p1, err := RunPanel(spec, dpu.MRAM, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RunPanel(spec, dpu.MRAM, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Series {
+		a, b := p1.Series[i].Points[0], p2.Series[i].Points[0]
+		if a.ThroughputTxS != b.ThroughputTxS || a.AbortRate != b.AbortRate {
+			t.Fatalf("sweep nondeterministic for %v", p1.Series[i].Algorithm)
+		}
+	}
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	if _, err := RunFigure("fig99", quickOpts()); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}
+
+func TestFig10ExcludesLabyrinth(t *testing.T) {
+	fs := figureSpecs["fig10"]
+	for _, w := range fs.workloads {
+		if strings.Contains(w, "Labyrinth") {
+			t.Fatal("fig10 must not include Labyrinth (exceeds WRAM)")
+		}
+	}
+	if fs.tier != dpu.WRAM {
+		t.Fatal("fig10 is the WRAM study")
+	}
+}
+
+// TestShapeArrayBenchA reproduces the paper's headline orderings for
+// ArrayBench A (MRAM): VR-ETL variants beat Tiny by about 2x, and NOrec
+// is the worst performer at high tasklet counts.
+func TestShapeArrayBenchA(t *testing.T) {
+	spec, _ := SpecByName("ArrayBench A")
+	opt := Options{Scale: 0.3, Tasklets: []int{11}, Seeds: []uint64{1, 2}}
+	panel, err := RunPanel(spec, dpu.MRAM, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at11 := func(a core.Algorithm) float64 { return findSeries(panel, a).Points[0].ThroughputTxS }
+	vrBest := at11(core.VRETLWB)
+	if v := at11(core.VRETLWT); v > vrBest {
+		vrBest = v
+	}
+	norec := at11(core.NOrec)
+	tiny := at11(core.TinyETLWB)
+	if norec >= vrBest {
+		t.Fatalf("paper shape: NOrec (%.0f) must trail VR-ETL (%.0f) on ArrayBench A", norec, vrBest)
+	}
+	if tiny >= vrBest {
+		t.Fatalf("paper shape: Tiny ETL (%.0f) must trail VR-ETL (%.0f) on ArrayBench A", tiny, vrBest)
+	}
+	if vrBest < 1.5*norec {
+		t.Fatalf("paper shape: VR-ETL should be well ahead of NOrec (got %.2fx)", vrBest/norec)
+	}
+}
+
+// TestShapeArrayBenchB: the ordering flips on the high-contention
+// workload — NOrec has the highest peak throughput and the VR ETL
+// variants stop scaling at around 4 tasklets, peaking well below NOrec
+// (paper §4.2.1: "their peak throughput is ∼40% lower than NOrec's").
+func TestShapeArrayBenchB(t *testing.T) {
+	spec, _ := SpecByName("ArrayBench B")
+	opt := Options{Scale: 0.5, Tasklets: []int{1, 4, 11}, Seeds: []uint64{1, 2}}
+	panel, err := RunPanel(spec, dpu.MRAM, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norec := findSeries(panel, core.NOrec).Peak()
+	for _, a := range []core.Algorithm{core.VRETLWB, core.VRETLWT, core.VRCTLWB} {
+		s := findSeries(panel, a)
+		if s.Peak() > norec*1.05 {
+			t.Fatalf("paper shape: NOrec peak (%.0f) should lead VR peak (%v %.0f) on ArrayBench B", norec, a, s.Peak())
+		}
+	}
+	// VR ETLWB must not keep scaling to 11 tasklets.
+	vr := findSeries(panel, core.VRETLWB)
+	if vr.Points[2].ThroughputTxS > vr.Points[1].ThroughputTxS*1.1 {
+		t.Fatalf("paper shape: VR ETLWB should stop scaling after ~4 tasklets (4→%.0f, 11→%.0f)",
+			vr.Points[1].ThroughputTxS, vr.Points[2].ThroughputTxS)
+	}
+}
+
+// TestShapeLinkedList: VR variants suffer upgrade aborts and trail on
+// the list; the invisible-read designs dominate.
+func TestShapeLinkedList(t *testing.T) {
+	spec, _ := SpecByName("Linked-List HC")
+	opt := Options{Scale: 0.4, Tasklets: []int{7}, Seeds: []uint64{1, 2}}
+	panel, err := RunPanel(spec, dpu.MRAM, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(a core.Algorithm) Point { return findSeries(panel, a).Points[0] }
+	norec, vr := at(core.NOrec), at(core.VRETLWB)
+	if vr.ThroughputTxS > norec.ThroughputTxS {
+		t.Fatalf("paper shape: VR (%.0f) should trail NOrec (%.0f) on the list", vr.ThroughputTxS, norec.ThroughputTxS)
+	}
+	if vr.AbortRate <= norec.AbortRate {
+		t.Fatalf("paper shape: VR abort rate (%.2f) should exceed NOrec's (%.2f)", vr.AbortRate, norec.AbortRate)
+	}
+}
+
+// TestShapeWRAMGains: metadata in WRAM speeds up transaction-heavy
+// workloads by well over 1x (paper: 2.46x–5.1x) but barely moves
+// KMeans LC (paper: ~5%).
+func TestShapeWRAMGains(t *testing.T) {
+	opt := Options{Scale: 0.3, Tasklets: []int{5}, Seeds: []uint64{1}}
+	heavy, _ := SpecByName("ArrayBench B")
+	g, err := TierGain(heavy, core.NOrec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 1.3 {
+		t.Fatalf("ArrayBench B WRAM gain = %.2fx, want well above 1x", g)
+	}
+	light, _ := SpecByName("KMeans LC")
+	gl, err := TierGain(light, core.NOrec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl > g {
+		t.Fatalf("KMeans LC (compute-bound, %.2fx) should gain less than ArrayBench B (%.2fx)", gl, g)
+	}
+}
+
+func TestFig6Rows(t *testing.T) {
+	// Restrict to a light subset through scale; full fig6 runs in the CLI.
+	rows, err := Fig6(dpu.MRAM, Options{Scale: 0.12, Tasklets: []int{1, 7}, Seeds: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(core.Algorithms) {
+		t.Fatalf("fig6 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Ratios) != 8 {
+			t.Fatalf("%v covers %d workloads, want 8", r.Algorithm, len(r.Ratios))
+		}
+		for _, v := range r.Ratios {
+			if v < 0.999 {
+				t.Fatalf("ratio below 1 is impossible: %v %f", r.Algorithm, v)
+			}
+		}
+		if r.Median < 1 || r.Mean < 1 || r.Max < r.Median {
+			t.Fatalf("aggregates inconsistent: %+v", r)
+		}
+	}
+	// Sorted by mean.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Mean < rows[i-1].Mean {
+			t.Fatal("fig6 rows not sorted by mean ratio")
+		}
+	}
+}
+
+// TestWRAMSpillConfiguration: ArrayBench A's ORec table exceeds WRAM,
+// so in WRAM-metadata mode its lock table must spill to MRAM (paper
+// appendix A) — and the sweep must still complete for every algorithm.
+func TestWRAMSpillConfiguration(t *testing.T) {
+	spec, _ := SpecByName("ArrayBench A")
+	if !spec.SpillLockTable {
+		t.Fatal("ArrayBench A must be marked for lock-table spill")
+	}
+	// 16384 Tiny entries × 8 B = 128 KB > 64 KB WRAM.
+	if spec.LockTableEntries*8 <= dpu.DefaultWRAMSize {
+		t.Fatalf("spill flag set but the table (%d B) fits WRAM", spec.LockTableEntries*8)
+	}
+	cfg := stmConfig(spec, core.TinyETLWB, dpu.WRAM)
+	if cfg.LockTableTier == nil || *cfg.LockTableTier != dpu.MRAM {
+		t.Fatal("stmConfig did not spill the lock table to MRAM")
+	}
+	// And without spill, creating the TM in WRAM must fail for Tiny.
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 20})
+	noSpill := core.Config{Algorithm: core.TinyETLWB, MetaTier: dpu.WRAM, LockTableEntries: spec.LockTableEntries}
+	if _, err := core.New(d, noSpill); err == nil {
+		t.Fatal("a 128 KB lock table should not fit 64 KB WRAM")
+	}
+	// The spilled sweep runs.
+	opt := Options{Scale: 0.05, Tasklets: []int{2}, Seeds: []uint64{1}}
+	if _, err := RunPanel(spec, dpu.WRAM, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyMatchesPaperQuote(t *testing.T) {
+	ns := LocalMRAMReadLatency()
+	if ns < 200 || ns > 280 {
+		t.Fatalf("local MRAM 64-bit read = %.0f ns, paper quotes 231 ns", ns)
+	}
+}
+
+func TestRenderProducesTables(t *testing.T) {
+	spec, _ := SpecByName("ArrayBench B")
+	panel, err := RunPanel(spec, dpu.MRAM, Options{Scale: 0.1, Tasklets: []int{1, 3}, Seeds: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	Figure{Name: "figX", Title: "test", Panels: []Panel{panel}}.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Throughput", "Abort rate", "Time breakdown", "NOrec", "Tiny ETLWB", "VR CTLWB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	var sb2 strings.Builder
+	RenderFig6(&sb2, "fig6a", []Fig6Row{{Algorithm: core.NOrec, Ratios: []float64{1, 1.5}, Mean: 1.25, Median: 1.25, Max: 1.5}})
+	if !strings.Contains(sb2.String(), "NOrec") {
+		t.Fatal("fig6 render missing algorithm")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	if mean(nil) != 0 || stddev(nil) != 0 || stddev([]float64{1}) != 0 {
+		t.Fatal("degenerate stats should be zero")
+	}
+	if m := mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %f", m)
+	}
+	if s := stddev([]float64{1, 3}); s < 1.41 || s > 1.42 {
+		t.Fatalf("stddev = %f", s)
+	}
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("median odd wrong")
+	}
+	if median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("median even wrong")
+	}
+	if median(nil) != 0 {
+		t.Fatal("median nil wrong")
+	}
+	if maxOf([]float64{1, 5, 2}) != 5 {
+		t.Fatal("maxOf wrong")
+	}
+	if scaleInt(100, 0.5, 1) != 50 || scaleInt(10, 0.01, 3) != 3 {
+		t.Fatal("scaleInt wrong")
+	}
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pimstm/internal/core"
+)
+
+// Render writes the figure as text tables: one throughput table, one
+// abort-rate table and one time-breakdown table per panel, mirroring
+// the three plot rows of Figs 4/5/9/10.
+func (f Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.Name, f.Title)
+	for _, p := range f.Panels {
+		p.Render(w)
+	}
+}
+
+// Render writes one workload panel.
+func (p Panel) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n-- %s (metadata in %s) --\n", p.Workload, p.MetaTier)
+
+	fmt.Fprintf(w, "Throughput [x1000 tx/s] ± std\n")
+	fmt.Fprintf(w, "%-12s", "tasklets")
+	if len(p.Series) > 0 {
+		for _, pt := range p.Series[0].Points {
+			fmt.Fprintf(w, "%16d", pt.Tasklets)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, s := range p.Series {
+		fmt.Fprintf(w, "%-12s", s.Algorithm)
+		for _, pt := range s.Points {
+			fmt.Fprintf(w, "%10.2f±%-5.2f", pt.ThroughputTxS/1000, pt.Std/1000)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "Abort rate [%%]\n")
+	fmt.Fprintf(w, "%-12s", "tasklets")
+	if len(p.Series) > 0 {
+		for _, pt := range p.Series[0].Points {
+			fmt.Fprintf(w, "%8d", pt.Tasklets)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, s := range p.Series {
+		fmt.Fprintf(w, "%-12s", s.Algorithm)
+		for _, pt := range s.Points {
+			fmt.Fprintf(w, "%8.1f", pt.AbortRate*100)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "Time breakdown at %d tasklets [%% of accounted cycles]\n", lastTasklets(p))
+	fmt.Fprintf(w, "%-12s", "")
+	for ph := core.Phase(0); ph < core.NumPhases; ph++ {
+		fmt.Fprintf(w, "%-10s", phaseAbbrev(ph))
+	}
+	fmt.Fprintln(w)
+	for _, s := range p.Series {
+		fmt.Fprintf(w, "%-12s", s.Algorithm)
+		pt := s.Points[len(s.Points)-1]
+		for ph := 0; ph < int(core.NumPhases); ph++ {
+			fmt.Fprintf(w, "%-10.1f", pt.PhaseFrac[ph]*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func lastTasklets(p Panel) int {
+	if len(p.Series) == 0 || len(p.Series[0].Points) == 0 {
+		return 0
+	}
+	pts := p.Series[0].Points
+	return pts[len(pts)-1].Tasklets
+}
+
+func phaseAbbrev(p core.Phase) string {
+	switch p {
+	case core.PhaseReading:
+		return "Read"
+	case core.PhaseWriting:
+		return "Write"
+	case core.PhaseValidateExec:
+		return "Val(Ex)"
+	case core.PhaseOtherExec:
+		return "Other(Ex)"
+	case core.PhaseValidateCommit:
+		return "Val(Cm)"
+	case core.PhaseOtherCommit:
+		return "Other(Cm)"
+	case core.PhaseWasted:
+		return "Wasted"
+	}
+	return "?"
+}
+
+// RenderFig6 writes the normalized-peak-throughput distribution (Fig 6).
+func RenderFig6(w io.Writer, title string, rows []Fig6Row) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "ratio best/self across workloads (1.00 = best; lower is better)\n")
+	fmt.Fprintf(w, "%-12s %7s %7s %7s  %s\n", "STM", "mean", "median", "max", "per-workload ratios")
+	for _, r := range rows {
+		vals := make([]string, len(r.Ratios))
+		for i, v := range r.Ratios {
+			vals[i] = fmt.Sprintf("%.2f", v)
+		}
+		fmt.Fprintf(w, "%-12s %7.2f %7.2f %7.2f  [%s]\n",
+			r.Algorithm, r.Mean, r.Median, r.Max, strings.Join(vals, " "))
+	}
+}

@@ -1,0 +1,210 @@
+package host
+
+import (
+	"fmt"
+	"io"
+
+	"pimstm/internal/energy"
+	"pimstm/internal/lee"
+)
+
+// Fig7Point is one x-axis point of Fig 7: fleet size and the speedup of
+// the PIM execution over the CPU baseline.
+type Fig7Point struct {
+	DPUs       int
+	DPUSeconds float64
+	CPUSeconds float64
+	Speedup    float64
+}
+
+// Fig7Series is one workload curve of Fig 7.
+type Fig7Series struct {
+	Workload string
+	Points   []Fig7Point
+}
+
+// Fig7Options parameterize the multi-DPU sweep.
+type Fig7Options struct {
+	// DPUCounts lists the fleet sizes; defaults to the paper's axis
+	// {1, 500, 1000, 1500, 2000, 2500}.
+	DPUCounts []int
+	// PointsPerDPU scales the KMeans shards (paper: 200K).
+	PointsPerDPU int
+	// PathsPerInstance scales the Labyrinth instances (paper: 100).
+	PathsPerInstance int
+	// Tasklets per DPU.
+	Tasklets int
+	// CPUThreadsKMeans / CPUThreadsLabyrinth are the baseline thread
+	// counts (paper's optima: 4 and 8).
+	CPUThreadsKMeans    int
+	CPUThreadsLabyrinth int
+	// LabyrinthCPUParallel is how many instances the CPU solves
+	// concurrently (paper: 4 processes to fill 32 hardware threads).
+	LabyrinthCPUParallel int
+}
+
+func (o *Fig7Options) fill() {
+	if len(o.DPUCounts) == 0 {
+		o.DPUCounts = []int{1, 500, 1000, 1500, 2000, 2500}
+	}
+	if o.PointsPerDPU == 0 {
+		o.PointsPerDPU = 2000
+	}
+	if o.PathsPerInstance == 0 {
+		o.PathsPerInstance = 40
+	}
+	if o.Tasklets == 0 {
+		o.Tasklets = 11
+	}
+	if o.CPUThreadsKMeans == 0 {
+		o.CPUThreadsKMeans = 4
+	}
+	if o.CPUThreadsLabyrinth == 0 {
+		o.CPUThreadsLabyrinth = 8
+	}
+	if o.LabyrinthCPUParallel == 0 {
+		o.LabyrinthCPUParallel = 4
+	}
+}
+
+// kmeansVariants describes the two Fig 7a curves.
+var kmeansVariants = []struct {
+	name string
+	k    int
+}{
+	{"KMeans LC", 15},
+	{"KMeans HC", 2},
+}
+
+// labyrinthVariants describes the three Fig 7b curves.
+var labyrinthVariants = []struct {
+	name    string
+	x, y, z int
+}{
+	{"Labyrinth S", 16, 16, 3},
+	{"Labyrinth M", 32, 32, 3},
+	{"Labyrinth L", 128, 128, 3},
+}
+
+// Fig7KMeans produces the Fig 7a speedup curves. The CPU baseline is
+// calibrated once per variant (its cost is exactly linear in the total
+// input size) and the DPU fleet is simulated per fleet size.
+func Fig7KMeans(opt Fig7Options) ([]Fig7Series, error) {
+	opt.fill()
+	var out []Fig7Series
+	for _, v := range kmeansVariants {
+		perPoint, err := KMeansCPUSecondsPerPoint(v.k, 14, opt.CPUThreadsKMeans)
+		if err != nil {
+			return nil, err
+		}
+		s := Fig7Series{Workload: v.name}
+		for _, n := range opt.DPUCounts {
+			cfg := KMeansFleetConfig{K: v.k, Dims: 14, PointsPerDPU: opt.PointsPerDPU, Rounds: 3}
+			res, err := RunKMeansFleet(cfg, FleetOptions{DPUs: n, Tasklets: opt.Tasklets})
+			if err != nil {
+				return nil, err
+			}
+			cpu := perPoint * float64(res.TotalPoints) * float64(cfg.Rounds)
+			s.Points = append(s.Points, Fig7Point{
+				DPUs:       n,
+				DPUSeconds: res.TotalSeconds,
+				CPUSeconds: cpu,
+				Speedup:    cpu / res.TotalSeconds,
+			})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig7Labyrinth produces the Fig 7b speedup curves. Each DPU solves an
+// independent instance; the CPU solves LabyrinthCPUParallel instances
+// concurrently with CPUThreadsLabyrinth threads each.
+func Fig7Labyrinth(opt Fig7Options) ([]Fig7Series, error) {
+	opt.fill()
+	var out []Fig7Series
+	for _, v := range labyrinthVariants {
+		g := lee.Grid{X: v.x, Y: v.y, Z: v.z}
+		perInstance := LabyrinthCPUSecondsPerInstance(g, opt.PathsPerInstance, opt.CPUThreadsLabyrinth)
+		s := Fig7Series{Workload: v.name}
+		for _, n := range opt.DPUCounts {
+			cfg := LabyrinthFleetConfig{X: v.x, Y: v.y, Z: v.z, PathsPerInstance: opt.PathsPerInstance}
+			res, err := RunLabyrinthFleet(cfg, FleetOptions{DPUs: n, Tasklets: opt.Tasklets})
+			if err != nil {
+				return nil, err
+			}
+			batches := (n + opt.LabyrinthCPUParallel - 1) / opt.LabyrinthCPUParallel
+			cpu := perInstance * float64(batches)
+			s.Points = append(s.Points, Fig7Point{
+				DPUs:       n,
+				DPUSeconds: res.TotalSeconds,
+				CPUSeconds: cpu,
+				Speedup:    cpu / res.TotalSeconds,
+			})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig8Row is one bar pair of Fig 8: speedup and energy gain at the full
+// fleet for one workload.
+type Fig8Row struct {
+	Workload   string
+	Speedup    float64
+	EnergyGain float64
+}
+
+// Fig8 reproduces the full-fleet (paper: 2500 DPUs) speedup and energy
+// comparison for all five multi-DPU workloads.
+func Fig8(dpus int, opt Fig7Options) ([]Fig8Row, error) {
+	opt.fill()
+	opt.DPUCounts = []int{dpus}
+	var rows []Fig8Row
+	lab, err := Fig7Labyrinth(opt)
+	if err != nil {
+		return nil, err
+	}
+	km, err := Fig7KMeans(opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range append(lab, km...) {
+		p := s.Points[0]
+		rows = append(rows, Fig8Row{
+			Workload:   s.Workload,
+			Speedup:    p.Speedup,
+			EnergyGain: energy.Gain(s.Workload, p.CPUSeconds, p.DPUSeconds),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig7 writes the speedup curves as a table.
+func RenderFig7(w io.Writer, title string, series []Fig7Series) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-14s", "#DPUs")
+	for _, p := range series[0].Points {
+		fmt.Fprintf(w, "%12d", p.DPUs)
+	}
+	fmt.Fprintln(w)
+	for _, s := range series {
+		fmt.Fprintf(w, "%-14s", s.Workload)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%12.3f", p.Speedup)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFig8 writes the speedup/energy bars as a table.
+func RenderFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintf(w, "== fig8: speedup and energy gains at full fleet ==\n")
+	fmt.Fprintf(w, "%-14s %10s %12s\n", "workload", "speedup", "energy gain")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %10.2f %12.2f\n", r.Workload, r.Speedup, r.EnergyGain)
+	}
+}

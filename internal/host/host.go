@@ -1,0 +1,126 @@
+// Package host implements the CPU-side orchestration of the paper's
+// multi-DPU study (§4.3): it launches fleets of simulated DPUs, models
+// CPU-mediated data transfers, runs the CPU baselines (NOrec on host
+// threads via internal/cpustm), and assembles the speedup and energy
+// series of Figs 7 and 8.
+//
+// Because the DPUs are deterministic and independent, a fleet of n
+// identical shards is simulated by running a sample of distinct-seed
+// DPUs in parallel and taking the slowest as the fleet's round time;
+// pass Exact to simulate every DPU (used by the correctness tests and
+// the end-to-end examples).
+package host
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Transfer-model constants, calibrated to the paper's measurements.
+const (
+	// InterDPUWordLatencySeconds is the measured cost of a CPU-mediated
+	// inter-DPU read of one 64-bit word (paper §3.1: 331 µs vs 231 ns
+	// for a local MRAM read).
+	InterDPUWordLatencySeconds = 331e-6
+	// xferBatchOverheadSeconds is the fixed cost of one host↔DPU batch
+	// transfer (driver + rank handshake), the dominant part of the
+	// 331 µs word read.
+	xferBatchOverheadSeconds = 300e-6
+	// xferAggregateBW is the aggregate host↔DPU copy bandwidth across
+	// ranks in bytes/second.
+	xferAggregateBW = 6.7e9
+)
+
+// TransferSeconds models one batched host↔DPU copy of bytesPerDPU bytes
+// to or from each of n DPUs (transfers to distinct ranks proceed in
+// parallel up to the aggregate bandwidth).
+func TransferSeconds(n, bytesPerDPU int) float64 {
+	total := float64(n) * float64(bytesPerDPU)
+	return xferBatchOverheadSeconds + total/xferAggregateBW
+}
+
+// InterDPURead64Seconds returns the modeled latency of reading a 64-bit
+// word of another DPU through the CPU, for the §3.1 latency comparison.
+func InterDPURead64Seconds() float64 { return InterDPUWordLatencySeconds }
+
+// FleetOptions control a multi-DPU run.
+type FleetOptions struct {
+	// DPUs is the fleet size n.
+	DPUs int
+	// Tasklets per DPU (the paper uses the per-workload optimum).
+	Tasklets int
+	// Sample bounds how many distinct-seed DPUs are actually simulated
+	// per round; 0 picks min(n, 4). Ignored when Exact.
+	Sample int
+	// Exact simulates every DPU (needed when the merged output must be
+	// numerically correct, e.g. in the examples and correctness tests).
+	Exact bool
+	// Parallelism bounds concurrent DPU simulations; 0 = GOMAXPROCS.
+	Parallelism int
+}
+
+func (o *FleetOptions) fill() error {
+	if o.DPUs <= 0 {
+		return fmt.Errorf("host: fleet needs at least one DPU")
+	}
+	if o.Tasklets <= 0 {
+		o.Tasklets = 11
+	}
+	if o.Sample <= 0 {
+		o.Sample = 4
+	}
+	if o.Sample > o.DPUs {
+		o.Sample = o.DPUs
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// simulated returns the DPU ids to actually simulate.
+func (o *FleetOptions) simulated() []int {
+	n := o.Sample
+	if o.Exact {
+		n = o.DPUs
+	}
+	ids := make([]int, n)
+	if n == o.DPUs {
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+	// Spread sample ids across the fleet deterministically.
+	for i := range ids {
+		ids[i] = i * o.DPUs / n
+	}
+	return ids
+}
+
+// parallelFor runs f(i) for each id with bounded parallelism, returning
+// the first error.
+func parallelFor(ids []int, parallelism int, f func(id int) error) error {
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, id := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(id int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := f(id); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(id)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,216 @@
+package host
+
+import (
+	"strings"
+	"testing"
+
+	"pimstm/internal/lee"
+)
+
+func TestTransferModel(t *testing.T) {
+	one := TransferSeconds(1, 8)
+	if one < 1e-4 || one > 1e-3 {
+		t.Fatalf("single-word transfer = %.1f µs, want a few hundred µs", one*1e6)
+	}
+	if InterDPURead64Seconds() != 331e-6 {
+		t.Fatalf("inter-DPU word latency should match the paper's 331 µs")
+	}
+	// Bandwidth term must dominate for large fleets × large payloads.
+	big := TransferSeconds(2500, 1<<20)
+	if big < float64(2500)*float64(1<<20)/xferAggregateBW {
+		t.Fatal("bulk transfer below aggregate bandwidth bound")
+	}
+	if TransferSeconds(10, 64) <= TransferSeconds(1, 64) {
+		t.Fatal("more DPUs must move more bytes")
+	}
+}
+
+func TestFleetOptions(t *testing.T) {
+	o := FleetOptions{DPUs: 100}
+	if err := o.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Tasklets != 11 || o.Sample != 4 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	ids := o.simulated()
+	if len(ids) != 4 || ids[0] != 0 || ids[3] >= 100 {
+		t.Fatalf("sample ids wrong: %v", ids)
+	}
+	exact := FleetOptions{DPUs: 5, Exact: true}
+	if err := exact.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if got := exact.simulated(); len(got) != 5 {
+		t.Fatalf("exact mode must simulate all: %v", got)
+	}
+	bad := FleetOptions{}
+	if err := bad.fill(); err == nil {
+		t.Fatal("zero DPUs should error")
+	}
+}
+
+func TestKMeansFleetExactMerges(t *testing.T) {
+	cfg := KMeansFleetConfig{K: 3, Dims: 4, PointsPerDPU: 120, Rounds: 2}
+	res, err := RunKMeansFleet(cfg, FleetOptions{DPUs: 3, Tasklets: 4, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPoints != 360 {
+		t.Fatalf("total points = %d", res.TotalPoints)
+	}
+	// One commit per point per round across the whole fleet.
+	if res.Commits != uint64(res.TotalPoints*cfg.Rounds) {
+		t.Fatalf("commits = %d, want %d", res.Commits, res.TotalPoints*cfg.Rounds)
+	}
+	if len(res.Centers) != cfg.K*cfg.Dims {
+		t.Fatalf("centers missing: %d", len(res.Centers))
+	}
+	if res.DPUSeconds <= 0 || res.TransferSeconds <= 0 || res.TotalSeconds <= res.DPUSeconds {
+		t.Fatalf("timing accounting broken: %+v", res)
+	}
+}
+
+// TestKMeansFleetWeakScaling: the crux of Fig 7 — DPU time stays flat
+// as the fleet (and hence the input) grows, because each DPU's shard is
+// constant.
+func TestKMeansFleetWeakScaling(t *testing.T) {
+	cfg := KMeansFleetConfig{K: 2, Dims: 8, PointsPerDPU: 150, Rounds: 1}
+	small, err := RunKMeansFleet(cfg, FleetOptions{DPUs: 2, Tasklets: 4, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunKMeansFleet(cfg, FleetOptions{DPUs: 64, Tasklets: 4, Sample: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.DPUSeconds > small.DPUSeconds*1.5 {
+		t.Fatalf("DPU time should stay ~flat under weak scaling: 2→%.4fs, 64→%.4fs",
+			small.DPUSeconds, large.DPUSeconds)
+	}
+}
+
+func TestLabyrinthFleet(t *testing.T) {
+	cfg := LabyrinthFleetConfig{X: 12, Y: 12, Z: 3, PathsPerInstance: 10}
+	res, err := RunLabyrinthFleet(cfg, FleetOptions{DPUs: 6, Tasklets: 4, Sample: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routed == 0 {
+		t.Fatal("no paths routed across the fleet")
+	}
+	if res.DPUSeconds <= 0 || res.TotalSeconds < res.DPUSeconds {
+		t.Fatalf("timing accounting broken: %+v", res)
+	}
+}
+
+func TestKMeansCPUBaseline(t *testing.T) {
+	secs, err := KMeansCPUBaseline(3, 6, 3000, 2, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 {
+		t.Fatal("baseline measured no time")
+	}
+	per, err := KMeansCPUSecondsPerPoint(2, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per <= 0 || per > 1e-3 {
+		t.Fatalf("per-point cost implausible: %g s", per)
+	}
+}
+
+func TestLabyrinthCPUInstance(t *testing.T) {
+	g := lee.Grid{X: 12, Y: 12, Z: 3}
+	secs, routed := LabyrinthCPUInstance(g, 12, 4, 3)
+	if secs <= 0 {
+		t.Fatal("instance measured no time")
+	}
+	if routed == 0 {
+		t.Fatal("CPU router routed nothing")
+	}
+	if routed > 12 {
+		t.Fatalf("routed %d of 12 jobs", routed)
+	}
+}
+
+// TestFig7SpeedupGrowsWithFleet checks the structural crossover of
+// Fig 7: speedup grows roughly linearly with fleet size, because CPU
+// time grows with total input while fleet time stays flat.
+func TestFig7SpeedupGrowsWithFleet(t *testing.T) {
+	opt := Fig7Options{
+		DPUCounts:    []int{1, 32, 256},
+		PointsPerDPU: 200,
+		Tasklets:     4,
+	}
+	series, err := Fig7KMeans(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("expected LC and HC curves, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s has %d points", s.Workload, len(s.Points))
+		}
+		first, last := s.Points[0], s.Points[2]
+		if last.Speedup <= first.Speedup {
+			t.Fatalf("%s speedup should grow with DPUs: %v → %v", s.Workload, first.Speedup, last.Speedup)
+		}
+		// Weak scaling: 256x the input for the CPU.
+		if last.CPUSeconds <= first.CPUSeconds*100 {
+			t.Fatalf("%s CPU time should grow ~linearly with input", s.Workload)
+		}
+	}
+}
+
+func TestFig7LabyrinthStructure(t *testing.T) {
+	opt := Fig7Options{
+		DPUCounts:        []int{1, 64},
+		PathsPerInstance: 8,
+		Tasklets:         4,
+	}
+	// Only the small grid to keep the test fast.
+	old := labyrinthVariants
+	labyrinthVariants = labyrinthVariants[:1]
+	defer func() { labyrinthVariants = old }()
+	series, err := Fig7Labyrinth(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series[0]
+	if s.Points[1].Speedup <= s.Points[0].Speedup {
+		t.Fatalf("labyrinth speedup should grow with fleet: %v", s.Points)
+	}
+}
+
+func TestFig8RowsAndRender(t *testing.T) {
+	old := labyrinthVariants
+	labyrinthVariants = labyrinthVariants[:1]
+	defer func() { labyrinthVariants = old }()
+	rows, err := Fig8(64, Fig7Options{PointsPerDPU: 150, PathsPerInstance: 6, Tasklets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 1 labyrinth + 2 kmeans
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 || r.EnergyGain <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		// The paper's headline: energy gains are well below speedups
+		// (the DPU system draws 370 W vs ≤218 W CPU baselines).
+		if r.EnergyGain >= r.Speedup {
+			t.Fatalf("%s: energy gain (%.2f) should trail speedup (%.2f)", r.Workload, r.EnergyGain, r.Speedup)
+		}
+	}
+	var sb strings.Builder
+	RenderFig8(&sb, rows)
+	RenderFig7(&sb, "fig7a", []Fig7Series{{Workload: "KMeans LC", Points: []Fig7Point{{DPUs: 1, Speedup: 0.5}}}})
+	if !strings.Contains(sb.String(), "KMeans") || !strings.Contains(sb.String(), "energy gain") {
+		t.Fatal("render output incomplete")
+	}
+}

@@ -1,0 +1,300 @@
+package host
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pimstm/internal/core"
+	"pimstm/internal/cpustm"
+	"pimstm/internal/dpu"
+	"pimstm/internal/workloads"
+)
+
+// KMeansFleetConfig shapes the multi-DPU KMeans of §4.3.1: the CPU
+// distributes disjoint point shards to the DPUs, each DPU accumulates
+// into a private centroid copy, and the CPU merges between rounds. Per
+// the paper, the DPU side uses NOrec with metadata in WRAM and both
+// sides run the same number of rounds.
+type KMeansFleetConfig struct {
+	// K is the cluster count (15 for the LC workload, 2 for HC).
+	K int
+	// Dims is the point dimensionality (14 in the paper).
+	Dims int
+	// PointsPerDPU is the shard size (the paper assigns 200K per DPU;
+	// the default harness scales this down).
+	PointsPerDPU int
+	// Rounds as in the paper: 3.
+	Rounds int
+	// Seed drives the deterministic shard generators.
+	Seed uint64
+}
+
+func (c *KMeansFleetConfig) fill() {
+	if c.K == 0 {
+		c.K = 15
+	}
+	if c.Dims == 0 {
+		c.Dims = 14
+	}
+	if c.PointsPerDPU == 0 {
+		c.PointsPerDPU = 2000
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// KMeansFleetResult reports one multi-DPU KMeans execution.
+type KMeansFleetResult struct {
+	// DPUSeconds is the simulated DPU compute time: the sum over rounds
+	// of the slowest DPU's round time.
+	DPUSeconds float64
+	// TransferSeconds models the centroid broadcast and accumulator
+	// gather of every round.
+	TransferSeconds float64
+	// TotalSeconds is the end-to-end PIM-side time.
+	TotalSeconds float64
+	// Centers holds the merged final centroids (numerically exact only
+	// with FleetOptions.Exact).
+	Centers []uint64
+	// Commits counts committed transactions across simulated DPUs.
+	Commits uint64
+	// TotalPoints is DPUs × PointsPerDPU.
+	TotalPoints int
+}
+
+// shard builds the per-DPU single-round workload instance.
+func (c KMeansFleetConfig) shard(dpuID int, round int) *workloads.KMeans {
+	w := workloads.NewKMeansLC()
+	w.K = c.K
+	w.Dims = c.Dims
+	w.TotalPoints = c.PointsPerDPU
+	w.Rounds = 1
+	w.Seed = c.Seed + uint64(dpuID)*2654435761 + uint64(round)
+	return w
+}
+
+// RunKMeansFleet executes the multi-DPU KMeans flow.
+func RunKMeansFleet(cfg KMeansFleetConfig, opt FleetOptions) (KMeansFleetResult, error) {
+	cfg.fill()
+	if err := opt.fill(); err != nil {
+		return KMeansFleetResult{}, err
+	}
+	res := KMeansFleetResult{TotalPoints: cfg.PointsPerDPU * opt.DPUs}
+	ids := opt.simulated()
+
+	var centers []uint64 // global centroids, broadcast each round
+	for round := 0; round < cfg.Rounds; round++ {
+		type dpuOut struct {
+			seconds float64
+			acc     []uint64
+			counts  []uint64
+			commits uint64
+		}
+		outs := make([]dpuOut, len(ids))
+		idx := make(map[int]int, len(ids))
+		for i, id := range ids {
+			idx[id] = i
+		}
+		err := parallelFor(ids, opt.Parallelism, func(id int) error {
+			w := cfg.shard(id, round)
+			d := dpu.New(dpu.Config{MRAMSize: 8 << 20, Seed: uint64(id)*7919 + uint64(round) + cfg.Seed})
+			tm, err := core.New(d, core.Config{Algorithm: core.NOrec, MetaTier: dpu.WRAM})
+			if err != nil {
+				return err
+			}
+			if err := w.Setup(d); err != nil {
+				return err
+			}
+			if centers != nil {
+				w.SetCenters(d, centers)
+			}
+			txs := make([]*core.Tx, opt.Tasklets)
+			progs := make([]func(*dpu.Tasklet), opt.Tasklets)
+			for i := range progs {
+				progs[i] = func(t *dpu.Tasklet) {
+					tx := tm.NewTx(t)
+					txs[t.ID] = tx
+					w.Body(tx, t.ID, opt.Tasklets)
+				}
+			}
+			w.SetTasklets(opt.Tasklets)
+			cycles, err := d.Run(progs)
+			if err != nil {
+				return err
+			}
+			if err := w.Verify(d); err != nil {
+				return err
+			}
+			acc, counts := w.Accumulators(d)
+			var commits uint64
+			for _, tx := range txs {
+				commits += tx.Stats().Commits
+			}
+			outs[idx[id]] = dpuOut{seconds: d.Seconds(cycles), acc: acc, counts: counts, commits: commits}
+			return nil
+		})
+		if err != nil {
+			return KMeansFleetResult{}, err
+		}
+
+		// Fleet round time: the slowest simulated DPU.
+		var slowest float64
+		for _, o := range outs {
+			if o.seconds > slowest {
+				slowest = o.seconds
+			}
+			res.Commits += o.commits
+		}
+		res.DPUSeconds += slowest
+
+		// Merge accumulators; scale the sample up to the fleet when not
+		// exact (timing fidelity only — the examples use Exact).
+		mergedAcc := make([]uint64, cfg.K*cfg.Dims)
+		mergedCnt := make([]uint64, cfg.K)
+		for _, o := range outs {
+			for i, v := range o.acc {
+				mergedAcc[i] += v
+			}
+			for i, v := range o.counts {
+				mergedCnt[i] += v
+			}
+		}
+		if !opt.Exact && len(ids) < opt.DPUs {
+			f := uint64(opt.DPUs / len(ids))
+			for i := range mergedAcc {
+				mergedAcc[i] *= f
+			}
+			for i := range mergedCnt {
+				mergedCnt[i] *= f
+			}
+		}
+		centers = make([]uint64, cfg.K*cfg.Dims)
+		for c := 0; c < cfg.K; c++ {
+			n := mergedCnt[c]
+			for d := 0; d < cfg.Dims; d++ {
+				if n > 0 {
+					centers[c*cfg.Dims+d] = uint64(int64(mergedAcc[c*cfg.Dims+d]) / int64(n))
+				}
+			}
+		}
+
+		// Transfers: gather acc+counts from every DPU, broadcast new
+		// centroids to every DPU (paper §4.3.1).
+		gatherBytes := (cfg.K*cfg.Dims + cfg.K) * 8
+		broadcastBytes := cfg.K * cfg.Dims * 8
+		res.TransferSeconds += TransferSeconds(opt.DPUs, gatherBytes) + TransferSeconds(opt.DPUs, broadcastBytes)
+	}
+	res.Centers = centers
+	res.TotalSeconds = res.DPUSeconds + res.TransferSeconds
+	return res, nil
+}
+
+// KMeansCPUBaseline measures the paper's CPU-side comparator: the same
+// sharded KMeans executed with the cpustm NOrec on real host threads
+// (the paper's optimum is 4 threads). It returns the measured seconds
+// for `points` inputs over `rounds` rounds.
+func KMeansCPUBaseline(k, dims, points, rounds, threads int, seed uint64) (seconds float64, err error) {
+	if threads <= 0 {
+		threads = 4
+	}
+	// Memory layout: [k*dims accumulators][k counts]; centroids are read
+	// non-transactionally from a plain snapshot, as on the DPU.
+	mem := cpustm.NewMem(k*dims + k)
+	tm := cpustm.New(mem)
+	pts := make([]int64, points*dims)
+	rng := seed | 1
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545F4914F6CDD1D
+	}
+	for p := 0; p < points; p++ {
+		c := p % k
+		for d := 0; d < dims; d++ {
+			pts[p*dims+d] = int64(c*1000+d*37)<<16 + (int64(next()%200)-100)<<12
+		}
+	}
+	centers := make([]int64, k*dims)
+	for c := 0; c < k; c++ {
+		for d := 0; d < dims; d++ {
+			centers[c*dims+d] = pts[c*dims+d]
+		}
+	}
+
+	start := time.Now()
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		chunk := (points + threads - 1) / threads
+		for th := 0; th < threads; th++ {
+			lo := th * chunk
+			hi := lo + chunk
+			if hi > points {
+				hi = points
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				tx := tm.NewTx()
+				for p := lo; p < hi; p++ {
+					best, bestDist := 0, int64(0)
+					for c := 0; c < k; c++ {
+						var dist int64
+						for d := 0; d < dims; d++ {
+							diff := (pts[p*dims+d] - centers[c*dims+d]) >> 16
+							dist += diff * diff
+						}
+						if c == 0 || dist < bestDist {
+							best, bestDist = c, dist
+						}
+					}
+					tx.Atomic(func(tx *cpustm.Tx) {
+						for d := 0; d < dims; d++ {
+							i := best*dims + d
+							tx.Write(i, tx.Read(i)+uint64(pts[p*dims+d]))
+						}
+						cnt := k*dims + best
+						tx.Write(cnt, tx.Read(cnt)+1)
+					})
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		// Merge: new centroids from accumulators, then reset.
+		for c := 0; c < k; c++ {
+			n := mem.Load(k*dims + c)
+			for d := 0; d < dims; d++ {
+				if n > 0 {
+					centers[c*dims+d] = int64(mem.Load(c*dims+d)) / int64(n)
+				}
+				mem.Store(c*dims+d, 0)
+			}
+			mem.Store(k*dims+c, 0)
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// KMeansCPUSecondsPerPoint calibrates the CPU baseline once and returns
+// seconds per (point × round), so fleet-scale CPU times extrapolate
+// linearly (the computation is embarrassingly linear in the input).
+func KMeansCPUSecondsPerPoint(k, dims, threads int) (float64, error) {
+	const calibPoints, calibRounds = 20000, 2
+	s, err := KMeansCPUBaseline(k, dims, calibPoints, calibRounds, threads, 42)
+	if err != nil {
+		return 0, err
+	}
+	per := s / float64(calibPoints*calibRounds)
+	if per <= 0 {
+		return 0, fmt.Errorf("host: CPU calibration produced non-positive cost")
+	}
+	return per, nil
+}

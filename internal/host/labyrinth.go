@@ -1,0 +1,200 @@
+package host
+
+import (
+	"sync"
+	"time"
+
+	"pimstm/internal/core"
+	"pimstm/internal/cpustm"
+	"pimstm/internal/dpu"
+	"pimstm/internal/lee"
+	"pimstm/internal/workloads"
+)
+
+// LabyrinthFleetConfig shapes the multi-DPU Labyrinth of §4.3.1: each
+// DPU solves an independent routing instance; the CPU dispatches inputs
+// and collects the routed grids. Per the paper, the DPU side uses NOrec
+// with metadata in MRAM (the sets exceed WRAM).
+type LabyrinthFleetConfig struct {
+	// X, Y, Z select the grid (16×16×3 S, 32×32×3 M, 128×128×3 L).
+	X, Y, Z int
+	// PathsPerInstance is the job count per DPU instance (paper: 100).
+	PathsPerInstance int
+	// Seed drives the deterministic instance generators.
+	Seed uint64
+}
+
+func (c *LabyrinthFleetConfig) fill() {
+	if c.X == 0 {
+		c.X, c.Y, c.Z = 16, 16, 3
+	}
+	if c.PathsPerInstance == 0 {
+		c.PathsPerInstance = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// LabyrinthFleetResult reports one multi-DPU Labyrinth execution.
+type LabyrinthFleetResult struct {
+	// DPUSeconds is the slowest simulated instance (instances run in
+	// parallel, one per DPU).
+	DPUSeconds float64
+	// TransferSeconds models job dispatch and grid collection.
+	TransferSeconds float64
+	// TotalSeconds is the end-to-end PIM-side time.
+	TotalSeconds float64
+	// Routed counts committed paths across simulated instances.
+	Routed int
+}
+
+// RunLabyrinthFleet executes the multi-DPU Labyrinth flow.
+func RunLabyrinthFleet(cfg LabyrinthFleetConfig, opt FleetOptions) (LabyrinthFleetResult, error) {
+	cfg.fill()
+	if err := opt.fill(); err != nil {
+		return LabyrinthFleetResult{}, err
+	}
+	ids := opt.simulated()
+	secs := make([]float64, len(ids))
+	routed := make([]int, len(ids))
+	idx := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	err := parallelFor(ids, opt.Parallelism, func(id int) error {
+		w := &workloads.Labyrinth{
+			X: cfg.X, Y: cfg.Y, Z: cfg.Z,
+			NumPaths:   cfg.PathsPerInstance,
+			Seed:       cfg.Seed + uint64(id)*2654435761,
+			ExpandCost: 8,
+		}
+		res, err := workloads.Run(w, dpu.Config{MRAMSize: 8 << 20, Seed: uint64(id) + cfg.Seed},
+			core.Config{Algorithm: core.NOrec, MetaTier: dpu.MRAM}, opt.Tasklets)
+		if err != nil {
+			return err
+		}
+		secs[idx[id]] = res.Seconds
+		routed[idx[id]] = w.Routed()
+		return nil
+	})
+	if err != nil {
+		return LabyrinthFleetResult{}, err
+	}
+	var out LabyrinthFleetResult
+	for i := range secs {
+		if secs[i] > out.DPUSeconds {
+			out.DPUSeconds = secs[i]
+		}
+		out.Routed += routed[i]
+	}
+	// Transfers: jobs down (16 B each), grid up (8 B per cell), per DPU.
+	cells := cfg.X * cfg.Y * cfg.Z
+	out.TransferSeconds = TransferSeconds(opt.DPUs, cfg.PathsPerInstance*16) +
+		TransferSeconds(opt.DPUs, cells*8)
+	out.TotalSeconds = out.DPUSeconds + out.TransferSeconds
+	return out, nil
+}
+
+// LabyrinthCPUInstance solves one routing instance with the cpustm
+// NOrec baseline on `threads` host threads (the paper uses 8 threads
+// per instance, 4 instances in parallel) and returns the measured
+// seconds and the number of routed paths.
+func LabyrinthCPUInstance(g lee.Grid, numPaths, threads int, seed uint64) (seconds float64, routedPaths int) {
+	if threads <= 0 {
+		threads = 8
+	}
+	cells := g.Cells()
+	mem := cpustm.NewMem(cells + 1) // + job cursor
+	tm := cpustm.New(mem)
+	jobCursor := cells
+
+	// Deterministic jobs, mirroring the DPU instance generator.
+	rng := seed | 1
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545F4914F6CDD1D
+	}
+	used := map[int]bool{}
+	pick := func() int {
+		for {
+			c := int(next() % uint64(cells))
+			if !used[c] {
+				used[c] = true
+				return c
+			}
+		}
+	}
+	jobs := make([][2]int, numPaths)
+	for j := range jobs {
+		jobs[j] = [2]int{pick(), pick()}
+	}
+
+	var routedCount sync.Map
+	start := time.Now()
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := tm.NewTx()
+			snapshot := make([]uint64, cells)
+			for {
+				job := -1
+				tx.Atomic(func(tx *cpustm.Tx) {
+					v := tx.Read(jobCursor)
+					if v >= uint64(numPaths) {
+						job = -1
+						return
+					}
+					tx.Write(jobCursor, v+1)
+					job = int(v)
+				})
+				if job < 0 {
+					return
+				}
+				src, dst := jobs[job][0], jobs[job][1]
+				for {
+					for i := 0; i < cells; i++ {
+						snapshot[i] = mem.Load(i)
+					}
+					path, _ := lee.Expand(g, func(i int) bool { return snapshot[i] != 0 }, src, dst)
+					if path == nil {
+						break
+					}
+					conflict := false
+					tx.Atomic(func(tx *cpustm.Tx) {
+						conflict = false
+						for _, c := range path {
+							if tx.Read(c) != 0 {
+								conflict = true
+								return
+							}
+						}
+						for _, c := range path {
+							tx.Write(c, uint64(job+1))
+						}
+					})
+					if !conflict {
+						routedCount.Store(job, true)
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	n := 0
+	routedCount.Range(func(_, _ any) bool { n++; return true })
+	return elapsed, n
+}
+
+// LabyrinthCPUSecondsPerInstance calibrates the CPU baseline: seconds
+// to solve one instance with the given thread count.
+func LabyrinthCPUSecondsPerInstance(g lee.Grid, numPaths, threads int) float64 {
+	s, _ := LabyrinthCPUInstance(g, numPaths, threads, 42)
+	return s
+}

@@ -1,0 +1,242 @@
+package host
+
+import (
+	"fmt"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+	"pimstm/internal/structures"
+)
+
+// PartitionedMap is a key-value store distributed across a fleet of
+// DPUs — the data-structure direction the paper's §5 sketches as future
+// work. Keys are routed to their owner DPU by hash; operations on keys
+// of one DPU run as transactions inside that DPU (PIM-STM regulates the
+// intra-DPU concurrency); operations spanning DPUs are coordinated by
+// the CPU while the involved DPUs are idle, "albeit sequentially"
+// exactly as §3.1 describes, and charged the CPU-mediated transfer
+// latency.
+//
+// The store processes operations in batches, matching the UPMEM
+// execution model: the CPU may only touch DPU memory between kernel
+// launches, so it buckets a batch by owner DPU, launches one program
+// per DPU that applies its share with tasklet parallelism, and then
+// performs the cross-DPU operations during the quiescent window.
+type PartitionedMap struct {
+	dpus []*dpu.DPU
+	tms  []*core.TM
+	maps []*structures.Map
+
+	tasklets int
+
+	// BatchSeconds accumulates the modeled wall time of every batch:
+	// slowest DPU per launch plus transfer costs.
+	BatchSeconds float64
+}
+
+// OpKind selects a batch operation.
+type OpKind int
+
+// Batch operation kinds.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpDelete
+)
+
+// Op is one keyed operation in a batch.
+type Op struct {
+	Kind  OpKind
+	Key   uint64
+	Value uint64
+}
+
+// OpResult is the outcome of one Op.
+type OpResult struct {
+	// Value is the read value for OpGet.
+	Value uint64
+	// OK reports presence (Get/Delete) or insertion (Put).
+	OK bool
+	// Err is non-nil when e.g. the owner DPU's pool is exhausted.
+	Err error
+}
+
+// NewPartitionedMap builds a store over nDPUs simulated DPUs with the
+// given per-DPU bucket count and node capacity, running ops with the
+// given tasklet parallelism per DPU.
+func NewPartitionedMap(nDPUs, buckets, capacity, tasklets int, stm core.Config) (*PartitionedMap, error) {
+	if nDPUs < 1 {
+		return nil, fmt.Errorf("host: partitioned map needs at least one DPU")
+	}
+	if tasklets < 1 || tasklets > dpu.MaxTasklets {
+		return nil, fmt.Errorf("host: bad tasklet count %d", tasklets)
+	}
+	pm := &PartitionedMap{tasklets: tasklets}
+	for i := 0; i < nDPUs; i++ {
+		d := dpu.New(dpu.Config{MRAMSize: 8 << 20, Seed: uint64(i) + 1})
+		tm, err := core.New(d, stm)
+		if err != nil {
+			return nil, err
+		}
+		m, err := structures.NewMap(d, buckets, capacity)
+		if err != nil {
+			return nil, err
+		}
+		pm.dpus = append(pm.dpus, d)
+		pm.tms = append(pm.tms, tm)
+		pm.maps = append(pm.maps, m)
+	}
+	return pm, nil
+}
+
+// DPUs returns the fleet size.
+func (pm *PartitionedMap) DPUs() int { return len(pm.dpus) }
+
+// owner routes a key to its DPU.
+func (pm *PartitionedMap) owner(key uint64) int {
+	h := key
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(len(pm.dpus)))
+}
+
+// ApplyBatch routes the batch, launches one program per involved DPU,
+// and returns per-op results in order. The modeled batch time (slowest
+// DPU plus scatter/gather transfers) accumulates in BatchSeconds.
+func (pm *PartitionedMap) ApplyBatch(ops []Op) ([]OpResult, error) {
+	results := make([]OpResult, len(ops))
+	perDPU := make(map[int][]int) // dpu → indices into ops
+	for i, op := range ops {
+		o := pm.owner(op.Key)
+		perDPU[o] = append(perDPU[o], i)
+	}
+
+	var slowest float64
+	// Deterministic order; DPU runs are independent of each other, so a
+	// simple loop keeps results reproducible (each DPU is itself
+	// deterministic).
+	for id := 0; id < len(pm.dpus); id++ {
+		idxs, ok := perDPU[id]
+		if !ok {
+			continue
+		}
+		d := pm.dpus[id]
+		tm := pm.tms[id]
+		m := pm.maps[id]
+		d.ResetRun()
+		n := pm.tasklets
+		if n > len(idxs) {
+			n = len(idxs)
+		}
+		progs := make([]func(*dpu.Tasklet), n)
+		for ti := 0; ti < n; ti++ {
+			mine := make([]int, 0, len(idxs)/n+1)
+			for j := ti; j < len(idxs); j += n {
+				mine = append(mine, idxs[j])
+			}
+			progs[ti] = func(t *dpu.Tasklet) {
+				tx := tm.NewTx(t)
+				for _, oi := range mine {
+					op := ops[oi]
+					switch op.Kind {
+					case OpGet:
+						tx.Atomic(func(tx *core.Tx) {
+							results[oi].Value, results[oi].OK = m.Get(tx, op.Key)
+						})
+					case OpPut:
+						tx.Atomic(func(tx *core.Tx) {
+							ins, err := m.Put(tx, op.Key, op.Value)
+							results[oi].OK, results[oi].Err = ins, err
+						})
+					case OpDelete:
+						tx.Atomic(func(tx *core.Tx) {
+							results[oi].OK = m.Delete(tx, op.Key)
+						})
+					}
+				}
+			}
+		}
+		cycles, err := d.Run(progs)
+		if err != nil {
+			return nil, fmt.Errorf("host: batch on dpu %d: %w", id, err)
+		}
+		if s := d.Seconds(cycles); s > slowest {
+			slowest = s
+		}
+	}
+	// Scatter the ops down and gather the results up (one batch each
+	// way across the involved DPUs).
+	pm.BatchSeconds += slowest +
+		TransferSeconds(len(perDPU), 24*len(ops)/max(1, len(perDPU))) +
+		TransferSeconds(len(perDPU), 16*len(ops)/max(1, len(perDPU)))
+	return results, nil
+}
+
+// TransferBetween atomically moves `amount` from the value under keyFrom
+// to the value under keyTo, even when the two keys live on different
+// DPUs: the CPU performs the read-modify-writes while both DPUs are
+// idle (the sequential CPU-coordination escape hatch of §3.1), charging
+// one CPU-mediated word access per touched key. It reports false
+// without changes if either key is missing or underflows.
+func (pm *PartitionedMap) TransferBetween(keyFrom, keyTo, amount uint64) (bool, error) {
+	fromDPU, toDPU := pm.owner(keyFrom), pm.owner(keyTo)
+	from, okF := pm.hostGet(fromDPU, keyFrom)
+	to, okT := pm.hostGet(toDPU, keyTo)
+	pm.BatchSeconds += 2 * InterDPUWordLatencySeconds
+	if !okF || !okT || from < amount {
+		return false, nil
+	}
+	if err := pm.hostPut(fromDPU, keyFrom, from-amount); err != nil {
+		return false, err
+	}
+	if err := pm.hostPut(toDPU, keyTo, to+amount); err != nil {
+		return false, err
+	}
+	pm.BatchSeconds += 2 * InterDPUWordLatencySeconds
+	return true, nil
+}
+
+// hostGet reads a key directly from an idle DPU.
+func (pm *PartitionedMap) hostGet(id int, key uint64) (uint64, bool) {
+	var v uint64
+	var ok bool
+	pm.maps[id].Walk(pm.dpus[id], func(k, val uint64) {
+		if k == key {
+			v, ok = val, true
+		}
+	})
+	return v, ok
+}
+
+// hostPut updates a key on an idle DPU through a one-off single-tasklet
+// program (the value must already exist; inserts go through ApplyBatch).
+func (pm *PartitionedMap) hostPut(id int, key, value uint64) error {
+	d := pm.dpus[id]
+	tm := pm.tms[id]
+	m := pm.maps[id]
+	d.ResetRun()
+	_, err := d.Run([]func(*dpu.Tasklet){func(t *dpu.Tasklet) {
+		tx := tm.NewTx(t)
+		tx.Atomic(func(tx *core.Tx) {
+			if _, err := m.Put(tx, key, value); err != nil {
+				panic(err)
+			}
+		})
+	}})
+	return err
+}
+
+// Get reads a key from the host (between batches).
+func (pm *PartitionedMap) Get(key uint64) (uint64, bool) {
+	return pm.hostGet(pm.owner(key), key)
+}
+
+// Len sums the sizes of every partition.
+func (pm *PartitionedMap) Len() int {
+	n := 0
+	for i, m := range pm.maps {
+		n += m.Len(pm.dpus[i])
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package host
+
+import (
+	"testing"
+
+	"pimstm/internal/core"
+)
+
+func newPM(t *testing.T, dpus int) *PartitionedMap {
+	t.Helper()
+	pm, err := NewPartitionedMap(dpus, 64, 512, 4, core.Config{Algorithm: core.NOrec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm
+}
+
+func TestPartitionedMapValidation(t *testing.T) {
+	if _, err := NewPartitionedMap(0, 64, 64, 4, core.Config{}); err == nil {
+		t.Fatal("zero DPUs accepted")
+	}
+	if _, err := NewPartitionedMap(2, 64, 64, 0, core.Config{}); err == nil {
+		t.Fatal("zero tasklets accepted")
+	}
+	if _, err := NewPartitionedMap(2, 63, 64, 4, core.Config{}); err == nil {
+		t.Fatal("bad bucket count accepted")
+	}
+}
+
+func TestPartitionedMapBatch(t *testing.T) {
+	pm := newPM(t, 4)
+	var ops []Op
+	for k := uint64(0); k < 100; k++ {
+		ops = append(ops, Op{Kind: OpPut, Key: k, Value: k * 10})
+	}
+	res, err := pm.ApplyBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil || !r.OK {
+			t.Fatalf("put %d: %+v", i, r)
+		}
+	}
+	if pm.Len() != 100 {
+		t.Fatalf("len = %d", pm.Len())
+	}
+	if pm.BatchSeconds <= 0 {
+		t.Fatal("batch time not accounted")
+	}
+
+	// Mixed batch: gets see the puts, deletes remove.
+	ops = nil
+	for k := uint64(0); k < 100; k += 2 {
+		ops = append(ops, Op{Kind: OpGet, Key: k})
+		ops = append(ops, Op{Kind: OpDelete, Key: k + 1})
+	}
+	res, err = pm.ApplyBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(ops); i += 2 {
+		get, del := res[i], res[i+1]
+		if !get.OK || get.Value != ops[i].Key*10 {
+			t.Fatalf("get %d = %+v", ops[i].Key, get)
+		}
+		if !del.OK {
+			t.Fatalf("delete %d missed", ops[i+1].Key)
+		}
+	}
+	if pm.Len() != 50 {
+		t.Fatalf("len after deletes = %d", pm.Len())
+	}
+	// Keys survive across batches on the same memory image.
+	if v, ok := pm.Get(0); !ok || v != 0 {
+		t.Fatalf("Get(0) = %d,%v", v, ok)
+	}
+	if _, ok := pm.Get(1); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestPartitionedMapRoutingSpread(t *testing.T) {
+	pm := newPM(t, 8)
+	counts := make([]int, 8)
+	for k := uint64(0); k < 4000; k++ {
+		counts[pm.owner(k)]++
+	}
+	for i, c := range counts {
+		if c < 300 || c > 700 {
+			t.Fatalf("partition %d holds %d of 4000 keys: router skewed", i, c)
+		}
+	}
+}
+
+// TestCrossDPUTransfer: the CPU-coordinated multi-DPU atomic update of
+// §5's future-work sketch must conserve the total.
+func TestCrossDPUTransfer(t *testing.T) {
+	pm := newPM(t, 4)
+	// Find two keys on different DPUs.
+	a, b := uint64(1), uint64(2)
+	for pm.owner(b) == pm.owner(a) {
+		b++
+	}
+	if _, err := pm.ApplyBatch([]Op{
+		{Kind: OpPut, Key: a, Value: 1000},
+		{Kind: OpPut, Key: b, Value: 500},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := pm.TransferBetween(a, b, 300)
+	if err != nil || !ok {
+		t.Fatalf("transfer failed: %v %v", ok, err)
+	}
+	va, _ := pm.Get(a)
+	vb, _ := pm.Get(b)
+	if va != 700 || vb != 800 {
+		t.Fatalf("balances = %d,%d want 700,800", va, vb)
+	}
+	// Underflow refused without changes.
+	ok, err = pm.TransferBetween(a, b, 10000)
+	if err != nil || ok {
+		t.Fatalf("underflow accepted: %v %v", ok, err)
+	}
+	va, _ = pm.Get(a)
+	vb, _ = pm.Get(b)
+	if va+vb != 1500 {
+		t.Fatalf("total not conserved: %d", va+vb)
+	}
+	// Missing key refused.
+	if ok, _ := pm.TransferBetween(999999, a, 1); ok {
+		t.Fatal("transfer from missing key accepted")
+	}
+}
+
+func TestPartitionedMapDeterministic(t *testing.T) {
+	run := func() (int, float64) {
+		pm := newPM(t, 3)
+		var ops []Op
+		for k := uint64(0); k < 60; k++ {
+			ops = append(ops, Op{Kind: OpPut, Key: k, Value: k})
+		}
+		if _, err := pm.ApplyBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+		return pm.Len(), pm.BatchSeconds
+	}
+	l1, s1 := run()
+	l2, s2 := run()
+	if l1 != l2 || s1 != s2 {
+		t.Fatalf("nondeterministic store: (%d,%g) vs (%d,%g)", l1, s1, l2, s2)
+	}
+}

@@ -1,0 +1,114 @@
+// Package lee implements the Lee routing algorithm (Lee, 1961) on a
+// 3-D grid: breadth-first wavefront expansion from source to
+// destination around occupied cells, followed by distance-descending
+// backtracking. It is shared by the DPU port of the STAMP Labyrinth
+// benchmark and its CPU baseline.
+package lee
+
+// Grid describes a 3-D routing grid; cells are indexed
+// (z*Y + y)*X + x.
+type Grid struct {
+	X, Y, Z int
+}
+
+// Cells returns the number of cells.
+func (g Grid) Cells() int { return g.X * g.Y * g.Z }
+
+// Neighbors appends the 6-connected neighbors of idx to out and returns
+// the extended slice (pass a reusable buffer to avoid allocation).
+func (g Grid) Neighbors(idx int, out []int) []int {
+	x := idx % g.X
+	y := (idx / g.X) % g.Y
+	z := idx / (g.X * g.Y)
+	if x > 0 {
+		out = append(out, idx-1)
+	}
+	if x < g.X-1 {
+		out = append(out, idx+1)
+	}
+	if y > 0 {
+		out = append(out, idx-g.X)
+	}
+	if y < g.Y-1 {
+		out = append(out, idx+g.X)
+	}
+	if z > 0 {
+		out = append(out, idx-g.X*g.Y)
+	}
+	if z < g.Z-1 {
+		out = append(out, idx+g.X*g.Y)
+	}
+	return out
+}
+
+// Expand runs the BFS wavefront from src to dst, treating cells for
+// which occupied returns true as walls, and returns a shortest path
+// (inclusive of both endpoints, dst first) plus the number of cells
+// visited (the paper's dominant non-transactional compute). It returns
+// a nil path if dst is unreachable or either endpoint is occupied.
+func Expand(g Grid, occupied func(int) bool, src, dst int) (path []int, visited int) {
+	if src == dst || occupied(src) || occupied(dst) {
+		return nil, 0
+	}
+	dist := make([]int32, g.Cells())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	var nbuf [6]int
+	found := false
+	for len(queue) > 0 && !found {
+		cur := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, nb := range g.Neighbors(cur, nbuf[:0]) {
+			if dist[nb] != -1 || occupied(nb) {
+				continue
+			}
+			dist[nb] = dist[cur] + 1
+			if nb == dst {
+				found = true
+				break
+			}
+			queue = append(queue, nb)
+		}
+	}
+	if !found {
+		return nil, visited
+	}
+	path = []int{dst}
+	cur := dst
+	for cur != src {
+		for _, nb := range g.Neighbors(cur, nbuf[:0]) {
+			if dist[nb] == dist[cur]-1 {
+				cur = nb
+				break
+			}
+		}
+		path = append(path, cur)
+	}
+	return path, visited
+}
+
+// Connected reports whether the given cell set forms one 6-connected
+// component containing from (used by path verification).
+func Connected(g Grid, cells map[int]bool, from int) bool {
+	if !cells[from] {
+		return false
+	}
+	seen := map[int]bool{from: true}
+	queue := []int{from}
+	var nbuf [6]int
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(cur, nbuf[:0]) {
+			if cells[nb] && !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(seen) == len(cells)
+}

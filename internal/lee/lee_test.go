@@ -1,0 +1,132 @@
+package lee
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func free(int) bool { return false }
+
+func TestCellsAndNeighbors(t *testing.T) {
+	g := Grid{X: 4, Y: 3, Z: 2}
+	if g.Cells() != 24 {
+		t.Fatalf("cells = %d", g.Cells())
+	}
+	// Corner cell has exactly 3 neighbors.
+	if n := len(g.Neighbors(0, nil)); n != 3 {
+		t.Fatalf("corner neighbors = %d", n)
+	}
+	// Interior cell of a 3x3x3 grid has 6.
+	g3 := Grid{X: 3, Y: 3, Z: 3}
+	center := (1*3+1)*3 + 1
+	if n := len(g3.Neighbors(center, nil)); n != 6 {
+		t.Fatalf("center neighbors = %d", n)
+	}
+}
+
+func TestExpandStraightLine(t *testing.T) {
+	g := Grid{X: 8, Y: 1, Z: 1}
+	path, visited := Expand(g, free, 0, 7)
+	if len(path) != 8 {
+		t.Fatalf("path length = %d, want 8", len(path))
+	}
+	if path[0] != 7 || path[len(path)-1] != 0 {
+		t.Fatalf("endpoints wrong: %v", path)
+	}
+	if visited == 0 {
+		t.Fatal("visited not counted")
+	}
+}
+
+func TestExpandAroundWall(t *testing.T) {
+	// 5x3 grid with a vertical wall at x=2 except the top row.
+	g := Grid{X: 5, Y: 3, Z: 1}
+	wall := map[int]bool{2: true, 2 + 5: true} // (2,0) and (2,1)
+	path, _ := Expand(g, func(i int) bool { return wall[i] }, 0, 4)
+	if path == nil {
+		t.Fatal("route exists around the wall")
+	}
+	if len(path) <= 5 {
+		t.Fatalf("path must detour: length %d", len(path))
+	}
+	for _, c := range path {
+		if wall[c] {
+			t.Fatal("path crosses a wall")
+		}
+	}
+}
+
+func TestExpandUnreachable(t *testing.T) {
+	g := Grid{X: 5, Y: 1, Z: 1}
+	wall := map[int]bool{2: true}
+	if path, _ := Expand(g, func(i int) bool { return wall[i] }, 0, 4); path != nil {
+		t.Fatal("blocked route should return nil")
+	}
+	if path, _ := Expand(g, func(i int) bool { return i == 0 }, 0, 4); path != nil {
+		t.Fatal("occupied source should return nil")
+	}
+	if path, _ := Expand(g, free, 3, 3); path != nil {
+		t.Fatal("src == dst should return nil")
+	}
+}
+
+// TestQuickExpandProperties: any returned path is a connected, wall-free
+// shortest-candidate route with correct endpoints.
+func TestQuickExpandProperties(t *testing.T) {
+	g := Grid{X: 6, Y: 5, Z: 2}
+	check := func(wallMask uint32, a, b uint16) bool {
+		src := int(a) % g.Cells()
+		dst := int(b) % g.Cells()
+		occ := func(i int) bool {
+			// Sparse deterministic walls (~1/4 of cells), never the
+			// endpoints.
+			if i == src || i == dst {
+				return false
+			}
+			return (uint32(i*2654435761)^wallMask)%4 == 0
+		}
+		path, _ := Expand(g, occ, src, dst)
+		if path == nil {
+			return true // unreachable is a legal outcome
+		}
+		if path[0] != dst || path[len(path)-1] != src {
+			return false
+		}
+		set := map[int]bool{}
+		for _, c := range path {
+			if occ(c) || set[c] {
+				return false // wall hit or repeated cell
+			}
+			set[c] = true
+		}
+		// Consecutive path cells must be neighbors.
+		for i := 1; i < len(path); i++ {
+			ok := false
+			for _, nb := range g.Neighbors(path[i-1], nil) {
+				if nb == path[i] {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return Connected(g, set, src)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := Grid{X: 4, Y: 1, Z: 1}
+	if !Connected(g, map[int]bool{0: true, 1: true, 2: true}, 0) {
+		t.Fatal("contiguous run should be connected")
+	}
+	if Connected(g, map[int]bool{0: true, 2: true}, 0) {
+		t.Fatal("gap should disconnect")
+	}
+	if Connected(g, map[int]bool{1: true}, 0) {
+		t.Fatal("from outside the set should be false")
+	}
+}

@@ -1,0 +1,222 @@
+package structures
+
+import (
+	"fmt"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+// SkipList is a transactional ordered set of uint64 keys with expected
+// O(log n) operations — the ordered counterpart to Map, showing that
+// pointer-heavy multi-level structures compose naturally from PIM-STM
+// transactions.
+//
+// Node layout in MRAM: [key][level][next_0 .. next_{level-1}], i.e.
+// 2+level words. Tower levels are drawn from the per-tasklet PRNG at
+// slot-reservation time, so retries reuse the same node deterministically.
+type SkipList struct {
+	maxLevel int
+	head     dpu.Addr // maxLevel head pointers (level 0 at offset 0)
+	pool     dpu.Addr
+	poolCap  int
+	nodeSize int      // bytes per pool slot: (2 + maxLevel) * 8
+	free     dpu.Addr // MaxTasklets free-slot cursors (non-wrapping)
+	sizes    dpu.Addr // per-tasklet size deltas
+}
+
+// NewSkipList allocates a skip list with the given tower height bound
+// and node capacity.
+func NewSkipList(d *dpu.DPU, maxLevel, capacity int) (*SkipList, error) {
+	if maxLevel < 1 || maxLevel > 16 {
+		return nil, fmt.Errorf("structures: skiplist level bound %d out of range [1,16]", maxLevel)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("structures: capacity must be positive")
+	}
+	s := &SkipList{maxLevel: maxLevel, poolCap: capacity, nodeSize: (2 + maxLevel) * 8}
+	var err error
+	if s.head, err = d.AllocMRAM(maxLevel*8, 8); err != nil {
+		return nil, err
+	}
+	if s.pool, err = d.AllocMRAM(capacity*s.nodeSize, 8); err != nil {
+		return nil, err
+	}
+	if s.free, err = d.AllocMRAM(dpu.MaxTasklets*8, 8); err != nil {
+		return nil, err
+	}
+	if s.sizes, err = d.AllocMRAM(dpu.MaxTasklets*8, 8); err != nil {
+		return nil, err
+	}
+	// Partition the slot space statically across tasklets (cursor-based;
+	// deleted nodes are unlinked but not recycled, the leak-free-on-abort
+	// discipline that needs no cross-tasklet free lists).
+	per := capacity / dpu.MaxTasklets
+	for t := 0; t < dpu.MaxTasklets; t++ {
+		d.HostWrite64(s.free+dpu.Addr(t*8), uint64(t*per))
+	}
+	return s, nil
+}
+
+func (s *SkipList) node(i int) dpu.Addr { return s.pool + dpu.Addr(i*s.nodeSize) }
+
+func (s *SkipList) nextAddr(node dpu.Addr, level int) dpu.Addr {
+	return node + dpu.Addr(16+level*8)
+}
+
+func (s *SkipList) headAddr(level int) dpu.Addr { return s.head + dpu.Addr(level*8) }
+
+// drawLevel picks a geometric tower height from the tasklet PRNG.
+func (s *SkipList) drawLevel(t *dpu.Tasklet) int {
+	lvl := 1
+	for lvl < s.maxLevel && t.RandN(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// allocNode reserves a slot from the tasklet's cursor range.
+func (s *SkipList) allocNode(tx *core.Tx) (dpu.Addr, error) {
+	cur := s.free + dpu.Addr(tx.Tasklet().ID*8)
+	idx := tx.Read(cur)
+	per := uint64(s.poolCap / dpu.MaxTasklets)
+	if idx >= uint64(tx.Tasklet().ID)*per+per {
+		return dpu.NilAddr, fmt.Errorf("structures: skiplist slot range of tasklet %d exhausted", tx.Tasklet().ID)
+	}
+	tx.Write(cur, idx+1)
+	return s.node(int(idx)), nil
+}
+
+// findPreds fills preds with, per level, the last node whose key is
+// < k (NilAddr meaning the head), and returns the level-0 successor.
+func (s *SkipList) findPreds(tx *core.Tx, k uint64, preds []dpu.Addr) dpu.Addr {
+	t := tx.Tasklet()
+	prev := dpu.NilAddr
+	for level := s.maxLevel - 1; level >= 0; level-- {
+		var cur dpu.Addr
+		if prev == dpu.NilAddr {
+			cur = dpu.Addr(tx.Read(s.headAddr(level)))
+		} else {
+			cur = dpu.Addr(tx.Read(s.nextAddr(prev, level)))
+		}
+		for cur != dpu.NilAddr && tx.Read(cur) < k {
+			t.Exec(2)
+			prev = cur
+			cur = dpu.Addr(tx.Read(s.nextAddr(cur, level)))
+		}
+		preds[level] = prev
+		if level == 0 {
+			return cur
+		}
+	}
+	return dpu.NilAddr
+}
+
+// Contains reports membership.
+func (s *SkipList) Contains(tx *core.Tx, k uint64) bool {
+	preds := make([]dpu.Addr, s.maxLevel)
+	cur := s.findPreds(tx, k, preds)
+	return cur != dpu.NilAddr && tx.Read(cur) == k
+}
+
+// Add inserts k, reporting whether it was absent.
+func (s *SkipList) Add(tx *core.Tx, k uint64) (bool, error) {
+	preds := make([]dpu.Addr, s.maxLevel)
+	cur := s.findPreds(tx, k, preds)
+	if cur != dpu.NilAddr && tx.Read(cur) == k {
+		return false, nil
+	}
+	node, err := s.allocNode(tx)
+	if err != nil {
+		return false, err
+	}
+	lvl := s.drawLevel(tx.Tasklet())
+	tx.Write(node, k)
+	tx.Write(node+8, uint64(lvl))
+	for level := 0; level < lvl; level++ {
+		var succ uint64
+		if preds[level] == dpu.NilAddr {
+			succ = tx.Read(s.headAddr(level))
+			tx.Write(s.headAddr(level), uint64(node))
+		} else {
+			succ = tx.Read(s.nextAddr(preds[level], level))
+			tx.Write(s.nextAddr(preds[level], level), uint64(node))
+		}
+		tx.Write(s.nextAddr(node, level), succ)
+	}
+	sz := s.sizes + dpu.Addr(tx.Tasklet().ID*8)
+	tx.Write(sz, tx.Read(sz)+1)
+	return true, nil
+}
+
+// Remove deletes k, reporting whether it was present.
+func (s *SkipList) Remove(tx *core.Tx, k uint64) bool {
+	preds := make([]dpu.Addr, s.maxLevel)
+	cur := s.findPreds(tx, k, preds)
+	if cur == dpu.NilAddr || tx.Read(cur) != k {
+		return false
+	}
+	lvl := int(tx.Read(cur + 8))
+	for level := 0; level < lvl; level++ {
+		succ := tx.Read(s.nextAddr(cur, level))
+		if preds[level] == dpu.NilAddr {
+			tx.Write(s.headAddr(level), succ)
+		} else {
+			tx.Write(s.nextAddr(preds[level], level), succ)
+		}
+	}
+	sz := s.sizes + dpu.Addr(tx.Tasklet().ID*8)
+	tx.Write(sz, tx.Read(sz)-1)
+	return true
+}
+
+// Len sums the per-tasklet size deltas from the host.
+func (s *SkipList) Len(d *dpu.DPU) int {
+	var n int64
+	for i := 0; i < dpu.MaxTasklets; i++ {
+		n += int64(d.HostRead64(s.sizes + dpu.Addr(i*8)))
+	}
+	return int(n)
+}
+
+// Verify walks level 0 from the host checking strict ordering, and
+// checks every higher level is a subsequence of level 0.
+func (s *SkipList) Verify(d *dpu.DPU) error {
+	level0 := map[uint64]bool{}
+	last := int64(-1)
+	steps := 0
+	for cur := dpu.Addr(d.HostRead64(s.headAddr(0))); cur != dpu.NilAddr; {
+		if steps++; steps > s.poolCap+1 {
+			return fmt.Errorf("cycle at level 0")
+		}
+		k := d.HostRead64(cur)
+		if int64(k) <= last {
+			return fmt.Errorf("level 0 not strictly sorted: %d after %d", k, last)
+		}
+		last = int64(k)
+		level0[k] = true
+		cur = dpu.Addr(d.HostRead64(s.nextAddr(cur, 0)))
+	}
+	for level := 1; level < s.maxLevel; level++ {
+		lastK := int64(-1)
+		steps = 0
+		for cur := dpu.Addr(d.HostRead64(s.headAddr(level))); cur != dpu.NilAddr; {
+			if steps++; steps > s.poolCap+1 {
+				return fmt.Errorf("cycle at level %d", level)
+			}
+			k := d.HostRead64(cur)
+			if int64(k) <= lastK {
+				return fmt.Errorf("level %d not sorted", level)
+			}
+			if !level0[k] {
+				return fmt.Errorf("level %d holds key %d missing from level 0", level, k)
+			}
+			lastK = int64(k)
+			cur = dpu.Addr(d.HostRead64(s.nextAddr(cur, level)))
+		}
+	}
+	if len(level0) != s.Len(d) {
+		return fmt.Errorf("level-0 count %d != size counter %d", len(level0), s.Len(d))
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package structures
+
+import (
+	"testing"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+func TestSkipListBasics(t *testing.T) {
+	d, tm := newSTM(t, core.NOrec)
+	s, err := NewSkipList(d, 4, 24*16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run([]func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+		tx := tm.NewTx(tk)
+		tx.Atomic(func(tx *core.Tx) {
+			for _, k := range []uint64{5, 1, 9, 3, 7} {
+				ins, err := s.Add(tx, k)
+				if err != nil || !ins {
+					t.Errorf("add %d: %v %v", k, ins, err)
+				}
+			}
+			if ins, _ := s.Add(tx, 5); ins {
+				t.Error("duplicate add succeeded")
+			}
+			for _, k := range []uint64{1, 3, 5, 7, 9} {
+				if !s.Contains(tx, k) {
+					t.Errorf("missing %d", k)
+				}
+			}
+			if s.Contains(tx, 4) {
+				t.Error("phantom key")
+			}
+			if !s.Remove(tx, 5) || s.Remove(tx, 5) {
+				t.Error("remove semantics broken")
+			}
+			if s.Contains(tx, 5) {
+				t.Error("removed key still present")
+			}
+		})
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(d); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len(d) != 4 {
+		t.Fatalf("len = %d", s.Len(d))
+	}
+}
+
+func TestSkipListValidation(t *testing.T) {
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 20})
+	if _, err := NewSkipList(d, 0, 16); err == nil {
+		t.Fatal("zero level bound accepted")
+	}
+	if _, err := NewSkipList(d, 17, 16); err == nil {
+		t.Fatal("excess level bound accepted")
+	}
+	if _, err := NewSkipList(d, 4, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+// TestSkipListConcurrent: random concurrent add/remove/contains over a
+// shared key space must preserve the multi-level ordering invariants
+// for every algorithm family.
+func TestSkipListConcurrent(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.NOrec, core.TinyETLWB, core.TinyETLWT, core.VRETLWB} {
+		t.Run(alg.String(), func(t *testing.T) {
+			d, tm := newSTM(t, alg)
+			s, err := NewSkipList(d, 4, 24*64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const tasklets, ops = 5, 50
+			progs := make([]func(*dpu.Tasklet), tasklets)
+			for i := range progs {
+				progs[i] = func(tk *dpu.Tasklet) {
+					tx := tm.NewTx(tk)
+					for op := 0; op < ops; op++ {
+						k := uint64(tk.RandN(64))
+						switch tk.RandN(3) {
+						case 0:
+							tx.Atomic(func(tx *core.Tx) {
+								if _, err := s.Add(tx, k); err != nil {
+									t.Error(err)
+								}
+							})
+						case 1:
+							tx.Atomic(func(tx *core.Tx) { s.Remove(tx, k) })
+						default:
+							tx.Atomic(func(tx *core.Tx) { s.Contains(tx, k) })
+						}
+					}
+				}
+			}
+			if _, err := d.Run(progs); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Verify(d); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSkipListOrderedIterationMatchesModel drives a deterministic op
+// sequence against a Go map model and compares the sorted contents.
+func TestSkipListMatchesModel(t *testing.T) {
+	d, tm := newSTM(t, core.TinyCTLWB)
+	// Slots are never recycled (leak-free-on-abort discipline), so the
+	// single driving tasklet needs headroom for every successful add.
+	s, err := NewSkipList(d, 5, 24*200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[uint64]bool{}
+	if _, err := d.Run([]func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+		tx := tm.NewTx(tk)
+		for i := 0; i < 300; i++ {
+			k := uint64(tk.RandN(50))
+			if tk.RandN(2) == 0 {
+				var ins bool
+				tx.Atomic(func(tx *core.Tx) {
+					var err error
+					if ins, err = s.Add(tx, k); err != nil {
+						t.Error(err)
+					}
+				})
+				if ins == model[k] {
+					t.Errorf("add %d returned %v but model had %v", k, ins, model[k])
+				}
+				model[k] = true
+			} else {
+				var rem bool
+				tx.Atomic(func(tx *core.Tx) { rem = s.Remove(tx, k) })
+				if rem != model[k] {
+					t.Errorf("remove %d returned %v but model had %v", k, rem, model[k])
+				}
+				delete(model, k)
+			}
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(d); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len(d) != len(model) {
+		t.Fatalf("len %d != model %d", s.Len(d), len(model))
+	}
+}

@@ -1,0 +1,296 @@
+// Package structures implements concurrent data structures on top of
+// the PIM-STM library, the direction the paper's §5 sketches as future
+// work ("leverage the PIM-STM library in order to implement
+// non-transactional concurrent data-structures such as linked list or
+// hashmaps"). Every structure lives in a single DPU's memory and is
+// synchronized purely by transactions, so it works unchanged with all
+// seven STM algorithms and both metadata tiers.
+//
+// All operations take the calling tasklet's *core.Tx and must run
+// inside a transaction (either the caller's enclosing Atomic block —
+// the structures compose — or one started internally via the *Atomic
+// convenience wrappers).
+package structures
+
+import (
+	"fmt"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+// hashKey mixes a key into a bucket index (splitmix64 finalizer).
+func hashKey(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	k ^= k >> 27
+	k *= 0x94D049BB133111EB
+	k ^= k >> 31
+	return k
+}
+
+// Map is a transactional chained hash map from uint64 keys to uint64
+// values, stored in MRAM. Nodes come from a fixed pool threaded through
+// per-tasklet free lists, so concurrent inserts do not contend on a
+// single allocator word and aborted inserts leak nothing (the pop and
+// the insert commit atomically).
+type Map struct {
+	buckets  dpu.Addr // nBuckets head words
+	nBuckets int
+	pool     dpu.Addr // capacity × 3 words: [key, value, next]
+	capacity int
+	free     dpu.Addr // MaxTasklets free-list head words
+	sizes    dpu.Addr // MaxTasklets per-tasklet size deltas
+}
+
+// NewMap allocates a map with the given bucket count (power of two) and
+// node capacity, distributing the node pool across the per-tasklet
+// free lists.
+func NewMap(d *dpu.DPU, buckets, capacity int) (*Map, error) {
+	if buckets <= 0 || buckets&(buckets-1) != 0 {
+		return nil, fmt.Errorf("structures: bucket count must be a power of two, got %d", buckets)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("structures: capacity must be positive")
+	}
+	m := &Map{nBuckets: buckets, capacity: capacity}
+	var err error
+	if m.buckets, err = d.AllocMRAM(buckets*8, 8); err != nil {
+		return nil, err
+	}
+	if m.pool, err = d.AllocMRAM(capacity*24, 8); err != nil {
+		return nil, err
+	}
+	if m.free, err = d.AllocMRAM(dpu.MaxTasklets*8, 8); err != nil {
+		return nil, err
+	}
+	if m.sizes, err = d.AllocMRAM(dpu.MaxTasklets*8, 8); err != nil {
+		return nil, err
+	}
+	// Thread the pool round-robin across the free lists (host side).
+	for i := capacity - 1; i >= 0; i-- {
+		list := m.free + dpu.Addr((i%dpu.MaxTasklets)*8)
+		node := m.node(i)
+		d.HostWrite64(node+16, d.HostRead64(list)) // next = old head
+		d.HostWrite64(list, uint64(node))
+	}
+	return m, nil
+}
+
+func (m *Map) node(i int) dpu.Addr { return m.pool + dpu.Addr(i*24) }
+
+func (m *Map) bucket(key uint64) dpu.Addr {
+	return m.buckets + dpu.Addr((hashKey(key)&uint64(m.nBuckets-1))*8)
+}
+
+func (m *Map) freeList(tx *core.Tx) dpu.Addr {
+	return m.free + dpu.Addr(tx.Tasklet().ID*8)
+}
+
+func (m *Map) sizeWord(tx *core.Tx) dpu.Addr {
+	return m.sizes + dpu.Addr(tx.Tasklet().ID*8)
+}
+
+// allocNode pops a node from the tasklet's free list, falling back to
+// stealing from the other lists; it returns NilAddr when the pool is
+// exhausted.
+func (m *Map) allocNode(tx *core.Tx) dpu.Addr {
+	own := tx.Tasklet().ID
+	for i := 0; i < dpu.MaxTasklets; i++ {
+		list := m.free + dpu.Addr(((own+i)%dpu.MaxTasklets)*8)
+		head := dpu.Addr(tx.Read(list))
+		if head == dpu.NilAddr {
+			continue
+		}
+		tx.Write(list, tx.Read(head+16))
+		return head
+	}
+	return dpu.NilAddr
+}
+
+// freeNode pushes a node back on the tasklet's free list.
+func (m *Map) freeNode(tx *core.Tx, node dpu.Addr) {
+	list := m.freeList(tx)
+	tx.Write(node+16, tx.Read(list))
+	tx.Write(list, uint64(node))
+}
+
+// Get returns the value stored under key.
+func (m *Map) Get(tx *core.Tx, key uint64) (uint64, bool) {
+	cur := dpu.Addr(tx.Read(m.bucket(key)))
+	for cur != dpu.NilAddr {
+		if tx.Read(cur) == key {
+			return tx.Read(cur + 8), true
+		}
+		cur = dpu.Addr(tx.Read(cur + 16))
+	}
+	return 0, false
+}
+
+// Put inserts or updates key. It reports whether the key was inserted
+// (false = updated in place) and returns core.ErrMapFull via error when
+// the node pool is exhausted.
+func (m *Map) Put(tx *core.Tx, key, value uint64) (inserted bool, err error) {
+	b := m.bucket(key)
+	cur := dpu.Addr(tx.Read(b))
+	for cur != dpu.NilAddr {
+		if tx.Read(cur) == key {
+			tx.Write(cur+8, value)
+			return false, nil
+		}
+		cur = dpu.Addr(tx.Read(cur + 16))
+	}
+	node := m.allocNode(tx)
+	if node == dpu.NilAddr {
+		return false, fmt.Errorf("structures: map pool exhausted (capacity %d)", m.capacity)
+	}
+	tx.Write(node, key)
+	tx.Write(node+8, value)
+	tx.Write(node+16, tx.Read(b))
+	tx.Write(b, uint64(node))
+	sz := m.sizeWord(tx)
+	tx.Write(sz, tx.Read(sz)+1)
+	return true, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map) Delete(tx *core.Tx, key uint64) bool {
+	b := m.bucket(key)
+	prev := dpu.NilAddr
+	cur := dpu.Addr(tx.Read(b))
+	for cur != dpu.NilAddr {
+		if tx.Read(cur) == key {
+			next := tx.Read(cur + 16)
+			if prev == dpu.NilAddr {
+				tx.Write(b, next)
+			} else {
+				tx.Write(prev+16, next)
+			}
+			m.freeNode(tx, cur)
+			sz := m.sizeWord(tx)
+			tx.Write(sz, tx.Read(sz)-1)
+			return true
+		}
+		prev = cur
+		cur = dpu.Addr(tx.Read(cur + 16))
+	}
+	return false
+}
+
+// Len sums the per-tasklet size deltas from the host (only meaningful
+// while the DPU is idle).
+func (m *Map) Len(d *dpu.DPU) int {
+	var n int64
+	for i := 0; i < dpu.MaxTasklets; i++ {
+		n += int64(d.HostRead64(m.sizes + dpu.Addr(i*8)))
+	}
+	return int(n)
+}
+
+// Walk calls f for every key/value pair from the host.
+func (m *Map) Walk(d *dpu.DPU, f func(key, value uint64)) {
+	for b := 0; b < m.nBuckets; b++ {
+		cur := dpu.Addr(d.HostRead64(m.buckets + dpu.Addr(b*8)))
+		for cur != dpu.NilAddr {
+			f(d.HostRead64(cur), d.HostRead64(cur+8))
+			cur = dpu.Addr(d.HostRead64(cur + 16))
+		}
+	}
+}
+
+// Queue is a bounded transactional MPMC FIFO of 64-bit values.
+type Queue struct {
+	ring     dpu.Addr
+	capacity int
+	head     dpu.Addr // dequeue cursor
+	tail     dpu.Addr // enqueue cursor
+}
+
+// NewQueue allocates a queue with the given capacity.
+func NewQueue(d *dpu.DPU, capacity int) (*Queue, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("structures: queue capacity must be positive")
+	}
+	q := &Queue{capacity: capacity}
+	var err error
+	if q.ring, err = d.AllocMRAM(capacity*8, 8); err != nil {
+		return nil, err
+	}
+	if q.head, err = d.AllocMRAM(8, 8); err != nil {
+		return nil, err
+	}
+	if q.tail, err = d.AllocMRAM(8, 8); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Enqueue appends v, reporting false when the queue is full.
+func (q *Queue) Enqueue(tx *core.Tx, v uint64) bool {
+	head := tx.Read(q.head)
+	tail := tx.Read(q.tail)
+	if tail-head >= uint64(q.capacity) {
+		return false
+	}
+	tx.Write(q.ring+dpu.Addr((tail%uint64(q.capacity))*8), v)
+	tx.Write(q.tail, tail+1)
+	return true
+}
+
+// Dequeue removes and returns the oldest value, reporting false when
+// empty.
+func (q *Queue) Dequeue(tx *core.Tx) (uint64, bool) {
+	head := tx.Read(q.head)
+	tail := tx.Read(q.tail)
+	if head == tail {
+		return 0, false
+	}
+	v := tx.Read(q.ring + dpu.Addr((head%uint64(q.capacity))*8))
+	tx.Write(q.head, head+1)
+	return v, true
+}
+
+// Len returns the queue length from the host.
+func (q *Queue) Len(d *dpu.DPU) int {
+	return int(d.HostRead64(q.tail) - d.HostRead64(q.head))
+}
+
+// Counter is a striped transactional counter: increments hit the
+// calling tasklet's stripe (no contention), reads sum every stripe in
+// one transaction (a consistent snapshot thanks to opacity).
+type Counter struct {
+	stripes dpu.Addr
+}
+
+// NewCounter allocates a counter.
+func NewCounter(d *dpu.DPU) (*Counter, error) {
+	a, err := d.AllocMRAM(dpu.MaxTasklets*8, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{stripes: a}, nil
+}
+
+// Add adds delta to the calling tasklet's stripe.
+func (c *Counter) Add(tx *core.Tx, delta int64) {
+	s := c.stripes + dpu.Addr(tx.Tasklet().ID*8)
+	tx.Write(s, uint64(int64(tx.Read(s))+delta))
+}
+
+// Value returns a consistent snapshot of the counter.
+func (c *Counter) Value(tx *core.Tx) int64 {
+	var v int64
+	for i := 0; i < dpu.MaxTasklets; i++ {
+		v += int64(tx.Read(c.stripes + dpu.Addr(i*8)))
+	}
+	return v
+}
+
+// HostValue sums the stripes from the host while the DPU is idle.
+func (c *Counter) HostValue(d *dpu.DPU) int64 {
+	var v int64
+	for i := 0; i < dpu.MaxTasklets; i++ {
+		v += int64(d.HostRead64(c.stripes + dpu.Addr(i*8)))
+	}
+	return v
+}

@@ -1,0 +1,385 @@
+package structures
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+func newSTM(t testing.TB, alg core.Algorithm) (*dpu.DPU, *core.TM) {
+	t.Helper()
+	d := dpu.New(dpu.Config{MRAMSize: 4 << 20, Seed: 9})
+	tm, err := core.New(d, core.Config{Algorithm: alg, LockTableEntries: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, tm
+}
+
+func TestMapBasics(t *testing.T) {
+	d, tm := newSTM(t, core.NOrec)
+	m, err := NewMap(d, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run([]func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+		tx := tm.NewTx(tk)
+		tx.Atomic(func(tx *core.Tx) {
+			if _, ok := m.Get(tx, 10); ok {
+				t.Error("empty map had a key")
+			}
+			ins, err := m.Put(tx, 10, 100)
+			if err != nil || !ins {
+				t.Errorf("first put: %v %v", ins, err)
+			}
+			ins, err = m.Put(tx, 10, 200)
+			if err != nil || ins {
+				t.Errorf("update should not insert: %v %v", ins, err)
+			}
+			if v, ok := m.Get(tx, 10); !ok || v != 200 {
+				t.Errorf("get = %d,%v", v, ok)
+			}
+			if !m.Delete(tx, 10) {
+				t.Error("delete missed")
+			}
+			if m.Delete(tx, 10) {
+				t.Error("double delete")
+			}
+		})
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len(d) != 0 {
+		t.Fatalf("len = %d", m.Len(d))
+	}
+}
+
+func TestMapPoolExhaustionAndReuse(t *testing.T) {
+	d, tm := newSTM(t, core.TinyETLWB)
+	m, err := NewMap(d, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run([]func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+		tx := tm.NewTx(tk)
+		tx.Atomic(func(tx *core.Tx) {
+			for k := uint64(0); k < 8; k++ {
+				if _, err := m.Put(tx, k, k); err != nil {
+					t.Errorf("put %d: %v", k, err)
+				}
+			}
+			if _, err := m.Put(tx, 99, 99); err == nil {
+				t.Error("pool exhaustion not reported")
+			}
+			// Free one, insert succeeds again (node reuse).
+			m.Delete(tx, 3)
+			if _, err := m.Put(tx, 99, 99); err != nil {
+				t.Errorf("reuse failed: %v", err)
+			}
+		})
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len(d) != 8 {
+		t.Fatalf("len = %d, want 8", m.Len(d))
+	}
+}
+
+// TestMapConcurrentMatchesModel: concurrent per-tasklet key ranges are
+// disjoint, so the final contents must equal a sequential model.
+func TestMapConcurrentMatchesModel(t *testing.T) {
+	for _, alg := range core.Algorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			d, tm := newSTM(t, alg)
+			m, err := NewMap(d, 128, 2048)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const tasklets, opsEach = 6, 60
+			progs := make([]func(*dpu.Tasklet), tasklets)
+			for i := range progs {
+				progs[i] = func(tk *dpu.Tasklet) {
+					tx := tm.NewTx(tk)
+					base := uint64(tk.ID) << 32
+					for op := 0; op < opsEach; op++ {
+						k := base | uint64(tk.RandN(40))
+						switch tk.RandN(3) {
+						case 0, 1:
+							tx.Atomic(func(tx *core.Tx) {
+								if _, err := m.Put(tx, k, k*3); err != nil {
+									t.Error(err)
+								}
+							})
+						default:
+							tx.Atomic(func(tx *core.Tx) { m.Delete(tx, k) })
+						}
+					}
+				}
+			}
+			if _, err := d.Run(progs); err != nil {
+				t.Fatal(err)
+			}
+			// Verify: every surviving pair has value = 3×key, count
+			// matches Len, and keys are globally unique.
+			seen := map[uint64]bool{}
+			count := 0
+			m.Walk(d, func(k, v uint64) {
+				count++
+				if v != k*3 {
+					t.Fatalf("key %d has value %d", k, v)
+				}
+				if seen[k] {
+					t.Fatalf("duplicate key %d", k)
+				}
+				seen[k] = true
+			})
+			if count != m.Len(d) {
+				t.Fatalf("walk count %d != Len %d", count, m.Len(d))
+			}
+		})
+	}
+}
+
+// TestMapCrossTaskletVisibility: a value written by one tasklet must be
+// readable by another after commit.
+func TestMapCrossTaskletVisibility(t *testing.T) {
+	d, tm := newSTM(t, core.VRETLWB)
+	m, err := NewMap(d, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	var ok bool
+	progs := []func(*dpu.Tasklet){
+		func(tk *dpu.Tasklet) {
+			tx := tm.NewTx(tk)
+			tx.Atomic(func(tx *core.Tx) {
+				_, err := m.Put(tx, 7, 77)
+				if err != nil {
+					t.Error(err)
+				}
+			})
+		},
+		func(tk *dpu.Tasklet) {
+			tk.Exec(20000) // run after the writer
+			tx := tm.NewTx(tk)
+			tx.Atomic(func(tx *core.Tx) { got, ok = m.Get(tx, 7) })
+		},
+	}
+	if _, err := d.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != 77 {
+		t.Fatalf("cross-tasklet get = %d,%v", got, ok)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 20})
+	if _, err := NewMap(d, 100, 10); err == nil {
+		t.Fatal("non-power-of-two buckets accepted")
+	}
+	if _, err := NewMap(d, 16, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewQueue(d, 0); err == nil {
+		t.Fatal("zero queue capacity accepted")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	d, tm := newSTM(t, core.NOrec)
+	q, err := NewQueue(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run([]func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+		tx := tm.NewTx(tk)
+		tx.Atomic(func(tx *core.Tx) {
+			for i := uint64(1); i <= 8; i++ {
+				if !q.Enqueue(tx, i) {
+					t.Errorf("enqueue %d failed", i)
+				}
+			}
+			if q.Enqueue(tx, 9) {
+				t.Error("enqueue into full queue succeeded")
+			}
+			for i := uint64(1); i <= 8; i++ {
+				v, ok := q.Dequeue(tx)
+				if !ok || v != i {
+					t.Errorf("dequeue = %d,%v want %d", v, ok, i)
+				}
+			}
+			if _, ok := q.Dequeue(tx); ok {
+				t.Error("dequeue from empty queue succeeded")
+			}
+		})
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueProducersConsumers: every produced value is consumed exactly
+// once across concurrent producers and consumers.
+func TestQueueProducersConsumers(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.NOrec, core.TinyETLWB, core.VRETLWB} {
+		t.Run(alg.String(), func(t *testing.T) {
+			d, tm := newSTM(t, alg)
+			q, err := NewQueue(d, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const producers, consumers, items = 3, 3, 40
+			consumed := make([][]uint64, producers+consumers)
+			progs := make([]func(*dpu.Tasklet), producers+consumers)
+			for i := 0; i < producers; i++ {
+				id := i
+				progs[i] = func(tk *dpu.Tasklet) {
+					tx := tm.NewTx(tk)
+					for j := 0; j < items; j++ {
+						v := uint64(id*items + j + 1)
+						for {
+							sent := false
+							tx.Atomic(func(tx *core.Tx) { sent = q.Enqueue(tx, v) })
+							if sent {
+								break
+							}
+							tk.Exec(200) // queue full: back off
+						}
+					}
+				}
+			}
+			for i := 0; i < consumers; i++ {
+				idx := producers + i
+				progs[idx] = func(tk *dpu.Tasklet) {
+					tx := tm.NewTx(tk)
+					deadline := 0
+					for len(consumed[tk.ID]) < items && deadline < 100000 {
+						var v uint64
+						var ok bool
+						tx.Atomic(func(tx *core.Tx) { v, ok = q.Dequeue(tx) })
+						if ok {
+							consumed[tk.ID] = append(consumed[tk.ID], v)
+						} else {
+							tk.Exec(200)
+							deadline++
+						}
+					}
+				}
+			}
+			if _, err := d.Run(progs); err != nil {
+				t.Fatal(err)
+			}
+			seen := map[uint64]bool{}
+			total := 0
+			for _, vs := range consumed {
+				for _, v := range vs {
+					if seen[v] {
+						t.Fatalf("value %d consumed twice", v)
+					}
+					seen[v] = true
+					total++
+				}
+			}
+			if total != producers*items {
+				t.Fatalf("consumed %d of %d items", total, producers*items)
+			}
+		})
+	}
+}
+
+func TestCounter(t *testing.T) {
+	d, tm := newSTM(t, core.TinyETLWT)
+	c, err := NewCounter(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasklets, iters = 8, 50
+	progs := make([]func(*dpu.Tasklet), tasklets)
+	for i := range progs {
+		progs[i] = func(tk *dpu.Tasklet) {
+			tx := tm.NewTx(tk)
+			for j := 0; j < iters; j++ {
+				tx.Atomic(func(tx *core.Tx) { c.Add(tx, 2) })
+			}
+			// A consistent snapshot must be a multiple of 2.
+			var v int64
+			tx.Atomic(func(tx *core.Tx) { v = c.Value(tx) })
+			if v%2 != 0 {
+				t.Errorf("snapshot %d not a multiple of the increment", v)
+			}
+		}
+	}
+	if _, err := d.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.HostValue(d); got != tasklets*iters*2 {
+		t.Fatalf("counter = %d, want %d", got, tasklets*iters*2)
+	}
+}
+
+// TestQuickMapModel drives random single-tasklet op sequences against a
+// Go map model.
+func TestQuickMapModel(t *testing.T) {
+	check := func(script []byte) bool {
+		d, tm := newSTM(t, core.TinyCTLWB)
+		m, err := NewMap(d, 32, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[uint64]uint64{}
+		bad := false
+		if _, err := d.Run([]func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+			tx := tm.NewTx(tk)
+			for _, b := range script {
+				k := uint64(b) % 32
+				switch {
+				case b&0xC0 == 0: // delete
+					var got bool
+					tx.Atomic(func(tx *core.Tx) { got = m.Delete(tx, k) })
+					_, want := model[k]
+					delete(model, k)
+					if got != want {
+						bad = true
+					}
+				case b&0x80 == 0: // get
+					var got uint64
+					var ok bool
+					tx.Atomic(func(tx *core.Tx) { got, ok = m.Get(tx, k) })
+					want, wantOK := model[k]
+					if ok != wantOK || (ok && got != want) {
+						bad = true
+					}
+				default: // put
+					v := uint64(b) * 7
+					tx.Atomic(func(tx *core.Tx) {
+						if _, err := m.Put(tx, k, v); err != nil {
+							bad = true
+						}
+					})
+					model[k] = v
+				}
+			}
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if bad {
+			return false
+		}
+		if m.Len(d) != len(model) {
+			return false
+		}
+		ok := true
+		m.Walk(d, func(k, v uint64) {
+			if model[k] != v {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+// KMeans is the paper's port of the STAMP K-means benchmark (§4.1):
+// input points are partitioned across tasklets; finding the closest
+// centroid is non-transactional compute, while updating the centroid
+// accumulator is one small transaction per point (readset = writeset =
+// Dims+1 words). The low-contention workload uses K=15 clusters, the
+// high-contention one K=2, both with Dims=14.
+//
+// Coordinates are 16.16 fixed-point integers: the UPMEM DPU has no FPU,
+// so the C implementation uses integer arithmetic as well.
+type KMeans struct {
+	// K is the number of clusters; Dims the point dimensionality.
+	K, Dims int
+	// TotalPoints is the input size, split across however many tasklets
+	// run (fixed total work, as in the paper's scalability study).
+	TotalPoints int
+	// Rounds is the number of assignment/update rounds.
+	Rounds int
+	// Seed drives the deterministic input generator.
+	Seed uint64
+	// DistCost models the instructions per dimension per centroid of the
+	// distance computation (load, subtract, shift, multiply-accumulate,
+	// loop overhead on the FPU-less DPU).
+	DistCost int
+
+	name string
+
+	points  dpu.Addr // TotalPoints × Dims fixed-point words
+	centers dpu.Addr // K × Dims current centroid coordinates
+	acc     dpu.Addr // K × Dims accumulator words (transactional)
+	counts  dpu.Addr // K member counters (transactional)
+
+	barrier *dpu.Barrier
+}
+
+const fixedShift = 16 // 16.16 fixed point
+
+// NewKMeansLC builds the paper's low-contention K-means workload (K=15).
+func NewKMeansLC() *KMeans {
+	return &KMeans{name: "KMeans LC", K: 15, Dims: 14, TotalPoints: 480, Rounds: 3, Seed: 99, DistCost: 14}
+}
+
+// NewKMeansHC builds the paper's high-contention K-means workload (K=2).
+func NewKMeansHC() *KMeans {
+	return &KMeans{name: "KMeans HC", K: 2, Dims: 14, TotalPoints: 480, Rounds: 3, Seed: 99, DistCost: 14}
+}
+
+// Name returns the paper's workload name.
+func (w *KMeans) Name() string { return w.name }
+
+// SetTasklets sizes the inter-round barrier; called by workloads.Run
+// and by the multi-DPU host layer before launching the program.
+func (w *KMeans) SetTasklets(n int) { w.barrier = dpu.NewBarrier(n) }
+
+// Setup allocates points, centroids and accumulators, generating the
+// input deterministically around K well-separated cluster centers.
+func (w *KMeans) Setup(d *dpu.DPU) error {
+	if w.K < 1 || w.Dims < 1 || w.TotalPoints < 1 {
+		return fmt.Errorf("kmeans: bad shape K=%d Dims=%d points=%d", w.K, w.Dims, w.TotalPoints)
+	}
+	var err error
+	if w.points, err = d.AllocMRAM(w.TotalPoints*w.Dims*8, 8); err != nil {
+		return err
+	}
+	if w.centers, err = d.AllocMRAM(w.K*w.Dims*8, 8); err != nil {
+		return err
+	}
+	if w.acc, err = d.AllocMRAM(w.K*w.Dims*8, 8); err != nil {
+		return err
+	}
+	if w.counts, err = d.AllocMRAM(w.K*8, 8); err != nil {
+		return err
+	}
+	rng := w.Seed
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545F4914F6CDD1D
+	}
+	// True cluster centers on a coarse lattice; points jitter around them.
+	for p := 0; p < w.TotalPoints; p++ {
+		c := p % w.K
+		for dim := 0; dim < w.Dims; dim++ {
+			center := int64(c*1000+dim*37) << fixedShift
+			jitter := int64(next()%200) - 100
+			d.HostWrite64(w.pointAddr(p, dim), uint64(center+(jitter<<(fixedShift-4))))
+		}
+	}
+	// Initial centroids: the first K points, as in the reference code.
+	for c := 0; c < w.K; c++ {
+		for dim := 0; dim < w.Dims; dim++ {
+			d.HostWrite64(w.centerAddr(c, dim), d.HostRead64(w.pointAddr(c, dim)))
+		}
+	}
+	return nil
+}
+
+func (w *KMeans) pointAddr(p, dim int) dpu.Addr  { return w.points + dpu.Addr((p*w.Dims+dim)*8) }
+func (w *KMeans) centerAddr(c, dim int) dpu.Addr { return w.centers + dpu.Addr((c*w.Dims+dim)*8) }
+func (w *KMeans) accAddr(c, dim int) dpu.Addr    { return w.acc + dpu.Addr((c*w.Dims+dim)*8) }
+func (w *KMeans) countAddr(c int) dpu.Addr       { return w.counts + dpu.Addr(c*8) }
+
+// Body processes the tasklet's shard for each round: cache the current
+// centroids privately (one bulk transfer), assign each point to its
+// nearest centroid with non-transactional arithmetic, then update the
+// accumulator inside a transaction. Tasklet 0 recomputes the centroids
+// between rounds while the rest wait at the barrier; the final round
+// leaves the accumulators in place for verification.
+func (w *KMeans) Body(tx *core.Tx, taskletID, tasklets int) {
+	t := tx.Tasklet()
+	chunk := (w.TotalPoints + tasklets - 1) / tasklets
+	lo := taskletID * chunk
+	hi := lo + chunk
+	if hi > w.TotalPoints {
+		hi = w.TotalPoints
+	}
+	centersBuf := make([]byte, w.K*w.Dims*8)
+	pointBuf := make([]byte, w.Dims*8)
+	for round := 0; round < w.Rounds; round++ {
+		t.ReadBulk(centersBuf, w.centers) // per-round private centroid cache
+		for p := lo; p < hi; p++ {
+			t.ReadBulk(pointBuf, w.pointAddr(p, 0))
+			best, bestDist := 0, int64(0)
+			for c := 0; c < w.K; c++ {
+				var dist int64
+				for dim := 0; dim < w.Dims; dim++ {
+					pv := int64(le64(pointBuf, dim))
+					cv := int64(le64(centersBuf, c*w.Dims+dim))
+					diff := (pv - cv) >> fixedShift
+					dist += diff * diff
+				}
+				t.Exec(w.DistCost * w.Dims) // distance arithmetic
+				if c == 0 || dist < bestDist {
+					best, bestDist = c, dist
+				}
+			}
+			tx.Atomic(func(tx *core.Tx) {
+				for dim := 0; dim < w.Dims; dim++ {
+					a := w.accAddr(best, dim)
+					tx.Write(a, tx.Read(a)+le64(pointBuf, dim))
+				}
+				cnt := w.countAddr(best)
+				tx.Write(cnt, tx.Read(cnt)+1)
+			})
+		}
+		w.barrier.Wait(t)
+		if round == w.Rounds-1 {
+			break // keep final accumulators for verification
+		}
+		if taskletID == 0 {
+			w.recompute(t)
+		}
+		w.barrier.Wait(t)
+	}
+}
+
+// recompute derives new centroids from the accumulators and zeroes them,
+// using plain (non-transactional) accesses: all tasklets are parked at
+// the barrier.
+func (w *KMeans) recompute(t *dpu.Tasklet) {
+	for c := 0; c < w.K; c++ {
+		n := t.Load64(w.countAddr(c))
+		if n > 0 {
+			for dim := 0; dim < w.Dims; dim++ {
+				sum := t.Load64(w.accAddr(c, dim))
+				t.Store64(w.centerAddr(c, dim), uint64(int64(sum)/int64(n)))
+			}
+		}
+		for dim := 0; dim < w.Dims; dim++ {
+			t.Store64(w.accAddr(c, dim), 0)
+		}
+		t.Store64(w.countAddr(c), 0)
+		t.Exec(2 * w.Dims)
+	}
+}
+
+// Verify checks the conservation invariant of the final round: the
+// cluster counters must add up to exactly TotalPoints (no lost or
+// duplicated transactional updates), and every accumulator must be the
+// sum of the points assigned to it — checked in aggregate across
+// clusters, which is assignment-independent.
+func (w *KMeans) Verify(d *dpu.DPU) error {
+	var n uint64
+	for c := 0; c < w.K; c++ {
+		n += d.HostRead64(w.countAddr(c))
+	}
+	if n != uint64(w.TotalPoints) {
+		return fmt.Errorf("cluster counts sum to %d, want %d", n, w.TotalPoints)
+	}
+	for dim := 0; dim < w.Dims; dim++ {
+		var accSum, pointSum uint64
+		for c := 0; c < w.K; c++ {
+			accSum += d.HostRead64(w.accAddr(c, dim))
+		}
+		for p := 0; p < w.TotalPoints; p++ {
+			pointSum += d.HostRead64(w.pointAddr(p, dim))
+		}
+		if accSum != pointSum {
+			return fmt.Errorf("dim %d accumulator %d != point sum %d (torn update)", dim, accSum, pointSum)
+		}
+	}
+	return nil
+}
+
+// SetCenters overwrites the current centroids from the host; used by
+// the multi-DPU port, where the CPU merges per-DPU accumulators and
+// broadcasts fresh centroids each round (paper §4.3.1).
+func (w *KMeans) SetCenters(d *dpu.DPU, centers []uint64) {
+	for c := 0; c < w.K; c++ {
+		for dim := 0; dim < w.Dims; dim++ {
+			d.HostWrite64(w.centerAddr(c, dim), centers[c*w.Dims+dim])
+		}
+	}
+}
+
+// Centers reads the current centroids from the host.
+func (w *KMeans) Centers(d *dpu.DPU) []uint64 {
+	out := make([]uint64, w.K*w.Dims)
+	for i := range out {
+		out[i] = d.HostRead64(w.centers + dpu.Addr(i*8))
+	}
+	return out
+}
+
+// Accumulators reads the per-cluster coordinate sums and member counts
+// left by the final round.
+func (w *KMeans) Accumulators(d *dpu.DPU) (acc []uint64, counts []uint64) {
+	acc = make([]uint64, w.K*w.Dims)
+	for i := range acc {
+		acc[i] = d.HostRead64(w.acc + dpu.Addr(i*8))
+	}
+	counts = make([]uint64, w.K)
+	for c := range counts {
+		counts[c] = d.HostRead64(w.countAddr(c))
+	}
+	return acc, counts
+}
+
+// le64 reads the i-th 64-bit little-endian word of a private buffer.
+func le64(b []byte, i int) uint64 {
+	o := i * 8
+	return uint64(b[o]) | uint64(b[o+1])<<8 | uint64(b[o+2])<<16 | uint64(b[o+3])<<24 |
+		uint64(b[o+4])<<32 | uint64(b[o+5])<<40 | uint64(b[o+6])<<48 | uint64(b[o+7])<<56
+}

@@ -1,0 +1,255 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+	"pimstm/internal/lee"
+)
+
+// Labyrinth is the paper's port of the STAMP Labyrinth benchmark (§4.1),
+// a transactional Lee router: tasklets pop routing jobs from a shared
+// queue (a short transaction — the one the paper identifies as the
+// spurious-abort victim of VR designs), compute a shortest path on a
+// private copy of the 3-D grid with plain bulk reads (no STM), and then
+// commit the path transactionally, re-expanding whenever a concurrently
+// committed path stole cells.
+//
+// Grids: 16×16×3 (S), 32×32×3 (M) and 128×128×3 (L); 100 paths in the
+// paper's configuration.
+type Labyrinth struct {
+	// X, Y, Z are the grid dimensions.
+	X, Y, Z int
+	// NumPaths is the number of routing jobs.
+	NumPaths int
+	// Seed drives the deterministic job generator.
+	Seed uint64
+	// ExpandCost is the modeled instruction count per cell visited by
+	// the wavefront expansion.
+	ExpandCost int
+
+	name string
+
+	grid   dpu.Addr // X*Y*Z words; 0 = free, otherwise 1+jobID
+	jobs   dpu.Addr // NumPaths × 2 words (src index, dst index)
+	jobIdx dpu.Addr // shared queue cursor
+
+	// routed records committed jobs (set inside the cooperatively
+	// scheduled simulation, so no extra locking is needed).
+	routed []bool
+	// failed counts jobs dropped as unroutable.
+	failed int
+}
+
+// NewLabyrinthS builds the paper's small-grid workload.
+func NewLabyrinthS() *Labyrinth {
+	return &Labyrinth{name: "Labyrinth S", X: 16, Y: 16, Z: 3, NumPaths: 100, Seed: 7, ExpandCost: 8}
+}
+
+// NewLabyrinthM builds the paper's medium-grid workload.
+func NewLabyrinthM() *Labyrinth {
+	return &Labyrinth{name: "Labyrinth M", X: 32, Y: 32, Z: 3, NumPaths: 100, Seed: 7, ExpandCost: 8}
+}
+
+// NewLabyrinthL builds the paper's large-grid workload.
+func NewLabyrinthL() *Labyrinth {
+	return &Labyrinth{name: "Labyrinth L", X: 128, Y: 128, Z: 3, NumPaths: 100, Seed: 7, ExpandCost: 8}
+}
+
+// Name returns the paper's workload name.
+func (w *Labyrinth) Name() string { return w.name }
+
+// Cells returns the grid size in cells.
+func (w *Labyrinth) Cells() int { return w.X * w.Y * w.Z }
+
+// geometry returns the routing-grid descriptor.
+func (w *Labyrinth) geometry() lee.Grid { return lee.Grid{X: w.X, Y: w.Y, Z: w.Z} }
+
+// Setup allocates the grid and generates NumPaths random jobs with
+// distinct endpoints.
+func (w *Labyrinth) Setup(d *dpu.DPU) error {
+	if w.Cells() < 8 || w.NumPaths < 1 {
+		return fmt.Errorf("labyrinth: degenerate configuration %dx%dx%d, %d paths", w.X, w.Y, w.Z, w.NumPaths)
+	}
+	var err error
+	if w.grid, err = d.AllocMRAM(w.Cells()*8, 8); err != nil {
+		return err
+	}
+	if w.jobs, err = d.AllocMRAM(w.NumPaths*16, 8); err != nil {
+		return err
+	}
+	if w.jobIdx, err = d.AllocMRAM(8, 8); err != nil {
+		return err
+	}
+	w.routed = make([]bool, w.NumPaths)
+	w.failed = 0
+	rng := w.Seed
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545F4914F6CDD1D
+	}
+	used := map[int]bool{}
+	pick := func() int {
+		for {
+			c := int(next() % uint64(w.Cells()))
+			if !used[c] {
+				used[c] = true
+				return c
+			}
+		}
+	}
+	for j := 0; j < w.NumPaths; j++ {
+		src, dst := pick(), pick()
+		d.HostWrite64(w.jobs+dpu.Addr(j*16), uint64(src))
+		d.HostWrite64(w.jobs+dpu.Addr(j*16+8), uint64(dst))
+	}
+	return nil
+}
+
+func (w *Labyrinth) cellAddr(idx int) dpu.Addr { return w.grid + dpu.Addr(idx*8) }
+
+// Body: pop a job, expand on a private snapshot, commit the path, retry
+// expansion on conflict.
+func (w *Labyrinth) Body(tx *core.Tx, taskletID, tasklets int) {
+	t := tx.Tasklet()
+	gridBytes := w.Cells() * 8
+	snapshot := make([]byte, gridBytes)
+	for {
+		job := -1
+		tx.Atomic(func(tx *core.Tx) {
+			v := tx.Read(w.jobIdx)
+			if v >= uint64(w.NumPaths) {
+				job = -1
+				return
+			}
+			tx.Write(w.jobIdx, v+1)
+			job = int(v)
+		})
+		if job < 0 {
+			return
+		}
+		src := int(t.Load64(w.jobs + dpu.Addr(job*16)))
+		dst := int(t.Load64(w.jobs + dpu.Addr(job*16+8)))
+		for {
+			w.readSnapshot(t, snapshot)
+			path := w.expand(t, snapshot, src, dst)
+			if path == nil {
+				w.failed++
+				break // unroutable under the current grid: drop the job
+			}
+			conflict := false
+			tx.Atomic(func(tx *core.Tx) {
+				conflict = false
+				for _, c := range path {
+					if tx.Read(w.cellAddr(c)) != 0 {
+						conflict = true
+						return // commits read-only; we re-expand outside
+					}
+				}
+				for _, c := range path {
+					tx.Write(w.cellAddr(c), uint64(job+1))
+				}
+			})
+			if !conflict {
+				w.routed[job] = true
+				break
+			}
+		}
+	}
+}
+
+// readSnapshot copies the shared grid into the tasklet's private buffer
+// with chunked bulk transfers (2 KB DMA chunks, the UPMEM maximum).
+func (w *Labyrinth) readSnapshot(t *dpu.Tasklet, buf []byte) {
+	const chunk = 2048
+	for off := 0; off < len(buf); off += chunk {
+		end := off + chunk
+		if end > len(buf) {
+			end = len(buf)
+		}
+		t.ReadBulk(buf[off:end], w.grid+dpu.Addr(off))
+	}
+}
+
+// expand runs the Lee wavefront from src to dst over the private
+// snapshot, treating occupied cells as walls, and returns the cell
+// indices of a shortest path (inclusive of both endpoints), or nil if
+// unreachable. The modeled cost is ExpandCost instructions per visited
+// cell plus the backtracking pass.
+func (w *Labyrinth) expand(t *dpu.Tasklet, snapshot []byte, src, dst int) []int {
+	path, visited := lee.Expand(w.geometry(), func(i int) bool {
+		return le64(snapshot, i) != 0
+	}, src, dst)
+	t.Exec(visited * w.ExpandCost)
+	t.Exec(len(path) * 2)
+	return path
+}
+
+// CellValue reads one grid cell from the host: 0 when free, 1+jobID
+// when claimed by a committed path.
+func (w *Labyrinth) CellValue(d *dpu.DPU, idx int) uint64 {
+	return d.HostRead64(w.cellAddr(idx))
+}
+
+// Routed returns how many paths committed.
+func (w *Labyrinth) Routed() int {
+	n := 0
+	for _, ok := range w.routed {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed returns how many jobs were dropped as unroutable.
+func (w *Labyrinth) Failed() int { return w.failed }
+
+// Verify checks that committed paths do not overlap and are connected:
+// every grid cell carries at most one path id, each committed path's
+// cells include its endpoints and form a connected component, and no
+// dropped job left cells behind.
+func (w *Labyrinth) Verify(d *dpu.DPU) error {
+	cells := make(map[int][]int) // jobID → cell indices
+	for i := 0; i < w.Cells(); i++ {
+		v := d.HostRead64(w.cellAddr(i))
+		if v == 0 {
+			continue
+		}
+		id := int(v) - 1
+		if id < 0 || id >= w.NumPaths {
+			return fmt.Errorf("cell %d holds invalid path id %d", i, v)
+		}
+		cells[id] = append(cells[id], i)
+	}
+	for id, cs := range cells {
+		if !w.routed[id] {
+			return fmt.Errorf("path %d left %d cells but never committed", id, len(cs))
+		}
+	}
+	for id, ok := range w.routed {
+		if !ok {
+			continue
+		}
+		cs := cells[id]
+		if len(cs) == 0 {
+			return fmt.Errorf("committed path %d has no cells", id)
+		}
+		src := int(d.HostRead64(w.jobs + dpu.Addr(id*16)))
+		dst := int(d.HostRead64(w.jobs + dpu.Addr(id*16+8)))
+		inPath := map[int]bool{}
+		for _, c := range cs {
+			inPath[c] = true
+		}
+		if !inPath[src] || !inPath[dst] {
+			return fmt.Errorf("path %d misses an endpoint", id)
+		}
+		if !lee.Connected(w.geometry(), inPath, src) {
+			return fmt.Errorf("path %d disconnected (%d cells)", id, len(cs))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+// LinkedList is the paper's concurrent sorted integer set backed by a
+// singly linked list, with transactional add / remove / contains (§4.1).
+// The operation mix controls contention: 90% contains in the
+// low-contention (LC) workload, 50% in the high-contention (HC) one;
+// adds and removes are issued in equal proportion so the size stays
+// roughly constant. The list starts with InitialSize elements.
+//
+// Node layout in MRAM: two 64-bit words — [key, next]. Nodes come from a
+// pool statically partitioned across tasklets (the TM_MALLOC discipline
+// of C TM programs: allocation is not transactional state, and the slot
+// for an insert is chosen before the transaction so retries reuse it).
+type LinkedList struct {
+	// ContainsPct is the percentage of contains operations (90 LC / 50 HC).
+	ContainsPct int
+	// OpsPerTasklet is the number of operations (= transactions) each
+	// tasklet performs; the paper uses 100.
+	OpsPerTasklet int
+	// InitialSize is the number of pre-inserted elements; the paper uses 10.
+	InitialSize int
+	// KeyRange is the key universe size.
+	KeyRange int
+
+	name string
+	head dpu.Addr // word holding the address of the first node
+	pool dpu.Addr // node pool base
+
+	poolCap int
+}
+
+// NewLinkedListLC builds the paper's low-contention list workload.
+func NewLinkedListLC() *LinkedList {
+	return &LinkedList{name: "Linked-List LC", ContainsPct: 90, OpsPerTasklet: 100, InitialSize: 10, KeyRange: 512}
+}
+
+// NewLinkedListHC builds the paper's high-contention list workload.
+func NewLinkedListHC() *LinkedList {
+	return &LinkedList{name: "Linked-List HC", ContainsPct: 50, OpsPerTasklet: 100, InitialSize: 10, KeyRange: 512}
+}
+
+// Name returns the paper's workload name.
+func (w *LinkedList) Name() string { return w.name }
+
+// Setup allocates the head word and the node pool, then inserts
+// InitialSize evenly spaced keys from the host.
+func (w *LinkedList) Setup(d *dpu.DPU) error {
+	if w.InitialSize >= w.KeyRange {
+		return fmt.Errorf("linkedlist: initial size %d exceeds key range %d", w.InitialSize, w.KeyRange)
+	}
+	var err error
+	if w.head, err = d.AllocMRAM(8, 8); err != nil {
+		return err
+	}
+	// Worst case: every operation of every tasklet is a successful add.
+	w.poolCap = w.InitialSize + w.OpsPerTasklet*dpu.MaxTasklets
+	if w.pool, err = d.AllocMRAM(w.poolCap*16, 8); err != nil {
+		return err
+	}
+	// Host-side initial population (sorted, evenly spaced keys).
+	prev := dpu.NilAddr
+	for i := 0; i < w.InitialSize; i++ {
+		key := uint64((i + 1) * w.KeyRange / (w.InitialSize + 1))
+		node := w.nodeAddr(i)
+		d.HostWrite64(node, key)
+		d.HostWrite64(node+8, 0)
+		if prev == dpu.NilAddr {
+			d.HostWrite64(w.head, uint64(node))
+		} else {
+			d.HostWrite64(prev+8, uint64(node))
+		}
+		prev = node
+	}
+	return nil
+}
+
+func (w *LinkedList) nodeAddr(i int) dpu.Addr { return w.pool + dpu.Addr(i*16) }
+
+// slot returns the pool slot reserved for one (tasklet, operation) pair.
+func (w *LinkedList) slot(taskletID, op int) dpu.Addr {
+	return w.nodeAddr(w.InitialSize + taskletID*w.OpsPerTasklet + op)
+}
+
+// Body performs the operation mix: ContainsPct% lookups, the remainder
+// split evenly between adds and removes.
+func (w *LinkedList) Body(tx *core.Tx, taskletID, tasklets int) {
+	t := tx.Tasklet()
+	for op := 0; op < w.OpsPerTasklet; op++ {
+		r := t.RandN(100)
+		key := uint64(t.RandN(w.KeyRange))
+		switch {
+		case r < w.ContainsPct:
+			tx.Atomic(func(tx *core.Tx) { w.contains(tx, key) })
+		case r < w.ContainsPct+(100-w.ContainsPct)/2:
+			node := w.slot(taskletID, op)
+			tx.Atomic(func(tx *core.Tx) { w.add(tx, key, node) })
+		default:
+			tx.Atomic(func(tx *core.Tx) { w.remove(tx, key) })
+		}
+	}
+}
+
+// find returns (prev, cur) such that cur is the first node with
+// key >= k (cur may be nil); prev is the predecessor or NilAddr when
+// cur is the head.
+func (w *LinkedList) find(tx *core.Tx, k uint64) (prev, cur dpu.Addr) {
+	t := tx.Tasklet()
+	prev = dpu.NilAddr
+	cur = dpu.Addr(tx.Read(w.head))
+	for cur != dpu.NilAddr {
+		key := tx.Read(cur)
+		t.Exec(2)
+		if key >= k {
+			return prev, cur
+		}
+		prev = cur
+		cur = dpu.Addr(tx.Read(cur + 8))
+	}
+	return prev, cur
+}
+
+func (w *LinkedList) contains(tx *core.Tx, k uint64) bool {
+	_, cur := w.find(tx, k)
+	return cur != dpu.NilAddr && tx.Read(cur) == k
+}
+
+// add inserts k using the pre-reserved node; reports whether it
+// inserted.
+func (w *LinkedList) add(tx *core.Tx, k uint64, node dpu.Addr) bool {
+	prev, cur := w.find(tx, k)
+	if cur != dpu.NilAddr && tx.Read(cur) == k {
+		return false // already present
+	}
+	tx.Write(node, k)
+	tx.Write(node+8, uint64(cur))
+	if prev == dpu.NilAddr {
+		tx.Write(w.head, uint64(node))
+	} else {
+		tx.Write(prev+8, uint64(node))
+	}
+	return true
+}
+
+func (w *LinkedList) remove(tx *core.Tx, k uint64) bool {
+	prev, cur := w.find(tx, k)
+	if cur == dpu.NilAddr || tx.Read(cur) != k {
+		return false // absent
+	}
+	next := tx.Read(cur + 8)
+	if prev == dpu.NilAddr {
+		tx.Write(w.head, next)
+	} else {
+		tx.Write(prev+8, next)
+	}
+	return true
+}
+
+// Verify walks the list from the host: it must be sorted, duplicate-free
+// and within the key range — any torn insert or lost unlink breaks one
+// of these.
+func (w *LinkedList) Verify(d *dpu.DPU) error {
+	seen := map[uint64]bool{}
+	cur := dpu.Addr(d.HostRead64(w.head))
+	last := int64(-1)
+	steps := 0
+	for cur != dpu.NilAddr {
+		if steps++; steps > w.poolCap {
+			return fmt.Errorf("cycle in list after %d nodes", steps)
+		}
+		key := d.HostRead64(cur)
+		if int64(key) <= last {
+			return fmt.Errorf("list not strictly sorted: %d after %d", key, last)
+		}
+		if key >= uint64(w.KeyRange) {
+			return fmt.Errorf("key %d outside range %d", key, w.KeyRange)
+		}
+		if seen[key] {
+			return fmt.Errorf("duplicate key %d", key)
+		}
+		seen[key] = true
+		last = int64(key)
+		cur = dpu.Addr(d.HostRead64(cur + 8))
+	}
+	return nil
+}
+
+// Size walks the list from the host and returns its length.
+func (w *LinkedList) Size(d *dpu.DPU) int {
+	n := 0
+	for cur := dpu.Addr(d.HostRead64(w.head)); cur != dpu.NilAddr; cur = dpu.Addr(d.HostRead64(cur + 8)) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+// Package workloads ports the paper's benchmark suite (§4.1) to the
+// simulated DPU and the PIM-STM API: the ArrayBench synthetic benchmark
+// (workloads A and B), a transactional sorted Linked-List (low- and
+// high-contention mixes), and the two STAMP applications KMeans and
+// Labyrinth.
+//
+// Every workload is deterministic given the DPU seed: all randomness
+// comes from the per-tasklet PRNGs. Each workload verifies its own
+// post-run invariants so the experiment harness doubles as an
+// integration test of the STM algorithms.
+package workloads
+
+import (
+	"fmt"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+// Workload is one benchmark instance: it allocates its data on a DPU,
+// provides the per-tasklet transactional body, and verifies invariants
+// afterwards.
+type Workload interface {
+	// Name is the paper's name for the workload (e.g. "ArrayBench A").
+	Name() string
+	// Setup allocates and initializes application data on the DPU. It
+	// must be called after the TM is created (allocation order affects
+	// only addresses, not semantics).
+	Setup(d *dpu.DPU) error
+	// Body runs the tasklet's share of the benchmark inside the DPU
+	// program, issuing transactions through tx.
+	Body(tx *core.Tx, taskletID, tasklets int)
+	// Verify checks post-run invariants from the host and returns a
+	// descriptive error on violation.
+	Verify(d *dpu.DPU) error
+}
+
+// Result captures one benchmark run.
+type Result struct {
+	Workload  string
+	Algorithm core.Algorithm
+	MetaTier  dpu.Tier
+	Tasklets  int
+
+	Stats         core.Stats
+	Cycles        uint64  // virtual DPU cycles of the run
+	Seconds       float64 // virtual run duration
+	ThroughputTxS float64 // committed transactions per virtual second
+}
+
+// Run executes one workload on one DPU with the given STM configuration
+// and tasklet count: it builds the TM, sets the workload up, launches
+// the program, verifies invariants and assembles the Result.
+func Run(w Workload, dcfg dpu.Config, scfg core.Config, tasklets int) (Result, error) {
+	d := dpu.New(dcfg)
+	tm, err := core.New(d, scfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("workloads: creating TM: %w", err)
+	}
+	if err := w.Setup(d); err != nil {
+		return Result{}, fmt.Errorf("workloads: setup %s: %w", w.Name(), err)
+	}
+	if mp, ok := w.(interface{ SetTasklets(int) }); ok {
+		mp.SetTasklets(tasklets)
+	}
+	txs := make([]*core.Tx, tasklets)
+	progs := make([]func(*dpu.Tasklet), tasklets)
+	for i := range progs {
+		progs[i] = func(t *dpu.Tasklet) {
+			tx := tm.NewTx(t)
+			txs[t.ID] = tx
+			w.Body(tx, t.ID, tasklets)
+		}
+	}
+	cycles, err := d.Run(progs)
+	if err != nil {
+		return Result{}, fmt.Errorf("workloads: running %s: %w", w.Name(), err)
+	}
+	if err := w.Verify(d); err != nil {
+		return Result{}, fmt.Errorf("workloads: verify %s [%v/%v, %d tasklets]: %w",
+			w.Name(), scfg.Algorithm, scfg.MetaTier, tasklets, err)
+	}
+	res := Result{
+		Workload:  w.Name(),
+		Algorithm: scfg.Algorithm,
+		MetaTier:  scfg.MetaTier,
+		Tasklets:  tasklets,
+		Cycles:    cycles,
+		Seconds:   d.Seconds(cycles),
+	}
+	for _, tx := range txs {
+		res.Stats.Merge(tx.Stats())
+	}
+	if res.Seconds > 0 {
+		res.ThroughputTxS = float64(res.Stats.Commits) / res.Seconds
+	}
+	return res, nil
+}

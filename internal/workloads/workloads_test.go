@@ -1,0 +1,317 @@
+package workloads
+
+import (
+	"testing"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+// small returns reduced-size instances of every workload so the full
+// algorithm matrix stays fast; sizes preserve the workloads' structure.
+func small() []Workload {
+	a := NewArrayBenchA()
+	a.OpsPerTasklet = 3
+	b := NewArrayBenchB()
+	b.OpsPerTasklet = 25
+	lc := NewLinkedListLC()
+	lc.OpsPerTasklet = 25
+	hc := NewLinkedListHC()
+	hc.OpsPerTasklet = 25
+	klc := NewKMeansLC()
+	klc.TotalPoints = 60
+	khc := NewKMeansHC()
+	khc.TotalPoints = 60
+	ls := NewLabyrinthS()
+	ls.NumPaths = 12
+	lm := NewLabyrinthM()
+	lm.NumPaths = 8
+	return []Workload{a, b, lc, hc, klc, khc, ls, lm}
+}
+
+func dcfg() dpu.Config {
+	return dpu.Config{MRAMSize: 8 << 20, Seed: 3}
+}
+
+// TestEveryWorkloadEveryAlgorithm is the central integration matrix:
+// all 8 workload instances × all 7 STMs, with invariant verification
+// built into Run.
+func TestEveryWorkloadEveryAlgorithm(t *testing.T) {
+	for _, alg := range core.Algorithms {
+		for _, mk := range small() {
+			t.Run(mk.Name()+"/"+alg.String(), func(t *testing.T) {
+				res, err := Run(mk, dcfg(), core.Config{Algorithm: alg, LockTableEntries: 1024}, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.Commits == 0 {
+					t.Fatal("no transactions committed")
+				}
+				if res.ThroughputTxS <= 0 {
+					t.Fatal("throughput not computed")
+				}
+			})
+		}
+	}
+}
+
+// TestWorkloadsWRAMTier runs the matrix's diagonal in WRAM metadata mode.
+func TestWorkloadsWRAMTier(t *testing.T) {
+	for i, mk := range small() {
+		alg := core.Algorithms[i%len(core.Algorithms)]
+		t.Run(mk.Name()+"/"+alg.String(), func(t *testing.T) {
+			cfg := core.Config{Algorithm: alg, MetaTier: dpu.WRAM, LockTableEntries: 512}
+			if _, err := Run(mk, dcfg(), cfg, 3); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestArrayBenchConservation(t *testing.T) {
+	w := NewArrayBenchB()
+	w.OpsPerTasklet = 40
+	d := dpu.New(dcfg())
+	tm, err := core.New(d, core.Config{Algorithm: core.NOrec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(d); err != nil {
+		t.Fatal(err)
+	}
+	var st core.Stats
+	progs := make([]func(*dpu.Tasklet), 6)
+	txs := make([]*core.Tx, 6)
+	for i := range progs {
+		progs[i] = func(tk *dpu.Tasklet) {
+			tx := tm.NewTx(tk)
+			txs[tk.ID] = tx
+			w.Body(tx, tk.ID, len(progs))
+		}
+	}
+	if _, err := d.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range txs {
+		st.Merge(tx.Stats())
+	}
+	if got, want := w.Sum(d), w.ExpectedSum(st.Commits); got != want {
+		t.Fatalf("array sum %d != commits×RMWOps %d", got, want)
+	}
+	if st.Commits != 6*40 {
+		t.Fatalf("commits = %d, want 240", st.Commits)
+	}
+}
+
+func TestArrayBenchRegionSafety(t *testing.T) {
+	w := NewArrayBenchA()
+	w.OpsPerTasklet = 2
+	res, err := Run(w, dcfg(), core.Config{Algorithm: core.TinyETLWB}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads must dominate: 100 reads + 20 RMW per transaction.
+	if res.Stats.Reads < res.Stats.Writes*5 {
+		t.Fatalf("workload A should be read-heavy: %d reads, %d writes", res.Stats.Reads, res.Stats.Writes)
+	}
+}
+
+func TestLinkedListSizeStaysBounded(t *testing.T) {
+	w := NewLinkedListHC()
+	w.OpsPerTasklet = 60
+	d := dpu.New(dcfg())
+	tm, err := core.New(d, core.Config{Algorithm: core.TinyETLWT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(d); err != nil {
+		t.Fatal(err)
+	}
+	progs := make([]func(*dpu.Tasklet), 5)
+	for i := range progs {
+		progs[i] = func(tk *dpu.Tasklet) {
+			w.Body(tm.NewTx(tk), tk.ID, len(progs))
+		}
+	}
+	if _, err := d.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(d); err != nil {
+		t.Fatal(err)
+	}
+	size := w.Size(d)
+	// Balanced add/remove keeps the set in the low tens.
+	if size > w.KeyRange/2 {
+		t.Fatalf("list grew unboundedly: %d", size)
+	}
+}
+
+func TestLinkedListSetSemantics(t *testing.T) {
+	// Single tasklet, scripted: add twice (second fails), remove, then
+	// contains — exercised through the transactional code paths.
+	w := NewLinkedListLC()
+	w.OpsPerTasklet = 1 // Body unused; we drive ops directly
+	d := dpu.New(dcfg())
+	tm, err := core.New(d, core.Config{Algorithm: core.NOrec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(d); err != nil {
+		t.Fatal(err)
+	}
+	progs := []func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+		tx := tm.NewTx(tk)
+		node := w.slot(0, 0)
+		var added, addedAgain, removed, has, hasAfter bool
+		tx.Atomic(func(tx *core.Tx) { added = w.add(tx, 7, node) })
+		tx.Atomic(func(tx *core.Tx) { addedAgain = w.add(tx, 7, w.slot(0, 0)) })
+		tx.Atomic(func(tx *core.Tx) { has = w.contains(tx, 7) })
+		tx.Atomic(func(tx *core.Tx) { removed = w.remove(tx, 7) })
+		tx.Atomic(func(tx *core.Tx) { hasAfter = w.contains(tx, 7) })
+		if !added || addedAgain || !has || !removed || hasAfter {
+			t.Errorf("set semantics broken: add=%v re-add=%v has=%v removed=%v hasAfter=%v",
+				added, addedAgain, has, removed, hasAfter)
+		}
+	}}
+	if _, err := d.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansAssignsEveryPoint(t *testing.T) {
+	w := NewKMeansHC()
+	w.TotalPoints = 100
+	res, err := Run(w, dcfg(), core.Config{Algorithm: core.VRETLWB, LockTableEntries: 512}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One transaction per point per round.
+	want := uint64(w.TotalPoints * w.Rounds)
+	if res.Stats.Commits != want {
+		t.Fatalf("commits = %d, want %d", res.Stats.Commits, want)
+	}
+}
+
+func TestKMeansUnevenPartition(t *testing.T) {
+	w := NewKMeansLC()
+	w.TotalPoints = 47 // not divisible by tasklets
+	if _, err := Run(w, dcfg(), core.Config{Algorithm: core.NOrec}, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabyrinthRoutesPaths(t *testing.T) {
+	w := NewLabyrinthS()
+	w.NumPaths = 15
+	res, err := Run(w, dcfg(), core.Config{Algorithm: core.NOrec}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Routed() == 0 {
+		t.Fatal("no paths routed")
+	}
+	if w.Routed()+w.Failed() != w.NumPaths {
+		t.Fatalf("jobs unaccounted: %d routed + %d failed != %d", w.Routed(), w.Failed(), w.NumPaths)
+	}
+	// Each job is at least one transaction (the queue pop).
+	if res.Stats.Commits < uint64(w.NumPaths) {
+		t.Fatalf("commits = %d, want ≥ %d", res.Stats.Commits, w.NumPaths)
+	}
+}
+
+func TestLabyrinthHighContentionOverlap(t *testing.T) {
+	// A tight grid with many paths forces conflicts and re-expansions;
+	// the invariant checker must still hold for every algorithm family.
+	for _, alg := range []core.Algorithm{core.NOrec, core.TinyETLWB, core.VRCTLWB} {
+		t.Run(alg.String(), func(t *testing.T) {
+			w := &Labyrinth{name: "Labyrinth tiny", X: 8, Y: 8, Z: 2, NumPaths: 20, Seed: 11, ExpandCost: 8}
+			if _, err := Run(w, dcfg(), core.Config{Algorithm: alg, LockTableEntries: 256}, 6); err != nil {
+				t.Fatal(err)
+			}
+			if w.Routed() == 0 {
+				t.Fatal("nothing routed on the tiny grid")
+			}
+		})
+	}
+}
+
+func TestLabyrinthDeterministic(t *testing.T) {
+	run := func() (int, uint64) {
+		w := NewLabyrinthS()
+		w.NumPaths = 10
+		res, err := Run(w, dcfg(), core.Config{Algorithm: core.TinyCTLWB}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Routed(), res.Cycles
+	}
+	r1, c1 := run()
+	r2, c2 := run()
+	if r1 != r2 || c1 != c2 {
+		t.Fatalf("nondeterministic labyrinth: (%d,%d) vs (%d,%d)", r1, c1, r2, c2)
+	}
+}
+
+// TestThroughputScalesWithTasklets checks the headline scalability
+// property on a low-contention workload.
+func TestThroughputScalesWithTasklets(t *testing.T) {
+	run := func(n int) float64 {
+		w := NewKMeansLC()
+		w.TotalPoints = 120
+		res, err := Run(w, dcfg(), core.Config{Algorithm: core.NOrec}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ThroughputTxS
+	}
+	t1 := run(1)
+	t8 := run(8)
+	if t8 < 3*t1 {
+		t.Fatalf("KMeans LC should scale: 1 tasklet %.0f tx/s, 8 tasklets %.0f tx/s", t1, t8)
+	}
+}
+
+// TestLabyrinthSaturates checks the paper's memory-bound saturation:
+// going from 5 to 11 tasklets buys little on the large grid.
+func TestLabyrinthSaturates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large grid is slow")
+	}
+	run := func(n int) float64 {
+		w := NewLabyrinthL()
+		w.NumPaths = 24
+		res, err := Run(w, dcfg(), core.Config{Algorithm: core.NOrec}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ThroughputTxS
+	}
+	t5 := run(5)
+	t11 := run(11)
+	if t11 > t5*1.6 {
+		t.Fatalf("Labyrinth L should saturate near 5 tasklets: 5→%.0f, 11→%.0f tx/s", t5, t11)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	d := dpu.New(dpu.Config{MRAMSize: 1 << 12})
+	w := NewArrayBenchA()
+	if err := w.Setup(d); err == nil {
+		t.Fatal("ArrayBench A should not fit a 4 KB MRAM")
+	}
+	bad := &LinkedList{name: "bad", InitialSize: 100, KeyRange: 10, OpsPerTasklet: 1}
+	if err := bad.Setup(dpu.New(dcfg())); err == nil {
+		t.Fatal("invalid list shape should error")
+	}
+	badK := &KMeans{name: "bad", K: 0, Dims: 1, TotalPoints: 1}
+	if err := badK.Setup(dpu.New(dcfg())); err == nil {
+		t.Fatal("invalid kmeans shape should error")
+	}
+	badL := &Labyrinth{name: "bad", X: 1, Y: 1, Z: 1, NumPaths: 1}
+	if err := badL.Setup(dpu.New(dcfg())); err == nil {
+		t.Fatal("degenerate labyrinth should error")
+	}
+}

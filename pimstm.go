@@ -1,0 +1,112 @@
+// Package pimstm is a Go reproduction of PIM-STM (Lopes, Castro &
+// Romano, ASPLOS 2024): a library of software transactional memory
+// algorithms for UPMEM-style processing-in-memory systems, together
+// with the deterministic DPU simulator it runs on, the paper's
+// benchmark suite, and the experiment harness that regenerates every
+// figure of the paper's evaluation.
+//
+// The package re-exports the user-facing API of the internal packages:
+//
+//   - a simulated DPU with WRAM/MRAM tiers, tasklets and the atomic
+//     register (NewDPU);
+//   - the seven STM variants of the paper's taxonomy (NewTM with a
+//     Config selecting the Algorithm and metadata Tier);
+//   - per-tasklet transactions (TM.NewTx, Tx.Atomic/Read/Write).
+//
+// Quick start:
+//
+//	d := pimstm.NewDPU(pimstm.DPUConfig{})
+//	tm, _ := pimstm.NewTM(d, pimstm.Config{Algorithm: pimstm.NOrec})
+//	counter := d.MustAlloc(pimstm.MRAM, 8, 8)
+//	d.Run([]func(*pimstm.Tasklet){
+//		func(t *pimstm.Tasklet) {
+//			tx := tm.NewTx(t)
+//			tx.Atomic(func(tx *pimstm.Tx) {
+//				tx.Write(counter, tx.Read(counter)+1)
+//			})
+//		},
+//	})
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the architecture and the per-experiment index.
+package pimstm
+
+import (
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+// Re-exported simulator types.
+type (
+	// DPU is one simulated UPMEM data processing unit.
+	DPU = dpu.DPU
+	// DPUConfig parameterizes a DPU (sizes, clock, seed).
+	DPUConfig = dpu.Config
+	// Tasklet is one of up to 24 hardware threads of a DPU.
+	Tasklet = dpu.Tasklet
+	// Addr is a WRAM- or MRAM-tagged byte address on a DPU.
+	Addr = dpu.Addr
+	// Tier selects one of the two DPU memory tiers.
+	Tier = dpu.Tier
+	// Mutex is the lock the UPMEM runtime offers on the atomic register.
+	Mutex = dpu.Mutex
+	// Barrier synchronizes the tasklets of one DPU program.
+	Barrier = dpu.Barrier
+)
+
+// Re-exported STM types.
+type (
+	// TM is one transactional-memory instance bound to one DPU.
+	TM = core.TM
+	// Tx is a per-tasklet transaction descriptor.
+	Tx = core.Tx
+	// Config selects the STM algorithm and its metadata placement.
+	Config = core.Config
+	// Algorithm identifies one of the seven STM variants.
+	Algorithm = core.Algorithm
+	// Stats aggregates commits, aborts and the per-phase time breakdown.
+	Stats = core.Stats
+	// Phase indexes the time-breakdown buckets.
+	Phase = core.Phase
+)
+
+// Memory tiers.
+const (
+	// MRAM is the 64 MB DRAM bank of a DPU (large, slow).
+	MRAM = dpu.MRAM
+	// WRAM is the 64 KB scratchpad of a DPU (small, fast).
+	WRAM = dpu.WRAM
+)
+
+// The seven STM variants of the paper's taxonomy (Fig 2).
+const (
+	NOrec     = core.NOrec
+	TinyETLWB = core.TinyETLWB
+	TinyETLWT = core.TinyETLWT
+	TinyCTLWB = core.TinyCTLWB
+	VRETLWB   = core.VRETLWB
+	VRETLWT   = core.VRETLWT
+	VRCTLWB   = core.VRCTLWB
+)
+
+// Hardware constants of the simulated DPU.
+const (
+	// MaxTasklets is the hardware thread count per DPU.
+	MaxTasklets = dpu.MaxTasklets
+	// PipelineDepth is the tasklet count at which the pipeline saturates.
+	PipelineDepth = dpu.PipelineDepth
+)
+
+// NewDPU builds a simulated DPU.
+func NewDPU(cfg DPUConfig) *DPU { return dpu.New(cfg) }
+
+// NewTM creates a transactional memory on a DPU; call before Run.
+func NewTM(d *DPU, cfg Config) (*TM, error) { return core.New(d, cfg) }
+
+// ParseAlgorithm resolves an algorithm name such as "norec" or
+// "Tiny ETLWB".
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// Algorithms lists the seven variants in the order the paper's figures
+// use.
+func Algorithms() []Algorithm { return append([]Algorithm(nil), core.Algorithms...) }

@@ -1,0 +1,76 @@
+package pimstm_test
+
+import (
+	"testing"
+
+	"pimstm"
+)
+
+// TestFacadeQuickstart runs the package-doc example end to end through
+// the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	d := pimstm.NewDPU(pimstm.DPUConfig{MRAMSize: 1 << 20})
+	tm, err := pimstm.NewTM(d, pimstm.Config{Algorithm: pimstm.NOrec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := d.MustAlloc(pimstm.MRAM, 8, 8)
+	progs := make([]func(*pimstm.Tasklet), 8)
+	for i := range progs {
+		progs[i] = func(tk *pimstm.Tasklet) {
+			tx := tm.NewTx(tk)
+			for j := 0; j < 25; j++ {
+				tx.Atomic(func(tx *pimstm.Tx) {
+					tx.Write(counter, tx.Read(counter)+1)
+				})
+			}
+		}
+	}
+	if _, err := d.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.HostRead64(counter); got != 200 {
+		t.Fatalf("counter = %d, want 200", got)
+	}
+}
+
+func TestFacadeAlgorithms(t *testing.T) {
+	algs := pimstm.Algorithms()
+	if len(algs) != 7 {
+		t.Fatalf("expected 7 algorithms, got %d", len(algs))
+	}
+	for _, a := range algs {
+		got, err := pimstm.ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	// Mutating the returned slice must not corrupt the package state.
+	algs[0] = pimstm.VRCTLWB
+	if pimstm.Algorithms()[0] == pimstm.VRCTLWB && pimstm.Algorithms()[1] == pimstm.VRCTLWB {
+		t.Fatal("Algorithms leaked internal slice")
+	}
+}
+
+func TestFacadeEveryAlgorithmAndTier(t *testing.T) {
+	for _, alg := range pimstm.Algorithms() {
+		for _, tier := range []pimstm.Tier{pimstm.MRAM, pimstm.WRAM} {
+			d := pimstm.NewDPU(pimstm.DPUConfig{MRAMSize: 1 << 20})
+			tm, err := pimstm.NewTM(d, pimstm.Config{Algorithm: alg, MetaTier: tier, LockTableEntries: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			word := d.MustAlloc(pimstm.MRAM, 8, 8)
+			progs := []func(*pimstm.Tasklet){func(tk *pimstm.Tasklet) {
+				tx := tm.NewTx(tk)
+				tx.Atomic(func(tx *pimstm.Tx) { tx.Write(word, 7) })
+			}}
+			if _, err := d.Run(progs); err != nil {
+				t.Fatal(err)
+			}
+			if d.HostRead64(word) != 7 {
+				t.Fatalf("%v/%v lost the write", alg, tier)
+			}
+		}
+	}
+}
