@@ -1,0 +1,38 @@
+# Development targets. `make ci` is what .github/workflows/ci.yml runs;
+# `make verify` is the repo's tier-1 gate.
+
+GO ?= go
+
+.PHONY: all verify fmt vet build test race bench multidpu ci
+
+all: ci
+
+# Tier-1 verify (ROADMAP.md).
+verify: build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerate the machine-readable multi-DPU serving sweep.
+multidpu:
+	$(GO) run ./cmd/pimstm-bench -experiment multidpu
+
+ci: fmt vet build race

@@ -12,10 +12,17 @@
 //	pimstm-bench -experiment fig10           # Fig 10 (WRAM: KMeans)
 //	pimstm-bench -experiment latency         # §3.1 latency comparison
 //	pimstm-bench -experiment tiers           # §4.2.3 WRAM-vs-MRAM gains
+//	pimstm-bench -experiment multidpu        # fleet serving sweep (beyond the paper)
 //	pimstm-bench -experiment all             # everything above
 //
 // -scale trades fidelity for speed (1.0 = paper-sized workloads);
 // -seeds controls the run-averaging count (the paper averages 10 runs).
+//
+// The multidpu experiment sweeps fleet size (-mdpu-dpus) × STM
+// algorithm (-mdpu-algs) × read mix (-mdpu-reads) over the partitioned
+// KV store served through the host.Fleet transfer pipeline, comparing
+// pipelined against lockstep modeled wall-clock, and writes the
+// machine-readable result to -mdpu-out (default BENCH_multidpu.json).
 package main
 
 import (
@@ -34,7 +41,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency|tiers|all")
+		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency|tiers|multidpu|all")
 		scale      = flag.Float64("scale", 0.5, "workload scale factor (1.0 = paper sizes)")
 		seeds      = flag.Int("seeds", 3, "runs to average per point (paper: 10)")
 		tasklets   = flag.String("tasklets", "1,3,5,7,9,11", "comma-separated tasklet counts")
@@ -42,6 +49,13 @@ func main() {
 		fleet      = flag.Int("fleet", 2500, "fleet size for fig8")
 		points     = flag.Int("points-per-dpu", 2000, "KMeans shard size for fig7/fig8 (paper: 200000)")
 		paths      = flag.Int("paths", 40, "Labyrinth paths per instance for fig7/fig8 (paper: 100)")
+
+		mdpuDPUs    = flag.String("mdpu-dpus", "1,8,64", "comma-separated fleet sizes for multidpu")
+		mdpuAlgs    = flag.String("mdpu-algs", "norec,tinyetlwb,vretlwb", "comma-separated STM algorithms for multidpu")
+		mdpuReads   = flag.String("mdpu-reads", "90,50", "comma-separated read percentages for multidpu")
+		mdpuBatches = flag.Int("mdpu-batches", 6, "streamed batches per multidpu scenario")
+		mdpuOps     = flag.Int("mdpu-ops", 256, "operations per multidpu batch")
+		mdpuOut     = flag.String("mdpu-out", "BENCH_multidpu.json", "multidpu JSON artifact path (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -102,6 +116,25 @@ func main() {
 			fmt.Printf("inter-DPU 64-bit read:     %8.0f ns   (paper: 331 µs)\n", inter*1e9)
 			fmt.Printf("ratio:                     %8.0fx   (paper: ~1433x, \"three orders of magnitude\")\n",
 				inter*1e9/local)
+		case "multidpu":
+			mopt := multiDPUOptions{
+				Batches:     *mdpuBatches,
+				OpsPerBatch: *mdpuOps,
+				Out:         *mdpuOut,
+			}
+			var err error
+			if mopt.Fleets, err = parseInts(*mdpuDPUs); err != nil {
+				fatal(err)
+			}
+			if mopt.Algs, err = parseAlgorithms(*mdpuAlgs); err != nil {
+				fatal(err)
+			}
+			if mopt.ReadPcts, err = parseInts(*mdpuReads); err != nil {
+				fatal(err)
+			}
+			if _, err := runMultiDPU(mopt, os.Stdout); err != nil {
+				fatal(err)
+			}
 		case "tiers":
 			fmt.Printf("== §4.2.3 WRAM-metadata peak-throughput gains (NOrec unless noted) ==\n")
 			var gains []float64
@@ -124,7 +157,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"latency", "fig4", "fig5", "fig6", "fig9", "fig10", "tiers", "fig7", "fig8"} {
+		for _, name := range []string{"latency", "fig4", "fig5", "fig6", "fig9", "fig10", "tiers", "fig7", "fig8", "multidpu"} {
 			run(name)
 			fmt.Println()
 		}

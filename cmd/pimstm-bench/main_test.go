@@ -1,8 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"pimstm/internal/core"
 )
 
 func TestParseInts(t *testing.T) {
@@ -15,6 +21,65 @@ func TestParseInts(t *testing.T) {
 	}
 	if _, err := parseInts("1,x"); err == nil {
 		t.Fatal("bad list accepted")
+	}
+}
+
+func TestParseAlgorithms(t *testing.T) {
+	got, err := parseAlgorithms("norec, Tiny ETLWB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != core.NOrec || got[1] != core.TinyETLWB {
+		t.Fatalf("parseAlgorithms = %v", got)
+	}
+	if _, err := parseAlgorithms("norec,nosuch"); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+// TestRunMultiDPU drives a miniature sweep end to end: table rendered,
+// JSON artifact written and parseable, and the pipelined wall-clock
+// beating the lockstep baseline in every scenario.
+func TestRunMultiDPU(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_multidpu.json")
+	var sb strings.Builder
+	scenarios, err := runMultiDPU(multiDPUOptions{
+		Fleets:      []int{1, 4},
+		Algs:        []core.Algorithm{core.NOrec},
+		ReadPcts:    []int{90},
+		Batches:     3,
+		OpsPerBatch: 48,
+		Tasklets:    4,
+		Out:         out,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 2 {
+		t.Fatalf("scenarios = %d", len(scenarios))
+	}
+	for _, sc := range scenarios {
+		if sc.PipelinedSeconds >= sc.LockstepSeconds {
+			t.Fatalf("%d DPUs: pipelined %.6fs not beating lockstep %.6fs",
+				sc.DPUs, sc.PipelinedSeconds, sc.LockstepSeconds)
+		}
+		if sc.OpsPerSecond <= 0 || sc.LaunchSeconds <= 0 || sc.TransferSeconds <= 0 {
+			t.Fatalf("degenerate scenario: %+v", sc)
+		}
+	}
+	if !strings.Contains(sb.String(), "pipelined") || !strings.Contains(sb.String(), "NOrec") {
+		t.Fatalf("table incomplete:\n%s", sb.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report multiDPUReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.SchemaVersion != 1 || report.Experiment != "multidpu" || len(report.Scenarios) != 2 {
+		t.Fatalf("artifact wrong: %+v", report)
 	}
 }
 

@@ -1,0 +1,52 @@
+// Smoke tests for the example programs: each of the five demos must
+// build and run to completion with a small workload, so API churn in
+// the packages they showcase can't silently rot them.
+package examples
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repository root from this file's position.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate smoke_test.go")
+	}
+	return filepath.Dir(filepath.Dir(file))
+}
+
+func TestExamplesRun(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	root := moduleRoot(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"quickstart", []string{"-accounts", "8", "-transfers", "20", "-tasklets", "4"}},
+		{"linkedlist", []string{"-ops", "10", "-tasklets", "4"}},
+		{"labyrinth", []string{"-paths", "4", "-size", "10", "-tasklets", "4"}},
+		{"kmeans", []string{"-dpus", "2", "-points", "60", "-k", "2", "-dims", "4", "-rounds", "1"}},
+		{"kvstore", []string{"-dpus", "2", "-keys", "50", "-batches", "2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", append([]string{"run", "./examples/" + tc.name}, tc.args...)...)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", tc.name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s printed nothing", tc.name)
+			}
+		})
+	}
+}

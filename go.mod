@@ -1,0 +1,3 @@
+module pimstm
+
+go 1.24

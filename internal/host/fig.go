@@ -9,12 +9,17 @@ import (
 )
 
 // Fig7Point is one x-axis point of Fig 7: fleet size and the speedup of
-// the PIM execution over the CPU baseline.
+// the PIM execution over the CPU baseline, with the Fleet's modeled
+// launch/transfer breakdown alongside.
 type Fig7Point struct {
 	DPUs       int
 	DPUSeconds float64
 	CPUSeconds float64
 	Speedup    float64
+	// TransferSeconds and QuiescentSeconds break DPUSeconds' wall clock
+	// down: host↔DPU engine time and total host-owned window time.
+	TransferSeconds  float64
+	QuiescentSeconds float64
 }
 
 // Fig7Series is one workload curve of Fig 7.
@@ -106,10 +111,12 @@ func Fig7KMeans(opt Fig7Options) ([]Fig7Series, error) {
 			}
 			cpu := perPoint * float64(res.TotalPoints) * float64(cfg.Rounds)
 			s.Points = append(s.Points, Fig7Point{
-				DPUs:       n,
-				DPUSeconds: res.TotalSeconds,
-				CPUSeconds: cpu,
-				Speedup:    cpu / res.TotalSeconds,
+				DPUs:             n,
+				DPUSeconds:       res.TotalSeconds,
+				CPUSeconds:       cpu,
+				Speedup:          cpu / res.TotalSeconds,
+				TransferSeconds:  res.Pipeline.TransferSeconds,
+				QuiescentSeconds: res.Pipeline.QuiescentSeconds,
 			})
 		}
 		out = append(out, s)
@@ -136,10 +143,12 @@ func Fig7Labyrinth(opt Fig7Options) ([]Fig7Series, error) {
 			batches := (n + opt.LabyrinthCPUParallel - 1) / opt.LabyrinthCPUParallel
 			cpu := perInstance * float64(batches)
 			s.Points = append(s.Points, Fig7Point{
-				DPUs:       n,
-				DPUSeconds: res.TotalSeconds,
-				CPUSeconds: cpu,
-				Speedup:    cpu / res.TotalSeconds,
+				DPUs:             n,
+				DPUSeconds:       res.TotalSeconds,
+				CPUSeconds:       cpu,
+				Speedup:          cpu / res.TotalSeconds,
+				TransferSeconds:  res.Pipeline.TransferSeconds,
+				QuiescentSeconds: res.Pipeline.QuiescentSeconds,
 			})
 		}
 		out = append(out, s)

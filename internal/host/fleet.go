@@ -1,0 +1,313 @@
+package host
+
+import (
+	"fmt"
+
+	"pimstm/internal/dpu"
+)
+
+// ExecMode selects how a Fleet schedules host↔DPU transfers around
+// kernel launches.
+type ExecMode int
+
+const (
+	// Lockstep is the classic UPMEM host loop the paper's harness uses:
+	// scatter, launch, wait, gather — strictly serialized, so every
+	// transfer is exposed on the critical path.
+	Lockstep ExecMode = iota
+	// Pipelined double-buffers the per-DPU input/output regions so the
+	// host transfer engine streams round r+1's scatter (and round r-1's
+	// gather) while the fleet executes round r; only the part of the
+	// transfer work that exceeds the kernel time is exposed
+	// (SimplePIM-style batched transfer scheduling).
+	Pipelined
+)
+
+// String names the mode for reports.
+func (m ExecMode) String() string {
+	if m == Pipelined {
+		return "pipelined"
+	}
+	return "lockstep"
+}
+
+// RoundSpec describes one fleet round: an optional scatter, a kernel
+// launch on the involved DPUs, and an optional gather.
+type RoundSpec struct {
+	// Involved is the number of DPUs taking part in the round's
+	// transfers (0 = the whole fleet). Transfers to distinct ranks
+	// proceed in parallel, so this scales the bandwidth term of
+	// TransferSeconds.
+	Involved int
+	// ScatterBytes is the per-involved-DPU payload pushed before the
+	// launch; 0 skips the scatter entirely (no batch overhead).
+	ScatterBytes int
+	// GatherBytes is the per-involved-DPU payload pulled after the
+	// kernel completes; 0 skips the gather.
+	GatherBytes int
+	// IDs restricts which simulated DPUs run Program this round
+	// (nil = all simulated DPUs). Purely functional — transfer cost is
+	// governed by Involved.
+	IDs []int
+	// Program executes the round's kernel on one simulated DPU and
+	// returns its modeled seconds. The fleet's round launch time is the
+	// slowest program. d is the fleet's persistent DPU for id, or nil
+	// when the fleet was built without a factory. A nil Program makes
+	// the round transfer-only.
+	Program func(id int, d *dpu.DPU) (float64, error)
+}
+
+// RoundStats is the modeled timing of one executed round.
+type RoundStats struct {
+	// Scatter, Launch and Gather are the component durations.
+	Scatter, Launch, Gather float64
+	// Start and End place the round on the fleet's modeled clock
+	// (End includes the round's gather, which in pipelined mode may
+	// drain during a later round's kernel).
+	Start, End float64
+}
+
+// FleetStats aggregates the modeled time of a fleet execution.
+type FleetStats struct {
+	// Rounds executed so far.
+	Rounds int
+	// LaunchSeconds sums the slowest-DPU kernel time of every round.
+	LaunchSeconds float64
+	// TransferSeconds sums the host↔DPU engine time (scatter + gather).
+	TransferSeconds float64
+	// WallSeconds is the modeled end-to-end time under the fleet's
+	// mode, including any still-pending gather.
+	WallSeconds float64
+	// QuiescentSeconds is the host-owned part of the wall clock — the
+	// windows where every DPU is idle and the CPU may touch their
+	// memory (WallSeconds − LaunchSeconds).
+	QuiescentSeconds float64
+	// LockstepSeconds is what the same rounds would cost without
+	// pipelining (scatter + launch + gather, serialized); in Lockstep
+	// mode it equals WallSeconds.
+	LockstepSeconds float64
+}
+
+// Fleet is a reusable multi-DPU executor: it owns the simulated DPUs of
+// a fleet, runs rounds of scatter → launch → gather across them, and
+// keeps a modeled clock that either serializes the phases (Lockstep) or
+// overlaps transfers with kernels (Pipelined).
+//
+// The functional execution order is identical in both modes — round r+1
+// always runs after round r on every DPU, so data dependencies between
+// rounds stay correct; only the modeled wall clock changes. A Fleet is
+// not safe for concurrent Round calls (rounds are inherently ordered);
+// the parallelism lives inside a round, across DPUs.
+type Fleet struct {
+	opt  FleetOptions
+	mode ExecMode
+
+	ids  []int
+	dpus map[int]*dpu.DPU
+
+	// Pipeline clock state.
+	started              bool
+	engineFree           float64 // host transfer engine free time
+	prevKStart, prevKEnd float64 // previous round's kernel interval
+	pendingGather        float64 // previous round's gather, not yet drained
+
+	stats  FleetStats
+	rounds []RoundStats
+}
+
+// NewFleet builds a fleet executor. mk, when non-nil, creates the
+// persistent simulated DPU for each simulated id (in id order, so
+// allocation is deterministic); a nil mk leaves DPU construction to the
+// round programs (useful when each round builds fresh shards).
+func NewFleet(opt FleetOptions, mode ExecMode, mk func(id int) (*dpu.DPU, error)) (*Fleet, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{opt: opt, mode: mode, ids: opt.simulated()}
+	if mk != nil {
+		f.dpus = make(map[int]*dpu.DPU, len(f.ids))
+		for _, id := range f.ids {
+			d, err := mk(id)
+			if err != nil {
+				return nil, fmt.Errorf("host: fleet dpu %d: %w", id, err)
+			}
+			f.dpus[id] = d
+		}
+	}
+	return f, nil
+}
+
+// Size is the fleet size n (not the simulated sample size).
+func (f *Fleet) Size() int { return f.opt.DPUs }
+
+// Mode reports the fleet's transfer-scheduling mode.
+func (f *Fleet) Mode() ExecMode { return f.mode }
+
+// SimulatedIDs lists the DPU ids actually simulated.
+func (f *Fleet) SimulatedIDs() []int { return append([]int(nil), f.ids...) }
+
+// DPU returns the persistent simulated DPU for id (nil without a
+// factory or for unsimulated ids).
+func (f *Fleet) DPU(id int) *dpu.DPU { return f.dpus[id] }
+
+// Round executes one round: it runs the spec's program on the selected
+// simulated DPUs with bounded parallelism, takes the slowest as the
+// round's launch time, and advances the modeled clock according to the
+// fleet's mode.
+func (f *Fleet) Round(spec RoundSpec) error {
+	inv := spec.Involved
+	if inv <= 0 {
+		inv = f.opt.DPUs
+	}
+	var scatter, gather float64
+	if spec.ScatterBytes > 0 {
+		scatter = TransferSeconds(inv, spec.ScatterBytes)
+	}
+	if spec.GatherBytes > 0 {
+		gather = TransferSeconds(inv, spec.GatherBytes)
+	}
+
+	var kernel float64
+	if spec.Program != nil {
+		ids := spec.IDs
+		if ids == nil {
+			ids = f.ids
+		}
+		secs := make([]float64, len(ids))
+		idx := make(map[int]int, len(ids))
+		for i, id := range ids {
+			idx[id] = i
+		}
+		err := parallelFor(ids, f.opt.Parallelism, func(id int) error {
+			s, err := spec.Program(id, f.dpus[id])
+			if err != nil {
+				return err
+			}
+			secs[idx[id]] = s
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, s := range secs {
+			if s > kernel {
+				kernel = s
+			}
+		}
+	}
+
+	f.schedule(scatter, kernel, gather)
+	f.stats.Rounds++
+	f.stats.LaunchSeconds += kernel
+	f.stats.TransferSeconds += scatter + gather
+	f.stats.LockstepSeconds += scatter + kernel + gather
+	return nil
+}
+
+// schedule advances the modeled clock by one round.
+func (f *Fleet) schedule(scatter, kernel, gather float64) {
+	if f.mode == Lockstep {
+		// Drain everything serially: scatter, kernel, gather.
+		start := f.engineFree
+		if f.prevKEnd > start {
+			start = f.prevKEnd
+		}
+		kStart := start + scatter
+		kEnd := kStart + kernel
+		f.engineFree = kEnd + gather
+		f.prevKStart, f.prevKEnd = kStart, kEnd
+		f.rounds = append(f.rounds, RoundStats{
+			Scatter: scatter, Launch: kernel, Gather: gather,
+			Start: start, End: f.engineFree,
+		})
+		f.started = true
+		return
+	}
+
+	// Pipelined: the transfer engine is a serial resource distinct from
+	// DPU compute. This round's scatter may begin once the engine is
+	// free and — double buffering: one standby input region — once the
+	// previous round's kernel has launched and released it.
+	sStart := f.engineFree
+	if f.started && f.prevKStart > sStart {
+		sStart = f.prevKStart
+	}
+	sEnd := sStart + scatter
+	f.engineFree = sEnd
+	// The previous round's gather drains next on the engine, once its
+	// kernel has finished producing the output.
+	f.drainPendingGather()
+	// This round's kernel needs its input resident and the previous
+	// kernel finished (one kernel in flight per DPU).
+	kStart := sEnd
+	if f.started && f.prevKEnd > kStart {
+		kStart = f.prevKEnd
+	}
+	kEnd := kStart + kernel
+	f.prevKStart, f.prevKEnd = kStart, kEnd
+	f.pendingGather = gather
+	f.started = true
+	f.rounds = append(f.rounds, RoundStats{
+		Scatter: scatter, Launch: kernel, Gather: gather,
+		Start: sStart, End: kEnd, // End grows to the gather end when it drains
+	})
+}
+
+// drainPendingGather schedules the previous round's gather on the
+// engine and stamps that round's End.
+func (f *Fleet) drainPendingGather() {
+	if f.pendingGather <= 0 {
+		if len(f.rounds) > 0 && f.prevKEnd > f.rounds[len(f.rounds)-1].End {
+			f.rounds[len(f.rounds)-1].End = f.prevKEnd
+		}
+		return
+	}
+	gStart := f.engineFree
+	if f.prevKEnd > gStart {
+		gStart = f.prevKEnd
+	}
+	f.engineFree = gStart + f.pendingGather
+	f.pendingGather = 0
+	if len(f.rounds) > 0 {
+		f.rounds[len(f.rounds)-1].End = f.engineFree
+	}
+}
+
+// wall returns the modeled end-to-end time if the fleet drained now.
+func (f *Fleet) wall() float64 {
+	w := f.engineFree
+	if f.prevKEnd > w {
+		w = f.prevKEnd
+	}
+	if f.pendingGather > 0 {
+		w += f.pendingGather
+	}
+	return w
+}
+
+// Stats snapshots the modeled totals, counting any still-pending gather
+// as if the fleet drained now.
+func (f *Fleet) Stats() FleetStats {
+	s := f.stats
+	s.WallSeconds = f.wall()
+	s.QuiescentSeconds = s.WallSeconds - s.LaunchSeconds
+	if f.mode == Lockstep {
+		s.LockstepSeconds = s.WallSeconds
+	}
+	return s
+}
+
+// Drain flushes the pending gather onto the clock and returns the
+// final stats. Further rounds may still be submitted afterwards.
+func (f *Fleet) Drain() FleetStats {
+	f.drainPendingGather()
+	if f.prevKEnd > f.engineFree {
+		f.engineFree = f.prevKEnd
+	}
+	return f.Stats()
+}
+
+// RoundStats lists the per-round timings recorded so far.
+func (f *Fleet) RoundStats() []RoundStats {
+	return append([]RoundStats(nil), f.rounds...)
+}

@@ -1,0 +1,232 @@
+package host
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"pimstm/internal/dpu"
+)
+
+// fixedRound builds a transfer-heavy synthetic round whose kernel takes
+// exactly k modeled seconds on every DPU.
+func fixedRound(k float64, scatterBytes, gatherBytes int) RoundSpec {
+	return RoundSpec{
+		ScatterBytes: scatterBytes,
+		GatherBytes:  gatherBytes,
+		Program:      func(id int, _ *dpu.DPU) (float64, error) { return k, nil },
+	}
+}
+
+func runRounds(t *testing.T, mode ExecMode, rounds []RoundSpec) FleetStats {
+	t.Helper()
+	f, err := NewFleet(FleetOptions{DPUs: 8, Sample: 2}, mode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rounds {
+		if err := f.Round(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f.Drain()
+}
+
+// TestPipelinedBeatsLockstep is the modeled wall-clock comparison the
+// Fleet exists for: the same sequence of rounds, executed once with the
+// lockstep host loop and once with double-buffered pipelining, must be
+// strictly faster pipelined — the transfers hide behind the kernels.
+func TestPipelinedBeatsLockstep(t *testing.T) {
+	var rounds []RoundSpec
+	for i := 0; i < 10; i++ {
+		// 1 ms kernels vs ~0.3 ms per transfer: plenty to hide.
+		rounds = append(rounds, fixedRound(1e-3, 4096, 4096))
+	}
+	lock := runRounds(t, Lockstep, rounds)
+	pipe := runRounds(t, Pipelined, rounds)
+
+	if pipe.WallSeconds >= lock.WallSeconds {
+		t.Fatalf("pipelined (%.6fs) must beat lockstep (%.6fs)", pipe.WallSeconds, lock.WallSeconds)
+	}
+	// Both modes do the same physical work.
+	if pipe.LaunchSeconds != lock.LaunchSeconds || pipe.TransferSeconds != lock.TransferSeconds {
+		t.Fatalf("work accounting differs: %+v vs %+v", pipe, lock)
+	}
+	// The pipelined run knows its own lockstep-equivalent cost.
+	if math.Abs(pipe.LockstepSeconds-lock.WallSeconds) > 1e-12 {
+		t.Fatalf("LockstepSeconds %.6f != lockstep wall %.6f", pipe.LockstepSeconds, lock.WallSeconds)
+	}
+	// With kernels longer than scatter+gather, steady-state rounds cost
+	// one kernel each: wall ≈ scatter0 + Σ kernels + gatherN.
+	ideal := TransferSeconds(8, 4096) + 10*1e-3 + TransferSeconds(8, 4096)
+	if math.Abs(pipe.WallSeconds-ideal) > 1e-9 {
+		t.Fatalf("pipelined wall %.6f, ideal overlap %.6f", pipe.WallSeconds, ideal)
+	}
+}
+
+func TestLockstepScheduleIsSerial(t *testing.T) {
+	rounds := []RoundSpec{fixedRound(2e-3, 1024, 2048), fixedRound(3e-3, 1024, 2048)}
+	s := runRounds(t, Lockstep, rounds)
+	want := 2*TransferSeconds(8, 1024) + 2*TransferSeconds(8, 2048) + 5e-3
+	if math.Abs(s.WallSeconds-want) > 1e-12 {
+		t.Fatalf("lockstep wall %.6f, want %.6f", s.WallSeconds, want)
+	}
+	if s.LockstepSeconds != s.WallSeconds {
+		t.Fatal("in lockstep mode LockstepSeconds must equal WallSeconds")
+	}
+	if s.Rounds != 2 {
+		t.Fatalf("rounds = %d", s.Rounds)
+	}
+}
+
+func TestFleetStatsBreakdown(t *testing.T) {
+	f, err := NewFleet(FleetOptions{DPUs: 4, Exact: true}, Pipelined, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.Round(fixedRound(5e-4, 256, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Drain()
+	if math.Abs(s.QuiescentSeconds-(s.WallSeconds-s.LaunchSeconds)) > 1e-12 {
+		t.Fatalf("quiescent window accounting broken: %+v", s)
+	}
+	if s.LaunchSeconds != 3*5e-4 {
+		t.Fatalf("launch seconds = %.6f", s.LaunchSeconds)
+	}
+	rs := f.RoundStats()
+	if len(rs) != 3 {
+		t.Fatalf("round stats = %d", len(rs))
+	}
+	for i, r := range rs {
+		if r.End <= r.Start || r.Launch != 5e-4 {
+			t.Fatalf("round %d stats degenerate: %+v", i, r)
+		}
+		if i > 0 && rs[i].Start < rs[i-1].Start {
+			t.Fatalf("rounds out of order: %+v", rs)
+		}
+	}
+	// Stats is a non-destructive snapshot: calling it twice agrees.
+	if f.Stats() != f.Stats() {
+		t.Fatal("Stats must be idempotent")
+	}
+}
+
+// TestFleetTransferOnlyAndEmptyRounds: a nil Program models a pure
+// quiescent-window host access; zero-byte transfers are free.
+func TestFleetTransferOnlyAndEmptyRounds(t *testing.T) {
+	f, err := NewFleet(FleetOptions{DPUs: 16, Sample: 2}, Lockstep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Round(RoundSpec{Involved: 3, GatherBytes: 64}); err != nil {
+		t.Fatal(err)
+	}
+	s := f.Drain()
+	if want := TransferSeconds(3, 64); s.WallSeconds != want || s.LaunchSeconds != 0 {
+		t.Fatalf("transfer-only round: %+v, want wall %.6f", s, want)
+	}
+	if err := f.Round(RoundSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Drain(); got.WallSeconds != s.WallSeconds {
+		t.Fatalf("empty round must be free: %.6f → %.6f", s.WallSeconds, got.WallSeconds)
+	}
+}
+
+func TestFleetPersistentDPUsAndErrors(t *testing.T) {
+	if _, err := NewFleet(FleetOptions{}, Lockstep, nil); err == nil {
+		t.Fatal("zero DPUs accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := NewFleet(FleetOptions{DPUs: 2, Exact: true}, Lockstep,
+		func(id int) (*dpu.DPU, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("factory error lost: %v", err)
+	}
+
+	f, err := NewFleet(FleetOptions{DPUs: 3, Exact: true}, Pipelined,
+		func(id int) (*dpu.DPU, error) {
+			return dpu.New(dpu.Config{MRAMSize: 1 << 20, Seed: uint64(id) + 1}), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 3 || len(f.SimulatedIDs()) != 3 || f.DPU(1) == nil || f.DPU(99) != nil {
+		t.Fatalf("fleet shape wrong: size=%d ids=%v", f.Size(), f.SimulatedIDs())
+	}
+	if f.Mode() != Pipelined || f.Mode().String() != "pipelined" || Lockstep.String() != "lockstep" {
+		t.Fatal("mode naming wrong")
+	}
+	// A program error aborts the round.
+	err = f.Round(RoundSpec{Program: func(id int, d *dpu.DPU) (float64, error) {
+		if id == 2 {
+			return 0, boom
+		}
+		return 1e-6, nil
+	}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("program error lost: %v", err)
+	}
+	// IDs restricts which DPUs run.
+	var ran int32
+	if err := f.Round(RoundSpec{IDs: []int{0, 2}, Program: func(id int, d *dpu.DPU) (float64, error) {
+		atomic.AddInt32(&ran, 1)
+		if d == nil {
+			t.Error("persistent DPU missing")
+		}
+		return 1e-6, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("IDs subset ran %d programs", ran)
+	}
+}
+
+// TestFleetPipelineRace hammers a pipelined fleet with real DPU kernels
+// across many rounds so `go test -race` exercises the cross-goroutine
+// paths (parallelFor fan-out, per-id result slots, clock updates).
+func TestFleetPipelineRace(t *testing.T) {
+	f, err := NewFleet(FleetOptions{DPUs: 8, Exact: true, Parallelism: 8}, Pipelined,
+		func(id int) (*dpu.DPU, error) {
+			return dpu.New(dpu.Config{MRAMSize: 1 << 20, Seed: uint64(id) + 1}), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]uint64, 8)
+	for round := 0; round < 6; round++ {
+		err := f.Round(RoundSpec{
+			ScatterBytes: 128,
+			GatherBytes:  128,
+			Program: func(id int, d *dpu.DPU) (float64, error) {
+				d.ResetRun()
+				cycles, err := d.Run([]func(*dpu.Tasklet){func(tk *dpu.Tasklet) {
+					for i := 0; i < 50; i++ {
+						tk.Exec(100)
+						sums[id]++
+					}
+				}})
+				if err != nil {
+					return 0, err
+				}
+				return d.Seconds(cycles), nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Drain()
+	for id, v := range sums {
+		if v != 300 {
+			t.Fatalf("dpu %d ran %d increments, want 300", id, v)
+		}
+	}
+	if s.Rounds != 6 || s.WallSeconds <= 0 || s.WallSeconds > s.LockstepSeconds*(1+1e-9) {
+		t.Fatalf("pipelined stats implausible: %+v", s)
+	}
+}

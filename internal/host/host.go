@@ -9,6 +9,14 @@
 // DPUs in parallel and taking the slowest as the fleet's round time;
 // pass Exact to simulate every DPU (used by the correctness tests and
 // the end-to-end examples).
+//
+// All multi-DPU execution goes through the Fleet executor (fleet.go):
+// rounds of scatter → launch → gather whose modeled clock either
+// serializes the phases (Lockstep, the paper's host loop) or overlaps
+// batched transfers with kernel execution (Pipelined, double-buffered
+// SimplePIM-style scheduling). FleetStats breaks the wall clock into
+// launch, transfer and quiescent-window time and carries the
+// lockstep-equivalent cost so the pipelining gain is always reportable.
 package host
 
 import (

@@ -58,6 +58,11 @@ type KMeansFleetResult struct {
 	TransferSeconds float64
 	// TotalSeconds is the end-to-end PIM-side time.
 	TotalSeconds float64
+	// Pipeline is the fleet's full modeled-time breakdown (the KMeans
+	// rounds are data-dependent — the merged centroids of round r feed
+	// round r+1 — so the fleet runs in Lockstep mode and WallSeconds
+	// equals TotalSeconds).
+	Pipeline FleetStats
 	// Centers holds the merged final centroids (numerically exact only
 	// with FleetOptions.Exact).
 	Centers []uint64
@@ -78,19 +83,27 @@ func (c KMeansFleetConfig) shard(dpuID int, round int) *workloads.KMeans {
 	return w
 }
 
-// RunKMeansFleet executes the multi-DPU KMeans flow.
+// RunKMeansFleet executes the multi-DPU KMeans flow through a Lockstep
+// Fleet: the rounds carry a true data dependency (the centroids merged
+// from round r's gather are round r+1's broadcast), so transfers cannot
+// hide behind kernels and every round is scatter → launch → gather on
+// the critical path.
 func RunKMeansFleet(cfg KMeansFleetConfig, opt FleetOptions) (KMeansFleetResult, error) {
 	cfg.fill()
-	if err := opt.fill(); err != nil {
+	fleet, err := NewFleet(opt, Lockstep, nil)
+	if err != nil {
 		return KMeansFleetResult{}, err
 	}
+	opt = fleet.opt // filled defaults
 	res := KMeansFleetResult{TotalPoints: cfg.PointsPerDPU * opt.DPUs}
-	ids := opt.simulated()
+	ids := fleet.SimulatedIDs()
+
+	gatherBytes := (cfg.K*cfg.Dims + cfg.K) * 8
+	broadcastBytes := cfg.K * cfg.Dims * 8
 
 	var centers []uint64 // global centroids, broadcast each round
 	for round := 0; round < cfg.Rounds; round++ {
 		type dpuOut struct {
-			seconds float64
 			acc     []uint64
 			counts  []uint64
 			commits uint64
@@ -100,57 +113,54 @@ func RunKMeansFleet(cfg KMeansFleetConfig, opt FleetOptions) (KMeansFleetResult,
 		for i, id := range ids {
 			idx[id] = i
 		}
-		err := parallelFor(ids, opt.Parallelism, func(id int) error {
-			w := cfg.shard(id, round)
-			d := dpu.New(dpu.Config{MRAMSize: 8 << 20, Seed: uint64(id)*7919 + uint64(round) + cfg.Seed})
-			tm, err := core.New(d, core.Config{Algorithm: core.NOrec, MetaTier: dpu.WRAM})
-			if err != nil {
-				return err
-			}
-			if err := w.Setup(d); err != nil {
-				return err
-			}
-			if centers != nil {
-				w.SetCenters(d, centers)
-			}
-			txs := make([]*core.Tx, opt.Tasklets)
-			progs := make([]func(*dpu.Tasklet), opt.Tasklets)
-			for i := range progs {
-				progs[i] = func(t *dpu.Tasklet) {
-					tx := tm.NewTx(t)
-					txs[t.ID] = tx
-					w.Body(tx, t.ID, opt.Tasklets)
+		err := fleet.Round(RoundSpec{
+			ScatterBytes: broadcastBytes,
+			GatherBytes:  gatherBytes,
+			Program: func(id int, _ *dpu.DPU) (float64, error) {
+				w := cfg.shard(id, round)
+				d := dpu.New(dpu.Config{MRAMSize: 8 << 20, Seed: uint64(id)*7919 + uint64(round) + cfg.Seed})
+				tm, err := core.New(d, core.Config{Algorithm: core.NOrec, MetaTier: dpu.WRAM})
+				if err != nil {
+					return 0, err
 				}
-			}
-			w.SetTasklets(opt.Tasklets)
-			cycles, err := d.Run(progs)
-			if err != nil {
-				return err
-			}
-			if err := w.Verify(d); err != nil {
-				return err
-			}
-			acc, counts := w.Accumulators(d)
-			var commits uint64
-			for _, tx := range txs {
-				commits += tx.Stats().Commits
-			}
-			outs[idx[id]] = dpuOut{seconds: d.Seconds(cycles), acc: acc, counts: counts, commits: commits}
-			return nil
+				if err := w.Setup(d); err != nil {
+					return 0, err
+				}
+				if centers != nil {
+					w.SetCenters(d, centers)
+				}
+				txs := make([]*core.Tx, opt.Tasklets)
+				progs := make([]func(*dpu.Tasklet), opt.Tasklets)
+				for i := range progs {
+					progs[i] = func(t *dpu.Tasklet) {
+						tx := tm.NewTx(t)
+						txs[t.ID] = tx
+						w.Body(tx, t.ID, opt.Tasklets)
+					}
+				}
+				w.SetTasklets(opt.Tasklets)
+				cycles, err := d.Run(progs)
+				if err != nil {
+					return 0, err
+				}
+				if err := w.Verify(d); err != nil {
+					return 0, err
+				}
+				acc, counts := w.Accumulators(d)
+				var commits uint64
+				for _, tx := range txs {
+					commits += tx.Stats().Commits
+				}
+				outs[idx[id]] = dpuOut{acc: acc, counts: counts, commits: commits}
+				return d.Seconds(cycles), nil
+			},
 		})
 		if err != nil {
 			return KMeansFleetResult{}, err
 		}
-
-		// Fleet round time: the slowest simulated DPU.
-		var slowest float64
 		for _, o := range outs {
-			if o.seconds > slowest {
-				slowest = o.seconds
-			}
 			res.Commits += o.commits
 		}
-		res.DPUSeconds += slowest
 
 		// Merge accumulators; scale the sample up to the fleet when not
 		// exact (timing fidelity only — the examples use Exact).
@@ -182,15 +192,12 @@ func RunKMeansFleet(cfg KMeansFleetConfig, opt FleetOptions) (KMeansFleetResult,
 				}
 			}
 		}
-
-		// Transfers: gather acc+counts from every DPU, broadcast new
-		// centroids to every DPU (paper §4.3.1).
-		gatherBytes := (cfg.K*cfg.Dims + cfg.K) * 8
-		broadcastBytes := cfg.K * cfg.Dims * 8
-		res.TransferSeconds += TransferSeconds(opt.DPUs, gatherBytes) + TransferSeconds(opt.DPUs, broadcastBytes)
 	}
 	res.Centers = centers
-	res.TotalSeconds = res.DPUSeconds + res.TransferSeconds
+	res.Pipeline = fleet.Drain()
+	res.DPUSeconds = res.Pipeline.LaunchSeconds
+	res.TransferSeconds = res.Pipeline.TransferSeconds
+	res.TotalSeconds = res.Pipeline.WallSeconds
 	return res, nil
 }
 

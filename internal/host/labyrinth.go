@@ -47,52 +47,59 @@ type LabyrinthFleetResult struct {
 	TotalSeconds float64
 	// Routed counts committed paths across simulated instances.
 	Routed int
+	// Pipeline is the fleet's modeled-time breakdown (a single
+	// scatter → launch → gather round; each DPU solves an independent
+	// instance).
+	Pipeline FleetStats
 }
 
-// RunLabyrinthFleet executes the multi-DPU Labyrinth flow.
+// RunLabyrinthFleet executes the multi-DPU Labyrinth flow as one fleet
+// round: jobs scatter down (16 B each), every DPU solves its instance,
+// the routed grids gather up (8 B per cell).
 func RunLabyrinthFleet(cfg LabyrinthFleetConfig, opt FleetOptions) (LabyrinthFleetResult, error) {
 	cfg.fill()
-	if err := opt.fill(); err != nil {
+	fleet, err := NewFleet(opt, Lockstep, nil)
+	if err != nil {
 		return LabyrinthFleetResult{}, err
 	}
-	ids := opt.simulated()
-	secs := make([]float64, len(ids))
+	opt = fleet.opt // filled defaults
+	ids := fleet.SimulatedIDs()
 	routed := make([]int, len(ids))
 	idx := make(map[int]int, len(ids))
 	for i, id := range ids {
 		idx[id] = i
 	}
-	err := parallelFor(ids, opt.Parallelism, func(id int) error {
-		w := &workloads.Labyrinth{
-			X: cfg.X, Y: cfg.Y, Z: cfg.Z,
-			NumPaths:   cfg.PathsPerInstance,
-			Seed:       cfg.Seed + uint64(id)*2654435761,
-			ExpandCost: 8,
-		}
-		res, err := workloads.Run(w, dpu.Config{MRAMSize: 8 << 20, Seed: uint64(id) + cfg.Seed},
-			core.Config{Algorithm: core.NOrec, MetaTier: dpu.MRAM}, opt.Tasklets)
-		if err != nil {
-			return err
-		}
-		secs[idx[id]] = res.Seconds
-		routed[idx[id]] = w.Routed()
-		return nil
+	cells := cfg.X * cfg.Y * cfg.Z
+	err = fleet.Round(RoundSpec{
+		ScatterBytes: cfg.PathsPerInstance * 16,
+		GatherBytes:  cells * 8,
+		Program: func(id int, _ *dpu.DPU) (float64, error) {
+			w := &workloads.Labyrinth{
+				X: cfg.X, Y: cfg.Y, Z: cfg.Z,
+				NumPaths:   cfg.PathsPerInstance,
+				Seed:       cfg.Seed + uint64(id)*2654435761,
+				ExpandCost: 8,
+			}
+			res, err := workloads.Run(w, dpu.Config{MRAMSize: 8 << 20, Seed: uint64(id) + cfg.Seed},
+				core.Config{Algorithm: core.NOrec, MetaTier: dpu.MRAM}, opt.Tasklets)
+			if err != nil {
+				return 0, err
+			}
+			routed[idx[id]] = w.Routed()
+			return res.Seconds, nil
+		},
 	})
 	if err != nil {
 		return LabyrinthFleetResult{}, err
 	}
 	var out LabyrinthFleetResult
-	for i := range secs {
-		if secs[i] > out.DPUSeconds {
-			out.DPUSeconds = secs[i]
-		}
+	for i := range routed {
 		out.Routed += routed[i]
 	}
-	// Transfers: jobs down (16 B each), grid up (8 B per cell), per DPU.
-	cells := cfg.X * cfg.Y * cfg.Z
-	out.TransferSeconds = TransferSeconds(opt.DPUs, cfg.PathsPerInstance*16) +
-		TransferSeconds(opt.DPUs, cells*8)
-	out.TotalSeconds = out.DPUSeconds + out.TransferSeconds
+	out.Pipeline = fleet.Drain()
+	out.DPUSeconds = out.Pipeline.LaunchSeconds
+	out.TransferSeconds = out.Pipeline.TransferSeconds
+	out.TotalSeconds = out.Pipeline.WallSeconds
 	return out, nil
 }
 

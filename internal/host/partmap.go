@@ -2,6 +2,7 @@ package host
 
 import (
 	"fmt"
+	"sort"
 
 	"pimstm/internal/core"
 	"pimstm/internal/dpu"
@@ -13,25 +14,47 @@ import (
 // work. Keys are routed to their owner DPU by hash; operations on keys
 // of one DPU run as transactions inside that DPU (PIM-STM regulates the
 // intra-DPU concurrency); operations spanning DPUs are coordinated by
-// the CPU while the involved DPUs are idle, "albeit sequentially"
-// exactly as §3.1 describes, and charged the CPU-mediated transfer
-// latency.
+// the CPU while the involved DPUs are idle, exactly as §3.1 describes —
+// but coalesced per quiescent window into batched transfers instead of
+// issued one 331 µs CPU-mediated word at a time.
 //
-// The store processes operations in batches, matching the UPMEM
-// execution model: the CPU may only touch DPU memory between kernel
-// launches, so it buckets a batch by owner DPU, launches one program
-// per DPU that applies its share with tasklet parallelism, and then
-// performs the cross-DPU operations during the quiescent window.
+// The store processes operations in batches through a Fleet, matching
+// the UPMEM execution model: the CPU may only touch DPU memory between
+// kernel launches, so it buckets a batch by owner DPU, launches one
+// program per involved DPU that applies its share with tasklet
+// parallelism, and charges the scatter/gather through the fleet's
+// transfer pipeline. In Pipelined mode consecutive batches overlap:
+// while the fleet executes batch b, the host streams batch b+1 down and
+// batch b-1's results up.
 type PartitionedMap struct {
-	dpus []*dpu.DPU
-	tms  []*core.TM
-	maps []*structures.Map
+	fleet *Fleet
+	tms   []*core.TM
+	maps  []*structures.Map
 
 	tasklets int
 
-	// BatchSeconds accumulates the modeled wall time of every batch:
-	// slowest DPU per launch plus transfer costs.
+	// BatchSeconds mirrors the fleet's modeled wall clock after every
+	// operation (kept as a field for convenience; see Stats for the
+	// full launch/transfer/quiescent breakdown).
 	BatchSeconds float64
+}
+
+// PartitionedMapConfig parameterizes a store. Zero fields take the
+// documented defaults.
+type PartitionedMapConfig struct {
+	// DPUs is the fleet size (required, ≥ 1).
+	DPUs int
+	// Buckets and Capacity size each per-DPU hash map partition.
+	Buckets, Capacity int
+	// Tasklets is the intra-DPU parallelism per batch (required,
+	// 1..dpu.MaxTasklets).
+	Tasklets int
+	// STM selects the algorithm and metadata tier inside each DPU.
+	STM core.Config
+	// Mode schedules the host↔DPU transfers (default Pipelined).
+	Mode ExecMode
+	// MRAMSize per DPU; 0 = 8 MiB.
+	MRAMSize int
 }
 
 // OpKind selects a batch operation.
@@ -61,36 +84,62 @@ type OpResult struct {
 	Err error
 }
 
-// NewPartitionedMap builds a store over nDPUs simulated DPUs with the
-// given per-DPU bucket count and node capacity, running ops with the
-// given tasklet parallelism per DPU.
-func NewPartitionedMap(nDPUs, buckets, capacity, tasklets int, stm core.Config) (*PartitionedMap, error) {
-	if nDPUs < 1 {
+// Transfer is one cross-DPU atomic move: Amount is debited from the
+// value under From and credited to the value under To.
+type Transfer struct {
+	From, To uint64
+	Amount   uint64
+}
+
+// NewPartitionedMap builds a store over cfg.DPUs simulated DPUs. The
+// fleet is always exact (every DPU simulated) because the stored data
+// must be numerically correct.
+func NewPartitionedMap(cfg PartitionedMapConfig) (*PartitionedMap, error) {
+	if cfg.DPUs < 1 {
 		return nil, fmt.Errorf("host: partitioned map needs at least one DPU")
 	}
-	if tasklets < 1 || tasklets > dpu.MaxTasklets {
-		return nil, fmt.Errorf("host: bad tasklet count %d", tasklets)
+	if cfg.Tasklets < 1 || cfg.Tasklets > dpu.MaxTasklets {
+		return nil, fmt.Errorf("host: bad tasklet count %d", cfg.Tasklets)
 	}
-	pm := &PartitionedMap{tasklets: tasklets}
-	for i := 0; i < nDPUs; i++ {
-		d := dpu.New(dpu.Config{MRAMSize: 8 << 20, Seed: uint64(i) + 1})
-		tm, err := core.New(d, stm)
-		if err != nil {
-			return nil, err
-		}
-		m, err := structures.NewMap(d, buckets, capacity)
-		if err != nil {
-			return nil, err
-		}
-		pm.dpus = append(pm.dpus, d)
-		pm.tms = append(pm.tms, tm)
-		pm.maps = append(pm.maps, m)
+	if cfg.MRAMSize == 0 {
+		cfg.MRAMSize = 8 << 20
 	}
+	pm := &PartitionedMap{
+		tasklets: cfg.Tasklets,
+		tms:      make([]*core.TM, cfg.DPUs),
+		maps:     make([]*structures.Map, cfg.DPUs),
+	}
+	fleet, err := NewFleet(
+		FleetOptions{DPUs: cfg.DPUs, Tasklets: cfg.Tasklets, Exact: true},
+		cfg.Mode,
+		func(id int) (*dpu.DPU, error) {
+			d := dpu.New(dpu.Config{MRAMSize: cfg.MRAMSize, Seed: uint64(id) + 1})
+			tm, err := core.New(d, cfg.STM)
+			if err != nil {
+				return nil, err
+			}
+			m, err := structures.NewMap(d, cfg.Buckets, cfg.Capacity)
+			if err != nil {
+				return nil, err
+			}
+			pm.tms[id] = tm
+			pm.maps[id] = m
+			return d, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	pm.fleet = fleet
 	return pm, nil
 }
 
 // DPUs returns the fleet size.
-func (pm *PartitionedMap) DPUs() int { return len(pm.dpus) }
+func (pm *PartitionedMap) DPUs() int { return pm.fleet.Size() }
+
+// Stats snapshots the fleet's modeled timing (launch, transfer,
+// quiescent-window and wall seconds, plus the lockstep-equivalent cost
+// for pipeline-gain comparisons).
+func (pm *PartitionedMap) Stats() FleetStats { return pm.fleet.Stats() }
 
 // owner routes a key to its DPU.
 func (pm *PartitionedMap) owner(key uint64) int {
@@ -98,12 +147,14 @@ func (pm *PartitionedMap) owner(key uint64) int {
 	h ^= h >> 33
 	h *= 0xFF51AFD7ED558CCD
 	h ^= h >> 33
-	return int(h % uint64(len(pm.dpus)))
+	return int(h % uint64(len(pm.maps)))
 }
 
-// ApplyBatch routes the batch, launches one program per involved DPU,
-// and returns per-op results in order. The modeled batch time (slowest
-// DPU plus scatter/gather transfers) accumulates in BatchSeconds.
+// ApplyBatch routes the batch, launches one program per involved DPU
+// through the fleet pipeline, and returns per-op results in order.
+// Results are functionally valid immediately; on the modeled clock the
+// batch's gather may still be in flight (Pipelined mode) — Stats and
+// BatchSeconds always account for the drain.
 func (pm *PartitionedMap) ApplyBatch(ops []Op) ([]OpResult, error) {
 	results := make([]OpResult, len(ops))
 	perDPU := make(map[int][]int) // dpu → indices into ops
@@ -111,120 +162,209 @@ func (pm *PartitionedMap) ApplyBatch(ops []Op) ([]OpResult, error) {
 		o := pm.owner(op.Key)
 		perDPU[o] = append(perDPU[o], i)
 	}
+	involved := sortedKeys(perDPU)
 
-	var slowest float64
-	// Deterministic order; DPU runs are independent of each other, so a
-	// simple loop keeps results reproducible (each DPU is itself
-	// deterministic).
-	for id := 0; id < len(pm.dpus); id++ {
-		idxs, ok := perDPU[id]
-		if !ok {
-			continue
-		}
-		d := pm.dpus[id]
-		tm := pm.tms[id]
-		m := pm.maps[id]
-		d.ResetRun()
-		n := pm.tasklets
-		if n > len(idxs) {
-			n = len(idxs)
-		}
-		progs := make([]func(*dpu.Tasklet), n)
-		for ti := 0; ti < n; ti++ {
-			mine := make([]int, 0, len(idxs)/n+1)
-			for j := ti; j < len(idxs); j += n {
-				mine = append(mine, idxs[j])
+	err := pm.fleet.Round(RoundSpec{
+		Involved:     len(involved),
+		ScatterBytes: 24 * len(ops) / max(1, len(involved)),
+		GatherBytes:  16 * len(ops) / max(1, len(involved)),
+		IDs:          involved,
+		Program: func(id int, d *dpu.DPU) (float64, error) {
+			idxs := perDPU[id]
+			tm := pm.tms[id]
+			m := pm.maps[id]
+			d.ResetRun()
+			n := pm.tasklets
+			if n > len(idxs) {
+				n = len(idxs)
 			}
-			progs[ti] = func(t *dpu.Tasklet) {
-				tx := tm.NewTx(t)
-				for _, oi := range mine {
-					op := ops[oi]
-					switch op.Kind {
-					case OpGet:
-						tx.Atomic(func(tx *core.Tx) {
-							results[oi].Value, results[oi].OK = m.Get(tx, op.Key)
-						})
-					case OpPut:
-						tx.Atomic(func(tx *core.Tx) {
-							ins, err := m.Put(tx, op.Key, op.Value)
-							results[oi].OK, results[oi].Err = ins, err
-						})
-					case OpDelete:
-						tx.Atomic(func(tx *core.Tx) {
-							results[oi].OK = m.Delete(tx, op.Key)
-						})
+			progs := make([]func(*dpu.Tasklet), n)
+			for ti := 0; ti < n; ti++ {
+				mine := make([]int, 0, len(idxs)/n+1)
+				for j := ti; j < len(idxs); j += n {
+					mine = append(mine, idxs[j])
+				}
+				progs[ti] = func(t *dpu.Tasklet) {
+					tx := tm.NewTx(t)
+					for _, oi := range mine {
+						op := ops[oi]
+						switch op.Kind {
+						case OpGet:
+							tx.Atomic(func(tx *core.Tx) {
+								results[oi].Value, results[oi].OK = m.Get(tx, op.Key)
+							})
+						case OpPut:
+							tx.Atomic(func(tx *core.Tx) {
+								ins, err := m.Put(tx, op.Key, op.Value)
+								results[oi].OK, results[oi].Err = ins, err
+							})
+						case OpDelete:
+							tx.Atomic(func(tx *core.Tx) {
+								results[oi].OK = m.Delete(tx, op.Key)
+							})
+						}
 					}
 				}
 			}
-		}
-		cycles, err := d.Run(progs)
-		if err != nil {
-			return nil, fmt.Errorf("host: batch on dpu %d: %w", id, err)
-		}
-		if s := d.Seconds(cycles); s > slowest {
-			slowest = s
-		}
+			cycles, err := d.Run(progs)
+			if err != nil {
+				return 0, fmt.Errorf("host: batch on dpu %d: %w", id, err)
+			}
+			return d.Seconds(cycles), nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	// Scatter the ops down and gather the results up (one batch each
-	// way across the involved DPUs).
-	pm.BatchSeconds += slowest +
-		TransferSeconds(len(perDPU), 24*len(ops)/max(1, len(perDPU))) +
-		TransferSeconds(len(perDPU), 16*len(ops)/max(1, len(perDPU)))
+	pm.BatchSeconds = pm.fleet.Stats().WallSeconds
 	return results, nil
 }
 
-// TransferBetween atomically moves `amount` from the value under keyFrom
-// to the value under keyTo, even when the two keys live on different
-// DPUs: the CPU performs the read-modify-writes while both DPUs are
-// idle (the sequential CPU-coordination escape hatch of §3.1), charging
-// one CPU-mediated word access per touched key. It reports false
-// without changes if either key is missing or underflows.
+// ApplyTransfers executes a batch of cross-DPU atomic moves in one
+// quiescent window. Instead of 331 µs CPU-mediated reads per word, the
+// host gathers every touched word from the involved DPUs in one batched
+// transfer, applies the read-modify-writes against that snapshot in
+// transfer order, and scatters the changed words back with one
+// writeback program per involved DPU. ok[i] reports whether transfer i
+// applied (both keys present and no underflow at its turn).
+func (pm *PartitionedMap) ApplyTransfers(ts []Transfer) ([]bool, error) {
+	ok := make([]bool, len(ts))
+	if len(ts) == 0 {
+		return ok, nil
+	}
+
+	// Collect the distinct keys per owner DPU.
+	keyDPU := make(map[uint64]int)
+	perDPU := make(map[int][]uint64)
+	addKey := func(k uint64) {
+		if _, dup := keyDPU[k]; dup {
+			return
+		}
+		o := pm.owner(k)
+		keyDPU[k] = o
+		perDPU[o] = append(perDPU[o], k)
+	}
+	for _, t := range ts {
+		addKey(t.From)
+		addKey(t.To)
+	}
+	involved := sortedKeys(perDPU)
+
+	// Gather: one coalesced batched read of all touched words across
+	// the involved DPUs (the fleet is quiescent between rounds).
+	maxWords := 0
+	for _, ks := range perDPU {
+		if len(ks) > maxWords {
+			maxWords = len(ks)
+		}
+	}
+	if err := pm.fleet.Round(RoundSpec{
+		Involved:    len(involved),
+		GatherBytes: 8 * maxWords,
+	}); err != nil {
+		return nil, err
+	}
+	snapshot := make(map[uint64]uint64, len(keyDPU))
+	present := make(map[uint64]bool, len(keyDPU))
+	for _, id := range involved {
+		pm.maps[id].Walk(pm.fleet.DPU(id), func(k, v uint64) {
+			if _, want := keyDPU[k]; want && keyDPU[k] == id {
+				snapshot[k] = v
+				present[k] = true
+			}
+		})
+	}
+
+	// Apply the moves on the host against the snapshot, in order.
+	dirty := make(map[uint64]bool)
+	for i, t := range ts {
+		if !present[t.From] || !present[t.To] || snapshot[t.From] < t.Amount {
+			continue
+		}
+		snapshot[t.From] -= t.Amount
+		snapshot[t.To] += t.Amount
+		dirty[t.From], dirty[t.To] = true, true
+		ok[i] = true
+	}
+	if len(dirty) == 0 {
+		pm.BatchSeconds = pm.fleet.Stats().WallSeconds // the gather still ran
+		return ok, nil
+	}
+
+	// Scatter: write the changed words back, one coalesced program per
+	// involved DPU applying all of its updates.
+	writeback := make(map[int][]uint64) // dpu → changed keys
+	maxDirty := 0
+	for k := range dirty {
+		id := keyDPU[k]
+		writeback[id] = append(writeback[id], k)
+	}
+	wbIDs := sortedKeys(writeback)
+	for _, id := range wbIDs {
+		sort.Slice(writeback[id], func(a, b int) bool { return writeback[id][a] < writeback[id][b] })
+		if len(writeback[id]) > maxDirty {
+			maxDirty = len(writeback[id])
+		}
+	}
+	if err := pm.fleet.Round(RoundSpec{
+		Involved:     len(wbIDs),
+		ScatterBytes: 16 * maxDirty,
+		IDs:          wbIDs,
+		Program: func(id int, d *dpu.DPU) (float64, error) {
+			tm := pm.tms[id]
+			m := pm.maps[id]
+			keys := writeback[id]
+			d.ResetRun()
+			var putErr error
+			cycles, err := d.Run([]func(*dpu.Tasklet){func(t *dpu.Tasklet) {
+				tx := tm.NewTx(t)
+				tx.Atomic(func(tx *core.Tx) {
+					putErr = nil // fresh attempt after an abort
+					for _, k := range keys {
+						if _, err := m.Put(tx, k, snapshot[k]); err != nil {
+							putErr = err
+							return
+						}
+					}
+				})
+			}})
+			if err != nil {
+				return 0, err
+			}
+			if putErr != nil {
+				return 0, fmt.Errorf("host: writeback on dpu %d: %w", id, putErr)
+			}
+			return d.Seconds(cycles), nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+	pm.BatchSeconds = pm.fleet.Stats().WallSeconds
+	return ok, nil
+}
+
+// TransferBetween atomically moves `amount` from the value under
+// keyFrom to the value under keyTo — a single-element ApplyTransfers.
+// It reports false without changes if either key is missing or the
+// source would underflow.
 func (pm *PartitionedMap) TransferBetween(keyFrom, keyTo, amount uint64) (bool, error) {
-	fromDPU, toDPU := pm.owner(keyFrom), pm.owner(keyTo)
-	from, okF := pm.hostGet(fromDPU, keyFrom)
-	to, okT := pm.hostGet(toDPU, keyTo)
-	pm.BatchSeconds += 2 * InterDPUWordLatencySeconds
-	if !okF || !okT || from < amount {
-		return false, nil
-	}
-	if err := pm.hostPut(fromDPU, keyFrom, from-amount); err != nil {
+	ok, err := pm.ApplyTransfers([]Transfer{{From: keyFrom, To: keyTo, Amount: amount}})
+	if err != nil {
 		return false, err
 	}
-	if err := pm.hostPut(toDPU, keyTo, to+amount); err != nil {
-		return false, err
-	}
-	pm.BatchSeconds += 2 * InterDPUWordLatencySeconds
-	return true, nil
+	return ok[0], nil
 }
 
 // hostGet reads a key directly from an idle DPU.
 func (pm *PartitionedMap) hostGet(id int, key uint64) (uint64, bool) {
 	var v uint64
 	var ok bool
-	pm.maps[id].Walk(pm.dpus[id], func(k, val uint64) {
+	pm.maps[id].Walk(pm.fleet.DPU(id), func(k, val uint64) {
 		if k == key {
 			v, ok = val, true
 		}
 	})
 	return v, ok
-}
-
-// hostPut updates a key on an idle DPU through a one-off single-tasklet
-// program (the value must already exist; inserts go through ApplyBatch).
-func (pm *PartitionedMap) hostPut(id int, key, value uint64) error {
-	d := pm.dpus[id]
-	tm := pm.tms[id]
-	m := pm.maps[id]
-	d.ResetRun()
-	_, err := d.Run([]func(*dpu.Tasklet){func(t *dpu.Tasklet) {
-		tx := tm.NewTx(t)
-		tx.Atomic(func(tx *core.Tx) {
-			if _, err := m.Put(tx, key, value); err != nil {
-				panic(err)
-			}
-		})
-	}})
-	return err
 }
 
 // Get reads a key from the host (between batches).
@@ -236,7 +376,18 @@ func (pm *PartitionedMap) Get(key uint64) (uint64, bool) {
 func (pm *PartitionedMap) Len() int {
 	n := 0
 	for i, m := range pm.maps {
-		n += m.Len(pm.dpus[i])
+		n += m.Len(pm.fleet.DPU(i))
 	}
 	return n
+}
+
+// sortedKeys returns the map's keys in ascending order (deterministic
+// iteration for fleets and writebacks).
+func sortedKeys[K int | uint64, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

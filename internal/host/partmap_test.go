@@ -8,7 +8,10 @@ import (
 
 func newPM(t *testing.T, dpus int) *PartitionedMap {
 	t.Helper()
-	pm, err := NewPartitionedMap(dpus, 64, 512, 4, core.Config{Algorithm: core.NOrec})
+	pm, err := NewPartitionedMap(PartitionedMapConfig{
+		DPUs: dpus, Buckets: 64, Capacity: 512, Tasklets: 4,
+		STM: core.Config{Algorithm: core.NOrec},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,13 +19,13 @@ func newPM(t *testing.T, dpus int) *PartitionedMap {
 }
 
 func TestPartitionedMapValidation(t *testing.T) {
-	if _, err := NewPartitionedMap(0, 64, 64, 4, core.Config{}); err == nil {
+	if _, err := NewPartitionedMap(PartitionedMapConfig{Buckets: 64, Capacity: 64, Tasklets: 4}); err == nil {
 		t.Fatal("zero DPUs accepted")
 	}
-	if _, err := NewPartitionedMap(2, 64, 64, 0, core.Config{}); err == nil {
+	if _, err := NewPartitionedMap(PartitionedMapConfig{DPUs: 2, Buckets: 64, Capacity: 64}); err == nil {
 		t.Fatal("zero tasklets accepted")
 	}
-	if _, err := NewPartitionedMap(2, 63, 64, 4, core.Config{}); err == nil {
+	if _, err := NewPartitionedMap(PartitionedMapConfig{DPUs: 2, Buckets: 63, Capacity: 64, Tasklets: 4}); err == nil {
 		t.Fatal("bad bucket count accepted")
 	}
 }
@@ -130,6 +133,125 @@ func TestCrossDPUTransfer(t *testing.T) {
 	// Missing key refused.
 	if ok, _ := pm.TransferBetween(999999, a, 1); ok {
 		t.Fatal("transfer from missing key accepted")
+	}
+}
+
+// TestApplyTransfersCoalesced: a whole batch of cross-DPU moves must
+// cost two fleet rounds (one coalesced gather, one coalesced writeback)
+// instead of four 331 µs CPU-mediated words per move.
+func TestApplyTransfersCoalesced(t *testing.T) {
+	pm := newPM(t, 4)
+	var ops []Op
+	for k := uint64(0); k < 32; k++ {
+		ops = append(ops, Op{Kind: OpPut, Key: k, Value: 1000})
+	}
+	if _, err := pm.ApplyBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	before := pm.Stats()
+
+	var ts []Transfer
+	for k := uint64(0); k < 16; k++ {
+		ts = append(ts, Transfer{From: k, To: k + 16, Amount: 100})
+	}
+	ts = append(ts,
+		Transfer{From: 0, To: 1, Amount: 100000}, // underflow: refused
+		Transfer{From: 424242, To: 0, Amount: 1}, // missing key: refused
+	)
+	ok, err := pm.ApplyTransfers(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if !ok[i] {
+			t.Fatalf("transfer %d refused", i)
+		}
+	}
+	if ok[16] || ok[17] {
+		t.Fatalf("bad transfers accepted: %v", ok[16:])
+	}
+	total := uint64(0)
+	for k := uint64(0); k < 32; k++ {
+		v, present := pm.Get(k)
+		if !present {
+			t.Fatalf("key %d lost", k)
+		}
+		total += v
+	}
+	if total != 32*1000 {
+		t.Fatalf("total not conserved: %d", total)
+	}
+	after := pm.Stats()
+	if got := after.Rounds - before.Rounds; got != 2 {
+		t.Fatalf("coalesced batch took %d fleet rounds, want 2", got)
+	}
+	// The coalesced window must undercut the per-word §3.1 path: 4
+	// CPU-mediated words per applied move.
+	perWord := float64(4*16) * InterDPUWordLatencySeconds
+	if got := after.WallSeconds - before.WallSeconds; got >= perWord {
+		t.Fatalf("coalesced transfers cost %.3f ms, per-word path would be %.3f ms", got*1e3, perWord*1e3)
+	}
+
+	// Empty batch is free.
+	if ok, err := pm.ApplyTransfers(nil); err != nil || len(ok) != 0 {
+		t.Fatalf("empty transfer batch: %v %v", ok, err)
+	}
+	if pm.Stats() != after {
+		t.Fatal("empty transfer batch charged time")
+	}
+
+	// A batch where every transfer is refused still gathered its
+	// snapshot, and BatchSeconds must reflect that window.
+	pre := pm.Stats().WallSeconds
+	refused, err := pm.ApplyTransfers([]Transfer{{From: 424242, To: 0, Amount: 1}})
+	if err != nil || refused[0] {
+		t.Fatalf("refused-only batch: %v %v", refused, err)
+	}
+	if pm.BatchSeconds <= pre {
+		t.Fatal("refused-only batch did not account its gather window")
+	}
+}
+
+// TestPartitionedMapPipelineBeatsLockstep streams the same batch
+// sequence through both modes: identical functional results, strictly
+// smaller modeled wall clock pipelined.
+func TestPartitionedMapPipelineBeatsLockstep(t *testing.T) {
+	run := func(mode ExecMode) (FleetStats, []OpResult) {
+		pm, err := NewPartitionedMap(PartitionedMapConfig{
+			DPUs: 4, Buckets: 64, Capacity: 512, Tasklets: 4,
+			STM: core.Config{Algorithm: core.NOrec}, Mode: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last []OpResult
+		for b := 0; b < 6; b++ {
+			var ops []Op
+			for k := uint64(0); k < 64; k++ {
+				if b == 0 {
+					ops = append(ops, Op{Kind: OpPut, Key: k, Value: k})
+				} else {
+					ops = append(ops, Op{Kind: OpGet, Key: k})
+				}
+			}
+			if last, err = pm.ApplyBatch(ops); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return pm.Stats(), last
+	}
+	lock, lockRes := run(Lockstep)
+	pipe, pipeRes := run(Pipelined)
+	if pipe.WallSeconds >= lock.WallSeconds {
+		t.Fatalf("pipelined serving (%.6fs) must beat lockstep (%.6fs)", pipe.WallSeconds, lock.WallSeconds)
+	}
+	if d := pipe.LockstepSeconds - lock.WallSeconds; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("lockstep-equivalent mismatch: %.9f vs %.9f", pipe.LockstepSeconds, lock.WallSeconds)
+	}
+	for i := range lockRes {
+		if lockRes[i] != pipeRes[i] {
+			t.Fatalf("mode changed results at %d: %+v vs %+v", i, lockRes[i], pipeRes[i])
+		}
 	}
 }
 
