@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify fmt vet build test race bench multidpu ci
+.PHONY: all verify fmt vet build test race bench multidpu serve serve-smoke ci
 
 all: ci
 
@@ -35,4 +35,16 @@ bench:
 multidpu:
 	$(GO) run ./cmd/pimstm-bench -experiment multidpu
 
-ci: fmt vet build race
+# Regenerate the machine-readable adaptive-batching serving sweep.
+serve:
+	$(GO) run ./cmd/pimstm-bench -experiment serve
+
+# Short-mode serve invocation so the experiment can't rot in CI
+# (no artifact written).
+serve-smoke:
+	$(GO) run ./cmd/pimstm-bench -experiment serve \
+		-serve-dpus 2 -serve-algs norec -serve-skews 0,1.2 \
+		-serve-rates 150000 -serve-ops 300 -serve-keys 128 \
+		-serve-batch 32 -serve-out ""
+
+ci: fmt vet build race serve-smoke

@@ -342,6 +342,42 @@ func BenchmarkAblationBackoff(b *testing.B) {
 	b.ReportMetric(large, "tx/s:backoff4096")
 }
 
+// BenchmarkAblationBatchDelay sweeps the serving front-end's MaxDelay
+// flush bound at a fixed open-loop arrival rate: small delays flush
+// thin batches and pay the transfer handshake per handful of ops;
+// large delays amortize it at the cost of baseline wait. Reports
+// modeled throughput and p99 per setting.
+func BenchmarkAblationBatchDelay(b *testing.B) {
+	run := func(delay float64) host.ServeResult {
+		res, err := host.Serve(host.ServeConfig{
+			Map: host.PartitionedMapConfig{
+				DPUs: 4, Tasklets: 8,
+				STM: core.Config{Algorithm: core.NOrec}, Mode: host.Pipelined,
+			},
+			Submit: host.SubmitterConfig{MaxBatch: 64, MaxDelaySeconds: delay},
+			Traffic: host.TrafficConfig{
+				Ops: 800, Rate: 6e4, ReadPct: 90, Keyspace: 256, ZipfS: 1.1, Seed: 1,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	delays := []float64{100e-6, 400e-6, 1600e-6}
+	results := make([]host.ServeResult, len(delays))
+	for i := 0; i < b.N; i++ {
+		for j, d := range delays {
+			results[j] = run(d)
+		}
+	}
+	for j, d := range delays {
+		label := itoa(int(d*1e6)) + "us"
+		b.ReportMetric(results[j].OpsPerSecond, "ops/s:"+label)
+		b.ReportMetric(results[j].P99*1e3, "p99ms:"+label)
+	}
+}
+
 // --- STM operation microbenchmarks ---
 
 func benchOps(b *testing.B, alg core.Algorithm, tier dpu.Tier, readOnly bool) {

@@ -13,6 +13,7 @@
 //	pimstm-bench -experiment latency         # §3.1 latency comparison
 //	pimstm-bench -experiment tiers           # §4.2.3 WRAM-vs-MRAM gains
 //	pimstm-bench -experiment multidpu        # fleet serving sweep (beyond the paper)
+//	pimstm-bench -experiment serve           # open-loop adaptive-batching sweep
 //	pimstm-bench -experiment all             # everything above
 //
 // -scale trades fidelity for speed (1.0 = paper-sized workloads);
@@ -23,6 +24,14 @@
 // KV store served through the host.Fleet transfer pipeline, comparing
 // pipelined against lockstep modeled wall-clock, and writes the
 // machine-readable result to -mdpu-out (default BENCH_multidpu.json).
+//
+// The serve experiment drives deterministic open-loop traffic (Zipf
+// key popularity × read mix × Poisson arrivals) through the adaptive
+// host.Submitter front-end, sweeping fleet size (-serve-dpus) × STM
+// algorithm (-serve-algs) × skew (-serve-skews) × arrival rate
+// (-serve-rates), and reports modeled ops/s plus p50/p95/p99 latency
+// for pipelined and lockstep transfers to -serve-out (default
+// BENCH_serve.json). Same seed ⇒ byte-identical artifact.
 package main
 
 import (
@@ -41,7 +50,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency|tiers|multidpu|all")
+		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency|tiers|multidpu|serve|all")
 		scale      = flag.Float64("scale", 0.5, "workload scale factor (1.0 = paper sizes)")
 		seeds      = flag.Int("seeds", 3, "runs to average per point (paper: 10)")
 		tasklets   = flag.String("tasklets", "1,3,5,7,9,11", "comma-separated tasklet counts")
@@ -56,6 +65,18 @@ func main() {
 		mdpuBatches = flag.Int("mdpu-batches", 6, "streamed batches per multidpu scenario")
 		mdpuOps     = flag.Int("mdpu-ops", 256, "operations per multidpu batch")
 		mdpuOut     = flag.String("mdpu-out", "BENCH_multidpu.json", "multidpu JSON artifact path (empty = don't write)")
+
+		serveDPUs    = flag.String("serve-dpus", "1,8", "comma-separated fleet sizes for serve")
+		serveAlgs    = flag.String("serve-algs", "norec,tinyetlwb", "comma-separated STM algorithms for serve")
+		serveSkews   = flag.String("serve-skews", "0,1.2", "comma-separated Zipf exponents for serve (0 = uniform)")
+		serveRates   = flag.String("serve-rates", "40000,200000", "comma-separated open-loop arrival rates (ops per modeled second)")
+		serveReads   = flag.Int("serve-reads", 90, "read percentage of the serve traffic")
+		serveOps     = flag.Int("serve-ops", 1200, "operations per serve scenario")
+		serveKeys    = flag.Int("serve-keys", 512, "distinct keys in the serve traffic")
+		serveBatch   = flag.Int("serve-batch", 64, "submitter MaxBatch for serve")
+		serveDelayUS = flag.Float64("serve-delay-us", 300, "submitter MaxDelay in modeled microseconds")
+		serveSeed    = flag.Uint64("serve-seed", 1, "traffic seed for serve")
+		serveOut     = flag.String("serve-out", "BENCH_serve.json", "serve JSON artifact path (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -135,6 +156,32 @@ func main() {
 			if _, err := runMultiDPU(mopt, os.Stdout); err != nil {
 				fatal(err)
 			}
+		case "serve":
+			sopt := serveOptions{
+				ReadPct:         *serveReads,
+				Ops:             *serveOps,
+				Keyspace:        *serveKeys,
+				MaxBatch:        *serveBatch,
+				MaxDelaySeconds: *serveDelayUS * 1e-6,
+				Seed:            *serveSeed,
+				Out:             *serveOut,
+			}
+			var err error
+			if sopt.Fleets, err = parseInts(*serveDPUs); err != nil {
+				fatal(err)
+			}
+			if sopt.Algs, err = parseAlgorithms(*serveAlgs); err != nil {
+				fatal(err)
+			}
+			if sopt.Skews, err = parseFloats(*serveSkews); err != nil {
+				fatal(err)
+			}
+			if sopt.Rates, err = parseFloats(*serveRates); err != nil {
+				fatal(err)
+			}
+			if _, err := runServe(sopt, os.Stdout); err != nil {
+				fatal(err)
+			}
 		case "tiers":
 			fmt.Printf("== §4.2.3 WRAM-metadata peak-throughput gains (NOrec unless noted) ==\n")
 			var gains []float64
@@ -157,7 +204,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"latency", "fig4", "fig5", "fig6", "fig9", "fig10", "tiers", "fig7", "fig8", "multidpu"} {
+		for _, name := range []string{"latency", "fig4", "fig5", "fig6", "fig9", "fig10", "tiers", "fig7", "fig8", "multidpu", "serve"} {
 			run(name)
 			fmt.Println()
 		}
@@ -172,6 +219,18 @@ func parseInts(s string) ([]int, error) {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float list %q: %w", s, err)
 		}
 		out = append(out, v)
 	}

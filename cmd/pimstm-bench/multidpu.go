@@ -99,13 +99,8 @@ func runMultiDPUCell(dpus int, alg core.Algorithm, readPct int, opt multiDPUOpti
 
 	// Serving phase: Batches mixed batches streamed back to back
 	// through the pipeline.
-	rng := uint64(dpus)*1e9 + uint64(readPct)*31 + 1
-	next := func() uint64 {
-		rng ^= rng >> 12
-		rng ^= rng << 25
-		rng ^= rng >> 27
-		return rng * 0x2545F4914F6CDD1D
-	}
+	rng := host.Rand64(uint64(dpus)*1e9 + uint64(readPct)*31 + 1)
+	next := rng.Next
 	total := 0
 	for b := 0; b < opt.Batches; b++ {
 		ops = ops[:0]

@@ -1,4 +1,4 @@
-// Smoke tests for the example programs: each of the five demos must
+// Smoke tests for the example programs: each of the six demos must
 // build and run to completion with a small workload, so API churn in
 // the packages they showcase can't silently rot them.
 package examples
@@ -34,6 +34,7 @@ func TestExamplesRun(t *testing.T) {
 		{"labyrinth", []string{"-paths", "4", "-size", "10", "-tasklets", "4"}},
 		{"kmeans", []string{"-dpus", "2", "-points", "60", "-k", "2", "-dims", "4", "-rounds", "1"}},
 		{"kvstore", []string{"-dpus", "2", "-keys", "50", "-batches", "2"}},
+		{"serve", []string{"-dpus", "2", "-ops", "200", "-keys", "64", "-rate", "100000", "-batch", "16"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -46,8 +46,8 @@ type RoundSpec struct {
 	// kernel completes; 0 skips the gather.
 	GatherBytes int
 	// IDs restricts which simulated DPUs run Program this round
-	// (nil = all simulated DPUs). Purely functional — transfer cost is
-	// governed by Involved.
+	// (nil = all simulated DPUs). Transfer cost follows Involved,
+	// which defaults to len(IDs) when IDs are given.
 	IDs []int
 	// Program executes the round's kernel on one simulated DPU and
 	// returns its modeled seconds. The fleet's round launch time is the
@@ -156,6 +156,12 @@ func (f *Fleet) DPU(id int) *dpu.DPU { return f.dpus[id] }
 // fleet's mode.
 func (f *Fleet) Round(spec RoundSpec) error {
 	inv := spec.Involved
+	if inv <= 0 && spec.IDs != nil {
+		// A round restricted to explicit IDs involves exactly those
+		// DPUs; defaulting to the whole fleet would over-credit
+		// rank-parallel bandwidth for a round touching two DPUs.
+		inv = len(spec.IDs)
+	}
 	if inv <= 0 {
 		inv = f.opt.DPUs
 	}
@@ -270,6 +276,27 @@ func (f *Fleet) drainPendingGather() {
 	f.pendingGather = 0
 	if len(f.rounds) > 0 {
 		f.rounds[len(f.rounds)-1].End = f.engineFree
+	}
+}
+
+// AdvanceTo moves the fleet's modeled clock forward so that no later
+// round starts before t — the hook the serving layer uses to anchor a
+// batch at its modeled flush time. If the transfer engine would sit
+// idle until t, the previous round's pending gather drains during the
+// idle window (it no longer competes with a scatter). Times already in
+// the past are a no-op, so the clock never moves backwards.
+func (f *Fleet) AdvanceTo(t float64) {
+	if f.pendingGather > 0 {
+		gStart := f.engineFree
+		if f.prevKEnd > gStart {
+			gStart = f.prevKEnd
+		}
+		if t > gStart {
+			f.drainPendingGather()
+		}
+	}
+	if t > f.engineFree {
+		f.engineFree = t
 	}
 }
 

@@ -186,6 +186,73 @@ func TestFleetPersistentDPUsAndErrors(t *testing.T) {
 	}
 }
 
+// TestFleetInvolvedDefaultsToIDs: a round restricted to explicit IDs
+// must charge transfers for exactly those DPUs, not the whole fleet —
+// the over-credited rank-parallel bandwidth bugfix.
+func TestFleetInvolvedDefaultsToIDs(t *testing.T) {
+	f, err := NewFleet(FleetOptions{DPUs: 16, Sample: 4}, Lockstep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Round(RoundSpec{IDs: []int{0, 8}, GatherBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Drain().WallSeconds, TransferSeconds(2, 4096); got != want {
+		t.Fatalf("IDs-restricted round charged %.9fs, want two-DPU transfer %.9fs", got, want)
+	}
+	// An explicit Involved still wins over len(IDs).
+	f2, err := NewFleet(FleetOptions{DPUs: 16, Sample: 4}, Lockstep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Round(RoundSpec{Involved: 5, IDs: []int{0}, GatherBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f2.Drain().WallSeconds, TransferSeconds(5, 4096); got != want {
+		t.Fatalf("explicit Involved overridden: %.9fs, want %.9fs", got, want)
+	}
+}
+
+// TestFleetAdvanceTo anchors rounds at modeled times — the serving
+// layer's flush-time hook.
+func TestFleetAdvanceTo(t *testing.T) {
+	f, err := NewFleet(FleetOptions{DPUs: 8, Sample: 2}, Lockstep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Round(fixedRound(1e-3, 1024, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	w1 := f.Stats().WallSeconds
+	f.AdvanceTo(w1 - 1e-4) // the clock never moves backwards
+	if f.Stats().WallSeconds != w1 {
+		t.Fatal("AdvanceTo into the past moved the clock")
+	}
+	f.AdvanceTo(w1 + 5e-3)
+	if err := f.Round(fixedRound(1e-3, 1024, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	want := w1 + 5e-3 + 2*TransferSeconds(8, 1024) + 1e-3
+	if got := f.Drain().WallSeconds; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("anchored round ends at %.9fs, want %.9fs", got, want)
+	}
+
+	// Pipelined: an idle window drains the pending gather, and the
+	// advanced time becomes the wall clock.
+	p, err := NewFleet(FleetOptions{DPUs: 8, Sample: 2}, Pipelined, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Round(fixedRound(1e-3, 1024, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	idle := p.Stats().WallSeconds + 10e-3
+	p.AdvanceTo(idle)
+	if got := p.Stats().WallSeconds; got != idle {
+		t.Fatalf("idle advance: wall %.9fs, want %.9fs", got, idle)
+	}
+}
+
 // TestFleetPipelineRace hammers a pipelined fleet with real DPU kernels
 // across many rounds so `go test -race` exercises the cross-goroutine
 // paths (parallelFor fan-out, per-id result slots, clock updates).

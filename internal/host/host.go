@@ -38,14 +38,30 @@ const (
 	// xferAggregateBW is the aggregate host↔DPU copy bandwidth across
 	// ranks in bytes/second.
 	xferAggregateBW = 6.7e9
+	// xferPerDPUBW is the sustainable copy bandwidth of a single DPU's
+	// MRAM link in bytes/second. The aggregate bandwidth is only
+	// reachable with many DPUs streaming in parallel; a batch whose
+	// payload concentrates on few DPUs is gated by this per-link rate.
+	xferPerDPUBW = 0.6e9
 )
 
 // TransferSeconds models one batched host↔DPU copy of bytesPerDPU bytes
-// to or from each of n DPUs (transfers to distinct ranks proceed in
-// parallel up to the aggregate bandwidth).
+// to or from each of n DPUs. Transfers to distinct ranks proceed in
+// parallel up to the aggregate bandwidth, but each DPU's MRAM link
+// sustains at most xferPerDPUBW — so the payload term is the slower of
+// the aggregate-bandwidth bound and the single-link bound. Without the
+// link bound a batch aimed at one hot DPU would be credited the whole
+// fleet's bandwidth and skew would model as free.
 func TransferSeconds(n, bytesPerDPU int) float64 {
+	if n < 1 {
+		n = 1
+	}
 	total := float64(n) * float64(bytesPerDPU)
-	return xferBatchOverheadSeconds + total/xferAggregateBW
+	payload := total / xferAggregateBW
+	if link := float64(bytesPerDPU) / xferPerDPUBW; link > payload {
+		payload = link
+	}
+	return xferBatchOverheadSeconds + payload
 }
 
 // InterDPURead64Seconds returns the modeled latency of reading a 64-bit

@@ -20,8 +20,17 @@ func TestTransferModel(t *testing.T) {
 	if big < float64(2500)*float64(1<<20)/xferAggregateBW {
 		t.Fatal("bulk transfer below aggregate bandwidth bound")
 	}
-	if TransferSeconds(10, 64) <= TransferSeconds(1, 64) {
+	if TransferSeconds(100, 4096) <= TransferSeconds(10, 4096) {
 		t.Fatal("more DPUs must move more bytes")
+	}
+	// A single DPU's link never reaches the aggregate bandwidth: the
+	// same total payload concentrated on one DPU is strictly slower
+	// than spread across a rank's worth.
+	if TransferSeconds(1, 64<<10) <= TransferSeconds(64, 1<<10) {
+		t.Fatal("hot-DPU payload credited with aggregate bandwidth")
+	}
+	if one := TransferSeconds(1, 1<<20); one < xferBatchOverheadSeconds+float64(1<<20)/xferPerDPUBW {
+		t.Fatal("single-link transfer below per-DPU bandwidth bound")
 	}
 }
 

@@ -214,13 +214,8 @@ func KMeansCPUBaseline(k, dims, points, rounds, threads int, seed uint64) (secon
 	mem := cpustm.NewMem(k*dims + k)
 	tm := cpustm.New(mem)
 	pts := make([]int64, points*dims)
-	rng := seed | 1
-	next := func() uint64 {
-		rng ^= rng >> 12
-		rng ^= rng << 25
-		rng ^= rng >> 27
-		return rng * 0x2545F4914F6CDD1D
-	}
+	rng := Rand64(seed | 1)
+	next := rng.Next
 	for p := 0; p < points; p++ {
 		c := p % k
 		for d := 0; d < dims; d++ {

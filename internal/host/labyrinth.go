@@ -117,13 +117,8 @@ func LabyrinthCPUInstance(g lee.Grid, numPaths, threads int, seed uint64) (secon
 	jobCursor := cells
 
 	// Deterministic jobs, mirroring the DPU instance generator.
-	rng := seed | 1
-	next := func() uint64 {
-		rng ^= rng >> 12
-		rng ^= rng << 25
-		rng ^= rng >> 27
-		return rng * 0x2545F4914F6CDD1D
-	}
+	rng := Rand64(seed | 1)
+	next := rng.Next
 	used := map[int]bool{}
 	pick := func() int {
 		for {

@@ -164,10 +164,21 @@ func (pm *PartitionedMap) ApplyBatch(ops []Op) ([]OpResult, error) {
 	}
 	involved := sortedKeys(perDPU)
 
+	// RoundSpec carries a per-involved-DPU payload and the round takes
+	// the slowest DPU either way, so charge the worst-case bucket: a
+	// skewed batch pays for its hot partition instead of averaging it
+	// away across the involved set.
+	maxOps := 0
+	for _, idxs := range perDPU {
+		if len(idxs) > maxOps {
+			maxOps = len(idxs)
+		}
+	}
+
 	err := pm.fleet.Round(RoundSpec{
 		Involved:     len(involved),
-		ScatterBytes: 24 * len(ops) / max(1, len(involved)),
-		GatherBytes:  16 * len(ops) / max(1, len(involved)),
+		ScatterBytes: 24 * maxOps,
+		GatherBytes:  16 * maxOps,
 		IDs:          involved,
 		Program: func(id int, d *dpu.DPU) (float64, error) {
 			idxs := perDPU[id]
@@ -258,9 +269,11 @@ func (pm *PartitionedMap) ApplyTransfers(ts []Transfer) ([]bool, error) {
 			maxWords = len(ks)
 		}
 	}
+	// The host-side Walk reads key and value, so the gather moves the
+	// same 16-byte records the writeback scatter does.
 	if err := pm.fleet.Round(RoundSpec{
 		Involved:    len(involved),
-		GatherBytes: 8 * maxWords,
+		GatherBytes: 16 * maxWords,
 	}); err != nil {
 		return nil, err
 	}

@@ -96,6 +96,61 @@ func TestPartitionedMapRoutingSpread(t *testing.T) {
 	}
 }
 
+// TestApplyBatchSkewCharged is the skew regression test: a batch whose
+// keys all live on one partition must model strictly more transfer
+// time than a uniform batch of equal size. Under the pre-fix model —
+// average-bucket payload plus a lone DPU credited with the aggregate
+// bandwidth — both batches cost exactly the same and hot partitions
+// were free.
+func TestApplyBatchSkewCharged(t *testing.T) {
+	const n = 64
+	probe := newPM(t, 4)
+	byOwner := make([][]uint64, 4)
+	for k := uint64(0); ; k++ {
+		o := probe.owner(k)
+		if len(byOwner[o]) < n {
+			byOwner[o] = append(byOwner[o], k)
+		}
+		if len(byOwner[0]) == n && len(byOwner[1]) >= n/4 &&
+			len(byOwner[2]) >= n/4 && len(byOwner[3]) >= n/4 {
+			break
+		}
+	}
+	hotKeys := byOwner[0][:n]
+	var uniKeys []uint64
+	for o := 0; o < 4; o++ {
+		uniKeys = append(uniKeys, byOwner[o][:n/4]...)
+	}
+
+	run := func(keys []uint64) FleetStats {
+		pm := newPM(t, 4)
+		ops := make([]Op, len(keys))
+		for i, k := range keys {
+			ops[i] = Op{Kind: OpPut, Key: k, Value: k}
+		}
+		if _, err := pm.ApplyBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+		return pm.Stats()
+	}
+	hot := run(hotKeys)
+	uni := run(uniKeys)
+	if hot.TransferSeconds <= uni.TransferSeconds {
+		t.Fatalf("100%%-hot batch transfers (%.6fs) must cost strictly more than uniform (%.6fs)",
+			hot.TransferSeconds, uni.TransferSeconds)
+	}
+	// The hot batch pays exactly the worst-case-bucket payload over one
+	// DPU's link; the uniform batch spreads it across four.
+	wantHot := TransferSeconds(1, 24*n) + TransferSeconds(1, 16*n)
+	if got := hot.TransferSeconds; got < wantHot-1e-12 || got > wantHot+1e-12 {
+		t.Fatalf("hot batch transfers %.9fs, want %.9fs", got, wantHot)
+	}
+	wantUni := TransferSeconds(4, 24*n/4) + TransferSeconds(4, 16*n/4)
+	if got := uni.TransferSeconds; got < wantUni-1e-12 || got > wantUni+1e-12 {
+		t.Fatalf("uniform batch transfers %.9fs, want %.9fs", got, wantUni)
+	}
+}
+
 // TestCrossDPUTransfer: the CPU-coordinated multi-DPU atomic update of
 // §5's future-work sketch must conserve the total.
 func TestCrossDPUTransfer(t *testing.T) {
@@ -190,6 +245,22 @@ func TestApplyTransfersCoalesced(t *testing.T) {
 	perWord := float64(4*16) * InterDPUWordLatencySeconds
 	if got := after.WallSeconds - before.WallSeconds; got >= perWord {
 		t.Fatalf("coalesced transfers cost %.3f ms, per-word path would be %.3f ms", got*1e3, perWord*1e3)
+	}
+	// Both directions move 16-byte key+value records (the host-side
+	// Walk reads both), sized by the worst-case per-DPU bucket. Every
+	// touched key was dirtied here, so gather and writeback charge the
+	// same payload.
+	buckets := map[int]int{}
+	maxWords := 0
+	for k := uint64(0); k < 32; k++ {
+		buckets[pm.owner(k)]++
+		if buckets[pm.owner(k)] > maxWords {
+			maxWords = buckets[pm.owner(k)]
+		}
+	}
+	wantXfer := 2 * TransferSeconds(len(buckets), 16*maxWords)
+	if got := after.TransferSeconds - before.TransferSeconds; got < wantXfer-1e-12 || got > wantXfer+1e-12 {
+		t.Fatalf("transfer window charged %.9fs, want symmetric 16-byte records: %.9fs", got, wantXfer)
 	}
 
 	// Empty batch is free.

@@ -1,0 +1,243 @@
+package host
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the open-loop serving harness on top of the Submitter:
+// a deterministic traffic generator (Zipf key popularity × read mix ×
+// Poisson arrivals) and a driver that streams one generated trace
+// through a fresh PartitionedMap, reporting modeled throughput and
+// latency percentiles. Everything is a pure function of the config —
+// same seed, same bytes out — so the serve bench artifact is
+// reproducible run to run.
+
+// Rand64 is the repo's deterministic xorshift64* PRNG — the single
+// home of the recurrence every deterministic trace generator uses
+// (serving traffic, the multidpu sweep, the CPU baselines).
+type Rand64 uint64
+
+// Next returns the next 64-bit variate.
+func (r *Rand64) Next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = Rand64(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float returns a uniform float64 in [0, 1).
+func (r *Rand64) Float() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Zipf samples ranks in [0, n) with probability ∝ (rank+1)^-s via the
+// precomputed CDF, so any skew exponent s ≥ 0 works (s = 0 is uniform)
+// and sampling is deterministic given the caller's uniform variates.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf builds the sampler for n ranks at skew s.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("host: zipf needs at least one rank")
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("host: negative zipf exponent %g", s)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	return &Zipf{cum: cum}, nil
+}
+
+// Rank maps a uniform variate u in [0, 1) to a rank (0 = hottest).
+func (z *Zipf) Rank(u float64) int {
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// TrafficConfig parameterizes one deterministic open-loop trace.
+type TrafficConfig struct {
+	// Ops is the trace length (required, ≥ 1).
+	Ops int
+	// Rate is the mean arrival rate in ops per modeled second
+	// (required, > 0); inter-arrivals are exponential (Poisson stream).
+	Rate float64
+	// ReadPct of ops are Gets; the rest are Puts of a random value.
+	ReadPct int
+	// Keyspace is the number of distinct keys (required, ≥ 1); key k
+	// has popularity rank k.
+	Keyspace int
+	// ZipfS is the key-popularity skew exponent (0 = uniform).
+	ZipfS float64
+	// Seed makes the trace reproducible.
+	Seed uint64
+}
+
+// TimedOp is one generated operation with its modeled arrival time.
+type TimedOp struct {
+	Op Op
+	// Arrival is modeled seconds from the start of the trace;
+	// non-decreasing along the trace.
+	Arrival float64
+}
+
+// GenerateTraffic builds the open-loop trace: arrivals keep their
+// schedule regardless of how fast the store drains them — that is what
+// makes queueing delay visible in the modeled latencies.
+func GenerateTraffic(cfg TrafficConfig) ([]TimedOp, error) {
+	if cfg.Ops < 1 {
+		return nil, fmt.Errorf("host: traffic needs at least one op")
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("host: traffic needs a positive arrival rate")
+	}
+	if cfg.Keyspace < 1 {
+		return nil, fmt.Errorf("host: traffic needs at least one key")
+	}
+	z, err := NewZipf(cfg.Keyspace, cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	rng := Rand64(cfg.Seed*0x9E3779B97F4A7C15 + 1)
+	ops := make([]TimedOp, cfg.Ops)
+	clock := 0.0
+	for i := range ops {
+		clock += -math.Log(1-rng.Float()) / cfg.Rate
+		key := uint64(z.Rank(rng.Float()))
+		op := Op{Kind: OpPut, Key: key, Value: rng.Next()}
+		if int(rng.Next()%100) < cfg.ReadPct {
+			op = Op{Kind: OpGet, Key: key}
+		}
+		ops[i] = TimedOp{Op: op, Arrival: clock}
+	}
+	return ops, nil
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) of xs by the
+// nearest-rank method. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile over an already-sorted slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// ServeConfig is one serving scenario: a store, a batcher, a traffic
+// trace.
+type ServeConfig struct {
+	// Map builds the PartitionedMap. Zero Buckets/Capacity default to
+	// 256 buckets and 4 × the traffic keyspace.
+	Map PartitionedMapConfig
+	// Submit tunes the adaptive batcher.
+	Submit SubmitterConfig
+	// Traffic is the open-loop trace to serve.
+	Traffic TrafficConfig
+}
+
+// ServeResult is the modeled outcome of one serving run.
+type ServeResult struct {
+	// Ops served and Batches applied.
+	Ops, Batches int
+	// MakespanSeconds spans load completion (the traffic clock's zero)
+	// to the last batch completion on the modeled clock.
+	MakespanSeconds float64
+	// OpsPerSecond is Ops / MakespanSeconds.
+	OpsPerSecond float64
+	// P50/P95/P99 are modeled per-op latency percentiles in seconds
+	// (queue wait + batch wall clock).
+	P50, P95, P99 float64
+	// MeanBatchOps is the average applied batch size.
+	MeanBatchOps float64
+	// Stats are the submitter's flush counters.
+	Stats SubmitterStats
+	// Errors counts ops that resolved with a non-nil Err.
+	Errors int
+}
+
+// Serve preloads the keyspace, streams the generated trace through a
+// Submitter in arrival order, and reports modeled throughput and
+// latency. Deterministic: identical configs give identical results.
+func Serve(cfg ServeConfig) (ServeResult, error) {
+	trace, err := GenerateTraffic(cfg.Traffic)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	if cfg.Map.Buckets == 0 {
+		cfg.Map.Buckets = 256
+	}
+	if cfg.Map.Capacity == 0 {
+		cfg.Map.Capacity = 4 * cfg.Traffic.Keyspace
+	}
+	pm, err := NewPartitionedMap(cfg.Map)
+	if err != nil {
+		return ServeResult{}, err
+	}
+
+	// Load phase: populate every key so Gets hit, then baseline the
+	// clock — the serving numbers exclude the load.
+	load := make([]Op, cfg.Traffic.Keyspace)
+	for k := range load {
+		load[k] = Op{Kind: OpPut, Key: uint64(k), Value: uint64(k)}
+	}
+	if _, err := pm.ApplyBatch(load); err != nil {
+		return ServeResult{}, err
+	}
+	base := pm.Stats().WallSeconds
+
+	s := NewSubmitter(pm, cfg.Submit)
+	futs := make([]*Future, len(trace))
+	for i, t := range trace {
+		futs[i] = s.Submit(t.Op, t.Arrival)
+	}
+	if err := s.Close(); err != nil {
+		return ServeResult{}, err
+	}
+
+	res := ServeResult{Ops: len(trace), Stats: s.Stats()}
+	res.Batches = res.Stats.Batches
+	lats := make([]float64, len(futs))
+	for i, f := range futs {
+		r, lat := f.Wait()
+		if r.Err != nil {
+			res.Errors++
+		}
+		lats[i] = lat
+	}
+	sort.Float64s(lats)
+	res.P50 = quantileSorted(lats, 0.50)
+	res.P95 = quantileSorted(lats, 0.95)
+	res.P99 = quantileSorted(lats, 0.99)
+	res.MakespanSeconds = pm.Stats().WallSeconds - base
+	if res.MakespanSeconds > 0 {
+		res.OpsPerSecond = float64(res.Ops) / res.MakespanSeconds
+	}
+	if res.Batches > 0 {
+		res.MeanBatchOps = float64(res.Ops) / float64(res.Batches)
+	}
+	return res, nil
+}

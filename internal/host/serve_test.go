@@ -1,0 +1,206 @@
+package host
+
+import (
+	"math"
+	"testing"
+
+	"pimstm/internal/core"
+)
+
+// TestGenerateTrafficDeterministic: same seed ⇒ identical op stream
+// (the satellite determinism requirement for the serve bench).
+func TestGenerateTrafficDeterministic(t *testing.T) {
+	cfg := TrafficConfig{Ops: 500, Rate: 1e5, ReadPct: 80, Keyspace: 128, ZipfS: 1.2, Seed: 7}
+	a, err := GenerateTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 500 {
+		t.Fatalf("trace length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across same-seed runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 8
+	c, err := GenerateTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical trace")
+	}
+
+	reads := 0
+	for i, op := range a {
+		if i > 0 && op.Arrival < a[i-1].Arrival {
+			t.Fatalf("arrivals regress at %d", i)
+		}
+		if op.Op.Key >= 128 {
+			t.Fatalf("key %d outside keyspace", op.Op.Key)
+		}
+		if op.Op.Kind == OpGet {
+			reads++
+		}
+	}
+	if reads < 350 || reads > 450 {
+		t.Fatalf("read mix off: %d/500 gets at 80%%", reads)
+	}
+	// Mean inter-arrival must track 1/Rate.
+	mean := a[len(a)-1].Arrival / float64(len(a))
+	if mean < 0.5e-5 || mean > 2e-5 {
+		t.Fatalf("mean inter-arrival %g at rate 1e5", mean)
+	}
+
+	if _, err := GenerateTraffic(TrafficConfig{Rate: 1, Keyspace: 1}); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+	if _, err := GenerateTraffic(TrafficConfig{Ops: 1, Keyspace: 1}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := GenerateTraffic(TrafficConfig{Ops: 1, Rate: 1}); err == nil {
+		t.Fatal("zero keyspace accepted")
+	}
+}
+
+// TestZipfSkew: higher exponents concentrate mass on low ranks; s = 0
+// is uniform.
+func TestZipfSkew(t *testing.T) {
+	count := func(s float64) []int {
+		z, err := NewZipf(64, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := Rand64(99)
+		counts := make([]int, 64)
+		for i := 0; i < 20000; i++ {
+			counts[z.Rank(rng.Float())]++
+		}
+		return counts
+	}
+	uni := count(0)
+	for r, c := range uni {
+		if c < 150 || c > 500 {
+			t.Fatalf("uniform rank %d drew %d of 20000", r, c)
+		}
+	}
+	hot := count(1.5)
+	if hot[0] < 5000 {
+		t.Fatalf("zipf 1.5 head rank drew only %d of 20000", hot[0])
+	}
+	if hot[63] >= hot[0]/10 {
+		t.Fatalf("zipf tail (%d) not far below head (%d)", hot[63], hot[0])
+	}
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Fatal("empty zipf accepted")
+	}
+	if _, err := NewZipf(4, -1); err == nil {
+		t.Fatal("negative exponent accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("p50 = %g", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("p100 = %g", q)
+	}
+	if q := Quantile(xs, 0.01); q != 1 {
+		t.Fatalf("p1 = %g", q)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func serveCfg(mode ExecMode, rate float64, zipfS float64) ServeConfig {
+	return ServeConfig{
+		Map: PartitionedMapConfig{
+			DPUs: 4, Tasklets: 4,
+			STM: core.Config{Algorithm: core.NOrec}, Mode: mode,
+		},
+		Submit: SubmitterConfig{MaxBatch: 32, MaxDelaySeconds: 300e-6},
+		Traffic: TrafficConfig{
+			Ops: 600, Rate: rate, ReadPct: 90, Keyspace: 256, ZipfS: zipfS, Seed: 3,
+		},
+	}
+}
+
+// TestServeDeterministicAndPipelined: the full serving run is a pure
+// function of its config, and at a saturating arrival rate the
+// pipelined fleet's tail latency beats lockstep.
+func TestServeDeterministicAndPipelined(t *testing.T) {
+	const rate = 2e5 // past lockstep capacity at 32-op batches
+	pipe, err := Serve(serveCfg(Pipelined, rate, 1.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Serve(serveCfg(Pipelined, rate, 1.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe != again {
+		t.Fatalf("same-seed serve runs diverged:\n%+v\n%+v", pipe, again)
+	}
+	if pipe.Errors != 0 || pipe.Ops != 600 || pipe.Batches == 0 {
+		t.Fatalf("degenerate run: %+v", pipe)
+	}
+	if !(pipe.P50 > 0 && pipe.P50 <= pipe.P95 && pipe.P95 <= pipe.P99) {
+		t.Fatalf("percentiles disordered: %+v", pipe)
+	}
+	if pipe.OpsPerSecond <= 0 {
+		t.Fatalf("throughput: %+v", pipe)
+	}
+
+	lock, err := Serve(serveCfg(Lockstep, rate, 1.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.P99 >= lock.P99 {
+		t.Fatalf("pipelined p99 %.6fs must beat lockstep %.6fs at the same arrival rate",
+			pipe.P99, lock.P99)
+	}
+	if pipe.OpsPerSecond <= lock.OpsPerSecond {
+		t.Fatalf("pipelined throughput %.0f must beat lockstep %.0f",
+			pipe.OpsPerSecond, lock.OpsPerSecond)
+	}
+}
+
+// TestServeSkewHurtsLatency: with the skew-aware transfer model, hot
+// keys concentrate payload on one partition and the modeled tail grows
+// — the end-to-end consequence of the ApplyBatch bugfix.
+func TestServeSkewHurtsLatency(t *testing.T) {
+	const rate = 1.5e5
+	uniform, err := Serve(serveCfg(Pipelined, rate, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := Serve(serveCfg(Pipelined, rate, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.P99 <= uniform.P99 {
+		t.Fatalf("hot-key skew should raise modeled p99: uniform %.6fs, zipf-2 %.6fs",
+			uniform.P99, skewed.P99)
+	}
+	if math.IsNaN(skewed.P99) || math.IsNaN(uniform.P99) {
+		t.Fatal("NaN latency")
+	}
+}

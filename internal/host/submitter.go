@@ -1,0 +1,303 @@
+package host
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrSubmitterClosed is resolved into futures submitted after Close.
+var ErrSubmitterClosed = errors.New("host: submitter closed")
+
+// SubmitterConfig tunes the adaptive batcher. Zero fields take the
+// documented defaults.
+type SubmitterConfig struct {
+	// MaxBatch flushes the pending batch as soon as it holds this many
+	// operations (default 64).
+	MaxBatch int
+	// MaxDelaySeconds bounds, on the modeled clock, how long the oldest
+	// pending op may wait before the batch flushes (default 300 µs —
+	// about one transfer handshake).
+	MaxDelaySeconds float64
+	// Queue is the bounded admission queue: Submit blocks once this
+	// many accepted ops await batching (default 4 × MaxBatch). The
+	// bound caps real memory, not the modeled arrival process — an op
+	// admitted late still carries its open-loop arrival stamp, so the
+	// backpressure shows up as modeled queueing delay.
+	Queue int
+}
+
+func (c *SubmitterConfig) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxDelaySeconds <= 0 {
+		c.MaxDelaySeconds = 300e-6
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.MaxBatch
+	}
+}
+
+// Future resolves one submitted Op: its result plus its modeled
+// latency (batch completion on the fleet clock minus the op's arrival,
+// i.e. queue wait + batch wall clock).
+type Future struct {
+	done    chan struct{}
+	res     OpResult
+	latency float64
+}
+
+// Wait blocks until the op's batch has been applied and returns the
+// result and the modeled latency in seconds.
+func (f *Future) Wait() (OpResult, float64) {
+	<-f.done
+	return f.res, f.latency
+}
+
+// FlushReason says why a batch left the submitter.
+type FlushReason int
+
+// Flush reasons.
+const (
+	// FlushSize: the batch reached MaxBatch ops.
+	FlushSize FlushReason = iota
+	// FlushDelay: a later arrival pushed the oldest pending op past
+	// MaxDelaySeconds on the modeled clock.
+	FlushDelay
+	// FlushDrain: an explicit Flush or Close drained the remainder.
+	FlushDrain
+)
+
+// SubmitterStats counts the batcher's decisions. Valid snapshot any
+// time; totals are final once Close has returned.
+type SubmitterStats struct {
+	// Submitted ops batched and applied; Batches applied so far.
+	Submitted, Batches int
+	// SizeFlushes, DelayFlushes and DrainFlushes split Batches by
+	// FlushReason.
+	SizeFlushes, DelayFlushes, DrainFlushes int
+	// MaxBatchOps is the largest batch applied.
+	MaxBatchOps int
+}
+
+// submitMsg is one queue entry: an op with its future, or a flush
+// barrier (op futures nil, barrier non-nil).
+type submitMsg struct {
+	op      Op
+	arrival float64
+	fut     *Future
+	barrier chan struct{}
+}
+
+// Submitter is a goroutine-safe serving front-end over a
+// PartitionedMap: many clients Submit single Ops, the submitter
+// adaptively batches them — flushing at MaxBatch ops or once the
+// oldest pending op has waited MaxDelaySeconds on the modeled clock —
+// and resolves each op's Future with its result and modeled latency.
+//
+// Arrival times are modeled seconds relative to the submitter's
+// creation (the open-loop traffic clock); the underlying fleet clock
+// is advanced so a batch never starts before its flush time. Flush
+// decisions are a pure function of the op stream (order, arrivals,
+// MaxBatch, MaxDelaySeconds), never of real time, so a deterministic
+// op stream yields a deterministic schedule — an op with no successor
+// traffic stays pending until Flush or Close.
+//
+// The PartitionedMap must not be used directly while the submitter is
+// open; one flusher goroutine owns it.
+type Submitter struct {
+	pm   *PartitionedMap
+	cfg  SubmitterConfig
+	base float64 // fleet clock at creation; arrivals are offsets from it
+
+	mu     sync.RWMutex // guards closed vs. channel send
+	closed bool
+
+	ch   chan submitMsg
+	done chan struct{}
+
+	statsMu sync.Mutex
+	stats   SubmitterStats
+	err     error // first ApplyBatch error
+}
+
+// NewSubmitter starts the serving front-end over pm. Close it to drain
+// pending ops and stop the flusher.
+func NewSubmitter(pm *PartitionedMap, cfg SubmitterConfig) *Submitter {
+	cfg.fill()
+	s := &Submitter{
+		pm:   pm,
+		cfg:  cfg,
+		base: pm.fleet.Stats().WallSeconds,
+		ch:   make(chan submitMsg, cfg.Queue),
+		done: make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// Submit enqueues one op that arrived at the given modeled time
+// (seconds since the submitter was created) and returns its Future.
+// It blocks while the admission queue is full (backpressure) and is
+// safe from many goroutines. After Close the future resolves
+// immediately with ErrSubmitterClosed.
+func (s *Submitter) Submit(op Op, arrival float64) *Future {
+	f := &Future{done: make(chan struct{})}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		f.res = OpResult{Err: ErrSubmitterClosed}
+		close(f.done)
+		return f
+	}
+	s.ch <- submitMsg{op: op, arrival: arrival, fut: f}
+	s.mu.RUnlock()
+	return f
+}
+
+// Flush forces the pending batch out (reason FlushDrain) and returns
+// once it has been applied. A no-op when nothing is pending or the
+// submitter is closed.
+func (s *Submitter) Flush() {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return
+	}
+	b := make(chan struct{})
+	s.ch <- submitMsg{barrier: b}
+	s.mu.RUnlock()
+	<-b
+}
+
+// Close drains every pending op, stops the flusher and returns the
+// first batch-application error (nil normally). Idempotent.
+func (s *Submitter) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.mu.Unlock()
+	<-s.done
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.err
+}
+
+// Stats snapshots the batching counters.
+func (s *Submitter) Stats() SubmitterStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// run is the flusher: it owns the PartitionedMap and serializes batch
+// application (a Fleet is not safe for concurrent rounds).
+func (s *Submitter) run() {
+	defer close(s.done)
+	var batch []submitMsg
+	// oldest is the minimum arrival in the pending batch: with
+	// concurrent clients the queue order need not follow arrival
+	// order, and the MaxDelay bound is on the oldest op, not on
+	// whichever happened to enqueue first.
+	var oldest float64
+	for msg := range s.ch {
+		if msg.barrier != nil {
+			if len(batch) > 0 {
+				s.flush(batch, oldest, FlushDrain)
+				batch = batch[:0]
+			}
+			close(msg.barrier)
+			continue
+		}
+		// The new arrival proves the oldest pending op has waited past
+		// MaxDelay on the modeled clock: the front-end's timer fired at
+		// the deadline, shipping every op that had arrived by then —
+		// possibly several times over if the new arrival is far ahead.
+		for len(batch) > 0 && msg.arrival > oldest+s.cfg.MaxDelaySeconds {
+			deadline := oldest + s.cfg.MaxDelaySeconds
+			var due, rest []submitMsg
+			for _, m := range batch {
+				if m.arrival <= deadline {
+					due = append(due, m)
+				} else {
+					rest = append(rest, m)
+				}
+			}
+			s.flush(due, deadline, FlushDelay)
+			batch, oldest = rest, minArrival(rest)
+		}
+		if len(batch) == 0 || msg.arrival < oldest {
+			oldest = msg.arrival
+		}
+		batch = append(batch, msg)
+		if len(batch) >= s.cfg.MaxBatch {
+			s.flush(batch, msg.arrival, FlushSize)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		s.flush(batch, oldest, FlushDrain)
+	}
+}
+
+// minArrival returns the smallest arrival in the batch (0 if empty).
+func minArrival(batch []submitMsg) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	min := batch[0].arrival
+	for _, m := range batch[1:] {
+		if m.arrival < min {
+			min = m.arrival
+		}
+	}
+	return min
+}
+
+// flush applies one batch at modeled time `at` (clamped to the newest
+// arrival it contains — ops cannot be scattered before they arrive)
+// and resolves the futures. Batch completion is the fleet wall clock
+// after the round, which counts the batch's gather as draining
+// immediately; per-op latency is completion minus arrival.
+func (s *Submitter) flush(batch []submitMsg, at float64, reason FlushReason) {
+	ops := make([]Op, len(batch))
+	for i, m := range batch {
+		ops[i] = m.op
+		if m.arrival > at {
+			at = m.arrival
+		}
+	}
+	s.pm.fleet.AdvanceTo(s.base + at)
+	res, err := s.pm.ApplyBatch(ops)
+	complete := s.pm.fleet.Stats().WallSeconds
+	for i, m := range batch {
+		if err != nil {
+			m.fut.res = OpResult{Err: err}
+		} else {
+			m.fut.res = res[i]
+		}
+		m.fut.latency = complete - (s.base + m.arrival)
+		close(m.fut.done)
+	}
+
+	s.statsMu.Lock()
+	s.stats.Submitted += len(batch)
+	s.stats.Batches++
+	if len(batch) > s.stats.MaxBatchOps {
+		s.stats.MaxBatchOps = len(batch)
+	}
+	switch reason {
+	case FlushSize:
+		s.stats.SizeFlushes++
+	case FlushDelay:
+		s.stats.DelayFlushes++
+	default:
+		s.stats.DrainFlushes++
+	}
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	s.statsMu.Unlock()
+}

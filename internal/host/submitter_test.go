@@ -1,0 +1,235 @@
+package host
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pimstm/internal/core"
+)
+
+// TestSubmitterAdaptiveBatching drives a deterministic op stream and
+// checks every flush trigger: size, modeled delay, and drain.
+func TestSubmitterAdaptiveBatching(t *testing.T) {
+	pm := newPM(t, 4)
+	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 8, MaxDelaySeconds: 1e-3})
+
+	var futs []*Future
+	// 8 back-to-back ops fill a batch: size flush.
+	for k := uint64(0); k < 8; k++ {
+		futs = append(futs, s.Submit(Op{Kind: OpPut, Key: k, Value: k * 10}, float64(k)*1e-6))
+	}
+	// 3 ops at t=10ms wait alone...
+	for k := uint64(8); k < 11; k++ {
+		futs = append(futs, s.Submit(Op{Kind: OpPut, Key: k, Value: k * 10}, 10e-3))
+	}
+	// ...until an op at t=20ms proves their 1 ms deadline passed: delay
+	// flush of the 3, then the straggler drains on Close.
+	futs = append(futs, s.Submit(Op{Kind: OpGet, Key: 0}, 20e-3))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, f := range futs[:11] {
+		res, lat := f.Wait()
+		if res.Err != nil || !res.OK {
+			t.Fatalf("put %d: %+v", i, res)
+		}
+		if lat <= 0 {
+			t.Fatalf("op %d modeled latency %g", i, lat)
+		}
+	}
+	if res, _ := futs[11].Wait(); !res.OK || res.Value != 0 {
+		t.Fatalf("get after puts: %+v", res)
+	}
+
+	st := s.Stats()
+	if st.Submitted != 12 || st.Batches != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.SizeFlushes != 1 || st.DelayFlushes != 1 || st.DrainFlushes != 1 {
+		t.Fatalf("flush reasons: %+v", st)
+	}
+	if st.MaxBatchOps != 8 {
+		t.Fatalf("max batch = %d", st.MaxBatchOps)
+	}
+
+	// Within the delay-flushed batch all ops arrived together and
+	// completed together; the size-flushed batch's first op waited
+	// longer than its last.
+	_, lat0 := futs[0].Wait()
+	_, lat7 := futs[7].Wait()
+	if lat0 <= lat7 {
+		t.Fatalf("older op must model more wait: %g vs %g", lat0, lat7)
+	}
+}
+
+// TestSubmitterDelayBoundsOldestArrival: with concurrent clients the
+// queue order need not follow arrival order; the MaxDelay bound must
+// track the oldest *arrival*, and a delay flush ships only the ops
+// that had arrived by the deadline.
+func TestSubmitterDelayBoundsOldestArrival(t *testing.T) {
+	pm := newPM(t, 2)
+	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 64, MaxDelaySeconds: 300e-6})
+	late := s.Submit(Op{Kind: OpPut, Key: 1, Value: 1}, 10e-3) // enqueued first, arrives later
+	old := s.Submit(Op{Kind: OpPut, Key: 2, Value: 2}, 0)      // the true oldest
+	trig := s.Submit(Op{Kind: OpPut, Key: 3, Value: 3}, 1e-3)  // proves old's deadline passed
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, lat := old.Wait()
+	if res.Err != nil || !res.OK {
+		t.Fatalf("oldest op: %+v", res)
+	}
+	// Keyed off queue order the oldest op would ride the 10 ms
+	// straggler's batch; keyed off arrival it flushes at its 300 µs
+	// deadline plus one batch wall clock.
+	if lat > 5e-3 {
+		t.Fatalf("oldest op waited %.3f ms, deadline was 0.3 ms", lat*1e3)
+	}
+	for _, f := range []*Future{late, trig} {
+		if r, l := f.Wait(); r.Err != nil || !r.OK || l <= 0 {
+			t.Fatalf("straggler unresolved: %+v", r)
+		}
+	}
+	if st := s.Stats(); st.DelayFlushes != 1 || st.Submitted != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestSubmitterMatchesApplyBatch: the front-end is a scheduler, not a
+// different store — results agree with a direct batch.
+func TestSubmitterMatchesApplyBatch(t *testing.T) {
+	ops := make([]Op, 40)
+	for i := range ops {
+		switch i % 3 {
+		case 0:
+			ops[i] = Op{Kind: OpPut, Key: uint64(i), Value: uint64(i) * 7}
+		case 1:
+			ops[i] = Op{Kind: OpGet, Key: uint64(i - 1)}
+		default:
+			ops[i] = Op{Kind: OpDelete, Key: uint64(i - 2)}
+		}
+	}
+
+	direct := newPM(t, 3)
+	want := make([]OpResult, 0, len(ops))
+	for _, op := range ops {
+		// One op per batch: the submitter's per-batch transactions see
+		// the same sequential order.
+		res, err := direct.ApplyBatch([]Op{op})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res[0])
+	}
+
+	pm := newPM(t, 3)
+	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 1})
+	var futs []*Future
+	for i, op := range ops {
+		futs = append(futs, s.Submit(op, float64(i)*1e-6))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		got, _ := f.Wait()
+		if got != want[i] {
+			t.Fatalf("op %d: submitter %+v, direct %+v", i, got, want[i])
+		}
+	}
+	if pm.Len() != direct.Len() {
+		t.Fatalf("stores diverged: %d vs %d", pm.Len(), direct.Len())
+	}
+}
+
+// TestSubmitterConcurrentClients hammers Submit from many goroutines
+// (the -race target of the acceptance criteria).
+func TestSubmitterConcurrentClients(t *testing.T) {
+	pm, err := NewPartitionedMap(PartitionedMapConfig{
+		DPUs: 4, Buckets: 256, Capacity: 2048, Tasklets: 4,
+		STM: core.Config{Algorithm: core.NOrec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 16, MaxDelaySeconds: 1e-3, Queue: 8})
+
+	const clients, each = 8, 50
+	futs := make([][]*Future, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				key := uint64(c*each + i)
+				futs[c] = append(futs[c], s.Submit(Op{Kind: OpPut, Key: key, Value: key}, float64(i)*1e-6))
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for c := range futs {
+		for i, f := range futs[c] {
+			if res, lat := f.Wait(); res.Err != nil || !res.OK || lat < 0 {
+				t.Fatalf("client %d op %d: %+v", c, i, res)
+			}
+		}
+	}
+	if pm.Len() != clients*each {
+		t.Fatalf("store holds %d of %d keys", pm.Len(), clients*each)
+	}
+}
+
+// TestSubmitterBackpressure: a tiny admission queue must throttle, not
+// deadlock or drop.
+func TestSubmitterBackpressure(t *testing.T) {
+	pm := newPM(t, 2)
+	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 2, Queue: 1})
+	var futs []*Future
+	for k := uint64(0); k < 20; k++ {
+		futs = append(futs, s.Submit(Op{Kind: OpPut, Key: k, Value: k}, float64(k)*1e-6))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if res, _ := f.Wait(); res.Err != nil || !res.OK {
+			t.Fatalf("op %d: %+v", i, res)
+		}
+	}
+	if pm.Len() != 20 {
+		t.Fatalf("len = %d", pm.Len())
+	}
+}
+
+// TestSubmitterFlushAndClose: Flush forces the pending batch, Close is
+// idempotent, and late Submits resolve with ErrSubmitterClosed.
+func TestSubmitterFlushAndClose(t *testing.T) {
+	pm := newPM(t, 2)
+	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 64})
+	f := s.Submit(Op{Kind: OpPut, Key: 1, Value: 11}, 0)
+	s.Flush()
+	if res, _ := f.Wait(); res.Err != nil || !res.OK {
+		t.Fatalf("flushed op unresolved: %+v", res)
+	}
+	if st := s.Stats(); st.DrainFlushes != 1 || st.Batches != 1 {
+		t.Fatalf("flush not counted: %+v", st)
+	}
+	s.Flush() // empty flush is a no-op
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+	s.Flush() // flush after close is a no-op
+	late := s.Submit(Op{Kind: OpGet, Key: 1}, 1)
+	if res, _ := late.Wait(); !errors.Is(res.Err, ErrSubmitterClosed) {
+		t.Fatalf("late submit resolved %+v", res)
+	}
+}
