@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify fmt vet build test race bench multidpu serve serve-smoke ci
+.PHONY: all verify fmt vet build test race bench multidpu serve serve-smoke rebalance rebalance-smoke ci
 
 all: ci
 
@@ -47,4 +47,16 @@ serve-smoke:
 		-serve-rates 150000 -serve-ops 300 -serve-keys 128 \
 		-serve-batch 32 -serve-out ""
 
-ci: fmt vet build race serve-smoke
+# Regenerate the machine-readable skew-adaptive placement sweep.
+rebalance:
+	$(GO) run ./cmd/pimstm-bench -experiment rebalance
+
+# Short-mode rebalance invocation so the experiment can't rot in CI:
+# tiny fleet, one skewed scenario, no artifact written.
+rebalance-smoke:
+	$(GO) run ./cmd/pimstm-bench -experiment rebalance \
+		-rebal-dpus 4 -rebal-skews 1.2 -rebal-reads 99 \
+		-rebal-rate 1200000 -rebal-ops 7680 -rebal-keys 2560 \
+		-rebal-batch 768 -rebal-out ""
+
+ci: fmt vet build race serve-smoke rebalance-smoke

@@ -14,6 +14,7 @@
 //	pimstm-bench -experiment tiers           # §4.2.3 WRAM-vs-MRAM gains
 //	pimstm-bench -experiment multidpu        # fleet serving sweep (beyond the paper)
 //	pimstm-bench -experiment serve           # open-loop adaptive-batching sweep
+//	pimstm-bench -experiment rebalance       # static vs skew-adaptive placement sweep
 //	pimstm-bench -experiment all             # everything above
 //
 // -scale trades fidelity for speed (1.0 = paper-sized workloads);
@@ -32,6 +33,13 @@
 // (-serve-rates), and reports modeled ops/s plus p50/p95/p99 latency
 // for pipelined and lockstep transfers to -serve-out (default
 // BENCH_serve.json). Same seed ⇒ byte-identical artifact.
+//
+// The rebalance experiment compares the static hash placement against
+// the Directory placement with the hot-key Rebalancer in the loop,
+// sweeping fleet size (-rebal-dpus) × Zipf skew (-rebal-skews) × read
+// mix (-rebal-reads) at one open-loop rate (-rebal-rate), and writes
+// ops/s plus latency percentiles per placement to -rebal-out (default
+// BENCH_rebalance.json). Same seed ⇒ byte-identical artifact.
 package main
 
 import (
@@ -48,9 +56,15 @@ import (
 	"pimstm/internal/host"
 )
 
+// experimentList names every experiment, in the order `all` runs them.
+var experimentList = []string{
+	"latency", "fig4", "fig5", "fig6", "fig9", "fig10", "tiers",
+	"fig7", "fig8", "multidpu", "serve", "rebalance",
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|fig7|fig8|fig9|fig10|latency|tiers|multidpu|serve|all")
+		experiment = flag.String("experiment", "all", strings.Join(experimentList, "|")+"|all")
 		scale      = flag.Float64("scale", 0.5, "workload scale factor (1.0 = paper sizes)")
 		seeds      = flag.Int("seeds", 3, "runs to average per point (paper: 10)")
 		tasklets   = flag.String("tasklets", "1,3,5,7,9,11", "comma-separated tasklet counts")
@@ -77,6 +91,17 @@ func main() {
 		serveDelayUS = flag.Float64("serve-delay-us", 300, "submitter MaxDelay in modeled microseconds")
 		serveSeed    = flag.Uint64("serve-seed", 1, "traffic seed for serve")
 		serveOut     = flag.String("serve-out", "BENCH_serve.json", "serve JSON artifact path (empty = don't write)")
+
+		rebalDPUs   = flag.String("rebal-dpus", "4,8", "comma-separated fleet sizes for rebalance")
+		rebalSkews  = flag.String("rebal-skews", "0,1.2", "comma-separated Zipf exponents for rebalance (0 = uniform)")
+		rebalReads  = flag.String("rebal-reads", "99,50", "comma-separated read percentages for rebalance")
+		rebalRate   = flag.Float64("rebal-rate", 3e6, "open-loop arrival rate for rebalance (ops per modeled second)")
+		rebalOps    = flag.Int("rebal-ops", 38400, "operations per rebalance scenario")
+		rebalKeys   = flag.Int("rebal-keys", 10240, "distinct keys in the rebalance traffic")
+		rebalBatch  = flag.Int("rebal-batch", 2560, "submitter MaxBatch for rebalance")
+		rebalWindow = flag.Int("rebal-window", 3, "rebalancer decision window in batches")
+		rebalSeed   = flag.Uint64("rebal-seed", 1, "traffic seed for rebalance")
+		rebalOut    = flag.String("rebal-out", "BENCH_rebalance.json", "rebalance JSON artifact path (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -182,6 +207,29 @@ func main() {
 			if _, err := runServe(sopt, os.Stdout); err != nil {
 				fatal(err)
 			}
+		case "rebalance":
+			ropt := rebalanceOptions{
+				Rate:          *rebalRate,
+				Ops:           *rebalOps,
+				Keyspace:      *rebalKeys,
+				MaxBatch:      *rebalBatch,
+				WindowBatches: *rebalWindow,
+				Seed:          *rebalSeed,
+				Out:           *rebalOut,
+			}
+			var err error
+			if ropt.Fleets, err = parseInts(*rebalDPUs); err != nil {
+				fatal(err)
+			}
+			if ropt.Skews, err = parseFloats(*rebalSkews); err != nil {
+				fatal(err)
+			}
+			if ropt.ReadPcts, err = parseInts(*rebalReads); err != nil {
+				fatal(err)
+			}
+			if _, err := runRebalance(ropt, os.Stdout); err != nil {
+				fatal(err)
+			}
 		case "tiers":
 			fmt.Printf("== §4.2.3 WRAM-metadata peak-throughput gains (NOrec unless noted) ==\n")
 			var gains []float64
@@ -199,12 +247,13 @@ func main() {
 			fmt.Printf("geometric mean:  %6.2fx   (paper: 2.86x over tx-heavy workloads, ~5%% for KMeans LC)\n",
 				geomean(gains))
 		default:
-			fatal(fmt.Errorf("unknown experiment %q", name))
+			fatal(fmt.Errorf("unknown experiment %q (valid: %s, all)",
+				name, strings.Join(experimentList, ", ")))
 		}
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"latency", "fig4", "fig5", "fig6", "fig9", "fig10", "tiers", "fig7", "fig8", "multidpu", "serve"} {
+		for _, name := range experimentList {
 			run(name)
 			fmt.Println()
 		}

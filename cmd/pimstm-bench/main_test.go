@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -80,6 +81,28 @@ func TestRunMultiDPU(t *testing.T) {
 	}
 	if report.SchemaVersion != 1 || report.Experiment != "multidpu" || len(report.Scenarios) != 2 {
 		t.Fatalf("artifact wrong: %+v", report)
+	}
+}
+
+// TestUnknownExperimentRejected: a typo'd -experiment must exit
+// non-zero and print the valid experiment list, not silently run
+// nothing useful.
+func TestUnknownExperimentRejected(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	cmd := exec.Command("go", "run", ".", "-experiment", "nosuch")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), `unknown experiment "nosuch"`) {
+		t.Fatalf("missing error message:\n%s", out)
+	}
+	for _, name := range experimentList {
+		if !strings.Contains(string(out), name) {
+			t.Fatalf("valid experiment %q not listed in:\n%s", name, out)
+		}
 	}
 }
 

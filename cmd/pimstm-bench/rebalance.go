@@ -1,0 +1,234 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pimstm/internal/core"
+	"pimstm/internal/host"
+)
+
+// rebalanceOptions parameterize the skew-adaptive placement sweep:
+// fleet size × key-popularity skew × read mix, each cell served twice
+// through the pipelined adaptive batcher — once on the static hash
+// placement, once on a Directory placement with the Rebalancer in the
+// loop — at the same open-loop arrival rate.
+//
+// The interesting regime is kernel-bound batches: MaxBatch is sized so
+// a Zipf-skewed batch's worst-case per-DPU bucket costs more kernel
+// time than the ~600 µs of transfer handshakes, which is exactly when
+// spreading hot reads over replicas and migrating hot keys off the
+// hottest DPU buys modeled throughput and tail latency.
+type rebalanceOptions struct {
+	// Fleets lists the DPU counts to sweep.
+	Fleets []int
+	// Skews are Zipf key-popularity exponents (0 = uniform).
+	Skews []float64
+	// ReadPcts lists the read mixes.
+	ReadPcts []int
+	// Rate is the open-loop arrival rate in ops per modeled second.
+	Rate float64
+	// Ops per scenario and the Keyspace they draw from.
+	Ops, Keyspace int
+	// MaxBatch and MaxDelaySeconds tune the adaptive batcher.
+	MaxBatch        int
+	MaxDelaySeconds float64
+	// WindowBatches is the rebalancer's decision window.
+	WindowBatches int
+	// Tasklets is the intra-DPU parallelism; Seed the traffic seed.
+	Tasklets int
+	Seed     uint64
+	// Out is the JSON artifact path ("" = don't write).
+	Out string
+}
+
+func (o *rebalanceOptions) fill() {
+	if len(o.Fleets) == 0 {
+		o.Fleets = []int{4, 8}
+	}
+	if len(o.Skews) == 0 {
+		o.Skews = []float64{0, 1.2}
+	}
+	if len(o.ReadPcts) == 0 {
+		o.ReadPcts = []int{99, 50}
+	}
+	if o.Rate == 0 {
+		o.Rate = 3e6
+	}
+	if o.Ops == 0 {
+		o.Ops = 38400
+	}
+	if o.Keyspace == 0 {
+		o.Keyspace = 10240
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 2560
+	}
+	if o.MaxDelaySeconds == 0 {
+		// Large enough that MaxBatch, not the delay bound, shapes the
+		// batches at the default rate: the experiment studies placement
+		// under kernel-bound batches, not thin delay-flushed ones.
+		o.MaxDelaySeconds = 2e-3
+	}
+	if o.WindowBatches == 0 {
+		o.WindowBatches = 3
+	}
+	if o.Tasklets == 0 {
+		o.Tasklets = 11
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// rebalancePlacement is one placement's modeled outcome of a cell.
+type rebalancePlacement struct {
+	OpsPerSecond float64 `json:"ops_per_s"`
+	P50Seconds   float64 `json:"p50_s"`
+	P95Seconds   float64 `json:"p95_s"`
+	P99Seconds   float64 `json:"p99_s"`
+	Batches      int     `json:"batches"`
+	Makespan     float64 `json:"makespan_s"`
+}
+
+// rebalanceControl reports what the control plane did in a cell.
+type rebalanceControl struct {
+	WindowsEvaluated int `json:"windows_evaluated"`
+	WindowsActed     int `json:"windows_acted"`
+	KeysReplicated   int `json:"keys_replicated"`
+	KeysMigrated     int `json:"keys_migrated"`
+}
+
+// rebalanceScenario is one machine-readable cell of
+// BENCH_rebalance.json.
+type rebalanceScenario struct {
+	DPUs          int                `json:"dpus"`
+	ReadPct       int                `json:"read_pct"`
+	ZipfS         float64            `json:"zipf_s"`
+	RatePerSecond float64            `json:"rate_ops_per_s"`
+	Ops           int                `json:"ops"`
+	MaxBatch      int                `json:"max_batch"`
+	Static        rebalancePlacement `json:"static"`
+	Directory     rebalancePlacement `json:"directory"`
+	Control       rebalanceControl   `json:"control"`
+	// P99Gain is static p99 over directory p99, OpsGain directory
+	// ops/s over static ops/s (> 1 = adaptive placement wins).
+	P99Gain float64 `json:"p99_gain"`
+	OpsGain float64 `json:"ops_gain"`
+}
+
+// rebalanceReport is the top-level JSON artifact.
+type rebalanceReport struct {
+	SchemaVersion int                 `json:"schema_version"`
+	Experiment    string              `json:"experiment"`
+	Scenarios     []rebalanceScenario `json:"scenarios"`
+}
+
+// runRebalanceCell serves one cell's trace under both placements.
+func runRebalanceCell(dpus int, skew float64, readPct int, opt rebalanceOptions) (rebalanceScenario, error) {
+	serve := func(placement host.Placement, reb *host.RebalancerConfig) (host.ServeResult, error) {
+		return host.Serve(host.ServeConfig{
+			Map: host.PartitionedMapConfig{
+				DPUs: dpus, Tasklets: opt.Tasklets,
+				STM:       core.Config{Algorithm: core.NOrec},
+				Mode:      host.Pipelined,
+				Placement: placement,
+			},
+			Submit: host.SubmitterConfig{
+				MaxBatch:        opt.MaxBatch,
+				MaxDelaySeconds: opt.MaxDelaySeconds,
+			},
+			Traffic: host.TrafficConfig{
+				Ops: opt.Ops, Rate: opt.Rate, ReadPct: readPct,
+				Keyspace: opt.Keyspace, ZipfS: skew, Seed: opt.Seed,
+			},
+			Rebalance: reb,
+		})
+	}
+	static, err := serve(nil, nil)
+	if err != nil {
+		return rebalanceScenario{}, err
+	}
+	rebCfg := host.KernelBoundServingRebalance(opt.WindowBatches)
+	adaptive, err := serve(host.NewDirectory(dpus), &rebCfg)
+	if err != nil {
+		return rebalanceScenario{}, err
+	}
+	if static.Errors > 0 || adaptive.Errors > 0 {
+		return rebalanceScenario{}, fmt.Errorf("%d/%d ops errored", static.Errors+adaptive.Errors, 2*opt.Ops)
+	}
+	pack := func(r host.ServeResult) rebalancePlacement {
+		return rebalancePlacement{
+			OpsPerSecond: r.OpsPerSecond,
+			P50Seconds:   r.P50, P95Seconds: r.P95, P99Seconds: r.P99,
+			Batches: r.Batches, Makespan: r.MakespanSeconds,
+		}
+	}
+	sc := rebalanceScenario{
+		DPUs: dpus, ReadPct: readPct, ZipfS: skew,
+		RatePerSecond: opt.Rate, Ops: opt.Ops, MaxBatch: opt.MaxBatch,
+		Static: pack(static), Directory: pack(adaptive),
+		Control: rebalanceControl{
+			WindowsEvaluated: adaptive.Rebalance.WindowsEvaluated,
+			WindowsActed:     adaptive.Rebalance.WindowsActed,
+			KeysReplicated:   adaptive.Rebalance.KeysReplicated,
+			KeysMigrated:     adaptive.Rebalance.KeysMigrated,
+		},
+	}
+	if adaptive.P99 > 0 {
+		sc.P99Gain = static.P99 / adaptive.P99
+	}
+	if static.OpsPerSecond > 0 {
+		sc.OpsGain = adaptive.OpsPerSecond / static.OpsPerSecond
+	}
+	return sc, nil
+}
+
+// runRebalance sweeps fleet × skew × read mix, renders the table to w,
+// and writes BENCH_rebalance.json when opt.Out is set.
+func runRebalance(opt rebalanceOptions, w io.Writer) ([]rebalanceScenario, error) {
+	opt.fill()
+	var scenarios []rebalanceScenario
+	for _, n := range opt.Fleets {
+		for _, skew := range opt.Skews {
+			for _, pct := range opt.ReadPcts {
+				sc, err := runRebalanceCell(n, skew, pct, opt)
+				if err != nil {
+					return nil, fmt.Errorf("rebalance %d DPUs zipf %g %d%% reads: %w", n, skew, pct, err)
+				}
+				scenarios = append(scenarios, sc)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "== rebalance: static hash vs directory placement with hot-key rebalancing (%d ops/cell, batch ≤ %d, %.0f ops/s open loop) ==\n",
+		opt.Ops, opt.MaxBatch, opt.Rate)
+	fmt.Fprintf(w, "%6s %6s %5s %13s %13s %8s %13s %13s %8s %5s %5s\n",
+		"#DPUs", "reads", "zipf", "static ops/s", "dir ops/s", "gain",
+		"static p99ms", "dir p99ms", "gain", "repl", "migr")
+	for _, sc := range scenarios {
+		fmt.Fprintf(w, "%6d %5d%% %5.2f %13.0f %13.0f %7.2fx %13.3f %13.3f %7.2fx %5d %5d\n",
+			sc.DPUs, sc.ReadPct, sc.ZipfS,
+			sc.Static.OpsPerSecond, sc.Directory.OpsPerSecond, sc.OpsGain,
+			sc.Static.P99Seconds*1e3, sc.Directory.P99Seconds*1e3, sc.P99Gain,
+			sc.Control.KeysReplicated, sc.Control.KeysMigrated)
+	}
+
+	if opt.Out != "" {
+		blob, err := json.MarshalIndent(rebalanceReport{
+			SchemaVersion: 1,
+			Experiment:    "rebalance",
+			Scenarios:     scenarios,
+		}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opt.Out, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s (%d scenarios)\n", opt.Out, len(scenarios))
+	}
+	return scenarios, nil
+}

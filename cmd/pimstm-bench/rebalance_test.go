@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunRebalance is the acceptance gate for the skew-adaptive
+// placement experiment, on a miniature version of the artifact sweep:
+// the directory placement with rebalancing must beat static hash on
+// both ops/s and p99 at Zipf 1.2 on the read-heavy mix, and must match
+// it exactly on uniform traffic (the hysteresis guarantee — no actions,
+// identical routing, identical numbers).
+func TestRunRebalance(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_rebalance.json")
+	var sb strings.Builder
+	scenarios, err := runRebalance(rebalanceOptions{
+		Fleets:   []int{4},
+		Skews:    []float64{0, 1.2},
+		ReadPcts: []int{99},
+		Rate:     1.2e6,
+		Ops:      7680,
+		Keyspace: 2560,
+		MaxBatch: 768,
+		Out:      out,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 2 {
+		t.Fatalf("scenarios = %d", len(scenarios))
+	}
+	for _, sc := range scenarios {
+		if sc.ZipfS == 0 {
+			// Uniform: the trigger never fires, the directory stays
+			// empty, and both placements route identically.
+			if sc.Control.WindowsActed != 0 || sc.Control.KeysReplicated != 0 || sc.Control.KeysMigrated != 0 {
+				t.Fatalf("uniform cell churned: %+v", sc.Control)
+			}
+			if sc.Static != sc.Directory {
+				t.Fatalf("uniform cell diverged:\nstatic    %+v\ndirectory %+v", sc.Static, sc.Directory)
+			}
+			continue
+		}
+		// Skewed read-heavy: the adaptive placement must win both ways,
+		// with the win paid for by real control-plane actions.
+		if sc.OpsGain <= 1 {
+			t.Fatalf("zipf %.1f: directory ops/s gain %.3fx, want > 1", sc.ZipfS, sc.OpsGain)
+		}
+		if sc.P99Gain <= 1 {
+			t.Fatalf("zipf %.1f: directory p99 gain %.3fx, want > 1", sc.ZipfS, sc.P99Gain)
+		}
+		if sc.Control.WindowsActed == 0 || sc.Control.KeysReplicated == 0 {
+			t.Fatalf("skewed cell won without acting: %+v", sc.Control)
+		}
+	}
+	if !strings.Contains(sb.String(), "rebalance") {
+		t.Fatalf("table incomplete:\n%s", sb.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report rebalanceReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.SchemaVersion != 1 || report.Experiment != "rebalance" || len(report.Scenarios) != 2 {
+		t.Fatalf("artifact wrong: %+v", report)
+	}
+}

@@ -1,0 +1,234 @@
+package host
+
+import (
+	"fmt"
+	"testing"
+
+	"pimstm/internal/core"
+)
+
+// The differential safety net for the placement refactor: randomized
+// op/transfer streams run through a PartitionedMap under every
+// placement — static hash, directory, directory with an aggressive
+// rebalancer forcing replication, and one forcing migration — and every
+// result must match a plain host-side reference map. Batches use
+// distinct keys (each op in a batch is an independent concurrent
+// transaction, so same-key intra-batch order is unspecified by design);
+// transfers may repeat keys freely because ApplyTransfers applies them
+// in order.
+
+// diffStep is one step of a generated stream.
+type diffStep struct {
+	ops []Op
+	ts  []Transfer
+}
+
+// genStream builds a deterministic randomized stream over the keyspace.
+func genStream(seed uint64, steps, keyspace int) []diffStep {
+	rng := Rand64(seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+	// Zipf-ish key picker: half the draws concentrate on 4 hot keys so
+	// the rebalancing variants actually act.
+	pick := func() uint64 {
+		if rng.Next()%2 == 0 {
+			return rng.Next() % 4
+		}
+		return rng.Next() % uint64(keyspace)
+	}
+	out := make([]diffStep, steps)
+	for s := range out {
+		if rng.Next()%10 < 7 {
+			n := int(8 + rng.Next()%25)
+			used := make(map[uint64]bool)
+			var ops []Op
+			for len(ops) < n {
+				k := pick()
+				if used[k] {
+					continue
+				}
+				used[k] = true
+				switch rng.Next() % 10 {
+				case 0:
+					ops = append(ops, Op{Kind: OpDelete, Key: k})
+				case 1, 2, 3:
+					ops = append(ops, Op{Kind: OpPut, Key: k, Value: rng.Next() % 1000})
+				default:
+					ops = append(ops, Op{Kind: OpGet, Key: k})
+				}
+			}
+			out[s] = diffStep{ops: ops}
+			continue
+		}
+		n := int(1 + rng.Next()%6)
+		ts := make([]Transfer, n)
+		for i := range ts {
+			ts[i] = Transfer{From: pick(), To: pick(), Amount: rng.Next() % 200}
+		}
+		out[s] = diffStep{ts: ts}
+	}
+	return out
+}
+
+// refApply runs one step against the reference map, returning the
+// expected per-op results and transfer outcomes.
+func refApply(ref map[uint64]uint64, step diffStep) ([]OpResult, []bool) {
+	if step.ops != nil {
+		res := make([]OpResult, len(step.ops))
+		for i, op := range step.ops {
+			switch op.Kind {
+			case OpGet:
+				res[i].Value, res[i].OK = ref[op.Key], false
+				if _, ok := ref[op.Key]; ok {
+					res[i].OK = true
+				}
+			case OpPut:
+				_, exists := ref[op.Key]
+				ref[op.Key] = op.Value
+				res[i].OK = !exists
+			case OpDelete:
+				_, res[i].OK = ref[op.Key]
+				delete(ref, op.Key)
+			}
+		}
+		return res, nil
+	}
+	ok := make([]bool, len(step.ts))
+	for i, t := range step.ts {
+		from, fok := ref[t.From]
+		_, tok := ref[t.To]
+		if !fok || !tok || from < t.Amount {
+			continue
+		}
+		ref[t.From] -= t.Amount
+		ref[t.To] += t.Amount
+		ok[i] = true
+	}
+	return nil, ok
+}
+
+func TestDifferentialPlacements(t *testing.T) {
+	const (
+		dpus     = 4
+		keyspace = 48
+		steps    = 30
+	)
+	variants := []struct {
+		name  string
+		build func() (*PartitionedMap, error)
+	}{
+		{"static", func() (*PartitionedMap, error) {
+			return NewPartitionedMap(PartitionedMapConfig{
+				DPUs: dpus, Buckets: 64, Capacity: 512, Tasklets: 4,
+				STM: core.Config{Algorithm: core.NOrec},
+			})
+		}},
+		{"directory", func() (*PartitionedMap, error) {
+			return NewPartitionedMap(PartitionedMapConfig{
+				DPUs: dpus, Buckets: 64, Capacity: 512, Tasklets: 4,
+				STM: core.Config{Algorithm: core.NOrec}, Placement: NewDirectory(dpus),
+			})
+		}},
+		// Aggressive control planes: tiny windows, no per-key floor to
+		// speak of, and a write-share split forcing one variant to
+		// replicate everything hot and the other to migrate it.
+		{"directory+replicate", func() (*PartitionedMap, error) {
+			pm, err := NewPartitionedMap(PartitionedMapConfig{
+				DPUs: dpus, Buckets: 64, Capacity: 512, Tasklets: 4,
+				STM: core.Config{Algorithm: core.NOrec}, Placement: NewDirectory(dpus),
+			})
+			if err != nil {
+				return nil, err
+			}
+			_, err = NewRebalancer(pm, RebalancerConfig{
+				WindowBatches: 2, TopK: 4, MinKeyOps: 2, Trigger: 1.01,
+				Replicas: 2, ReplicateMaxWriteShare: 1.0, CooldownWindows: 1,
+			})
+			return pm, err
+		}},
+		{"directory+migrate", func() (*PartitionedMap, error) {
+			pm, err := NewPartitionedMap(PartitionedMapConfig{
+				DPUs: dpus, Buckets: 64, Capacity: 512, Tasklets: 4,
+				STM: core.Config{Algorithm: core.NOrec}, Placement: NewDirectory(dpus),
+			})
+			if err != nil {
+				return nil, err
+			}
+			_, err = NewRebalancer(pm, RebalancerConfig{
+				WindowBatches: 2, TopK: 4, MinKeyOps: 2, Trigger: 1.01,
+				Replicas: 2, ReplicateMaxWriteShare: 1e-9, CooldownWindows: 1,
+			})
+			return pm, err
+		}},
+	}
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		stream := genStream(seed, steps, keyspace)
+		for _, v := range variants {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, v.name), func(t *testing.T) {
+				pm, err := v.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := make(map[uint64]uint64)
+				for si, step := range stream {
+					wantRes, wantOK := refApply(ref, step)
+					if step.ops != nil {
+						got, err := pm.ApplyBatch(step.ops)
+						if err != nil {
+							t.Fatalf("step %d: %v", si, err)
+						}
+						for i := range got {
+							if got[i].Err != nil {
+								t.Fatalf("step %d op %d errored: %v", si, i, got[i].Err)
+							}
+							if got[i] != wantRes[i] {
+								t.Fatalf("step %d op %d (%+v): got %+v want %+v",
+									si, i, step.ops[i], got[i], wantRes[i])
+							}
+						}
+						if _, err := pm.MaybeRebalance(); err != nil {
+							t.Fatalf("step %d rebalance: %v", si, err)
+						}
+					} else {
+						got, err := pm.ApplyTransfers(step.ts)
+						if err != nil {
+							t.Fatalf("step %d: %v", si, err)
+						}
+						for i := range got {
+							if got[i] != wantOK[i] {
+								t.Fatalf("step %d transfer %d (%+v): got %v want %v",
+									si, i, step.ts[i], got[i], wantOK[i])
+							}
+						}
+					}
+				}
+				// Final state: every key agrees with the reference.
+				if pm.Len() != len(ref) {
+					t.Fatalf("final len %d, reference %d", pm.Len(), len(ref))
+				}
+				for k := uint64(0); k < keyspace; k++ {
+					want, wantOK := ref[k]
+					got, gotOK := pm.Get(k)
+					if gotOK != wantOK || (gotOK && got != want) {
+						t.Fatalf("final key %d: got %d,%v want %d,%v", k, got, gotOK, want, wantOK)
+					}
+				}
+				// Replicated reads agree too: one more all-Get pass.
+				var gets []Op
+				for k := uint64(0); k < keyspace; k++ {
+					gets = append(gets, Op{Kind: OpGet, Key: k})
+				}
+				res, err := pm.ApplyBatch(gets)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k := uint64(0); k < keyspace; k++ {
+					want, wantOK := ref[k]
+					if res[k].OK != wantOK || (wantOK && res[k].Value != want) {
+						t.Fatalf("replicated read of key %d: got %d,%v want %d,%v",
+							k, res[k].Value, res[k].OK, want, wantOK)
+					}
+				}
+			})
+		}
+	}
+}

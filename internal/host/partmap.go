@@ -3,6 +3,7 @@ package host
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pimstm/internal/core"
 	"pimstm/internal/dpu"
@@ -11,21 +12,30 @@ import (
 
 // PartitionedMap is a key-value store distributed across a fleet of
 // DPUs — the data-structure direction the paper's §5 sketches as future
-// work. Keys are routed to their owner DPU by hash; operations on keys
-// of one DPU run as transactions inside that DPU (PIM-STM regulates the
-// intra-DPU concurrency); operations spanning DPUs are coordinated by
-// the CPU while the involved DPUs are idle, exactly as §3.1 describes —
-// but coalesced per quiescent window into batched transfers instead of
+// work. Keys are routed to their owner DPU by a pluggable Placement
+// (static hash by default, an adaptive Directory with migration and
+// read replicas optionally); operations on keys of one DPU run as
+// transactions inside that DPU (PIM-STM regulates the intra-DPU
+// concurrency); operations spanning DPUs are coordinated by the CPU
+// while the involved DPUs are idle, exactly as §3.1 describes — but
+// coalesced per quiescent window into batched transfers instead of
 // issued one 331 µs CPU-mediated word at a time.
 //
 // The store processes operations in batches through a Fleet, matching
 // the UPMEM execution model: the CPU may only touch DPU memory between
-// kernel launches, so it buckets a batch by owner DPU, launches one
+// kernel launches, so it buckets a batch by target DPU, launches one
 // program per involved DPU that applies its share with tasklet
 // parallelism, and charges the scatter/gather through the fleet's
 // transfer pipeline. In Pipelined mode consecutive batches overlap:
 // while the fleet executes batch b, the host streams batch b+1 down and
 // batch b-1's results up.
+//
+// With a Directory placement, replica maintenance rides the same
+// machinery: reads of a replicated key spread over the owner and its
+// fresh copies, writes invalidate or update the copies through shadow
+// operations coalesced into the batch's own round, and stale copies are
+// refreshed by shadow writes in a later batch — so replication is never
+// modeled as free.
 type PartitionedMap struct {
 	fleet *Fleet
 	tms   []*core.TM
@@ -33,9 +43,17 @@ type PartitionedMap struct {
 
 	tasklets int
 
-	// BatchSeconds mirrors the fleet's modeled wall clock after every
-	// operation (kept as a field for convenience; see Stats for the
-	// full launch/transfer/quiescent breakdown).
+	place Placement
+	// dir is place when it is a *Directory (nil otherwise); the data
+	// plane needs the mutable view to maintain replica freshness.
+	dir *Directory
+	// reb, when attached, observes every applied batch and acts
+	// between quiescent windows (see MaybeRebalance).
+	reb *Rebalancer
+
+	// BatchSeconds is the modeled wall-clock delta of the last
+	// ApplyBatch/ApplyTransfers call (what that batch added to the
+	// fleet clock; see Stats for the cumulative breakdown).
 	BatchSeconds float64
 }
 
@@ -55,6 +73,10 @@ type PartitionedMapConfig struct {
 	Mode ExecMode
 	// MRAMSize per DPU; 0 = 8 MiB.
 	MRAMSize int
+	// Placement routes keys to DPUs (nil = NewStaticHash(DPUs), the
+	// seed behavior). Pass a *Directory to enable per-key overrides
+	// and hot-key read replicas.
+	Placement Placement
 }
 
 // OpKind selects a batch operation.
@@ -91,6 +113,19 @@ type Transfer struct {
 	Amount   uint64
 }
 
+// routedOp is one operation bucketed onto a DPU: a client op carrying
+// its result index, or a replica-maintenance shadow op (ri < 0) —
+// an invalidation delete, a write-through update or a stale-copy
+// refresh riding the batch's scatter. grouped ops (the puts of a
+// replicated key) are pinned to one tasklet in batch order, so the
+// owner's final value is the batch's last put — the value the copies
+// are written with.
+type routedOp struct {
+	op      Op
+	ri      int
+	grouped bool
+}
+
 // NewPartitionedMap builds a store over cfg.DPUs simulated DPUs. The
 // fleet is always exact (every DPU simulated) because the stored data
 // must be numerically correct.
@@ -104,11 +139,19 @@ func NewPartitionedMap(cfg PartitionedMapConfig) (*PartitionedMap, error) {
 	if cfg.MRAMSize == 0 {
 		cfg.MRAMSize = 8 << 20
 	}
+	if cfg.Placement == nil {
+		cfg.Placement = NewStaticHash(cfg.DPUs)
+	}
+	if err := validatePlacement(cfg.Placement, cfg.DPUs); err != nil {
+		return nil, err
+	}
 	pm := &PartitionedMap{
 		tasklets: cfg.Tasklets,
 		tms:      make([]*core.TM, cfg.DPUs),
 		maps:     make([]*structures.Map, cfg.DPUs),
+		place:    cfg.Placement,
 	}
+	pm.dir, _ = cfg.Placement.(*Directory)
 	fleet, err := NewFleet(
 		FleetOptions{DPUs: cfg.DPUs, Tasklets: cfg.Tasklets, Exact: true},
 		cfg.Mode,
@@ -136,38 +179,179 @@ func NewPartitionedMap(cfg PartitionedMapConfig) (*PartitionedMap, error) {
 // DPUs returns the fleet size.
 func (pm *PartitionedMap) DPUs() int { return pm.fleet.Size() }
 
+// Placement returns the routing policy the store was built with.
+func (pm *PartitionedMap) Placement() Placement { return pm.place }
+
 // Stats snapshots the fleet's modeled timing (launch, transfer,
 // quiescent-window and wall seconds, plus the lockstep-equivalent cost
 // for pipeline-gain comparisons).
 func (pm *PartitionedMap) Stats() FleetStats { return pm.fleet.Stats() }
 
-// owner routes a key to its DPU.
-func (pm *PartitionedMap) owner(key uint64) int {
-	h := key
-	h ^= h >> 33
-	h *= 0xFF51AFD7ED558CCD
-	h ^= h >> 33
-	return int(h % uint64(len(pm.maps)))
+// owner routes a key to its authoritative DPU.
+func (pm *PartitionedMap) owner(key uint64) int { return pm.place.Owner(key) }
+
+// batchPlan is what routeBatch hands ApplyBatch: the per-DPU buckets
+// plus the directory mutations to apply once the round has succeeded
+// (mutating the directory before the shadow ops physically ran would
+// leave it ahead of DPU state if the round errors).
+type batchPlan struct {
+	perDPU map[int][]routedOp
+	// dropAfter keys lose their replica bookkeeping (the round deleted
+	// the copies); freshAfter keys become fresh (the round wrote the
+	// copies); throughPut keys were written through and must re-stale
+	// if their owner put errored.
+	dropAfter, freshAfter []uint64
+	throughPut            map[uint64]bool
+}
+
+// routeBatch buckets a batch by target DPU, spreading reads of
+// replicated keys over the owner and its fresh copies, and appends the
+// replica-maintenance shadow ops the batch implies (invalidation
+// deletes, write-through updates, stale refreshes).
+func (pm *PartitionedMap) routeBatch(ops []Op) batchPlan {
+	plan := batchPlan{perDPU: make(map[int][]routedOp)}
+	perDPU := plan.perDPU
+	if pm.dir == nil {
+		for i, op := range ops {
+			o := pm.place.Owner(op.Key)
+			perDPU[o] = append(perDPU[o], routedOp{op: op, ri: i})
+		}
+		return plan
+	}
+
+	// Pass 1: which keys does this batch write, and how? lastPut is the
+	// batch's final put value per key — the value write-through carries
+	// to the copies.
+	puts := make(map[uint64]int)
+	lastPut := make(map[uint64]uint64)
+	dels := make(map[uint64]bool)
+	for _, op := range ops {
+		switch op.Kind {
+		case OpPut:
+			puts[op.Key]++
+			lastPut[op.Key] = op.Value
+		case OpDelete:
+			dels[op.Key] = true
+		}
+	}
+	written := func(k uint64) bool { return puts[k] > 0 || dels[k] }
+
+	// Pass 2: route the client ops. Reads of a replicated key that was
+	// fresh at batch start round-robin over the owner and its copies —
+	// concurrent puts are fine (a read serializes before or after them
+	// either way, and pass 3 keeps the end states converged), but a
+	// delete pins the key's reads to the owner, and a stale entry
+	// (hidden by Replicas) pins them too, because a stale copy would
+	// leak a value overwritten in an earlier batch. Puts of a
+	// replicated key are grouped onto one owner tasklet so the batch
+	// order decides the final value deterministically.
+	for i, op := range ops {
+		o := pm.place.Owner(op.Key)
+		ro := routedOp{op: op, ri: i}
+		switch op.Kind {
+		case OpGet:
+			if !dels[op.Key] {
+				if reps := pm.place.Replicas(op.Key); len(reps) > 0 {
+					if t := i % (len(reps) + 1); t > 0 {
+						o = reps[t-1]
+					}
+				}
+			}
+		case OpPut:
+			ro.grouped = puts[op.Key] > 1 && len(pm.dir.allReplicas(op.Key)) > 0 && !dels[op.Key]
+		}
+		perDPU[o] = append(perDPU[o], ro)
+	}
+
+	// Pass 3: shadow ops for written replicated keys, coalesced into
+	// this batch's round. A delete anywhere invalidates (the copies are
+	// deleted and forgotten); puts write through — the copies get the
+	// batch's last put value, which pass 2's grouping guarantees is
+	// also the owner's final value — and stay fresh.
+	plan.throughPut = make(map[uint64]bool)
+	for _, k := range writtenKeys(puts, dels) {
+		copies := pm.dir.allReplicas(k)
+		if len(copies) == 0 {
+			continue
+		}
+		if dels[k] {
+			for _, r := range copies {
+				perDPU[r] = append(perDPU[r], routedOp{op: Op{Kind: OpDelete, Key: k}, ri: -1})
+			}
+			plan.dropAfter = append(plan.dropAfter, k)
+			continue
+		}
+		for _, r := range copies {
+			perDPU[r] = append(perDPU[r], routedOp{op: Op{Kind: OpPut, Key: k, Value: lastPut[k]}, ri: -1})
+		}
+		// Owner and copies converge on lastPut[k], so a stale entry
+		// becomes fresh again for free.
+		plan.freshAfter = append(plan.freshAfter, k)
+		plan.throughPut[k] = true
+	}
+
+	// Pass 4: refresh the stale copies this batch does not write, with
+	// the owner's pre-batch value read in the quiescent window. Their
+	// reads stayed on the owner in pass 2 (Replicas hides stale
+	// entries), so the refresh commits race-free.
+	for _, k := range pm.dir.staleKeys() {
+		if written(k) {
+			continue
+		}
+		v, ok := pm.hostGet(pm.place.Owner(k), k)
+		copies := pm.dir.allReplicas(k)
+		if !ok {
+			// The owner lost the key (a failed write path); delete the
+			// orphan copies rather than resurrect them.
+			for _, r := range copies {
+				perDPU[r] = append(perDPU[r], routedOp{op: Op{Kind: OpDelete, Key: k}, ri: -1})
+			}
+			plan.dropAfter = append(plan.dropAfter, k)
+			continue
+		}
+		for _, r := range copies {
+			perDPU[r] = append(perDPU[r], routedOp{op: Op{Kind: OpPut, Key: k, Value: v}, ri: -1})
+		}
+		plan.freshAfter = append(plan.freshAfter, k)
+	}
+	return plan
+}
+
+// writtenKeys merges the put and delete key sets, ascending.
+func writtenKeys(puts map[uint64]int, dels map[uint64]bool) []uint64 {
+	seen := make(map[uint64]bool, len(puts)+len(dels))
+	for k := range puts {
+		seen[k] = true
+	}
+	for k := range dels {
+		seen[k] = true
+	}
+	return sortedKeys(seen)
 }
 
 // ApplyBatch routes the batch, launches one program per involved DPU
 // through the fleet pipeline, and returns per-op results in order.
 // Results are functionally valid immediately; on the modeled clock the
-// batch's gather may still be in flight (Pipelined mode) — Stats and
-// BatchSeconds always account for the drain.
+// batch's gather may still be in flight (Pipelined mode) — Stats always
+// accounts for the drain, and BatchSeconds reports this batch's delta.
 func (pm *PartitionedMap) ApplyBatch(ops []Op) ([]OpResult, error) {
+	wallBefore := pm.fleet.Stats().WallSeconds
 	results := make([]OpResult, len(ops))
-	perDPU := make(map[int][]int) // dpu → indices into ops
-	for i, op := range ops {
-		o := pm.owner(op.Key)
-		perDPU[o] = append(perDPU[o], i)
-	}
+	plan := pm.routeBatch(ops)
+	perDPU := plan.perDPU
 	involved := sortedKeys(perDPU)
+
+	// Shadow-op put failures (a replica map out of capacity) leave that
+	// copy behind the owner; the programs record the keys so the
+	// directory can re-stale them after the round.
+	var shadowMu sync.Mutex
+	shadowFailed := make(map[uint64]bool)
 
 	// RoundSpec carries a per-involved-DPU payload and the round takes
 	// the slowest DPU either way, so charge the worst-case bucket: a
 	// skewed batch pays for its hot partition instead of averaging it
-	// away across the involved set.
+	// away across the involved set. Shadow ops are part of the bucket —
+	// replica maintenance is paid, not free.
 	maxOps := 0
 	for _, idxs := range perDPU {
 		if len(idxs) > maxOps {
@@ -189,30 +373,55 @@ func (pm *PartitionedMap) ApplyBatch(ops []Op) ([]OpResult, error) {
 			if n > len(idxs) {
 				n = len(idxs)
 			}
+			// Stripe ops over tasklets by position; grouped ops (the
+			// puts of one replicated key) are pinned to a single
+			// tasklet so they commit in batch order.
+			lists := make([][]int, n)
+			groupTasklet := make(map[uint64]int)
+			groups := 0
+			for j := range idxs {
+				if idxs[j].grouped {
+					ti, ok := groupTasklet[idxs[j].op.Key]
+					if !ok {
+						ti = groups % n
+						groupTasklet[idxs[j].op.Key] = ti
+						groups++
+					}
+					lists[ti] = append(lists[ti], j)
+					continue
+				}
+				lists[j%n] = append(lists[j%n], j)
+			}
 			progs := make([]func(*dpu.Tasklet), n)
 			for ti := 0; ti < n; ti++ {
-				mine := make([]int, 0, len(idxs)/n+1)
-				for j := ti; j < len(idxs); j += n {
-					mine = append(mine, idxs[j])
-				}
+				mine := lists[ti]
 				progs[ti] = func(t *dpu.Tasklet) {
 					tx := tm.NewTx(t)
-					for _, oi := range mine {
-						op := ops[oi]
+					for _, j := range mine {
+						ro := idxs[j]
+						op := ro.op
+						var res OpResult
 						switch op.Kind {
 						case OpGet:
 							tx.Atomic(func(tx *core.Tx) {
-								results[oi].Value, results[oi].OK = m.Get(tx, op.Key)
+								res.Value, res.OK = m.Get(tx, op.Key)
 							})
 						case OpPut:
 							tx.Atomic(func(tx *core.Tx) {
 								ins, err := m.Put(tx, op.Key, op.Value)
-								results[oi].OK, results[oi].Err = ins, err
+								res.OK, res.Err = ins, err
 							})
 						case OpDelete:
 							tx.Atomic(func(tx *core.Tx) {
-								results[oi].OK = m.Delete(tx, op.Key)
+								res.OK = m.Delete(tx, op.Key)
 							})
+						}
+						if ro.ri >= 0 {
+							results[ro.ri] = res
+						} else if res.Err != nil {
+							shadowMu.Lock()
+							shadowFailed[op.Key] = true
+							shadowMu.Unlock()
 						}
 					}
 				}
@@ -227,8 +436,46 @@ func (pm *PartitionedMap) ApplyBatch(ops []Op) ([]OpResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pm.BatchSeconds = pm.fleet.Stats().WallSeconds
+	if pm.dir != nil {
+		// The shadow ops physically ran; commit the deferred directory
+		// mutations, then re-stale any key whose copies or owner put
+		// failed (the copy set is behind or ahead of the owner — a
+		// later batch refreshes it from the owner).
+		for _, k := range plan.dropAfter {
+			pm.dir.dropReplicas(k)
+		}
+		for _, k := range plan.freshAfter {
+			pm.dir.markFresh(k)
+		}
+		for k := range shadowFailed {
+			pm.dir.markStale(k)
+		}
+		for i, op := range ops {
+			if op.Kind == OpPut && plan.throughPut[op.Key] && results[i].Err != nil {
+				pm.dir.markStale(op.Key)
+			}
+		}
+	}
+	if pm.reb != nil {
+		routed := make([]int, pm.fleet.Size())
+		for id, idxs := range perDPU {
+			routed[id] = len(idxs)
+		}
+		pm.reb.observe(ops, routed)
+	}
+	pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore
 	return results, nil
+}
+
+// MaybeRebalance runs one decision step of the attached Rebalancer if
+// its observation window is full, executing any promotions and
+// migrations as paid fleet rounds in the current quiescent window. It
+// reports whether the rebalancer acted. A no-op without a rebalancer.
+func (pm *PartitionedMap) MaybeRebalance() (bool, error) {
+	if pm.reb == nil {
+		return false, nil
+	}
+	return pm.reb.Step()
 }
 
 // ApplyTransfers executes a batch of cross-DPU atomic moves in one
@@ -237,12 +484,15 @@ func (pm *PartitionedMap) ApplyBatch(ops []Op) ([]OpResult, error) {
 // transfer, applies the read-modify-writes against that snapshot in
 // transfer order, and scatters the changed words back with one
 // writeback program per involved DPU. ok[i] reports whether transfer i
-// applied (both keys present and no underflow at its turn).
+// applied (both keys present and no underflow at its turn). Replica
+// copies of changed keys go stale and are refreshed by a later batch.
 func (pm *PartitionedMap) ApplyTransfers(ts []Transfer) ([]bool, error) {
 	ok := make([]bool, len(ts))
 	if len(ts) == 0 {
+		pm.BatchSeconds = 0
 		return ok, nil
 	}
+	wallBefore := pm.fleet.Stats().WallSeconds
 
 	// Collect the distinct keys per owner DPU.
 	keyDPU := make(map[uint64]int)
@@ -300,7 +550,7 @@ func (pm *PartitionedMap) ApplyTransfers(ts []Transfer) ([]bool, error) {
 		ok[i] = true
 	}
 	if len(dirty) == 0 {
-		pm.BatchSeconds = pm.fleet.Stats().WallSeconds // the gather still ran
+		pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore // the gather still ran
 		return ok, nil
 	}
 
@@ -352,7 +602,12 @@ func (pm *PartitionedMap) ApplyTransfers(ts []Transfer) ([]bool, error) {
 	}); err != nil {
 		return nil, err
 	}
-	pm.BatchSeconds = pm.fleet.Stats().WallSeconds
+	if pm.dir != nil {
+		for k := range dirty {
+			pm.dir.markStale(k)
+		}
+	}
+	pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore
 	return ok, nil
 }
 
@@ -368,6 +623,219 @@ func (pm *PartitionedMap) TransferBetween(keyFrom, keyTo, amount uint64) (bool, 
 	return ok[0], nil
 }
 
+// MigrateKeys rehomes each key to its destination DPU, as two modeled
+// fleet rounds in the current quiescent window: one coalesced gather of
+// the migrating 16-byte records from their source DPUs, then one
+// scatter round that writes each record on its destination and deletes
+// it from its source. Requires a Directory placement (the overrides
+// live there). Keys already home, or missing from their source, are
+// skipped. BatchSeconds reports the migration window's delta.
+func (pm *PartitionedMap) MigrateKeys(moves map[uint64]int) error {
+	return pm.ApplyPlacement(moves, nil)
+}
+
+// ReplicateKeys promotes each key to hot-key read replicas on the given
+// DPUs: one coalesced gather of the records from their owners, then one
+// scatter round writing the copies. Existing copies are rewritten too
+// (which is what refreshes a stale entry at promotion time), the owner
+// is never a copy of itself, and keys missing from their owner are
+// skipped. Requires a Directory placement. BatchSeconds reports the
+// promotion window's delta.
+func (pm *PartitionedMap) ReplicateKeys(reps map[uint64][]int) error {
+	return pm.ApplyPlacement(nil, reps)
+}
+
+// ApplyPlacement executes one coalesced placement change — key
+// migrations and replica promotions together — as exactly two modeled
+// fleet rounds: one gather of every touched record from its current
+// owner, one scatter round applying all destination puts, replica
+// copies and source deletes. Coalescing matters because each round
+// costs a ~300 µs handshake: the control plane pays two of them per
+// decision, not two per remedy. Requires a Directory placement.
+func (pm *PartitionedMap) ApplyPlacement(moves map[uint64]int, reps map[uint64][]int) error {
+	if pm.dir == nil {
+		return fmt.Errorf("host: placement changes need a Directory placement")
+	}
+	wallBefore := pm.fleet.Stats().WallSeconds
+	perSrc := make(map[int][]uint64)
+	srcOf := make(map[uint64]int)
+	targets := make(map[uint64][]int)
+	addSrc := func(k uint64) {
+		if _, seen := srcOf[k]; seen {
+			return
+		}
+		src := pm.owner(k)
+		srcOf[k] = src
+		perSrc[src] = append(perSrc[src], k)
+	}
+	for _, k := range sortedKeys(moves) {
+		dst := moves[k]
+		if dst < 0 || dst >= pm.fleet.Size() {
+			return fmt.Errorf("host: migration of key %d to DPU %d out of range", k, dst)
+		}
+		if pm.owner(k) == dst {
+			continue
+		}
+		addSrc(k)
+	}
+	for _, k := range sortedKeys(reps) {
+		owner := pm.owner(k)
+		if dst, moving := moves[k]; moving && dst != owner {
+			// One decision may not migrate and replicate the same key;
+			// the copy set would chase the moving owner.
+			return fmt.Errorf("host: key %d both migrated and replicated in one placement change", k)
+		}
+		set := make(map[int]bool)
+		for _, r := range pm.dir.allReplicas(k) {
+			set[r] = true
+		}
+		for _, r := range reps[k] {
+			if r < 0 || r >= pm.fleet.Size() {
+				return fmt.Errorf("host: replica of key %d on DPU %d out of range", k, r)
+			}
+			if r != owner {
+				set[r] = true
+			}
+		}
+		if len(set) == 0 {
+			continue
+		}
+		targets[k] = sortedKeys(set)
+		addSrc(k)
+	}
+	if len(srcOf) == 0 {
+		pm.BatchSeconds = 0
+		return nil
+	}
+	vals, err := pm.gatherRecords(perSrc)
+	if err != nil {
+		return err
+	}
+
+	putOn := make(map[int][]uint64)
+	delOn := make(map[int][]uint64)
+	moved := make(map[uint64]int)
+	copied := make(map[uint64][]int)
+	for _, k := range sortedKeys(srcOf) {
+		if _, ok := vals[k]; !ok {
+			continue // key vanished from its owner; nothing to move or copy
+		}
+		if dst, moving := moves[k]; moving && dst != srcOf[k] {
+			putOn[dst] = append(putOn[dst], k)
+			delOn[srcOf[k]] = append(delOn[srcOf[k]], k)
+			moved[k] = dst
+		}
+		if set, ok := targets[k]; ok {
+			for _, r := range set {
+				putOn[r] = append(putOn[r], k)
+			}
+			copied[k] = set
+		}
+	}
+	if len(moved) == 0 && len(copied) == 0 {
+		pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore
+		return nil
+	}
+	if err := pm.mutateRound(putOn, vals, delOn); err != nil {
+		return err
+	}
+	for k, dst := range moved {
+		pm.dir.setOwner(k, dst)
+	}
+	for k, set := range copied {
+		pm.dir.setReplicas(k, set)
+	}
+	pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore
+	return nil
+}
+
+// gatherRecords runs one coalesced gather round over the per-source key
+// lists and returns the values read host-side in the quiescent window.
+// Keys missing from their source are absent from the result.
+func (pm *PartitionedMap) gatherRecords(perSrc map[int][]uint64) (map[uint64]uint64, error) {
+	srcIDs := sortedKeys(perSrc)
+	maxRec := 0
+	for _, ks := range perSrc {
+		if len(ks) > maxRec {
+			maxRec = len(ks)
+		}
+	}
+	if err := pm.fleet.Round(RoundSpec{
+		Involved:    len(srcIDs),
+		GatherBytes: 16 * maxRec,
+	}); err != nil {
+		return nil, err
+	}
+	vals := make(map[uint64]uint64)
+	for _, id := range srcIDs {
+		want := make(map[uint64]bool, len(perSrc[id]))
+		for _, k := range perSrc[id] {
+			want[k] = true
+		}
+		pm.maps[id].Walk(pm.fleet.DPU(id), func(k, v uint64) {
+			if want[k] {
+				vals[k] = v
+			}
+		})
+	}
+	return vals, nil
+}
+
+// mutateRound runs one scatter round that puts vals[k] for every key of
+// putOn[id] and deletes every key of delOn[id], one coalesced program
+// per involved DPU. The per-DPU payload is 16 bytes per put record and
+// 8 bytes per delete message; the round charges the worst-case DPU.
+func (pm *PartitionedMap) mutateRound(putOn map[int][]uint64, vals map[uint64]uint64, delOn map[int][]uint64) error {
+	ids := make(map[int]bool)
+	maxBytes := 0
+	for id := range putOn {
+		ids[id] = true
+	}
+	for id := range delOn {
+		ids[id] = true
+	}
+	involved := sortedKeys(ids)
+	for _, id := range involved {
+		if b := 16*len(putOn[id]) + 8*len(delOn[id]); b > maxBytes {
+			maxBytes = b
+		}
+	}
+	return pm.fleet.Round(RoundSpec{
+		Involved:     len(involved),
+		ScatterBytes: maxBytes,
+		IDs:          involved,
+		Program: func(id int, d *dpu.DPU) (float64, error) {
+			tm := pm.tms[id]
+			m := pm.maps[id]
+			puts, dels := putOn[id], delOn[id]
+			d.ResetRun()
+			var putErr error
+			cycles, err := d.Run([]func(*dpu.Tasklet){func(t *dpu.Tasklet) {
+				tx := tm.NewTx(t)
+				tx.Atomic(func(tx *core.Tx) {
+					putErr = nil // fresh attempt after an abort
+					for _, k := range puts {
+						if _, err := m.Put(tx, k, vals[k]); err != nil {
+							putErr = err
+							return
+						}
+					}
+					for _, k := range dels {
+						m.Delete(tx, k)
+					}
+				})
+			}})
+			if err != nil {
+				return 0, err
+			}
+			if putErr != nil {
+				return 0, fmt.Errorf("host: placement mutation on dpu %d: %w", id, putErr)
+			}
+			return d.Seconds(cycles), nil
+		},
+	})
+}
+
 // hostGet reads a key directly from an idle DPU.
 func (pm *PartitionedMap) hostGet(id int, key uint64) (uint64, bool) {
 	var v uint64
@@ -380,16 +848,21 @@ func (pm *PartitionedMap) hostGet(id int, key uint64) (uint64, bool) {
 	return v, ok
 }
 
-// Get reads a key from the host (between batches).
+// Get reads a key from the host (between batches), always from its
+// authoritative owner.
 func (pm *PartitionedMap) Get(key uint64) (uint64, bool) {
 	return pm.hostGet(pm.owner(key), key)
 }
 
-// Len sums the sizes of every partition.
+// Len counts the distinct keys stored: the sizes of every partition
+// minus the physical replica copies the directory tracks.
 func (pm *PartitionedMap) Len() int {
 	n := 0
 	for i, m := range pm.maps {
 		n += m.Len(pm.fleet.DPU(i))
+	}
+	if pm.dir != nil {
+		n -= pm.dir.replicaCopies()
 	}
 	return n
 }

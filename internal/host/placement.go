@@ -1,0 +1,261 @@
+package host
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement routes keys to DPUs for a PartitionedMap. The data plane
+// asks three questions: how many DPUs the policy routes over, which DPU
+// holds the authoritative copy of a key, and which additional DPUs (if
+// any) currently hold a read-serviceable replica. Writes always go to
+// the owner; reads may be spread over the owner and its replicas.
+//
+// Implementations must be deterministic pure functions of their own
+// state — routing is part of the modeled schedule, and the bench
+// artifacts are byte-reproducible only if routing is too.
+type Placement interface {
+	// Size is the fleet size the placement routes over.
+	Size() int
+	// Owner is the authoritative home DPU of key.
+	Owner(key uint64) int
+	// Replicas lists the DPUs besides the owner that currently hold a
+	// valid read replica of key (nil for unreplicated keys). The
+	// returned slice is owned by the placement and must not be mutated.
+	//
+	// Replica maintenance (write-through, invalidation, refresh) is a
+	// protocol between PartitionedMap and *Directory specifically;
+	// other implementations must return nil here — a custom placement
+	// customizes ownership routing only, never replication.
+	Replicas(key uint64) []int
+}
+
+// hashOwner is the static key→DPU hash (splitmix64-style finalizer)
+// every placement falls back to. It is the seed routing function, so
+// changing it would invalidate every existing artifact.
+func hashOwner(key uint64, n int) int {
+	h := key
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(n))
+}
+
+// StaticHash is the default placement: pure `hash % N` routing, no
+// overrides, no replicas. It is stateless, so a PartitionedMap built on
+// it behaves byte-identically to the pre-placement-refactor store.
+type StaticHash struct {
+	n int
+}
+
+// NewStaticHash builds the static placement over n DPUs.
+func NewStaticHash(n int) *StaticHash { return &StaticHash{n: n} }
+
+// Size implements Placement.
+func (s *StaticHash) Size() int { return s.n }
+
+// Owner implements Placement.
+func (s *StaticHash) Owner(key uint64) int { return hashOwner(key, s.n) }
+
+// Replicas implements Placement: a static placement never replicates.
+func (s *StaticHash) Replicas(key uint64) []int { return nil }
+
+// dirEntry is the directory's per-key record. A key gets an entry only
+// once the control plane overrides its home or replicates it; every
+// other key routes through the static hash.
+type dirEntry struct {
+	// owner overrides the hash home when ≥ 0.
+	owner int
+	// replicas are DPUs holding a physical copy besides the owner,
+	// sorted ascending.
+	replicas []int
+	// stale marks the replica copies out of date (a write hit the
+	// owner since the last refresh): reads route to the owner until
+	// the next batch refreshes the copies.
+	stale bool
+}
+
+// DirectoryStats counts the directory's state and maintenance traffic.
+type DirectoryStats struct {
+	// Overrides is the number of keys homed away from their hash DPU;
+	// ReplicatedKeys the number of keys with live replicas;
+	// ReplicaCopies the total physical replica records.
+	Overrides, ReplicatedKeys, ReplicaCopies int
+	// Invalidations counts replica drops (deletes and write storms),
+	// Refreshes the stale-copy refreshes ridden on later batches.
+	Invalidations, Refreshes int
+}
+
+// Directory is the adaptive placement: a host-side routing table over
+// the static hash with per-key owner overrides (migration) and hot-key
+// read replicas with invalidation-on-write (LazyPIM-style). The
+// directory itself is pure host state — every data movement it implies
+// (migrating a key, copying it to a replica, refreshing or deleting a
+// stale copy) is executed and charged by the PartitionedMap as fleet
+// rounds or shadow ops inside batches, never for free.
+type Directory struct {
+	n       int
+	entries map[uint64]*dirEntry
+	stats   DirectoryStats
+}
+
+// NewDirectory builds an empty directory over n DPUs. With no entries
+// it routes exactly like NewStaticHash(n).
+func NewDirectory(n int) *Directory {
+	return &Directory{n: n, entries: make(map[uint64]*dirEntry)}
+}
+
+// Size implements Placement.
+func (d *Directory) Size() int { return d.n }
+
+// Owner implements Placement.
+func (d *Directory) Owner(key uint64) int {
+	if e := d.entries[key]; e != nil && e.owner >= 0 {
+		return e.owner
+	}
+	return hashOwner(key, d.n)
+}
+
+// Replicas implements Placement: only fresh copies serve reads.
+func (d *Directory) Replicas(key uint64) []int {
+	if e := d.entries[key]; e != nil && !e.stale {
+		return e.replicas
+	}
+	return nil
+}
+
+// Stats snapshots the directory counters.
+func (d *Directory) Stats() DirectoryStats {
+	s := d.stats
+	s.Overrides, s.ReplicatedKeys, s.ReplicaCopies = 0, 0, 0
+	for _, e := range d.entries {
+		if e.owner >= 0 {
+			s.Overrides++
+		}
+		if len(e.replicas) > 0 {
+			s.ReplicatedKeys++
+			s.ReplicaCopies += len(e.replicas)
+		}
+	}
+	return s
+}
+
+// entry returns (creating if needed) the record for key.
+func (d *Directory) entry(key uint64) *dirEntry {
+	e := d.entries[key]
+	if e == nil {
+		e = &dirEntry{owner: -1}
+		d.entries[key] = e
+	}
+	return e
+}
+
+// gc drops the entry when it no longer says anything.
+func (d *Directory) gc(key uint64) {
+	if e := d.entries[key]; e != nil && e.owner < 0 && len(e.replicas) == 0 {
+		delete(d.entries, key)
+	}
+}
+
+// setOwner records a migration: key now lives on dpu. A replica on the
+// new home stops being a replica (its copy is the primary now), and a
+// migration back to the hash home clears the override entirely so the
+// directory does not accrete no-op entries.
+func (d *Directory) setOwner(key uint64, dpu int) {
+	e := d.entry(key)
+	e.owner = dpu
+	if dpu == hashOwner(key, d.n) {
+		e.owner = -1
+	}
+	e.replicas = removeInt(e.replicas, dpu)
+	d.gc(key)
+}
+
+// setReplicas records the full fresh replica set of key (the copies
+// were just written with the owner's current value).
+func (d *Directory) setReplicas(key uint64, dpus []int) {
+	e := d.entry(key)
+	e.replicas = append(e.replicas[:0], dpus...)
+	sort.Ints(e.replicas)
+	e.stale = false
+	d.gc(key)
+}
+
+// allReplicas lists the DPUs physically holding a copy of key besides
+// the owner, fresh or stale (the set invalidations must reach).
+func (d *Directory) allReplicas(key uint64) []int {
+	if e := d.entries[key]; e != nil {
+		return e.replicas
+	}
+	return nil
+}
+
+// markStale flags key's copies out of date after a write to the owner.
+func (d *Directory) markStale(key uint64) {
+	if e := d.entries[key]; e != nil && len(e.replicas) > 0 && !e.stale {
+		e.stale = true
+		d.stats.Invalidations++
+	}
+}
+
+// markFresh clears the stale flag after the copies were refreshed.
+func (d *Directory) markFresh(key uint64) {
+	if e := d.entries[key]; e != nil && e.stale {
+		e.stale = false
+		d.stats.Refreshes++
+	}
+}
+
+// dropReplicas forgets key's replicas (the physical copies were, or are
+// being, deleted by the caller).
+func (d *Directory) dropReplicas(key uint64) {
+	if e := d.entries[key]; e != nil && len(e.replicas) > 0 {
+		e.replicas = nil
+		e.stale = false
+		d.stats.Invalidations++
+		d.gc(key)
+	}
+}
+
+// staleKeys lists the keys whose copies need a refresh, ascending.
+func (d *Directory) staleKeys() []uint64 {
+	var out []uint64
+	for k, e := range d.entries {
+		if e.stale && len(e.replicas) > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// replicaCopies is the total number of physical replica records.
+func (d *Directory) replicaCopies() int {
+	n := 0
+	for _, e := range d.entries {
+		n += len(e.replicas)
+	}
+	return n
+}
+
+// removeInt returns xs without v, preserving order.
+func removeInt(xs []int, v int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// validatePlacement checks a config's placement against its fleet size.
+func validatePlacement(p Placement, dpus int) error {
+	if p.Size() != dpus {
+		return fmt.Errorf("host: placement routes over %d DPUs, fleet has %d", p.Size(), dpus)
+	}
+	return nil
+}

@@ -1,0 +1,361 @@
+package host
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RebalancerConfig tunes the adaptive placement control plane. Zero
+// fields take the documented defaults.
+type RebalancerConfig struct {
+	// WindowBatches is the sliding observation window: a decision is
+	// considered every this many applied batches (default 8).
+	WindowBatches int
+	// TopK bounds how many hot keys one decision may promote or
+	// migrate (default 4).
+	TopK int
+	// MinKeyOps is the hysteresis floor per key: a key is hot only if
+	// the window routed at least this many ops to it (default 8).
+	MinKeyOps int
+	// Trigger is the per-DPU hysteresis: the hottest DPU must carry
+	// more than Trigger × the mean window load before anything moves,
+	// so uniform traffic never churns (default 1.25).
+	Trigger float64
+	// Replicas is the copy count a promoted key gets (default
+	// min(3, DPUs−1)).
+	Replicas int
+	// ReplicateMaxWriteShare splits the two remedies: a hot key whose
+	// window write share is at or below this is read-mostly and gets
+	// replicated; above it the key is write-heavy and is migrated to
+	// the least-loaded DPU instead (default 0.05).
+	ReplicateMaxWriteShare float64
+	// CooldownWindows keeps a key untouched for this many decision
+	// windows after it was migrated or promoted, damping oscillation
+	// (default 4).
+	CooldownWindows int
+}
+
+func (c *RebalancerConfig) fill(dpus int) {
+	if c.WindowBatches <= 0 {
+		c.WindowBatches = 8
+	}
+	if c.TopK <= 0 {
+		c.TopK = 4
+	}
+	if c.MinKeyOps <= 0 {
+		c.MinKeyOps = 8
+	}
+	if c.Trigger <= 0 {
+		c.Trigger = 1.25
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Replicas > dpus-1 {
+		c.Replicas = dpus - 1
+	}
+	if c.ReplicateMaxWriteShare <= 0 {
+		c.ReplicateMaxWriteShare = 0.05
+	}
+	if c.CooldownWindows <= 0 {
+		c.CooldownWindows = 4
+	}
+}
+
+// KernelBoundServingRebalance is the documented preset the rebalance
+// experiment and examples/rebalance share, tuned for large kernel-bound
+// serving batches: one decision may touch many keys and spread them
+// wide (the per-decision rounds amortize over the batch kernels), and
+// the raised trigger stops the control plane once the fleet is
+// balanced. window is the decision window in batches.
+func KernelBoundServingRebalance(window int) RebalancerConfig {
+	return RebalancerConfig{
+		WindowBatches: window,
+		TopK:          48,
+		Replicas:      7,
+		MinKeyOps:     12,
+		Trigger:       1.4,
+	}
+}
+
+// RebalancerStats counts the control plane's observations and actions.
+type RebalancerStats struct {
+	// BatchesObserved and WindowsEvaluated count the input side;
+	// WindowsActed how many evaluations moved anything.
+	BatchesObserved, WindowsEvaluated, WindowsActed int
+	// KeysReplicated and KeysMigrated total the remedies applied.
+	KeysReplicated, KeysMigrated int
+}
+
+// keyLoad accumulates one key's window traffic.
+type keyLoad struct {
+	reads, writes int
+}
+
+// Rebalancer is the adaptive placement control plane over a
+// PartitionedMap with a Directory placement (Doppel-style special-
+// casing of contended keys, LazyPIM-style replication of hot read
+// data). It observes every applied batch's routing — per-DPU op counts
+// and per-key read/write mixes — over a sliding window, and between
+// quiescent windows promotes the top-k hot keys of the hottest DPU to
+// read replicas (read-mostly keys) or migrates them to the least-loaded
+// DPU (write-heavy keys), with hysteresis so uniform traffic never
+// churns. Every remedy executes as paid fleet rounds through
+// ReplicateKeys/MigrateKeys.
+//
+// A Rebalancer is driven by whoever owns the store: the Submitter calls
+// MaybeRebalance after each flush; direct ApplyBatch users call it
+// themselves. It is not goroutine-safe on its own — it inherits the
+// PartitionedMap's single-owner discipline.
+type Rebalancer struct {
+	pm  *PartitionedMap
+	cfg RebalancerConfig
+
+	batches int
+	dpuOps  []int
+	keys    map[uint64]*keyLoad
+	window  int            // decision windows elapsed
+	cooled  map[uint64]int // key → window index when it may move again
+
+	stats RebalancerStats
+}
+
+// NewRebalancer attaches a rebalancer to pm, which must have been built
+// with a *Directory placement (the overrides and replica sets live
+// there). At most one rebalancer can be attached to a store.
+func NewRebalancer(pm *PartitionedMap, cfg RebalancerConfig) (*Rebalancer, error) {
+	if pm.dir == nil {
+		return nil, fmt.Errorf("host: rebalancer needs a Directory placement")
+	}
+	if pm.reb != nil {
+		return nil, fmt.Errorf("host: store already has a rebalancer")
+	}
+	cfg.fill(pm.DPUs())
+	r := &Rebalancer{
+		pm:     pm,
+		cfg:    cfg,
+		dpuOps: make([]int, pm.DPUs()),
+		keys:   make(map[uint64]*keyLoad),
+		cooled: make(map[uint64]int),
+	}
+	pm.reb = r
+	return r, nil
+}
+
+// Stats snapshots the control-plane counters.
+func (r *Rebalancer) Stats() RebalancerStats { return r.stats }
+
+// observe records one applied batch: the client ops and the per-DPU
+// routed op counts (replica spreading and shadow maintenance included).
+func (r *Rebalancer) observe(ops []Op, routed []int) {
+	for _, op := range ops {
+		l := r.keys[op.Key]
+		if l == nil {
+			l = &keyLoad{}
+			r.keys[op.Key] = l
+		}
+		if op.Kind == OpGet {
+			l.reads++
+		} else {
+			l.writes++
+		}
+	}
+	for id, n := range routed {
+		r.dpuOps[id] += n
+	}
+	r.batches++
+	r.stats.BatchesObserved++
+}
+
+// Step evaluates the window if it is full and applies at most one
+// decision: replicate the read-mostly hot keys of the hottest DPU,
+// migrate the write-heavy ones. It reports whether anything moved.
+func (r *Rebalancer) Step() (bool, error) {
+	if r.batches < r.cfg.WindowBatches {
+		return false, nil
+	}
+	acted, err := r.decide()
+	r.reset()
+	return acted, err
+}
+
+// reset opens a fresh observation window and prunes expired cooldowns
+// (the map would otherwise grow toward the keyspace over a long run).
+func (r *Rebalancer) reset() {
+	r.batches = 0
+	for i := range r.dpuOps {
+		r.dpuOps[i] = 0
+	}
+	r.keys = make(map[uint64]*keyLoad)
+	r.window++
+	for k, until := range r.cooled {
+		if r.window >= until {
+			delete(r.cooled, k)
+		}
+	}
+}
+
+// decide is one evaluation of a full window.
+func (r *Rebalancer) decide() (bool, error) {
+	r.stats.WindowsEvaluated++
+	n := r.pm.DPUs()
+	if n < 2 {
+		return false, nil
+	}
+	total := 0
+	hot := 0
+	for id, ops := range r.dpuOps {
+		total += ops
+		if ops > r.dpuOps[hot] {
+			hot = id
+		}
+	}
+	mean := float64(total) / float64(n)
+	if total == 0 || float64(r.dpuOps[hot]) <= r.cfg.Trigger*mean {
+		return false, nil
+	}
+
+	// The fleet's heavy hitters, hottest first, hysteresis-filtered.
+	// The trigger fires on one overloaded DPU, but the remedy considers
+	// every hot key: spreading any heavy hitter lowers the worst-case
+	// bucket wherever the next skewed batch lands.
+	type hotKey struct {
+		key  uint64
+		ops  int
+		load *keyLoad
+	}
+	var cands []hotKey
+	for key, l := range r.keys {
+		ops := l.reads + l.writes
+		if ops < r.cfg.MinKeyOps {
+			continue
+		}
+		if until, cooling := r.cooled[key]; cooling && r.window < until {
+			continue
+		}
+		cands = append(cands, hotKey{key: key, ops: ops, load: l})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ops != cands[j].ops {
+			return cands[i].ops > cands[j].ops
+		}
+		return cands[i].key < cands[j].key
+	})
+	if len(cands) > r.cfg.TopK {
+		cands = cands[:r.cfg.TopK]
+	}
+
+	// Split the remedies. adjusted tracks planned load so several
+	// migrations do not pile onto one target.
+	adjusted := make([]float64, n)
+	for id, ops := range r.dpuOps {
+		adjusted[id] = float64(ops)
+	}
+	reps := make(map[uint64][]int)
+	moves := make(map[uint64]int)
+	for _, c := range cands {
+		owner := r.pm.owner(c.key)
+		writeShare := float64(c.load.writes) / float64(c.ops)
+		if writeShare <= r.cfg.ReplicateMaxWriteShare {
+			if targets := r.replicaTargets(c.key, owner, adjusted); len(targets) > 0 {
+				reps[c.key] = targets
+				// Reads spread over owner + existing + new copies. The
+				// observed window loads already reflect the old spread,
+				// so the owner and each existing copy shed only the
+				// dilution delta while each new target picks up a full
+				// new-spread share (the deltas sum to zero).
+				reads := float64(c.load.reads)
+				have := r.pm.dir.allReplicas(c.key)
+				oldSpread := float64(1 + len(have))
+				newSpread := float64(1 + len(have) + len(targets))
+				delta := reads * (1/oldSpread - 1/newSpread)
+				adjusted[owner] -= delta
+				for _, t := range have {
+					adjusted[t] -= delta
+				}
+				for _, t := range targets {
+					adjusted[t] += reads / newSpread
+				}
+			}
+			continue
+		}
+		// Write-heavy keys only move off an overloaded home.
+		if adjusted[owner] <= mean {
+			continue
+		}
+		dst := coldest(adjusted, owner)
+		if dst < 0 {
+			continue
+		}
+		moves[c.key] = dst
+		adjusted[owner] -= float64(c.ops)
+		adjusted[dst] += float64(c.ops)
+	}
+	if len(reps) == 0 && len(moves) == 0 {
+		return false, nil
+	}
+	// One coalesced placement change: both remedies share a single
+	// gather + scatter round pair, so a decision costs two handshakes.
+	if err := r.pm.ApplyPlacement(moves, reps); err != nil {
+		return false, err
+	}
+	r.stats.KeysReplicated += len(reps)
+	r.stats.KeysMigrated += len(moves)
+	for k := range reps {
+		r.cooled[k] = r.window + r.cfg.CooldownWindows
+	}
+	for k := range moves {
+		r.cooled[k] = r.window + r.cfg.CooldownWindows
+	}
+	r.stats.WindowsActed++
+	return true, nil
+}
+
+// replicaTargets picks up to cfg.Replicas copy holders for key: the
+// least-loaded DPUs that are neither the owner nor already copies.
+// Existing copies count against the budget (a fully replicated key
+// yields no new targets, so re-evaluation is a no-op, not churn).
+func (r *Rebalancer) replicaTargets(key uint64, owner int, adjusted []float64) []int {
+	have := r.pm.dir.allReplicas(key)
+	budget := r.cfg.Replicas - len(have)
+	if budget <= 0 {
+		return nil
+	}
+	taken := make(map[int]bool, len(have)+1)
+	taken[owner] = true
+	for _, id := range have {
+		taken[id] = true
+	}
+	order := make([]int, 0, len(adjusted))
+	for id := range adjusted {
+		if !taken[id] {
+			order = append(order, id)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if adjusted[order[i]] != adjusted[order[j]] {
+			return adjusted[order[i]] < adjusted[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	if len(order) > budget {
+		order = order[:budget]
+	}
+	sort.Ints(order)
+	return order
+}
+
+// coldest returns the least-loaded DPU other than exclude (−1 if none).
+func coldest(adjusted []float64, exclude int) int {
+	best := -1
+	for id, load := range adjusted {
+		if id == exclude {
+			continue
+		}
+		if best < 0 || load < adjusted[best] ||
+			(load == adjusted[best] && id < best) {
+			best = id
+		}
+	}
+	return best
+}

@@ -148,7 +148,7 @@ func quantileSorted(sorted []float64, q float64) float64 {
 }
 
 // ServeConfig is one serving scenario: a store, a batcher, a traffic
-// trace.
+// trace, optionally an adaptive placement control plane.
 type ServeConfig struct {
 	// Map builds the PartitionedMap. Zero Buckets/Capacity default to
 	// 256 buckets and 4 × the traffic keyspace.
@@ -157,6 +157,10 @@ type ServeConfig struct {
 	Submit SubmitterConfig
 	// Traffic is the open-loop trace to serve.
 	Traffic TrafficConfig
+	// Rebalance, when non-nil, attaches a Rebalancer after the load
+	// phase (requires Map.Placement to be a *Directory); the submitter
+	// drives it between flushed batches.
+	Rebalance *RebalancerConfig
 }
 
 // ServeResult is the modeled outcome of one serving run.
@@ -175,6 +179,9 @@ type ServeResult struct {
 	MeanBatchOps float64
 	// Stats are the submitter's flush counters.
 	Stats SubmitterStats
+	// Rebalance are the control-plane counters (zero without a
+	// rebalancer).
+	Rebalance RebalancerStats
 	// Errors counts ops that resolved with a non-nil Err.
 	Errors int
 }
@@ -209,6 +216,15 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 	}
 	base := pm.Stats().WallSeconds
 
+	// The control plane attaches after the load so the bulk preload
+	// does not count as observed traffic.
+	var reb *Rebalancer
+	if cfg.Rebalance != nil {
+		if reb, err = NewRebalancer(pm, *cfg.Rebalance); err != nil {
+			return ServeResult{}, err
+		}
+	}
+
 	s := NewSubmitter(pm, cfg.Submit)
 	futs := make([]*Future, len(trace))
 	for i, t := range trace {
@@ -220,6 +236,9 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 
 	res := ServeResult{Ops: len(trace), Stats: s.Stats()}
 	res.Batches = res.Stats.Batches
+	if reb != nil {
+		res.Rebalance = reb.Stats()
+	}
 	lats := make([]float64, len(futs))
 	for i, f := range futs {
 		r, lat := f.Wait()

@@ -282,6 +282,14 @@ func (s *Submitter) flush(batch []submitMsg, at float64, reason FlushReason) {
 		close(m.fut.done)
 	}
 
+	// Load stats just reached the rebalancer (ApplyBatch observes every
+	// routed batch); let it act in the quiescent window between batches,
+	// where its migration and promotion rounds delay only later traffic.
+	var rebErr error
+	if err == nil {
+		_, rebErr = s.pm.MaybeRebalance()
+	}
+
 	s.statsMu.Lock()
 	s.stats.Submitted += len(batch)
 	s.stats.Batches++
@@ -295,6 +303,9 @@ func (s *Submitter) flush(batch []submitMsg, at float64, reason FlushReason) {
 		s.stats.DelayFlushes++
 	default:
 		s.stats.DrainFlushes++
+	}
+	if err == nil {
+		err = rebErr
 	}
 	if err != nil && s.err == nil {
 		s.err = err
