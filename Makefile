@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify fmt vet build test race bench multidpu serve serve-smoke rebalance rebalance-smoke ci
+.PHONY: all verify fmt vet build test race bench multidpu serve serve-smoke rebalance rebalance-smoke txnserve txnserve-smoke ci
 
 all: ci
 
@@ -59,4 +59,17 @@ rebalance-smoke:
 		-rebal-rate 1200000 -rebal-ops 7680 -rebal-keys 2560 \
 		-rebal-batch 768 -rebal-out ""
 
-ci: fmt vet build race serve-smoke rebalance-smoke
+# Regenerate the machine-readable multi-key transaction serving sweep.
+txnserve:
+	$(GO) run ./cmd/pimstm-bench -experiment txnserve
+
+# Short-mode txnserve invocation so the experiment can't rot in CI:
+# two fleet sizes, one skew, all three cross-DPU fractions, no
+# artifact written.
+txnserve-smoke:
+	$(GO) run ./cmd/pimstm-bench -experiment txnserve \
+		-txn-dpus 2,4 -txn-algs norec -txn-sizes 1,2 \
+		-txn-cross 0,0.5,1 -txn-skews 1.2 -txn-txns 200 \
+		-txn-keys 128 -txn-batch 32 -txn-out ""
+
+ci: fmt vet build race serve-smoke rebalance-smoke txnserve-smoke

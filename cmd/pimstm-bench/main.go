@@ -15,6 +15,7 @@
 //	pimstm-bench -experiment multidpu        # fleet serving sweep (beyond the paper)
 //	pimstm-bench -experiment serve           # open-loop adaptive-batching sweep
 //	pimstm-bench -experiment rebalance       # static vs skew-adaptive placement sweep
+//	pimstm-bench -experiment txnserve        # multi-key transaction serving sweep
 //	pimstm-bench -experiment all             # everything above
 //
 // -scale trades fidelity for speed (1.0 = paper-sized workloads);
@@ -40,6 +41,15 @@
 // mix (-rebal-reads) at one open-loop rate (-rebal-rate), and writes
 // ops/s plus latency percentiles per placement to -rebal-out (default
 // BENCH_rebalance.json). Same seed ⇒ byte-identical artifact.
+//
+// The txnserve experiment serves open-loop multi-key transactions
+// through the Txn front-end, sweeping fleet size (-txn-dpus) ×
+// transaction size (-txn-sizes) × cross-DPU fraction (-txn-cross) ×
+// Zipf skew (-txn-skews) × STM algorithm (-txn-algs), and reports
+// modeled throughput plus per-transaction commit-latency percentiles
+// to -txn-out (default BENCH_txnserve.json) — the cross-DPU
+// coordination cost the paper's single-DPU evaluation never measures.
+// Same seed ⇒ byte-identical artifact.
 package main
 
 import (
@@ -59,7 +69,7 @@ import (
 // experimentList names every experiment, in the order `all` runs them.
 var experimentList = []string{
 	"latency", "fig4", "fig5", "fig6", "fig9", "fig10", "tiers",
-	"fig7", "fig8", "multidpu", "serve", "rebalance",
+	"fig7", "fig8", "multidpu", "serve", "rebalance", "txnserve",
 }
 
 func main() {
@@ -102,6 +112,20 @@ func main() {
 		rebalWindow = flag.Int("rebal-window", 3, "rebalancer decision window in batches")
 		rebalSeed   = flag.Uint64("rebal-seed", 1, "traffic seed for rebalance")
 		rebalOut    = flag.String("rebal-out", "BENCH_rebalance.json", "rebalance JSON artifact path (empty = don't write)")
+
+		txnDPUs    = flag.String("txn-dpus", "2,8", "comma-separated fleet sizes for txnserve")
+		txnAlgs    = flag.String("txn-algs", "norec", "comma-separated STM algorithms for txnserve")
+		txnSizes   = flag.String("txn-sizes", "1,2,4", "comma-separated ops-per-transaction points for txnserve")
+		txnCross   = flag.String("txn-cross", "0,0.5,1", "comma-separated cross-DPU transaction fractions for txnserve")
+		txnSkews   = flag.String("txn-skews", "0,1.2", "comma-separated Zipf exponents for txnserve (0 = uniform)")
+		txnRate    = flag.Float64("txn-rate", 4e4, "open-loop arrival rate for txnserve (transactions per modeled second)")
+		txnReads   = flag.Int("txn-reads", 80, "read percentage of the txnserve traffic")
+		txnCount   = flag.Int("txn-txns", 500, "transactions per txnserve scenario")
+		txnKeys    = flag.Int("txn-keys", 512, "distinct keys in the txnserve traffic")
+		txnBatch   = flag.Int("txn-batch", 64, "submitter MaxBatch (ops) for txnserve")
+		txnDelayUS = flag.Float64("txn-delay-us", 300, "submitter MaxDelay in modeled microseconds for txnserve")
+		txnSeed    = flag.Uint64("txn-seed", 1, "traffic seed for txnserve")
+		txnOut     = flag.String("txn-out", "BENCH_txnserve.json", "txnserve JSON artifact path (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -228,6 +252,36 @@ func main() {
 				fatal(err)
 			}
 			if _, err := runRebalance(ropt, os.Stdout); err != nil {
+				fatal(err)
+			}
+		case "txnserve":
+			topt := txnServeOptions{
+				Rate:            *txnRate,
+				ReadPct:         *txnReads,
+				Txns:            *txnCount,
+				Keyspace:        *txnKeys,
+				MaxBatch:        *txnBatch,
+				MaxDelaySeconds: *txnDelayUS * 1e-6,
+				Seed:            *txnSeed,
+				Out:             *txnOut,
+			}
+			var err error
+			if topt.Fleets, err = parseInts(*txnDPUs); err != nil {
+				fatal(err)
+			}
+			if topt.Algs, err = parseAlgorithms(*txnAlgs); err != nil {
+				fatal(err)
+			}
+			if topt.TxnSizes, err = parseInts(*txnSizes); err != nil {
+				fatal(err)
+			}
+			if topt.CrossFracs, err = parseFloats(*txnCross); err != nil {
+				fatal(err)
+			}
+			if topt.Skews, err = parseFloats(*txnSkews); err != nil {
+				fatal(err)
+			}
+			if _, err := runTxnServe(topt, os.Stdout); err != nil {
 				fatal(err)
 			}
 		case "tiers":

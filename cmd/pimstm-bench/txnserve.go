@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pimstm/internal/core"
+	"pimstm/internal/host"
+)
+
+// txnServeOptions parameterize the multi-key transactional serving
+// sweep: fleet size × transaction size × cross-DPU fraction × skew ×
+// STM algorithm, each cell an open-loop trace of Txns served through
+// the transactional Submitter. The sweep charts the cost cliff the
+// paper's single-DPU evaluation never measures: transactions confined
+// to one DPU commit inside the batch kernel (STM-native atomicity),
+// while cross-DPU transactions pay the CPU-coordinated snapshot and
+// writeback rounds.
+type txnServeOptions struct {
+	// Fleets lists the DPU counts to sweep.
+	Fleets []int
+	// Algs are the intra-DPU STM algorithms to compare.
+	Algs []core.Algorithm
+	// TxnSizes are the ops-per-transaction points.
+	TxnSizes []int
+	// CrossFracs are the cross-DPU transaction fractions (0..1).
+	CrossFracs []float64
+	// Skews are Zipf key-popularity exponents (0 = uniform).
+	Skews []float64
+	// Rate is the open-loop arrival rate in transactions per modeled
+	// second.
+	Rate float64
+	// ReadPct of the traffic is Gets.
+	ReadPct int
+	// Txns per scenario and the Keyspace they draw from.
+	Txns, Keyspace int
+	// MaxBatch and MaxDelaySeconds tune the adaptive batcher.
+	MaxBatch        int
+	MaxDelaySeconds float64
+	// Tasklets is the intra-DPU parallelism; Seed the traffic seed.
+	Tasklets int
+	Seed     uint64
+	// Out is the JSON artifact path ("" = don't write).
+	Out string
+}
+
+func (o *txnServeOptions) fill() {
+	if len(o.Fleets) == 0 {
+		o.Fleets = []int{2, 8}
+	}
+	if len(o.Algs) == 0 {
+		o.Algs = []core.Algorithm{core.NOrec}
+	}
+	if len(o.TxnSizes) == 0 {
+		o.TxnSizes = []int{1, 2, 4}
+	}
+	if len(o.CrossFracs) == 0 {
+		// The extremes coalesce into two handshakes per batch either
+		// way; the mixed fraction is where batches pay the execute
+		// round plus both coordination rounds — the interesting cliff.
+		o.CrossFracs = []float64{0, 0.5, 1}
+	}
+	if len(o.Skews) == 0 {
+		o.Skews = []float64{0, 1.2}
+	}
+	if o.Rate == 0 {
+		o.Rate = 4e4
+	}
+	if o.ReadPct == 0 {
+		o.ReadPct = 80
+	}
+	if o.Txns == 0 {
+		o.Txns = 500
+	}
+	if o.Keyspace == 0 {
+		o.Keyspace = 512
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxDelaySeconds == 0 {
+		o.MaxDelaySeconds = 300e-6
+	}
+	if o.Tasklets == 0 {
+		o.Tasklets = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// txnServeScenario is one machine-readable cell of BENCH_txnserve.json.
+type txnServeScenario struct {
+	DPUs            int     `json:"dpus"`
+	Algorithm       string  `json:"algorithm"`
+	TxnSize         int     `json:"txn_size"`
+	CrossDPU        float64 `json:"cross_dpu_frac"`
+	ZipfS           float64 `json:"zipf_s"`
+	ReadPct         int     `json:"read_pct"`
+	RatePerSecond   float64 `json:"rate_txns_per_s"`
+	Txns            int     `json:"txns"`
+	Ops             int     `json:"ops"`
+	CoordinatedTxns int     `json:"coordinated_txns"`
+	Batches         int     `json:"batches"`
+	OpsPerSecond    float64 `json:"ops_per_s"`
+	P50Seconds      float64 `json:"p50_s"`
+	P95Seconds      float64 `json:"p95_s"`
+	P99Seconds      float64 `json:"p99_s"`
+	Makespan        float64 `json:"makespan_s"`
+}
+
+// txnServeReport is the top-level JSON artifact.
+type txnServeReport struct {
+	SchemaVersion int                `json:"schema_version"`
+	Experiment    string             `json:"experiment"`
+	Scenarios     []txnServeScenario `json:"scenarios"`
+}
+
+// runTxnServeCell serves one cell's transactional trace.
+func runTxnServeCell(dpus int, alg core.Algorithm, size int, cross, skew float64, opt txnServeOptions) (txnServeScenario, error) {
+	res, err := host.Serve(host.ServeConfig{
+		Map: host.PartitionedMapConfig{
+			DPUs: dpus, Tasklets: opt.Tasklets,
+			STM: core.Config{Algorithm: alg}, Mode: host.Pipelined,
+		},
+		Submit: host.SubmitterConfig{
+			MaxBatch:        opt.MaxBatch,
+			MaxDelaySeconds: opt.MaxDelaySeconds,
+		},
+		Traffic: host.TrafficConfig{
+			Ops: opt.Txns, Rate: opt.Rate, ReadPct: opt.ReadPct,
+			Keyspace: opt.Keyspace, ZipfS: skew, Seed: opt.Seed,
+			TxnSize: size, CrossDPU: cross,
+		},
+	})
+	if err != nil {
+		return txnServeScenario{}, err
+	}
+	if res.Errors > 0 {
+		return txnServeScenario{}, fmt.Errorf("%d/%d txns errored", res.Errors, res.Txns)
+	}
+	return txnServeScenario{
+		DPUs: dpus, Algorithm: alg.String(), TxnSize: size, CrossDPU: cross,
+		ZipfS: skew, ReadPct: opt.ReadPct, RatePerSecond: opt.Rate,
+		Txns: res.Txns, Ops: res.Ops, CoordinatedTxns: res.CoordinatedTxns,
+		Batches: res.Batches, OpsPerSecond: res.OpsPerSecond,
+		P50Seconds: res.P50, P95Seconds: res.P95, P99Seconds: res.P99,
+		Makespan: res.MakespanSeconds,
+	}, nil
+}
+
+// runTxnServe sweeps fleet × txn size × cross fraction × skew ×
+// algorithm, renders the table to w, and writes BENCH_txnserve.json
+// when opt.Out is set. Single-op cells never cross DPUs, so only the
+// zero cross fraction is run for them.
+func runTxnServe(opt txnServeOptions, w io.Writer) ([]txnServeScenario, error) {
+	opt.fill()
+	var scenarios []txnServeScenario
+	for _, n := range opt.Fleets {
+		for _, alg := range opt.Algs {
+			for _, size := range opt.TxnSizes {
+				for _, cross := range opt.CrossFracs {
+					if size == 1 && cross > 0 {
+						continue // a 1-op txn cannot span DPUs
+					}
+					for _, skew := range opt.Skews {
+						sc, err := runTxnServeCell(n, alg, size, cross, skew, opt)
+						if err != nil {
+							return nil, fmt.Errorf("txnserve %d DPUs %v size %d cross %g zipf %g: %w",
+								n, alg, size, cross, skew, err)
+						}
+						scenarios = append(scenarios, sc)
+					}
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "== txnserve: multi-key transactional serving sweep (%d txns/cell, %.0f txns/s open loop, batch ≤ %d ops) ==\n",
+		opt.Txns, opt.Rate, opt.MaxBatch)
+	fmt.Fprintf(w, "%6s %-12s %5s %6s %5s %7s %12s %12s %12s\n",
+		"#DPUs", "STM", "size", "cross", "zipf", "coord", "ops/s", "p50 ms", "p99 ms")
+	for _, sc := range scenarios {
+		fmt.Fprintf(w, "%6d %-12s %5d %6.2f %5.2f %7d %12.0f %12.3f %12.3f\n",
+			sc.DPUs, sc.Algorithm, sc.TxnSize, sc.CrossDPU, sc.ZipfS,
+			sc.CoordinatedTxns, sc.OpsPerSecond, sc.P50Seconds*1e3, sc.P99Seconds*1e3)
+	}
+
+	if opt.Out != "" {
+		blob, err := json.MarshalIndent(txnServeReport{
+			SchemaVersion: 1,
+			Experiment:    "txnserve",
+			Scenarios:     scenarios,
+		}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opt.Out, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s (%d scenarios)\n", opt.Out, len(scenarios))
+	}
+	return scenarios, nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pimstm/internal/core"
+)
+
+// TestRunTxnServe drives a miniature transactional serving sweep end to
+// end: table rendered, JSON artifact written and byte-identical across
+// same-seed runs, cross-DPU transactions actually coordinated, and the
+// mixed-fraction cells paying for their extra coordination rounds.
+func TestRunTxnServe(t *testing.T) {
+	opt := txnServeOptions{
+		Fleets:     []int{2, 4},
+		Algs:       []core.Algorithm{core.NOrec},
+		TxnSizes:   []int{1, 2},
+		CrossFracs: []float64{0, 0.5, 1},
+		Skews:      []float64{0},
+		Rate:       4e4,
+		ReadPct:    80,
+		Txns:       200,
+		Keyspace:   256,
+		MaxBatch:   32,
+		Seed:       1,
+	}
+	run := func(out string) []txnServeScenario {
+		o := opt
+		o.Out = out
+		var sb strings.Builder
+		scenarios, err := runTxnServe(o, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "coord") || !strings.Contains(sb.String(), "NOrec") {
+			t.Fatalf("table incomplete:\n%s", sb.String())
+		}
+		return scenarios
+	}
+
+	out1 := filepath.Join(t.TempDir(), "a.json")
+	out2 := filepath.Join(t.TempDir(), "b.json")
+	scenarios := run(out1)
+	run(out2)
+
+	// 2 fleets × (size 1 with cross 0 only, size 2 with three fractions).
+	if len(scenarios) != 8 {
+		t.Fatalf("scenarios = %d", len(scenarios))
+	}
+	cell := func(dpus, size int, cross float64) txnServeScenario {
+		for _, sc := range scenarios {
+			if sc.DPUs == dpus && sc.TxnSize == size && sc.CrossDPU == cross {
+				return sc
+			}
+		}
+		t.Fatalf("cell %d/%d/%g missing", dpus, size, cross)
+		return txnServeScenario{}
+	}
+	for _, sc := range scenarios {
+		if sc.P50Seconds <= 0 || sc.P50Seconds > sc.P95Seconds || sc.P95Seconds > sc.P99Seconds {
+			t.Fatalf("percentiles degenerate: %+v", sc)
+		}
+		if sc.OpsPerSecond <= 0 || sc.Batches == 0 {
+			t.Fatalf("degenerate cell: %+v", sc)
+		}
+		if sc.Ops != sc.Txns*sc.TxnSize {
+			t.Fatalf("op accounting off: %+v", sc)
+		}
+		if sc.CrossDPU == 0 && sc.CoordinatedTxns != 0 {
+			t.Fatalf("confined cell coordinated %d txns: %+v", sc.CoordinatedTxns, sc)
+		}
+		if sc.CrossDPU == 1 && sc.TxnSize > 1 && sc.CoordinatedTxns != sc.Txns {
+			t.Fatalf("cross cell coordinated only %d/%d txns", sc.CoordinatedTxns, sc.Txns)
+		}
+	}
+	for _, dpus := range []int{2, 4} {
+		mixed := cell(dpus, 2, 0.5)
+		pure0 := cell(dpus, 2, 0)
+		pure1 := cell(dpus, 2, 1)
+		if mixed.P99Seconds <= pure0.P99Seconds || mixed.P99Seconds <= pure1.P99Seconds {
+			t.Fatalf("%d DPUs: mixed batches must pay the extra coordination rounds: p99 %.6f vs %.6f/%.6f",
+				dpus, mixed.P99Seconds, pure0.P99Seconds, pure1.P99Seconds)
+		}
+	}
+
+	// Same seed ⇒ byte-identical artifact.
+	a, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("same-seed txnserve artifacts differ")
+	}
+
+	var report txnServeReport
+	if err := json.Unmarshal(a, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.SchemaVersion != 1 || report.Experiment != "txnserve" || len(report.Scenarios) != 8 {
+		t.Fatalf("artifact wrong: %+v", report)
+	}
+}

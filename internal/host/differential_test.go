@@ -7,20 +7,24 @@ import (
 	"pimstm/internal/core"
 )
 
-// The differential safety net for the placement refactor: randomized
-// op/transfer streams run through a PartitionedMap under every
-// placement — static hash, directory, directory with an aggressive
-// rebalancer forcing replication, and one forcing migration — and every
-// result must match a plain host-side reference map. Batches use
-// distinct keys (each op in a batch is an independent concurrent
-// transaction, so same-key intra-batch order is unspecified by design);
-// transfers may repeat keys freely because ApplyTransfers applies them
-// in order.
+// The differential safety net for the placement and Txn refactors:
+// randomized op/transfer/transaction streams run through a
+// PartitionedMap under every placement — static hash, directory,
+// directory with an aggressive rebalancer forcing replication, and one
+// forcing migration — and every result must match a plain host-side
+// reference map. Single-op batches use distinct keys (each op is an
+// independent concurrent transaction, so same-key intra-batch order is
+// unspecified by design); transfers and multi-op transactions may
+// repeat keys freely, because both serialize deterministically in
+// batch order — so the transaction steps deliberately overlap keys,
+// mix guarded RMWs with puts and deletes, and straddle whatever keys
+// the rebalancer variants have migrated or replicated.
 
 // diffStep is one step of a generated stream.
 type diffStep struct {
-	ops []Op
-	ts  []Transfer
+	ops  []Op
+	ts   []Transfer
+	txns []Txn
 }
 
 // genStream builds a deterministic randomized stream over the keyspace.
@@ -36,7 +40,8 @@ func genStream(seed uint64, steps, keyspace int) []diffStep {
 	}
 	out := make([]diffStep, steps)
 	for s := range out {
-		if rng.Next()%10 < 7 {
+		switch draw := rng.Next() % 10; {
+		case draw < 5:
 			n := int(8 + rng.Next()%25)
 			used := make(map[uint64]bool)
 			var ops []Op
@@ -56,16 +61,91 @@ func genStream(seed uint64, steps, keyspace int) []diffStep {
 				}
 			}
 			out[s] = diffStep{ops: ops}
-			continue
+		case draw < 7:
+			n := int(1 + rng.Next()%6)
+			ts := make([]Transfer, n)
+			for i := range ts {
+				ts[i] = Transfer{From: pick(), To: pick(), Amount: rng.Next() % 200}
+			}
+			out[s] = diffStep{ts: ts}
+		default:
+			// Multi-key transaction batch: 2–4 ops per txn, keys free
+			// to collide across txns (batch order serializes them) and
+			// to land on migrated or replicated keys.
+			n := int(1 + rng.Next()%5)
+			txns := make([]Txn, n)
+			for i := range txns {
+				size := int(2 + rng.Next()%3)
+				ops := make([]Op, size)
+				for j := range ops {
+					k := pick()
+					switch rng.Next() % 10 {
+					case 0:
+						ops[j] = Op{Kind: OpDelete, Key: k}
+					case 1, 2:
+						ops[j] = Op{Kind: OpPut, Key: k, Value: rng.Next() % 1000}
+					case 3, 4:
+						ops[j] = Op{Kind: OpAdd, Key: k, Value: rng.Next() % 100}
+					case 5, 6:
+						ops[j] = Op{Kind: OpSub, Key: k, Value: rng.Next() % 100}
+					default:
+						ops[j] = Op{Kind: OpGet, Key: k}
+					}
+				}
+				txns[i] = Txn{Ops: ops}
+			}
+			out[s] = diffStep{txns: txns}
 		}
-		n := int(1 + rng.Next()%6)
-		ts := make([]Transfer, n)
-		for i := range ts {
-			ts[i] = Transfer{From: pick(), To: pick(), Amount: rng.Next() % 200}
-		}
-		out[s] = diffStep{ts: ts}
 	}
 	return out
+}
+
+// refApplyTxn is the independent reference evaluator for one
+// transaction: ops run in order against a working copy, a failing
+// guard discards everything, and a commit replaces the reference
+// state. Results mirror the store's contract — ops after a failing
+// guard stay zero.
+func refApplyTxn(ref map[uint64]uint64, txn Txn) ([]OpResult, bool) {
+	res := make([]OpResult, len(txn.Ops))
+	work := make(map[uint64]uint64, len(ref))
+	for k, v := range ref {
+		work[k] = v
+	}
+	for j, op := range txn.Ops {
+		switch op.Kind {
+		case OpGet:
+			v, ok := work[op.Key]
+			res[j].Value, res[j].OK = v, ok
+		case OpPut:
+			_, ok := work[op.Key]
+			res[j].OK = !ok
+			work[op.Key] = op.Value
+		case OpDelete:
+			_, res[j].OK = work[op.Key]
+			delete(work, op.Key)
+		case OpAdd:
+			v, ok := work[op.Key]
+			if !ok {
+				return res, false
+			}
+			work[op.Key] = v + op.Value
+			res[j].Value, res[j].OK = v+op.Value, true
+		case OpSub:
+			v, ok := work[op.Key]
+			if !ok || v < op.Value {
+				return res, false
+			}
+			work[op.Key] = v - op.Value
+			res[j].Value, res[j].OK = v-op.Value, true
+		}
+	}
+	for k := range ref {
+		delete(ref, k)
+	}
+	for k, v := range work {
+		ref[k] = v
+	}
+	return res, true
 }
 
 // refApply runs one step against the reference map, returning the
@@ -170,6 +250,36 @@ func TestDifferentialPlacements(t *testing.T) {
 				}
 				ref := make(map[uint64]uint64)
 				for si, step := range stream {
+					if step.txns != nil {
+						// Serial batch-order reference: the conflict
+						// rule guarantees intersecting transactions
+						// commit in batch order, and disjoint ones
+						// commute.
+						got, err := pm.ApplyTxns(step.txns)
+						if err != nil {
+							t.Fatalf("step %d: %v", si, err)
+						}
+						for i, txn := range step.txns {
+							wantRes, wantOK := refApplyTxn(ref, txn)
+							if got[i].Err != nil {
+								t.Fatalf("step %d txn %d errored: %v", si, i, got[i].Err)
+							}
+							if got[i].Committed != wantOK {
+								t.Fatalf("step %d txn %d (%+v): committed %v want %v",
+									si, i, txn.Ops, got[i].Committed, wantOK)
+							}
+							for j := range wantRes {
+								if got[i].Results[j] != wantRes[j] {
+									t.Fatalf("step %d txn %d op %d (%+v): got %+v want %+v",
+										si, i, j, txn.Ops[j], got[i].Results[j], wantRes[j])
+								}
+							}
+						}
+						if _, err := pm.MaybeRebalance(); err != nil {
+							t.Fatalf("step %d rebalance: %v", si, err)
+						}
+						continue
+					}
 					wantRes, wantOK := refApply(ref, step)
 					if step.ops != nil {
 						got, err := pm.ApplyBatch(step.ops)

@@ -3,7 +3,6 @@ package host
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"pimstm/internal/core"
 	"pimstm/internal/dpu"
@@ -52,9 +51,17 @@ type PartitionedMap struct {
 	reb *Rebalancer
 
 	// BatchSeconds is the modeled wall-clock delta of the last
-	// ApplyBatch/ApplyTransfers call (what that batch added to the
-	// fleet clock; see Stats for the cumulative breakdown).
+	// ApplyTxns/ApplyBatch/ApplyTransfers call (what that window added
+	// to the fleet clock; see Stats for the cumulative breakdown).
 	BatchSeconds float64
+	// TxnsApplied and TxnsCoordinated count the transactions processed
+	// so far and how many of them needed CPU coordination (cross-DPU
+	// conflict groups routed through snapshot/writeback rounds).
+	TxnsApplied, TxnsCoordinated int
+
+	// lastExecBuckets is the last execute round's per-DPU routed op
+	// count, kept for the rebalancer's load observation.
+	lastExecBuckets map[int]int
 }
 
 // PartitionedMapConfig parameterizes a store. Zero fields take the
@@ -82,14 +89,21 @@ type PartitionedMapConfig struct {
 // OpKind selects a batch operation.
 type OpKind int
 
-// Batch operation kinds.
+// Batch operation kinds. OpGet, OpPut and OpDelete are the plain map
+// operations; OpAdd and OpSub are guarded read-modify-writes for use
+// inside a Txn — OpAdd fails when the key is missing, OpSub also when
+// the subtraction would underflow, and a failing guard aborts the whole
+// transaction (nothing applies).
 const (
 	OpGet OpKind = iota
 	OpPut
 	OpDelete
+	OpAdd
+	OpSub
 )
 
-// Op is one keyed operation in a batch.
+// Op is one keyed operation in a transaction or batch. For OpAdd and
+// OpSub, Value is the delta applied to the stored value.
 type Op struct {
 	Kind  OpKind
 	Key   uint64
@@ -111,19 +125,6 @@ type OpResult struct {
 type Transfer struct {
 	From, To uint64
 	Amount   uint64
-}
-
-// routedOp is one operation bucketed onto a DPU: a client op carrying
-// its result index, or a replica-maintenance shadow op (ri < 0) —
-// an invalidation delete, a write-through update or a stale-copy
-// refresh riding the batch's scatter. grouped ops (the puts of a
-// replicated key) are pinned to one tasklet in batch order, so the
-// owner's final value is the batch's last put — the value the copies
-// are written with.
-type routedOp struct {
-	op      Op
-	ri      int
-	grouped bool
 }
 
 // NewPartitionedMap builds a store over cfg.DPUs simulated DPUs. The
@@ -190,280 +191,29 @@ func (pm *PartitionedMap) Stats() FleetStats { return pm.fleet.Stats() }
 // owner routes a key to its authoritative DPU.
 func (pm *PartitionedMap) owner(key uint64) int { return pm.place.Owner(key) }
 
-// batchPlan is what routeBatch hands ApplyBatch: the per-DPU buckets
-// plus the directory mutations to apply once the round has succeeded
-// (mutating the directory before the shadow ops physically ran would
-// leave it ahead of DPU state if the round errors).
-type batchPlan struct {
-	perDPU map[int][]routedOp
-	// dropAfter keys lose their replica bookkeeping (the round deleted
-	// the copies); freshAfter keys become fresh (the round wrote the
-	// copies); throughPut keys were written through and must re-stale
-	// if their owner put errored.
-	dropAfter, freshAfter []uint64
-	throughPut            map[uint64]bool
-}
-
-// routeBatch buckets a batch by target DPU, spreading reads of
-// replicated keys over the owner and its fresh copies, and appends the
-// replica-maintenance shadow ops the batch implies (invalidation
-// deletes, write-through updates, stale refreshes).
-func (pm *PartitionedMap) routeBatch(ops []Op) batchPlan {
-	plan := batchPlan{perDPU: make(map[int][]routedOp)}
-	perDPU := plan.perDPU
-	if pm.dir == nil {
-		for i, op := range ops {
-			o := pm.place.Owner(op.Key)
-			perDPU[o] = append(perDPU[o], routedOp{op: op, ri: i})
-		}
-		return plan
-	}
-
-	// Pass 1: which keys does this batch write, and how? lastPut is the
-	// batch's final put value per key — the value write-through carries
-	// to the copies.
-	puts := make(map[uint64]int)
-	lastPut := make(map[uint64]uint64)
-	dels := make(map[uint64]bool)
-	for _, op := range ops {
-		switch op.Kind {
-		case OpPut:
-			puts[op.Key]++
-			lastPut[op.Key] = op.Value
-		case OpDelete:
-			dels[op.Key] = true
-		}
-	}
-	written := func(k uint64) bool { return puts[k] > 0 || dels[k] }
-
-	// Pass 2: route the client ops. Reads of a replicated key that was
-	// fresh at batch start round-robin over the owner and its copies —
-	// concurrent puts are fine (a read serializes before or after them
-	// either way, and pass 3 keeps the end states converged), but a
-	// delete pins the key's reads to the owner, and a stale entry
-	// (hidden by Replicas) pins them too, because a stale copy would
-	// leak a value overwritten in an earlier batch. Puts of a
-	// replicated key are grouped onto one owner tasklet so the batch
-	// order decides the final value deterministically.
-	for i, op := range ops {
-		o := pm.place.Owner(op.Key)
-		ro := routedOp{op: op, ri: i}
-		switch op.Kind {
-		case OpGet:
-			if !dels[op.Key] {
-				if reps := pm.place.Replicas(op.Key); len(reps) > 0 {
-					if t := i % (len(reps) + 1); t > 0 {
-						o = reps[t-1]
-					}
-				}
-			}
-		case OpPut:
-			ro.grouped = puts[op.Key] > 1 && len(pm.dir.allReplicas(op.Key)) > 0 && !dels[op.Key]
-		}
-		perDPU[o] = append(perDPU[o], ro)
-	}
-
-	// Pass 3: shadow ops for written replicated keys, coalesced into
-	// this batch's round. A delete anywhere invalidates (the copies are
-	// deleted and forgotten); puts write through — the copies get the
-	// batch's last put value, which pass 2's grouping guarantees is
-	// also the owner's final value — and stay fresh.
-	plan.throughPut = make(map[uint64]bool)
-	for _, k := range writtenKeys(puts, dels) {
-		copies := pm.dir.allReplicas(k)
-		if len(copies) == 0 {
-			continue
-		}
-		if dels[k] {
-			for _, r := range copies {
-				perDPU[r] = append(perDPU[r], routedOp{op: Op{Kind: OpDelete, Key: k}, ri: -1})
-			}
-			plan.dropAfter = append(plan.dropAfter, k)
-			continue
-		}
-		for _, r := range copies {
-			perDPU[r] = append(perDPU[r], routedOp{op: Op{Kind: OpPut, Key: k, Value: lastPut[k]}, ri: -1})
-		}
-		// Owner and copies converge on lastPut[k], so a stale entry
-		// becomes fresh again for free.
-		plan.freshAfter = append(plan.freshAfter, k)
-		plan.throughPut[k] = true
-	}
-
-	// Pass 4: refresh the stale copies this batch does not write, with
-	// the owner's pre-batch value read in the quiescent window. Their
-	// reads stayed on the owner in pass 2 (Replicas hides stale
-	// entries), so the refresh commits race-free.
-	for _, k := range pm.dir.staleKeys() {
-		if written(k) {
-			continue
-		}
-		v, ok := pm.hostGet(pm.place.Owner(k), k)
-		copies := pm.dir.allReplicas(k)
-		if !ok {
-			// The owner lost the key (a failed write path); delete the
-			// orphan copies rather than resurrect them.
-			for _, r := range copies {
-				perDPU[r] = append(perDPU[r], routedOp{op: Op{Kind: OpDelete, Key: k}, ri: -1})
-			}
-			plan.dropAfter = append(plan.dropAfter, k)
-			continue
-		}
-		for _, r := range copies {
-			perDPU[r] = append(perDPU[r], routedOp{op: Op{Kind: OpPut, Key: k, Value: v}, ri: -1})
-		}
-		plan.freshAfter = append(plan.freshAfter, k)
-	}
-	return plan
-}
-
-// writtenKeys merges the put and delete key sets, ascending.
-func writtenKeys(puts map[uint64]int, dels map[uint64]bool) []uint64 {
-	seen := make(map[uint64]bool, len(puts)+len(dels))
-	for k := range puts {
-		seen[k] = true
-	}
-	for k := range dels {
-		seen[k] = true
-	}
-	return sortedKeys(seen)
-}
-
-// ApplyBatch routes the batch, launches one program per involved DPU
-// through the fleet pipeline, and returns per-op results in order.
-// Results are functionally valid immediately; on the modeled clock the
-// batch's gather may still be in flight (Pipelined mode) — Stats always
-// accounts for the drain, and BatchSeconds reports this batch's delta.
+// ApplyBatch routes a batch of independent single operations — each op
+// its own 1-op transaction, the ApplyTxns degenerate case — and returns
+// per-op results in order. It preserves the pre-Txn semantics exactly:
+// every op is an independent concurrent transaction, so same-key order
+// within a batch is unspecified (replicated-key puts excepted, which
+// serialize on one owner tasklet), and the round charges the worst-case
+// per-DPU bucket. Results are functionally valid immediately; on the
+// modeled clock the batch's gather may still be in flight (Pipelined
+// mode) — Stats always accounts for the drain, and BatchSeconds reports
+// this batch's delta.
 func (pm *PartitionedMap) ApplyBatch(ops []Op) ([]OpResult, error) {
-	wallBefore := pm.fleet.Stats().WallSeconds
-	results := make([]OpResult, len(ops))
-	plan := pm.routeBatch(ops)
-	perDPU := plan.perDPU
-	involved := sortedKeys(perDPU)
-
-	// Shadow-op put failures (a replica map out of capacity) leave that
-	// copy behind the owner; the programs record the keys so the
-	// directory can re-stale them after the round.
-	var shadowMu sync.Mutex
-	shadowFailed := make(map[uint64]bool)
-
-	// RoundSpec carries a per-involved-DPU payload and the round takes
-	// the slowest DPU either way, so charge the worst-case bucket: a
-	// skewed batch pays for its hot partition instead of averaging it
-	// away across the involved set. Shadow ops are part of the bucket —
-	// replica maintenance is paid, not free.
-	maxOps := 0
-	for _, idxs := range perDPU {
-		if len(idxs) > maxOps {
-			maxOps = len(idxs)
-		}
+	txns := make([]Txn, len(ops))
+	for i, op := range ops {
+		txns[i] = Txn{Ops: []Op{op}}
 	}
-
-	err := pm.fleet.Round(RoundSpec{
-		Involved:     len(involved),
-		ScatterBytes: 24 * maxOps,
-		GatherBytes:  16 * maxOps,
-		IDs:          involved,
-		Program: func(id int, d *dpu.DPU) (float64, error) {
-			idxs := perDPU[id]
-			tm := pm.tms[id]
-			m := pm.maps[id]
-			d.ResetRun()
-			n := pm.tasklets
-			if n > len(idxs) {
-				n = len(idxs)
-			}
-			// Stripe ops over tasklets by position; grouped ops (the
-			// puts of one replicated key) are pinned to a single
-			// tasklet so they commit in batch order.
-			lists := make([][]int, n)
-			groupTasklet := make(map[uint64]int)
-			groups := 0
-			for j := range idxs {
-				if idxs[j].grouped {
-					ti, ok := groupTasklet[idxs[j].op.Key]
-					if !ok {
-						ti = groups % n
-						groupTasklet[idxs[j].op.Key] = ti
-						groups++
-					}
-					lists[ti] = append(lists[ti], j)
-					continue
-				}
-				lists[j%n] = append(lists[j%n], j)
-			}
-			progs := make([]func(*dpu.Tasklet), n)
-			for ti := 0; ti < n; ti++ {
-				mine := lists[ti]
-				progs[ti] = func(t *dpu.Tasklet) {
-					tx := tm.NewTx(t)
-					for _, j := range mine {
-						ro := idxs[j]
-						op := ro.op
-						var res OpResult
-						switch op.Kind {
-						case OpGet:
-							tx.Atomic(func(tx *core.Tx) {
-								res.Value, res.OK = m.Get(tx, op.Key)
-							})
-						case OpPut:
-							tx.Atomic(func(tx *core.Tx) {
-								ins, err := m.Put(tx, op.Key, op.Value)
-								res.OK, res.Err = ins, err
-							})
-						case OpDelete:
-							tx.Atomic(func(tx *core.Tx) {
-								res.OK = m.Delete(tx, op.Key)
-							})
-						}
-						if ro.ri >= 0 {
-							results[ro.ri] = res
-						} else if res.Err != nil {
-							shadowMu.Lock()
-							shadowFailed[op.Key] = true
-							shadowMu.Unlock()
-						}
-					}
-				}
-			}
-			cycles, err := d.Run(progs)
-			if err != nil {
-				return 0, fmt.Errorf("host: batch on dpu %d: %w", id, err)
-			}
-			return d.Seconds(cycles), nil
-		},
-	})
+	tres, err := pm.ApplyTxns(txns)
 	if err != nil {
 		return nil, err
 	}
-	if pm.dir != nil {
-		// The shadow ops physically ran; commit the deferred directory
-		// mutations, then re-stale any key whose copies or owner put
-		// failed (the copy set is behind or ahead of the owner — a
-		// later batch refreshes it from the owner).
-		for _, k := range plan.dropAfter {
-			pm.dir.dropReplicas(k)
-		}
-		for _, k := range plan.freshAfter {
-			pm.dir.markFresh(k)
-		}
-		for k := range shadowFailed {
-			pm.dir.markStale(k)
-		}
-		for i, op := range ops {
-			if op.Kind == OpPut && plan.throughPut[op.Key] && results[i].Err != nil {
-				pm.dir.markStale(op.Key)
-			}
-		}
+	results := make([]OpResult, len(ops))
+	for i := range tres {
+		results[i] = tres[i].Results[0]
 	}
-	if pm.reb != nil {
-		routed := make([]int, pm.fleet.Size())
-		for id, idxs := range perDPU {
-			routed[id] = len(idxs)
-		}
-		pm.reb.observe(ops, routed)
-	}
-	pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore
 	return results, nil
 }
 
@@ -479,135 +229,36 @@ func (pm *PartitionedMap) MaybeRebalance() (bool, error) {
 }
 
 // ApplyTransfers executes a batch of cross-DPU atomic moves in one
-// quiescent window. Instead of 331 µs CPU-mediated reads per word, the
-// host gathers every touched word from the involved DPUs in one batched
-// transfer, applies the read-modify-writes against that snapshot in
-// transfer order, and scatters the changed words back with one
-// writeback program per involved DPU. ok[i] reports whether transfer i
-// applied (both keys present and no underflow at its turn). Replica
-// copies of changed keys go stale and are refreshed by a later batch.
+// quiescent window, each transfer a 2-key transaction — a guarded
+// debit of From (OpSub, aborting on a missing key or underflow) and a
+// credit of To (OpAdd, aborting on a missing key) — applied in batch
+// order. All transfers are CPU-coordinated regardless of placement
+// (the historical contract): the touched records ride one coalesced
+// snapshot gather, the host applies the read-modify-writes against the
+// snapshot, and the changed 16-byte records ride one coalesced
+// writeback scatter — never 331 µs CPU-mediated words. ok[i] reports
+// whether transfer i committed. Replica copies of changed keys go
+// stale and are refreshed by a later batch.
 func (pm *PartitionedMap) ApplyTransfers(ts []Transfer) ([]bool, error) {
 	ok := make([]bool, len(ts))
 	if len(ts) == 0 {
 		pm.BatchSeconds = 0
 		return ok, nil
 	}
-	wallBefore := pm.fleet.Stats().WallSeconds
-
-	// Collect the distinct keys per owner DPU.
-	keyDPU := make(map[uint64]int)
-	perDPU := make(map[int][]uint64)
-	addKey := func(k uint64) {
-		if _, dup := keyDPU[k]; dup {
-			return
-		}
-		o := pm.owner(k)
-		keyDPU[k] = o
-		perDPU[o] = append(perDPU[o], k)
-	}
-	for _, t := range ts {
-		addKey(t.From)
-		addKey(t.To)
-	}
-	involved := sortedKeys(perDPU)
-
-	// Gather: one coalesced batched read of all touched words across
-	// the involved DPUs (the fleet is quiescent between rounds).
-	maxWords := 0
-	for _, ks := range perDPU {
-		if len(ks) > maxWords {
-			maxWords = len(ks)
-		}
-	}
-	// The host-side Walk reads key and value, so the gather moves the
-	// same 16-byte records the writeback scatter does.
-	if err := pm.fleet.Round(RoundSpec{
-		Involved:    len(involved),
-		GatherBytes: 16 * maxWords,
-	}); err != nil {
-		return nil, err
-	}
-	snapshot := make(map[uint64]uint64, len(keyDPU))
-	present := make(map[uint64]bool, len(keyDPU))
-	for _, id := range involved {
-		pm.maps[id].Walk(pm.fleet.DPU(id), func(k, v uint64) {
-			if _, want := keyDPU[k]; want && keyDPU[k] == id {
-				snapshot[k] = v
-				present[k] = true
-			}
-		})
-	}
-
-	// Apply the moves on the host against the snapshot, in order.
-	dirty := make(map[uint64]bool)
+	txns := make([]Txn, len(ts))
 	for i, t := range ts {
-		if !present[t.From] || !present[t.To] || snapshot[t.From] < t.Amount {
-			continue
-		}
-		snapshot[t.From] -= t.Amount
-		snapshot[t.To] += t.Amount
-		dirty[t.From], dirty[t.To] = true, true
-		ok[i] = true
+		txns[i] = Txn{Ops: []Op{
+			{Kind: OpSub, Key: t.From, Value: t.Amount},
+			{Kind: OpAdd, Key: t.To, Value: t.Amount},
+		}}
 	}
-	if len(dirty) == 0 {
-		pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore // the gather still ran
-		return ok, nil
-	}
-
-	// Scatter: write the changed words back, one coalesced program per
-	// involved DPU applying all of its updates.
-	writeback := make(map[int][]uint64) // dpu → changed keys
-	maxDirty := 0
-	for k := range dirty {
-		id := keyDPU[k]
-		writeback[id] = append(writeback[id], k)
-	}
-	wbIDs := sortedKeys(writeback)
-	for _, id := range wbIDs {
-		sort.Slice(writeback[id], func(a, b int) bool { return writeback[id][a] < writeback[id][b] })
-		if len(writeback[id]) > maxDirty {
-			maxDirty = len(writeback[id])
-		}
-	}
-	if err := pm.fleet.Round(RoundSpec{
-		Involved:     len(wbIDs),
-		ScatterBytes: 16 * maxDirty,
-		IDs:          wbIDs,
-		Program: func(id int, d *dpu.DPU) (float64, error) {
-			tm := pm.tms[id]
-			m := pm.maps[id]
-			keys := writeback[id]
-			d.ResetRun()
-			var putErr error
-			cycles, err := d.Run([]func(*dpu.Tasklet){func(t *dpu.Tasklet) {
-				tx := tm.NewTx(t)
-				tx.Atomic(func(tx *core.Tx) {
-					putErr = nil // fresh attempt after an abort
-					for _, k := range keys {
-						if _, err := m.Put(tx, k, snapshot[k]); err != nil {
-							putErr = err
-							return
-						}
-					}
-				})
-			}})
-			if err != nil {
-				return 0, err
-			}
-			if putErr != nil {
-				return 0, fmt.Errorf("host: writeback on dpu %d: %w", id, putErr)
-			}
-			return d.Seconds(cycles), nil
-		},
-	}); err != nil {
+	res, err := pm.applyTxns(txns, true)
+	if err != nil {
 		return nil, err
 	}
-	if pm.dir != nil {
-		for k := range dirty {
-			pm.dir.markStale(k)
-		}
+	for i := range res {
+		ok[i] = res[i].Committed
 	}
-	pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore
 	return ok, nil
 }
 
@@ -643,6 +294,52 @@ func (pm *PartitionedMap) MigrateKeys(moves map[uint64]int) error {
 // promotion window's delta.
 func (pm *PartitionedMap) ReplicateKeys(reps map[uint64][]int) error {
 	return pm.ApplyPlacement(nil, reps)
+}
+
+// DropReplicaKeys de-promotes keys: every physical replica copy of the
+// given keys is deleted in one paid coalesced scatter round on the copy
+// holders, and the directory forgets them — the reverse of
+// ReplicateKeys, used by the Rebalancer when a once-hot key goes cold
+// so the directory does not grow monotonically. Keys without copies are
+// skipped; with nothing to drop the call is free. Requires a Directory
+// placement. BatchSeconds reports the window's delta.
+func (pm *PartitionedMap) DropReplicaKeys(keys []uint64) error {
+	if pm.dir == nil {
+		return fmt.Errorf("host: replica de-promotion needs a Directory placement")
+	}
+	wallBefore := pm.fleet.Stats().WallSeconds
+	delOn := make(map[int][]uint64)
+	var dropped []uint64
+	seen := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		copies := pm.dir.allReplicas(k)
+		if len(copies) == 0 {
+			continue
+		}
+		for _, r := range copies {
+			delOn[r] = append(delOn[r], k)
+		}
+		dropped = append(dropped, k)
+	}
+	if len(dropped) == 0 {
+		pm.BatchSeconds = 0
+		return nil
+	}
+	for _, id := range sortedKeys(delOn) {
+		sort.Slice(delOn[id], func(a, b int) bool { return delOn[id][a] < delOn[id][b] })
+	}
+	if err := pm.mutateRound(nil, nil, delOn); err != nil {
+		return err
+	}
+	for _, k := range dropped {
+		pm.dir.dropReplicas(k)
+	}
+	pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore
+	return nil
 }
 
 // ApplyPlacement executes one coalesced placement change — key

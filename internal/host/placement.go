@@ -229,6 +229,19 @@ func (d *Directory) staleKeys() []uint64 {
 	return out
 }
 
+// replicatedKeys lists the keys holding physical copies (fresh or
+// stale), ascending — the candidate set for replica de-promotion.
+func (d *Directory) replicatedKeys() []uint64 {
+	var out []uint64
+	for k, e := range d.entries {
+		if len(e.replicas) > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // replicaCopies is the total number of physical replica records.
 func (d *Directory) replicaCopies() int {
 	n := 0

@@ -30,9 +30,17 @@ type RebalancerConfig struct {
 	// the least-loaded DPU instead (default 0.05).
 	ReplicateMaxWriteShare float64
 	// CooldownWindows keeps a key untouched for this many decision
-	// windows after it was migrated or promoted, damping oscillation
-	// (default 4).
+	// windows after it was migrated, promoted or de-promoted, damping
+	// oscillation (default 4).
 	CooldownWindows int
+	// ColdKeyOps is the de-promotion floor: a replicated key is cold in
+	// a window that routed fewer than this many ops to it (default 1 —
+	// only keys with no observed traffic are cold; negative disables
+	// de-promotion entirely).
+	ColdKeyOps int
+	// ColdWindows is how many consecutive cold windows a replicated key
+	// must accumulate before its copies are dropped (default 2).
+	ColdWindows int
 }
 
 func (c *RebalancerConfig) fill(dpus int) {
@@ -60,6 +68,12 @@ func (c *RebalancerConfig) fill(dpus int) {
 	if c.CooldownWindows <= 0 {
 		c.CooldownWindows = 4
 	}
+	if c.ColdKeyOps == 0 {
+		c.ColdKeyOps = 1
+	}
+	if c.ColdWindows <= 0 {
+		c.ColdWindows = 2
+	}
 }
 
 // KernelBoundServingRebalance is the documented preset the rebalance
@@ -83,8 +97,9 @@ type RebalancerStats struct {
 	// BatchesObserved and WindowsEvaluated count the input side;
 	// WindowsActed how many evaluations moved anything.
 	BatchesObserved, WindowsEvaluated, WindowsActed int
-	// KeysReplicated and KeysMigrated total the remedies applied.
-	KeysReplicated, KeysMigrated int
+	// KeysReplicated and KeysMigrated total the remedies applied;
+	// KeysDepromoted counts cold keys whose replicas were dropped.
+	KeysReplicated, KeysMigrated, KeysDepromoted int
 }
 
 // keyLoad accumulates one key's window traffic.
@@ -116,6 +131,9 @@ type Rebalancer struct {
 	keys    map[uint64]*keyLoad
 	window  int            // decision windows elapsed
 	cooled  map[uint64]int // key → window index when it may move again
+	// coldRuns counts a replicated key's consecutive cold windows; at
+	// ColdWindows the key is de-promoted.
+	coldRuns map[uint64]int
 
 	stats RebalancerStats
 }
@@ -132,11 +150,12 @@ func NewRebalancer(pm *PartitionedMap, cfg RebalancerConfig) (*Rebalancer, error
 	}
 	cfg.fill(pm.DPUs())
 	r := &Rebalancer{
-		pm:     pm,
-		cfg:    cfg,
-		dpuOps: make([]int, pm.DPUs()),
-		keys:   make(map[uint64]*keyLoad),
-		cooled: make(map[uint64]int),
+		pm:       pm,
+		cfg:      cfg,
+		dpuOps:   make([]int, pm.DPUs()),
+		keys:     make(map[uint64]*keyLoad),
+		cooled:   make(map[uint64]int),
+		coldRuns: make(map[uint64]int),
 	}
 	pm.reb = r
 	return r, nil
@@ -145,19 +164,23 @@ func NewRebalancer(pm *PartitionedMap, cfg RebalancerConfig) (*Rebalancer, error
 // Stats snapshots the control-plane counters.
 func (r *Rebalancer) Stats() RebalancerStats { return r.stats }
 
-// observe records one applied batch: the client ops and the per-DPU
-// routed op counts (replica spreading and shadow maintenance included).
-func (r *Rebalancer) observe(ops []Op, routed []int) {
-	for _, op := range ops {
-		l := r.keys[op.Key]
-		if l == nil {
-			l = &keyLoad{}
-			r.keys[op.Key] = l
-		}
-		if op.Kind == OpGet {
-			l.reads++
-		} else {
-			l.writes++
+// observe records one applied transaction batch: the client ops (by
+// transaction, guarded RMWs counting as writes) and the per-DPU routed
+// op counts (replica spreading, shadow maintenance and coordinated
+// gather sources included).
+func (r *Rebalancer) observe(txns []Txn, routed []int) {
+	for i := range txns {
+		for _, op := range txns[i].Ops {
+			l := r.keys[op.Key]
+			if l == nil {
+				l = &keyLoad{}
+				r.keys[op.Key] = l
+			}
+			if op.Kind == OpGet {
+				l.reads++
+			} else {
+				l.writes++
+			}
 		}
 	}
 	for id, n := range routed {
@@ -167,16 +190,73 @@ func (r *Rebalancer) observe(ops []Op, routed []int) {
 	r.stats.BatchesObserved++
 }
 
-// Step evaluates the window if it is full and applies at most one
-// decision: replicate the read-mostly hot keys of the hottest DPU,
-// migrate the write-heavy ones. It reports whether anything moved.
+// Step evaluates the window if it is full: cold replicated keys are
+// de-promoted first (their copies dropped in one paid round), then at
+// most one placement decision runs — replicate the read-mostly hot keys
+// of the hottest DPU, migrate the write-heavy ones. It reports whether
+// anything moved.
 func (r *Rebalancer) Step() (bool, error) {
 	if r.batches < r.cfg.WindowBatches {
 		return false, nil
 	}
-	acted, err := r.decide()
+	dropped, err := r.depromote()
+	acted := false
+	if err == nil {
+		acted, err = r.decide()
+	}
 	r.reset()
-	return acted, err
+	return acted || dropped, err
+}
+
+// depromote drops the replicas of keys whose window load fell below the
+// cold threshold for ColdWindows consecutive windows, so traffic that
+// shifts away from a once-hot key does not leave its copies (and their
+// write-through shadow puts) behind forever.
+func (r *Rebalancer) depromote() (bool, error) {
+	if r.cfg.ColdKeyOps < 0 {
+		return false, nil
+	}
+	replicated := r.pm.dir.replicatedKeys()
+	live := make(map[uint64]bool, len(replicated))
+	var drops []uint64
+	for _, k := range replicated {
+		live[k] = true
+		ops := 0
+		if l := r.keys[k]; l != nil {
+			ops = l.reads + l.writes
+		}
+		if ops >= r.cfg.ColdKeyOps {
+			delete(r.coldRuns, k)
+			continue
+		}
+		if until, cooling := r.cooled[k]; cooling && r.window < until {
+			continue
+		}
+		r.coldRuns[k]++
+		if r.coldRuns[k] < r.cfg.ColdWindows {
+			continue
+		}
+		delete(r.coldRuns, k)
+		drops = append(drops, k)
+	}
+	// Keys that lost their copies elsewhere (deletes, migration) have
+	// no run to keep counting.
+	for k := range r.coldRuns {
+		if !live[k] {
+			delete(r.coldRuns, k)
+		}
+	}
+	if len(drops) == 0 {
+		return false, nil
+	}
+	if err := r.pm.DropReplicaKeys(drops); err != nil {
+		return false, err
+	}
+	for _, k := range drops {
+		r.cooled[k] = r.window + r.cfg.CooldownWindows
+	}
+	r.stats.KeysDepromoted += len(drops)
+	return true, nil
 }
 
 // reset opens a fresh observation window and prunes expired cooldowns
@@ -303,6 +383,7 @@ func (r *Rebalancer) decide() (bool, error) {
 	r.stats.KeysMigrated += len(moves)
 	for k := range reps {
 		r.cooled[k] = r.window + r.cfg.CooldownWindows
+		delete(r.coldRuns, k) // a fresh promotion restarts cold counting
 	}
 	for k := range moves {
 		r.cooled[k] = r.window + r.cfg.CooldownWindows

@@ -145,6 +145,109 @@ func TestRebalancerActsOnSkew(t *testing.T) {
 	}
 }
 
+// TestRebalancerDepromotesColdKeys: a promoted key whose traffic moves
+// away is de-promoted — its copies physically deleted in one paid
+// round, the directory entry dropped — so the directory no longer grows
+// monotonically. Reads of the de-promoted key still serve correctly
+// from the owner.
+func TestRebalancerDepromotesColdKeys(t *testing.T) {
+	pm, dir := newDirPM(t, 4)
+	hot := keysOwnedBy(dir, 0, 1)[0]
+	elsewhere := keysOwnedBy(dir, 1, 1)[0]
+	if _, err := pm.ApplyBatch([]Op{
+		{Kind: OpPut, Key: hot, Value: 42},
+		{Kind: OpPut, Key: elsewhere, Value: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reb, err := NewRebalancer(pm, RebalancerConfig{
+		WindowBatches: 1, TopK: 2, MinKeyOps: 4, Replicas: 2,
+		CooldownWindows: 1, ColdKeyOps: 1, ColdWindows: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: hammer the hot key until it is replicated.
+	hotBatch := make([]Op, 16)
+	for i := range hotBatch {
+		hotBatch[i] = Op{Kind: OpGet, Key: hot}
+	}
+	for w := 0; w < 2 && len(dir.Replicas(hot)) == 0; w++ {
+		if _, err := pm.ApplyBatch(hotBatch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pm.MaybeRebalance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(dir.Replicas(hot)) != 2 {
+		t.Fatalf("hot key not promoted: %v", dir.Replicas(hot))
+	}
+	lenWithCopies := pm.Len()
+
+	// Phase 2: traffic shifts entirely away; after the cooldown plus
+	// ColdWindows cold windows the copies must be dropped.
+	coldBatch := make([]Op, 8)
+	for i := range coldBatch {
+		coldBatch[i] = Op{Kind: OpGet, Key: elsewhere}
+	}
+	rounds := pm.Stats().Rounds
+	for w := 0; w < 6 && len(dir.allReplicas(hot)) > 0; w++ {
+		if _, err := pm.ApplyBatch(coldBatch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pm.MaybeRebalance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dir.allReplicas(hot); len(got) != 0 {
+		t.Fatalf("cold key still holds copies: %v", got)
+	}
+	if s := reb.Stats(); s.KeysDepromoted != 1 {
+		t.Fatalf("de-promotion not counted: %+v", s)
+	}
+	if pm.Len() != lenWithCopies {
+		t.Fatalf("len = %d after de-promotion, want %d (copies deleted, key kept)", pm.Len(), lenWithCopies)
+	}
+	if pm.Stats().Rounds == rounds {
+		t.Fatal("de-promotion modeled as free")
+	}
+	// The key itself survives and serves from its owner.
+	if v, ok := pm.Get(hot); !ok || v != 42 {
+		t.Fatalf("de-promoted key = %d,%v", v, ok)
+	}
+	res, err := pm.ApplyBatch([]Op{{Kind: OpGet, Key: hot}})
+	if err != nil || !res[0].OK || res[0].Value != 42 {
+		t.Fatalf("read after de-promotion: %+v %v", res, err)
+	}
+
+	// Disabled de-promotion never drops copies.
+	pm2, dir2 := newDirPM(t, 4)
+	if _, err := pm2.ApplyBatch([]Op{{Kind: OpPut, Key: hot, Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm2.ReplicateKeys(map[uint64][]int{hot: {1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRebalancer(pm2, RebalancerConfig{
+		WindowBatches: 1, ColdKeyOps: -1, ColdWindows: 1, CooldownWindows: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		if _, err := pm2.ApplyBatch(coldBatch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pm2.MaybeRebalance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(dir2.allReplicas(hot)) != 1 {
+		t.Fatalf("disabled de-promotion still dropped copies: %v", dir2.allReplicas(hot))
+	}
+}
+
 // TestServeWithRebalancerDeterministic: the whole serving pipeline with
 // the control plane in the loop stays a pure function of its config.
 func TestServeWithRebalancerDeterministic(t *testing.T) {

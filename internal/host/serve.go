@@ -68,9 +68,11 @@ func (z *Zipf) Rank(u float64) int {
 
 // TrafficConfig parameterizes one deterministic open-loop trace.
 type TrafficConfig struct {
-	// Ops is the trace length (required, ≥ 1).
+	// Ops is the trace length in transactions (required, ≥ 1); each
+	// transaction carries TxnSize operations, so with the default
+	// TxnSize of 1 this is the historical op count.
 	Ops int
-	// Rate is the mean arrival rate in ops per modeled second
+	// Rate is the mean arrival rate in transactions per modeled second
 	// (required, > 0); inter-arrivals are exponential (Poisson stream).
 	Rate float64
 	// ReadPct of ops are Gets; the rest are Puts of a random value.
@@ -82,11 +84,24 @@ type TrafficConfig struct {
 	ZipfS float64
 	// Seed makes the trace reproducible.
 	Seed uint64
+	// TxnSize is the exact number of operations per transaction
+	// (default 1 — the historical single-op stream, bit-identical to
+	// the pre-Txn generator).
+	TxnSize int
+	// CrossDPU is the fraction of multi-op transactions whose keys
+	// deliberately span at least two DPUs; the rest are confined to the
+	// first key's owner DPU. Only meaningful when TxnSize ≥ 2; needs
+	// DPUs ≥ 2.
+	CrossDPU float64
+	// DPUs is the fleet size the trace will be served on (static-hash
+	// routing), required when TxnSize ≥ 2. Serve fills it from the
+	// store config automatically.
+	DPUs int
 }
 
-// TimedOp is one generated operation with its modeled arrival time.
-type TimedOp struct {
-	Op Op
+// TimedTxn is one generated transaction with its modeled arrival time.
+type TimedTxn struct {
+	Txn Txn
 	// Arrival is modeled seconds from the start of the trace;
 	// non-decreasing along the trace.
 	Arrival float64
@@ -94,10 +109,14 @@ type TimedOp struct {
 
 // GenerateTraffic builds the open-loop trace: arrivals keep their
 // schedule regardless of how fast the store drains them — that is what
-// makes queueing delay visible in the modeled latencies.
-func GenerateTraffic(cfg TrafficConfig) ([]TimedOp, error) {
+// makes queueing delay visible in the modeled latencies. With
+// TxnSize ≥ 2 each arrival is a multi-key transaction: its first key is
+// Zipf-sampled, and the rest are drawn either from the same DPU's
+// keys (confined) or forced to span DPUs (a CrossDPU-fraction coin),
+// so the cross-DPU coordination cost is a controlled knob.
+func GenerateTraffic(cfg TrafficConfig) ([]TimedTxn, error) {
 	if cfg.Ops < 1 {
-		return nil, fmt.Errorf("host: traffic needs at least one op")
+		return nil, fmt.Errorf("host: traffic needs at least one transaction")
 	}
 	if cfg.Rate <= 0 {
 		return nil, fmt.Errorf("host: traffic needs a positive arrival rate")
@@ -105,23 +124,168 @@ func GenerateTraffic(cfg TrafficConfig) ([]TimedOp, error) {
 	if cfg.Keyspace < 1 {
 		return nil, fmt.Errorf("host: traffic needs at least one key")
 	}
+	if cfg.TxnSize == 0 {
+		cfg.TxnSize = 1
+	}
+	if cfg.TxnSize < 1 {
+		return nil, fmt.Errorf("host: bad transaction size %d", cfg.TxnSize)
+	}
+	if cfg.CrossDPU < 0 || cfg.CrossDPU > 1 {
+		return nil, fmt.Errorf("host: cross-DPU fraction %g outside [0, 1]", cfg.CrossDPU)
+	}
 	z, err := NewZipf(cfg.Keyspace, cfg.ZipfS)
 	if err != nil {
 		return nil, err
 	}
 	rng := Rand64(cfg.Seed*0x9E3779B97F4A7C15 + 1)
-	ops := make([]TimedOp, cfg.Ops)
+	out := make([]TimedTxn, cfg.Ops)
 	clock := 0.0
-	for i := range ops {
-		clock += -math.Log(1-rng.Float()) / cfg.Rate
-		key := uint64(z.Rank(rng.Float()))
-		op := Op{Kind: OpPut, Key: key, Value: rng.Next()}
-		if int(rng.Next()%100) < cfg.ReadPct {
-			op = Op{Kind: OpGet, Key: key}
+
+	if cfg.TxnSize == 1 {
+		// The historical generator, consuming the PRNG identically so
+		// every pre-Txn trace (and artifact) stays byte-identical.
+		for i := range out {
+			clock += -math.Log(1-rng.Float()) / cfg.Rate
+			key := uint64(z.Rank(rng.Float()))
+			op := Op{Kind: OpPut, Key: key, Value: rng.Next()}
+			if int(rng.Next()%100) < cfg.ReadPct {
+				op = Op{Kind: OpGet, Key: key}
+			}
+			out[i] = TimedTxn{Txn: Txn{Ops: []Op{op}}, Arrival: clock}
 		}
-		ops[i] = TimedOp{Op: op, Arrival: clock}
+		return out, nil
 	}
-	return ops, nil
+
+	if cfg.DPUs < 1 {
+		return nil, fmt.Errorf("host: multi-op traffic needs the fleet size (DPUs)")
+	}
+	shape, err := newTxnShaper(cfg, z)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		clock += -math.Log(1-rng.Float()) / cfg.Rate
+		spanning := rng.Float() < cfg.CrossDPU
+		ops := make([]Op, 0, cfg.TxnSize)
+		mkOp := func(key uint64) Op {
+			op := Op{Kind: OpPut, Key: key, Value: rng.Next()}
+			if int(rng.Next()%100) < cfg.ReadPct {
+				op = Op{Kind: OpGet, Key: key}
+			}
+			return op
+		}
+		first := uint64(z.Rank(rng.Float()))
+		ops = append(ops, mkOp(first))
+		home := hashOwner(first, cfg.DPUs)
+		owners := map[int]bool{home: true}
+		taken := map[uint64]bool{first: true}
+		for j := 1; j < cfg.TxnSize; j++ {
+			var key uint64
+			switch {
+			case !spanning:
+				key = shape.sampleOn(home, taken, &rng)
+			case j == cfg.TxnSize-1 && len(owners) == 1:
+				// Last chance to honor the spanning coin: draw the key
+				// from a different DPU's keys.
+				key = shape.sampleOff(home, taken, &rng)
+			default:
+				key = shape.sampleAny(taken, &rng)
+			}
+			taken[key] = true
+			owners[hashOwner(key, cfg.DPUs)] = true
+			ops = append(ops, mkOp(key))
+		}
+		out[i] = TimedTxn{Txn: Txn{Ops: ops}, Arrival: clock}
+	}
+	return out, nil
+}
+
+// txnShaper samples keys conditioned on their owner DPU: per-DPU key
+// lists with renormalized Zipf CDFs, so confined and spanning
+// transactions stay faithful to the configured popularity skew.
+type txnShaper struct {
+	z     *Zipf
+	keys  map[int][]uint64  // owner → its keys, popularity order
+	cum   map[int][]float64 // owner → renormalized Zipf CDF
+	dpus  []int             // DPUs owning at least one key, ascending
+	byDPU map[int]int       // owner → index into dpus
+}
+
+func newTxnShaper(cfg TrafficConfig, z *Zipf) (*txnShaper, error) {
+	s := &txnShaper{
+		z:     z,
+		keys:  make(map[int][]uint64),
+		cum:   make(map[int][]float64),
+		byDPU: make(map[int]int),
+	}
+	weights := make(map[int][]float64)
+	for k := 0; k < cfg.Keyspace; k++ {
+		o := hashOwner(uint64(k), cfg.DPUs)
+		s.keys[o] = append(s.keys[o], uint64(k))
+		weights[o] = append(weights[o], math.Pow(float64(k+1), -cfg.ZipfS))
+	}
+	for o, ws := range weights {
+		total := 0.0
+		cum := make([]float64, len(ws))
+		for i, w := range ws {
+			total += w
+			cum[i] = total
+		}
+		for i := range cum {
+			cum[i] /= total
+		}
+		s.cum[o] = cum
+	}
+	for o := 0; o < cfg.DPUs; o++ {
+		if len(s.keys[o]) > 0 {
+			s.byDPU[o] = len(s.dpus)
+			s.dpus = append(s.dpus, o)
+		}
+	}
+	if cfg.CrossDPU > 0 && len(s.dpus) < 2 {
+		return nil, fmt.Errorf("host: cross-DPU transactions need keys on at least two DPUs (have %d)", len(s.dpus))
+	}
+	return s, nil
+}
+
+// sampleOn draws a key owned by DPU o, avoiding taken keys best-effort
+// (up to 8 redraws; a tiny partition may repeat keys, which a
+// transaction tolerates).
+func (s *txnShaper) sampleOn(o int, taken map[uint64]bool, rng *Rand64) uint64 {
+	cum, keys := s.cum[o], s.keys[o]
+	var key uint64
+	for attempt := 0; attempt < 8; attempt++ {
+		key = keys[sort.SearchFloat64s(cum, rng.Float())]
+		if !taken[key] {
+			return key
+		}
+	}
+	return key
+}
+
+// sampleOff draws a key owned by any DPU other than o.
+func (s *txnShaper) sampleOff(o int, taken map[uint64]bool, rng *Rand64) uint64 {
+	others := make([]int, 0, len(s.dpus))
+	for _, d := range s.dpus {
+		if d != o {
+			others = append(others, d)
+		}
+	}
+	d := others[int(rng.Next()%uint64(len(others)))]
+	return s.sampleOn(d, taken, rng)
+}
+
+// sampleAny draws from the global Zipf, avoiding taken keys
+// best-effort.
+func (s *txnShaper) sampleAny(taken map[uint64]bool, rng *Rand64) uint64 {
+	var key uint64
+	for attempt := 0; attempt < 8; attempt++ {
+		key = uint64(s.z.Rank(rng.Float()))
+		if !taken[key] {
+			return key
+		}
+	}
+	return key
 }
 
 // Quantile returns the q-quantile (0 < q ≤ 1) of xs by the
@@ -165,31 +329,38 @@ type ServeConfig struct {
 
 // ServeResult is the modeled outcome of one serving run.
 type ServeResult struct {
-	// Ops served and Batches applied.
-	Ops, Batches int
+	// Ops served across Txns transactions, in Batches applied batches.
+	Ops, Txns, Batches int
 	// MakespanSeconds spans load completion (the traffic clock's zero)
 	// to the last batch completion on the modeled clock.
 	MakespanSeconds float64
 	// OpsPerSecond is Ops / MakespanSeconds.
 	OpsPerSecond float64
-	// P50/P95/P99 are modeled per-op latency percentiles in seconds
-	// (queue wait + batch wall clock).
+	// P50/P95/P99 are modeled per-transaction commit-latency percentiles
+	// in seconds (queue wait + batch wall clock).
 	P50, P95, P99 float64
-	// MeanBatchOps is the average applied batch size.
+	// MeanBatchOps is the average applied batch size in ops.
 	MeanBatchOps float64
 	// Stats are the submitter's flush counters.
 	Stats SubmitterStats
 	// Rebalance are the control-plane counters (zero without a
 	// rebalancer).
 	Rebalance RebalancerStats
-	// Errors counts ops that resolved with a non-nil Err.
-	Errors int
+	// Errors counts transactions that resolved with a non-nil Err;
+	// Aborted counts clean guard aborts (Committed false, no error).
+	Errors, Aborted int
+	// CoordinatedTxns counts the transactions that needed CPU
+	// coordination (cross-DPU conflict groups).
+	CoordinatedTxns int
 }
 
 // Serve preloads the keyspace, streams the generated trace through a
 // Submitter in arrival order, and reports modeled throughput and
 // latency. Deterministic: identical configs give identical results.
 func Serve(cfg ServeConfig) (ServeResult, error) {
+	if cfg.Traffic.TxnSize > 1 && cfg.Traffic.DPUs == 0 {
+		cfg.Traffic.DPUs = cfg.Map.DPUs
+	}
 	trace, err := GenerateTraffic(cfg.Traffic)
 	if err != nil {
 		return ServeResult{}, err
@@ -215,6 +386,7 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 		return ServeResult{}, err
 	}
 	base := pm.Stats().WallSeconds
+	coordBase := pm.TxnsCoordinated
 
 	// The control plane attaches after the load so the bulk preload
 	// does not count as observed traffic.
@@ -228,24 +400,30 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 	s := NewSubmitter(pm, cfg.Submit)
 	futs := make([]*Future, len(trace))
 	for i, t := range trace {
-		futs[i] = s.Submit(t.Op, t.Arrival)
+		if futs[i], err = s.Submit(t.Txn, t.Arrival); err != nil {
+			return ServeResult{}, err
+		}
 	}
 	if err := s.Close(); err != nil {
 		return ServeResult{}, err
 	}
 
-	res := ServeResult{Ops: len(trace), Stats: s.Stats()}
+	res := ServeResult{Txns: len(trace), Stats: s.Stats()}
+	res.Ops = res.Stats.Submitted
 	res.Batches = res.Stats.Batches
+	res.CoordinatedTxns = pm.TxnsCoordinated - coordBase
 	if reb != nil {
 		res.Rebalance = reb.Stats()
 	}
 	lats := make([]float64, len(futs))
 	for i, f := range futs {
-		r, lat := f.Wait()
+		r := f.Wait()
 		if r.Err != nil {
 			res.Errors++
+		} else if !r.Committed {
+			res.Aborted++
 		}
-		lats[i] = lat
+		lats[i] = r.LatencySeconds
 	}
 	sort.Float64s(lats)
 	res.P50 = quantileSorted(lats, 0.50)

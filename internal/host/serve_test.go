@@ -7,7 +7,26 @@ import (
 	"pimstm/internal/core"
 )
 
-// TestGenerateTrafficDeterministic: same seed ⇒ identical op stream
+// sameTrace compares two traces structurally (Txn holds a slice, so
+// the structs are not directly comparable).
+func sameTrace(a, b []TimedTxn) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || len(a[i].Txn.Ops) != len(b[i].Txn.Ops) {
+			return false
+		}
+		for j := range a[i].Txn.Ops {
+			if a[i].Txn.Ops[j] != b[i].Txn.Ops[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestGenerateTrafficDeterministic: same seed ⇒ identical txn stream
 // (the satellite determinism requirement for the serve bench).
 func TestGenerateTrafficDeterministic(t *testing.T) {
 	cfg := TrafficConfig{Ops: 500, Rate: 1e5, ReadPct: 80, Keyspace: 128, ZipfS: 1.2, Seed: 7}
@@ -22,36 +41,31 @@ func TestGenerateTrafficDeterministic(t *testing.T) {
 	if len(a) != 500 {
 		t.Fatalf("trace length %d", len(a))
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("op %d differs across same-seed runs: %+v vs %+v", i, a[i], b[i])
-		}
+	if !sameTrace(a, b) {
+		t.Fatal("same-seed runs diverged")
 	}
 	cfg.Seed = 8
 	c, err := GenerateTraffic(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	same := true
-	for i := range a {
-		if a[i] != c[i] {
-			same = false
-			break
-		}
-	}
-	if same {
+	if sameTrace(a, c) {
 		t.Fatal("different seeds produced an identical trace")
 	}
 
 	reads := 0
-	for i, op := range a {
-		if i > 0 && op.Arrival < a[i-1].Arrival {
+	for i, tt := range a {
+		if i > 0 && tt.Arrival < a[i-1].Arrival {
 			t.Fatalf("arrivals regress at %d", i)
 		}
-		if op.Op.Key >= 128 {
-			t.Fatalf("key %d outside keyspace", op.Op.Key)
+		if len(tt.Txn.Ops) != 1 {
+			t.Fatalf("default TxnSize must yield 1-op txns, got %d", len(tt.Txn.Ops))
 		}
-		if op.Op.Kind == OpGet {
+		op := tt.Txn.Ops[0]
+		if op.Key >= 128 {
+			t.Fatalf("key %d outside keyspace", op.Key)
+		}
+		if op.Kind == OpGet {
 			reads++
 		}
 	}
@@ -72,6 +86,63 @@ func TestGenerateTrafficDeterministic(t *testing.T) {
 	}
 	if _, err := GenerateTraffic(TrafficConfig{Ops: 1, Rate: 1}); err == nil {
 		t.Fatal("zero keyspace accepted")
+	}
+	if _, err := GenerateTraffic(TrafficConfig{Ops: 1, Rate: 1, Keyspace: 8, TxnSize: 3}); err == nil {
+		t.Fatal("multi-op traffic without a fleet size accepted")
+	}
+	if _, err := GenerateTraffic(TrafficConfig{Ops: 1, Rate: 1, Keyspace: 8, TxnSize: 3, DPUs: 4, CrossDPU: 1.5}); err == nil {
+		t.Fatal("cross-DPU fraction above 1 accepted")
+	}
+}
+
+// TestGenerateTrafficTxnShapes: the TxnSize/CrossDPU knobs hold — every
+// transaction carries exactly TxnSize ops, a CrossDPU=1 trace spans ≥ 2
+// DPUs in every transaction, and a CrossDPU=0 trace never does.
+func TestGenerateTrafficTxnShapes(t *testing.T) {
+	const dpus = 4
+	span := func(tt TimedTxn) int {
+		owners := map[int]bool{}
+		for _, op := range tt.Txn.Ops {
+			owners[hashOwner(op.Key, dpus)] = true
+		}
+		return len(owners)
+	}
+	base := TrafficConfig{Ops: 300, Rate: 1e5, ReadPct: 50, Keyspace: 256, ZipfS: 1.0, Seed: 5, TxnSize: 3, DPUs: dpus}
+
+	confined := base
+	confined.CrossDPU = 0
+	trace, err := GenerateTraffic(confined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range trace {
+		if len(tt.Txn.Ops) != 3 {
+			t.Fatalf("txn %d carries %d ops, want 3", i, len(tt.Txn.Ops))
+		}
+		if span(tt) != 1 {
+			t.Fatalf("confined txn %d spans %d DPUs", i, span(tt))
+		}
+	}
+
+	crossing := base
+	crossing.CrossDPU = 1
+	trace, err = GenerateTraffic(crossing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range trace {
+		if span(tt) < 2 {
+			t.Fatalf("cross-DPU txn %d confined to one DPU: %+v", i, tt.Txn.Ops)
+		}
+	}
+
+	// Determinism holds for the multi-op generator too.
+	again, err := GenerateTraffic(crossing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTrace(trace, again) {
+		t.Fatal("same-seed multi-op runs diverged")
 	}
 }
 

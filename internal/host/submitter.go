@@ -5,24 +5,25 @@ import (
 	"sync"
 )
 
-// ErrSubmitterClosed is resolved into futures submitted after Close.
+// ErrSubmitterClosed is the sentinel returned by Submit, Flush and a
+// repeated Close once the submitter has been closed.
 var ErrSubmitterClosed = errors.New("host: submitter closed")
 
 // SubmitterConfig tunes the adaptive batcher. Zero fields take the
 // documented defaults.
 type SubmitterConfig struct {
 	// MaxBatch flushes the pending batch as soon as it holds this many
-	// operations (default 64).
+	// operations across its transactions (default 64).
 	MaxBatch int
 	// MaxDelaySeconds bounds, on the modeled clock, how long the oldest
-	// pending op may wait before the batch flushes (default 300 µs —
-	// about one transfer handshake).
+	// pending transaction may wait before the batch flushes (default
+	// 300 µs — about one transfer handshake).
 	MaxDelaySeconds float64
 	// Queue is the bounded admission queue: Submit blocks once this
-	// many accepted ops await batching (default 4 × MaxBatch). The
-	// bound caps real memory, not the modeled arrival process — an op
-	// admitted late still carries its open-loop arrival stamp, so the
-	// backpressure shows up as modeled queueing delay.
+	// many accepted transactions await batching (default 4 × MaxBatch).
+	// The bound caps real memory, not the modeled arrival process — a
+	// transaction admitted late still carries its open-loop arrival
+	// stamp, so the backpressure shows up as modeled queueing delay.
 	Queue int
 }
 
@@ -38,20 +39,20 @@ func (c *SubmitterConfig) fill() {
 	}
 }
 
-// Future resolves one submitted Op: its result plus its modeled
-// latency (batch completion on the fleet clock minus the op's arrival,
-// i.e. queue wait + batch wall clock).
+// Future resolves one submitted Txn: its per-op results and one modeled
+// commit latency for the transaction as a unit (batch completion on the
+// fleet clock minus the transaction's arrival, i.e. queue wait + batch
+// wall clock, in TxnResult.LatencySeconds).
 type Future struct {
-	done    chan struct{}
-	res     OpResult
-	latency float64
+	done chan struct{}
+	res  TxnResult
 }
 
-// Wait blocks until the op's batch has been applied and returns the
-// result and the modeled latency in seconds.
-func (f *Future) Wait() (OpResult, float64) {
+// Wait blocks until the transaction's batch has been applied and
+// returns its TxnResult.
+func (f *Future) Wait() TxnResult {
 	<-f.done
-	return f.res, f.latency
+	return f.res
 }
 
 // FlushReason says why a batch left the submitter.
@@ -61,8 +62,8 @@ type FlushReason int
 const (
 	// FlushSize: the batch reached MaxBatch ops.
 	FlushSize FlushReason = iota
-	// FlushDelay: a later arrival pushed the oldest pending op past
-	// MaxDelaySeconds on the modeled clock.
+	// FlushDelay: a later arrival pushed the oldest pending transaction
+	// past MaxDelaySeconds on the modeled clock.
 	FlushDelay
 	// FlushDrain: an explicit Flush or Close drained the remainder.
 	FlushDrain
@@ -71,37 +72,41 @@ const (
 // SubmitterStats counts the batcher's decisions. Valid snapshot any
 // time; totals are final once Close has returned.
 type SubmitterStats struct {
-	// Submitted ops batched and applied; Batches applied so far.
-	Submitted, Batches int
+	// Submitted ops batched and applied, across Txns transactions, in
+	// Batches applied batches.
+	Submitted, Txns, Batches int
 	// SizeFlushes, DelayFlushes and DrainFlushes split Batches by
 	// FlushReason.
 	SizeFlushes, DelayFlushes, DrainFlushes int
-	// MaxBatchOps is the largest batch applied.
+	// MaxBatchOps is the largest batch applied, in ops.
 	MaxBatchOps int
 }
 
-// submitMsg is one queue entry: an op with its future, or a flush
-// barrier (op futures nil, barrier non-nil).
+// submitMsg is one queue entry: a transaction with its future, or a
+// flush barrier (txn future nil, barrier non-nil).
 type submitMsg struct {
-	op      Op
+	txn     Txn
 	arrival float64
 	fut     *Future
 	barrier chan struct{}
 }
 
 // Submitter is a goroutine-safe serving front-end over a
-// PartitionedMap: many clients Submit single Ops, the submitter
-// adaptively batches them — flushing at MaxBatch ops or once the
-// oldest pending op has waited MaxDelaySeconds on the modeled clock —
-// and resolves each op's Future with its result and modeled latency.
+// PartitionedMap: many clients Submit transactions — ordered groups of
+// Ops over arbitrary keys; a single op is just a 1-op Txn — and the
+// submitter adaptively batches them, flushing at MaxBatch ops or once
+// the oldest pending transaction has waited MaxDelaySeconds on the
+// modeled clock, and resolves each transaction's Future with its
+// per-op results and one modeled commit latency.
 //
 // Arrival times are modeled seconds relative to the submitter's
 // creation (the open-loop traffic clock); the underlying fleet clock
 // is advanced so a batch never starts before its flush time. Flush
-// decisions are a pure function of the op stream (order, arrivals,
-// MaxBatch, MaxDelaySeconds), never of real time, so a deterministic
-// op stream yields a deterministic schedule — an op with no successor
-// traffic stays pending until Flush or Close.
+// decisions are a pure function of the transaction stream (order,
+// arrivals, op counts, MaxBatch, MaxDelaySeconds), never of real time,
+// so a deterministic stream yields a deterministic schedule — a
+// transaction with no successor traffic stays pending until Flush or
+// Close.
 //
 // The PartitionedMap must not be used directly while the submitter is
 // open; one flusher goroutine owns it.
@@ -118,11 +123,11 @@ type Submitter struct {
 
 	statsMu sync.Mutex
 	stats   SubmitterStats
-	err     error // first ApplyBatch error
+	err     error // first ApplyTxns error
 }
 
 // NewSubmitter starts the serving front-end over pm. Close it to drain
-// pending ops and stop the flusher.
+// pending transactions and stop the flusher.
 func NewSubmitter(pm *PartitionedMap, cfg SubmitterConfig) *Submitter {
 	cfg.fill()
 	s := &Submitter{
@@ -136,48 +141,56 @@ func NewSubmitter(pm *PartitionedMap, cfg SubmitterConfig) *Submitter {
 	return s
 }
 
-// Submit enqueues one op that arrived at the given modeled time
-// (seconds since the submitter was created) and returns its Future.
-// It blocks while the admission queue is full (backpressure) and is
-// safe from many goroutines. After Close the future resolves
-// immediately with ErrSubmitterClosed.
-func (s *Submitter) Submit(op Op, arrival float64) *Future {
+// Submit enqueues one transaction that arrived at the given modeled
+// time (seconds since the submitter was created) and returns its
+// Future. It blocks while the admission queue is full (backpressure)
+// and is safe from many goroutines. After Close it returns
+// ErrSubmitterClosed instead of panicking on the closed queue; empty
+// transactions are rejected.
+func (s *Submitter) Submit(txn Txn, arrival float64) (*Future, error) {
+	if len(txn.Ops) == 0 {
+		return nil, errors.New("host: empty transaction")
+	}
 	f := &Future{done: make(chan struct{})}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		f.res = OpResult{Err: ErrSubmitterClosed}
-		close(f.done)
-		return f
+		return nil, ErrSubmitterClosed
 	}
-	s.ch <- submitMsg{op: op, arrival: arrival, fut: f}
+	s.ch <- submitMsg{txn: txn, arrival: arrival, fut: f}
 	s.mu.RUnlock()
-	return f
+	return f, nil
 }
 
 // Flush forces the pending batch out (reason FlushDrain) and returns
-// once it has been applied. A no-op when nothing is pending or the
-// submitter is closed.
-func (s *Submitter) Flush() {
+// once it has been applied. A no-op when nothing is pending; after
+// Close it returns ErrSubmitterClosed.
+func (s *Submitter) Flush() error {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return
+		return ErrSubmitterClosed
 	}
 	b := make(chan struct{})
 	s.ch <- submitMsg{barrier: b}
 	s.mu.RUnlock()
 	<-b
+	return nil
 }
 
-// Close drains every pending op, stops the flusher and returns the
-// first batch-application error (nil normally). Idempotent.
+// Close drains every pending transaction, stops the flusher and
+// returns the first batch-application error (nil normally). A second
+// Close returns ErrSubmitterClosed instead of panicking on the closed
+// queue.
 func (s *Submitter) Close() error {
 	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.ch)
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return ErrSubmitterClosed
 	}
+	s.closed = true
+	close(s.ch)
 	s.mu.Unlock()
 	<-s.done
 	s.statsMu.Lock()
@@ -197,24 +210,26 @@ func (s *Submitter) Stats() SubmitterStats {
 func (s *Submitter) run() {
 	defer close(s.done)
 	var batch []submitMsg
+	pendingOps := 0
 	// oldest is the minimum arrival in the pending batch: with
 	// concurrent clients the queue order need not follow arrival
-	// order, and the MaxDelay bound is on the oldest op, not on
-	// whichever happened to enqueue first.
+	// order, and the MaxDelay bound is on the oldest transaction, not
+	// on whichever happened to enqueue first.
 	var oldest float64
 	for msg := range s.ch {
 		if msg.barrier != nil {
 			if len(batch) > 0 {
 				s.flush(batch, oldest, FlushDrain)
-				batch = batch[:0]
+				batch, pendingOps = batch[:0], 0
 			}
 			close(msg.barrier)
 			continue
 		}
-		// The new arrival proves the oldest pending op has waited past
-		// MaxDelay on the modeled clock: the front-end's timer fired at
-		// the deadline, shipping every op that had arrived by then —
-		// possibly several times over if the new arrival is far ahead.
+		// The new arrival proves the oldest pending transaction has
+		// waited past MaxDelay on the modeled clock: the front-end's
+		// timer fired at the deadline, shipping everything that had
+		// arrived by then — possibly several times over if the new
+		// arrival is far ahead.
 		for len(batch) > 0 && msg.arrival > oldest+s.cfg.MaxDelaySeconds {
 			deadline := oldest + s.cfg.MaxDelaySeconds
 			var due, rest []submitMsg
@@ -227,14 +242,16 @@ func (s *Submitter) run() {
 			}
 			s.flush(due, deadline, FlushDelay)
 			batch, oldest = rest, minArrival(rest)
+			pendingOps = countOps(rest)
 		}
 		if len(batch) == 0 || msg.arrival < oldest {
 			oldest = msg.arrival
 		}
 		batch = append(batch, msg)
-		if len(batch) >= s.cfg.MaxBatch {
+		pendingOps += len(msg.txn.Ops)
+		if pendingOps >= s.cfg.MaxBatch {
 			s.flush(batch, msg.arrival, FlushSize)
-			batch = batch[:0]
+			batch, pendingOps = batch[:0], 0
 		}
 	}
 	if len(batch) > 0 {
@@ -256,33 +273,45 @@ func minArrival(batch []submitMsg) float64 {
 	return min
 }
 
+// countOps totals the ops of the pending transactions.
+func countOps(batch []submitMsg) int {
+	n := 0
+	for _, m := range batch {
+		n += len(m.txn.Ops)
+	}
+	return n
+}
+
 // flush applies one batch at modeled time `at` (clamped to the newest
-// arrival it contains — ops cannot be scattered before they arrive)
-// and resolves the futures. Batch completion is the fleet wall clock
-// after the round, which counts the batch's gather as draining
-// immediately; per-op latency is completion minus arrival.
+// arrival it contains — transactions cannot be scattered before they
+// arrive) and resolves the futures. Batch completion is the fleet wall
+// clock after the window's rounds, which counts the batch's gather as
+// draining immediately; per-transaction latency is completion minus
+// arrival.
 func (s *Submitter) flush(batch []submitMsg, at float64, reason FlushReason) {
-	ops := make([]Op, len(batch))
+	txns := make([]Txn, len(batch))
+	ops := 0
 	for i, m := range batch {
-		ops[i] = m.op
+		txns[i] = m.txn
+		ops += len(m.txn.Ops)
 		if m.arrival > at {
 			at = m.arrival
 		}
 	}
 	s.pm.fleet.AdvanceTo(s.base + at)
-	res, err := s.pm.ApplyBatch(ops)
+	res, err := s.pm.ApplyTxns(txns)
 	complete := s.pm.fleet.Stats().WallSeconds
 	for i, m := range batch {
 		if err != nil {
-			m.fut.res = OpResult{Err: err}
+			m.fut.res = TxnResult{Err: err, Results: make([]OpResult, len(m.txn.Ops))}
 		} else {
 			m.fut.res = res[i]
 		}
-		m.fut.latency = complete - (s.base + m.arrival)
+		m.fut.res.LatencySeconds = complete - (s.base + m.arrival)
 		close(m.fut.done)
 	}
 
-	// Load stats just reached the rebalancer (ApplyBatch observes every
+	// Load stats just reached the rebalancer (ApplyTxns observes every
 	// routed batch); let it act in the quiescent window between batches,
 	// where its migration and promotion rounds delay only later traffic.
 	var rebErr error
@@ -291,10 +320,11 @@ func (s *Submitter) flush(batch []submitMsg, at float64, reason FlushReason) {
 	}
 
 	s.statsMu.Lock()
-	s.stats.Submitted += len(batch)
+	s.stats.Submitted += ops
+	s.stats.Txns += len(batch)
 	s.stats.Batches++
-	if len(batch) > s.stats.MaxBatchOps {
-		s.stats.MaxBatchOps = len(batch)
+	if ops > s.stats.MaxBatchOps {
+		s.stats.MaxBatchOps = ops
 	}
 	switch reason {
 	case FlushSize:

@@ -8,43 +8,56 @@ import (
 	"pimstm/internal/core"
 )
 
-// TestSubmitterAdaptiveBatching drives a deterministic op stream and
+// submit is the test shorthand: a Submit that must be accepted.
+func submit(t *testing.T, s *Submitter, txn Txn, arrival float64) *Future {
+	t.Helper()
+	f, err := s.Submit(txn, arrival)
+	if err != nil {
+		t.Fatalf("submit rejected: %v", err)
+	}
+	return f
+}
+
+// one wraps a single op as the 1-op transaction the API requires.
+func one(op Op) Txn { return Txn{Ops: []Op{op}} }
+
+// TestSubmitterAdaptiveBatching drives a deterministic txn stream and
 // checks every flush trigger: size, modeled delay, and drain.
 func TestSubmitterAdaptiveBatching(t *testing.T) {
 	pm := newPM(t, 4)
 	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 8, MaxDelaySeconds: 1e-3})
 
 	var futs []*Future
-	// 8 back-to-back ops fill a batch: size flush.
+	// 8 back-to-back 1-op txns fill a batch: size flush.
 	for k := uint64(0); k < 8; k++ {
-		futs = append(futs, s.Submit(Op{Kind: OpPut, Key: k, Value: k * 10}, float64(k)*1e-6))
+		futs = append(futs, submit(t, s, one(Op{Kind: OpPut, Key: k, Value: k * 10}), float64(k)*1e-6))
 	}
-	// 3 ops at t=10ms wait alone...
+	// 3 txns at t=10ms wait alone...
 	for k := uint64(8); k < 11; k++ {
-		futs = append(futs, s.Submit(Op{Kind: OpPut, Key: k, Value: k * 10}, 10e-3))
+		futs = append(futs, submit(t, s, one(Op{Kind: OpPut, Key: k, Value: k * 10}), 10e-3))
 	}
-	// ...until an op at t=20ms proves their 1 ms deadline passed: delay
+	// ...until a txn at t=20ms proves their 1 ms deadline passed: delay
 	// flush of the 3, then the straggler drains on Close.
-	futs = append(futs, s.Submit(Op{Kind: OpGet, Key: 0}, 20e-3))
+	futs = append(futs, submit(t, s, one(Op{Kind: OpGet, Key: 0}), 20e-3))
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 
 	for i, f := range futs[:11] {
-		res, lat := f.Wait()
-		if res.Err != nil || !res.OK {
+		res := f.Wait()
+		if res.Err != nil || !res.Committed || !res.Results[0].OK {
 			t.Fatalf("put %d: %+v", i, res)
 		}
-		if lat <= 0 {
-			t.Fatalf("op %d modeled latency %g", i, lat)
+		if res.LatencySeconds <= 0 {
+			t.Fatalf("txn %d modeled latency %g", i, res.LatencySeconds)
 		}
 	}
-	if res, _ := futs[11].Wait(); !res.OK || res.Value != 0 {
+	if res := futs[11].Wait(); !res.Results[0].OK || res.Results[0].Value != 0 {
 		t.Fatalf("get after puts: %+v", res)
 	}
 
 	st := s.Stats()
-	if st.Submitted != 12 || st.Batches != 3 {
+	if st.Submitted != 12 || st.Txns != 12 || st.Batches != 3 {
 		t.Fatalf("stats: %+v", st)
 	}
 	if st.SizeFlushes != 1 || st.DelayFlushes != 1 || st.DrainFlushes != 1 {
@@ -54,70 +67,108 @@ func TestSubmitterAdaptiveBatching(t *testing.T) {
 		t.Fatalf("max batch = %d", st.MaxBatchOps)
 	}
 
-	// Within the delay-flushed batch all ops arrived together and
-	// completed together; the size-flushed batch's first op waited
+	// Within the delay-flushed batch all txns arrived together and
+	// completed together; the size-flushed batch's first txn waited
 	// longer than its last.
-	_, lat0 := futs[0].Wait()
-	_, lat7 := futs[7].Wait()
+	lat0 := futs[0].Wait().LatencySeconds
+	lat7 := futs[7].Wait().LatencySeconds
 	if lat0 <= lat7 {
-		t.Fatalf("older op must model more wait: %g vs %g", lat0, lat7)
+		t.Fatalf("older txn must model more wait: %g vs %g", lat0, lat7)
+	}
+}
+
+// TestSubmitterCountsOpsNotTxns: MaxBatch is an op bound, so two 4-op
+// transactions fill an 8-op batch.
+func TestSubmitterCountsOpsNotTxns(t *testing.T) {
+	pm := newPM(t, 4)
+	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 8, MaxDelaySeconds: 1})
+	mk := func(base uint64) Txn {
+		var ops []Op
+		for k := base; k < base+4; k++ {
+			ops = append(ops, Op{Kind: OpPut, Key: k, Value: k})
+		}
+		return Txn{Ops: ops}
+	}
+	f1 := submit(t, s, mk(0), 1e-6)
+	f2 := submit(t, s, mk(4), 2e-6)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range []*Future{f1, f2} {
+		res := f.Wait()
+		if res.Err != nil || !res.Committed || len(res.Results) != 4 {
+			t.Fatalf("txn %d: %+v", i, res)
+		}
+	}
+	st := s.Stats()
+	if st.Submitted != 8 || st.Txns != 2 || st.SizeFlushes != 1 {
+		t.Fatalf("two 4-op txns must size-flush an 8-op batch: %+v", st)
 	}
 }
 
 // TestSubmitterDelayBoundsOldestArrival: with concurrent clients the
 // queue order need not follow arrival order; the MaxDelay bound must
-// track the oldest *arrival*, and a delay flush ships only the ops
+// track the oldest *arrival*, and a delay flush ships only the txns
 // that had arrived by the deadline.
 func TestSubmitterDelayBoundsOldestArrival(t *testing.T) {
 	pm := newPM(t, 2)
 	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 64, MaxDelaySeconds: 300e-6})
-	late := s.Submit(Op{Kind: OpPut, Key: 1, Value: 1}, 10e-3) // enqueued first, arrives later
-	old := s.Submit(Op{Kind: OpPut, Key: 2, Value: 2}, 0)      // the true oldest
-	trig := s.Submit(Op{Kind: OpPut, Key: 3, Value: 3}, 1e-3)  // proves old's deadline passed
+	late := submit(t, s, one(Op{Kind: OpPut, Key: 1, Value: 1}), 10e-3) // enqueued first, arrives later
+	old := submit(t, s, one(Op{Kind: OpPut, Key: 2, Value: 2}), 0)      // the true oldest
+	trig := submit(t, s, one(Op{Kind: OpPut, Key: 3, Value: 3}), 1e-3)  // proves old's deadline passed
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	res, lat := old.Wait()
-	if res.Err != nil || !res.OK {
-		t.Fatalf("oldest op: %+v", res)
+	res := old.Wait()
+	if res.Err != nil || !res.Results[0].OK {
+		t.Fatalf("oldest txn: %+v", res)
 	}
-	// Keyed off queue order the oldest op would ride the 10 ms
+	// Keyed off queue order the oldest txn would ride the 10 ms
 	// straggler's batch; keyed off arrival it flushes at its 300 µs
 	// deadline plus one batch wall clock.
-	if lat > 5e-3 {
-		t.Fatalf("oldest op waited %.3f ms, deadline was 0.3 ms", lat*1e3)
+	if res.LatencySeconds > 5e-3 {
+		t.Fatalf("oldest txn waited %.3f ms, deadline was 0.3 ms", res.LatencySeconds*1e3)
 	}
 	for _, f := range []*Future{late, trig} {
-		if r, l := f.Wait(); r.Err != nil || !r.OK || l <= 0 {
+		if r := f.Wait(); r.Err != nil || !r.Results[0].OK || r.LatencySeconds <= 0 {
 			t.Fatalf("straggler unresolved: %+v", r)
 		}
 	}
-	if st := s.Stats(); st.DelayFlushes != 1 || st.Submitted != 3 {
+	if st := s.Stats(); st.DelayFlushes != 1 || st.Txns != 3 {
 		t.Fatalf("stats: %+v", st)
 	}
 }
 
-// TestSubmitterMatchesApplyBatch: the front-end is a scheduler, not a
-// different store — results agree with a direct batch.
-func TestSubmitterMatchesApplyBatch(t *testing.T) {
-	ops := make([]Op, 40)
-	for i := range ops {
-		switch i % 3 {
+// TestSubmitterMatchesApplyTxns: the front-end is a scheduler, not a
+// different store — results agree with direct transaction application,
+// multi-key cross-DPU transactions included.
+func TestSubmitterMatchesApplyTxns(t *testing.T) {
+	var txns []Txn
+	for i := 0; i < 30; i++ {
+		switch i % 4 {
 		case 0:
-			ops[i] = Op{Kind: OpPut, Key: uint64(i), Value: uint64(i) * 7}
+			txns = append(txns, one(Op{Kind: OpPut, Key: uint64(i), Value: uint64(i) * 7}))
 		case 1:
-			ops[i] = Op{Kind: OpGet, Key: uint64(i - 1)}
+			txns = append(txns, one(Op{Kind: OpGet, Key: uint64(i - 1)}))
+		case 2:
+			txns = append(txns, Txn{Ops: []Op{
+				{Kind: OpPut, Key: uint64(i), Value: uint64(i)},
+				{Kind: OpPut, Key: uint64(i + 100), Value: uint64(i + 100)},
+			}})
 		default:
-			ops[i] = Op{Kind: OpDelete, Key: uint64(i - 2)}
+			txns = append(txns, Txn{Ops: []Op{
+				{Kind: OpSub, Key: uint64(i - 1), Value: 1},
+				{Kind: OpAdd, Key: uint64(i + 99), Value: 1},
+			}})
 		}
 	}
 
 	direct := newPM(t, 3)
-	want := make([]OpResult, 0, len(ops))
-	for _, op := range ops {
-		// One op per batch: the submitter's per-batch transactions see
+	var want []TxnResult
+	for _, txn := range txns {
+		// One txn per batch: the submitter's per-batch transactions see
 		// the same sequential order.
-		res, err := direct.ApplyBatch([]Op{op})
+		res, err := direct.ApplyTxns([]Txn{txn})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,16 +178,21 @@ func TestSubmitterMatchesApplyBatch(t *testing.T) {
 	pm := newPM(t, 3)
 	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 1})
 	var futs []*Future
-	for i, op := range ops {
-		futs = append(futs, s.Submit(op, float64(i)*1e-6))
+	for i, txn := range txns {
+		futs = append(futs, submit(t, s, txn, float64(i)*1e-6))
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 	for i, f := range futs {
-		got, _ := f.Wait()
-		if got != want[i] {
-			t.Fatalf("op %d: submitter %+v, direct %+v", i, got, want[i])
+		got := f.Wait()
+		if got.Committed != want[i].Committed || !errors.Is(got.Err, want[i].Err) {
+			t.Fatalf("txn %d: submitter %+v, direct %+v", i, got, want[i])
+		}
+		for j := range got.Results {
+			if got.Results[j] != want[i].Results[j] {
+				t.Fatalf("txn %d op %d: submitter %+v, direct %+v", i, j, got.Results[j], want[i].Results[j])
+			}
 		}
 	}
 	if pm.Len() != direct.Len() {
@@ -165,7 +221,12 @@ func TestSubmitterConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
 				key := uint64(c*each + i)
-				futs[c] = append(futs[c], s.Submit(Op{Kind: OpPut, Key: key, Value: key}, float64(i)*1e-6))
+				f, err := s.Submit(one(Op{Kind: OpPut, Key: key, Value: key}), float64(i)*1e-6)
+				if err != nil {
+					t.Errorf("client %d submit: %v", c, err)
+					return
+				}
+				futs[c] = append(futs[c], f)
 			}
 		}(c)
 	}
@@ -175,8 +236,8 @@ func TestSubmitterConcurrentClients(t *testing.T) {
 	}
 	for c := range futs {
 		for i, f := range futs[c] {
-			if res, lat := f.Wait(); res.Err != nil || !res.OK || lat < 0 {
-				t.Fatalf("client %d op %d: %+v", c, i, res)
+			if res := f.Wait(); res.Err != nil || !res.Results[0].OK || res.LatencySeconds < 0 {
+				t.Fatalf("client %d txn %d: %+v", c, i, res)
 			}
 		}
 	}
@@ -192,14 +253,14 @@ func TestSubmitterBackpressure(t *testing.T) {
 	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 2, Queue: 1})
 	var futs []*Future
 	for k := uint64(0); k < 20; k++ {
-		futs = append(futs, s.Submit(Op{Kind: OpPut, Key: k, Value: k}, float64(k)*1e-6))
+		futs = append(futs, submit(t, s, one(Op{Kind: OpPut, Key: k, Value: k}), float64(k)*1e-6))
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 	for i, f := range futs {
-		if res, _ := f.Wait(); res.Err != nil || !res.OK {
-			t.Fatalf("op %d: %+v", i, res)
+		if res := f.Wait(); res.Err != nil || !res.Results[0].OK {
+			t.Fatalf("txn %d: %+v", i, res)
 		}
 	}
 	if pm.Len() != 20 {
@@ -207,29 +268,38 @@ func TestSubmitterBackpressure(t *testing.T) {
 	}
 }
 
-// TestSubmitterFlushAndClose: Flush forces the pending batch, Close is
-// idempotent, and late Submits resolve with ErrSubmitterClosed.
-func TestSubmitterFlushAndClose(t *testing.T) {
+// TestSubmitterClosedSentinels: Flush forces the pending batch; after
+// Close, Submit, Flush and a second Close all return ErrSubmitterClosed
+// instead of panicking on the closed queue.
+func TestSubmitterClosedSentinels(t *testing.T) {
 	pm := newPM(t, 2)
 	s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 64})
-	f := s.Submit(Op{Kind: OpPut, Key: 1, Value: 11}, 0)
-	s.Flush()
-	if res, _ := f.Wait(); res.Err != nil || !res.OK {
-		t.Fatalf("flushed op unresolved: %+v", res)
+	f := submit(t, s, one(Op{Kind: OpPut, Key: 1, Value: 11}), 0)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if res := f.Wait(); res.Err != nil || !res.Results[0].OK {
+		t.Fatalf("flushed txn unresolved: %+v", res)
 	}
 	if st := s.Stats(); st.DrainFlushes != 1 || st.Batches != 1 {
 		t.Fatalf("flush not counted: %+v", st)
 	}
-	s.Flush() // empty flush is a no-op
+	if err := s.Flush(); err != nil { // empty flush is a no-op
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Txn{}, 0); err == nil {
+		t.Fatal("empty transaction accepted")
+	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Close(); err != nil {
-		t.Fatal("second Close must be a no-op")
+	if err := s.Close(); !errors.Is(err, ErrSubmitterClosed) {
+		t.Fatalf("second Close returned %v, want ErrSubmitterClosed", err)
 	}
-	s.Flush() // flush after close is a no-op
-	late := s.Submit(Op{Kind: OpGet, Key: 1}, 1)
-	if res, _ := late.Wait(); !errors.Is(res.Err, ErrSubmitterClosed) {
-		t.Fatalf("late submit resolved %+v", res)
+	if err := s.Flush(); !errors.Is(err, ErrSubmitterClosed) {
+		t.Fatalf("Flush after Close returned %v, want ErrSubmitterClosed", err)
+	}
+	if _, err := s.Submit(one(Op{Kind: OpGet, Key: 1}), 1); !errors.Is(err, ErrSubmitterClosed) {
+		t.Fatalf("Submit after Close returned %v, want ErrSubmitterClosed", err)
 	}
 }

@@ -1,0 +1,865 @@
+package host
+
+import (
+	"fmt"
+	"sync"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+)
+
+// This file is the transactional serving core: host.Txn is the unit of
+// submission everywhere — a client submits ordered groups of Ops over
+// arbitrary keys, and the store commits each group atomically. The two
+// execution tiers mirror the paper's cost cliff:
+//
+//   - A transaction whose keys all live on one DPU runs as a single
+//     PIM-STM transaction inside that DPU's batch kernel — multi-key
+//     atomicity is exactly what the STM gives natively, so it costs no
+//     more than the ops themselves.
+//   - A transaction spanning DPUs is CPU-coordinated in the quiescent
+//     window (§3.1): its keys ride one coalesced snapshot gather, the
+//     host applies the read-modify-writes against the snapshot in batch
+//     order, and the changed records ride one coalesced writeback
+//     scatter — the ApplyTransfers machinery generalized to arbitrary
+//     op groups.
+//
+// Conflicts inside one batch serialize deterministically: transactions
+// that share a key one of them writes — where at least one party is
+// multi-op or carries a guarded read-modify-write — execute in batch
+// order (the one-tasklet-per-key rule generalized to one tasklet per
+// conflict group; cross-DPU groups serialize on the host). Between
+// plain single-op transactions the PR 2/3 semantics are preserved
+// verbatim: each op is an independent concurrent transaction, reads of
+// replicated keys spread over fresh copies, and same-key order within a
+// batch is unspecified — which keeps every pre-Txn artifact
+// byte-identical.
+
+// Txn is an ordered group of operations committed atomically: all of
+// its writes apply, or — when a guarded op (OpAdd/OpSub) fails — none
+// do. Later ops observe earlier ops' effects within the transaction,
+// and the read results are returned to the client as a unit.
+type Txn struct {
+	Ops []Op
+}
+
+// NewTxn builds a transaction over the given ops.
+func NewTxn(ops ...Op) Txn { return Txn{Ops: ops} }
+
+// TxnResult is the outcome of one Txn.
+type TxnResult struct {
+	// Results holds one OpResult per op, in order. When the transaction
+	// aborted, ops after the failing guard are zero.
+	Results []OpResult
+	// Committed reports whether the transaction's writes applied. A
+	// guarded op that fails (missing key, underflow) aborts the whole
+	// transaction.
+	Committed bool
+	// LatencySeconds is the modeled commit latency (queue wait + batch
+	// wall clock) when the transaction went through a Submitter; zero
+	// for direct ApplyTxns calls.
+	LatencySeconds float64
+	// Err is the first store-level error the transaction hit (e.g. a
+	// partition out of capacity).
+	Err error
+}
+
+// txnWrite is one pending write in an evaluating transaction's overlay.
+type txnWrite struct {
+	val uint64
+	del bool
+}
+
+// evalTxn executes the ordered ops of one transaction against a store
+// view with all-or-nothing semantics: reads see earlier writes of the
+// same transaction through the overlay, guarded ops (OpAdd/OpSub) abort
+// the transaction when their key is missing or the subtraction would
+// underflow, and nothing is applied to the view itself. It returns the
+// written keys in first-write order, their final images, the pre-txn
+// images (what a failed flush must restore), and whether the
+// transaction commits; per-op results are written into results (which
+// the caller zeroes between attempts). Deletes of keys that were never
+// present net out of the write set, so a writeback never pays for
+// deleting nothing.
+func evalTxn(ops []Op, results []OpResult, lookup func(uint64) (uint64, bool)) ([]uint64, map[uint64]txnWrite, map[uint64]txnWrite, bool) {
+	var order []uint64
+	writes := make(map[uint64]txnWrite, len(ops))
+	prior := make(map[uint64]txnWrite, len(ops))
+	read := func(k uint64) (uint64, bool) {
+		if w, ok := writes[k]; ok {
+			if w.del {
+				return 0, false
+			}
+			return w.val, true
+		}
+		return lookup(k)
+	}
+	write := func(k uint64, w txnWrite) {
+		if _, seen := writes[k]; !seen {
+			order = append(order, k)
+			v, present := lookup(k)
+			prior[k] = txnWrite{val: v, del: !present}
+		}
+		writes[k] = w
+	}
+	for j := range ops {
+		op := ops[j]
+		res := &results[j]
+		switch op.Kind {
+		case OpGet:
+			res.Value, res.OK = read(op.Key)
+		case OpPut:
+			_, present := read(op.Key)
+			res.OK = !present
+			write(op.Key, txnWrite{val: op.Value})
+		case OpDelete:
+			_, res.OK = read(op.Key)
+			write(op.Key, txnWrite{del: true})
+		case OpAdd:
+			v, present := read(op.Key)
+			if !present {
+				return nil, nil, nil, false
+			}
+			res.Value, res.OK = v+op.Value, true
+			write(op.Key, txnWrite{val: v + op.Value})
+		case OpSub:
+			v, present := read(op.Key)
+			if !present || v < op.Value {
+				return nil, nil, nil, false
+			}
+			res.Value, res.OK = v-op.Value, true
+			write(op.Key, txnWrite{val: v - op.Value})
+		}
+	}
+	out := order[:0]
+	for _, k := range order {
+		if writes[k].del && prior[k].del {
+			delete(writes, k)
+			continue
+		}
+		out = append(out, k)
+	}
+	return out, writes, prior, true
+}
+
+// isRMW reports whether the op kind is a guarded read-modify-write.
+func isRMW(k OpKind) bool { return k == OpAdd || k == OpSub }
+
+// txnMeta is applyTxns' per-transaction routing analysis.
+type txnMeta struct {
+	// soleDPU is the single owner DPU of every key (-1 when cross).
+	soleDPU int
+	// serializing transactions impose batch-order serialization on
+	// every transaction they share a written key with: multi-op groups
+	// (their atomicity needs an order) and guarded RMW ops (their
+	// outcome depends on one).
+	serializing bool
+	cross       bool
+	coordinated bool
+	// group pins on-DPU conflict groups to one tasklet (-1 ungrouped).
+	group int
+}
+
+// classifyTxns analyzes every transaction and resolves the batch's
+// conflict groups: transactions sharing a key at least one of them
+// writes — with a serializing party involved — are unioned, and a group
+// containing a cross-DPU transaction is coordinated as a whole (its
+// single-DPU members cannot run inside their DPU without racing the
+// host-applied writes). With coordinateAll every transaction is
+// coordinated regardless (the ApplyTransfers compatibility mode, which
+// keeps that path's cost model bit-for-bit). A batch of plain single
+// ops — the ApplyBatch hot path — takes the early exit and allocates
+// nothing per transaction.
+func (pm *PartitionedMap) classifyTxns(txns []Txn, coordinateAll bool) []txnMeta {
+	metas := make([]txnMeta, len(txns))
+	anyTxnSerializing := false
+	for i := range txns {
+		m := &metas[i]
+		m.group = -1
+		m.soleDPU = -1
+		m.coordinated = coordinateAll
+		ops := txns[i].Ops
+		if len(ops) == 0 {
+			continue
+		}
+		m.serializing = len(ops) > 1
+		m.soleDPU = pm.owner(ops[0].Key)
+		for _, op := range ops {
+			if isRMW(op.Kind) {
+				m.serializing = true
+			}
+			if pm.owner(op.Key) != m.soleDPU {
+				m.cross = true
+			}
+		}
+		if m.cross {
+			m.soleDPU = -1
+		}
+		if m.serializing {
+			anyTxnSerializing = true
+		}
+	}
+	// No serializing transaction ⇒ no multi-op or RMW party anywhere,
+	// so no conflict groups and nothing cross-DPU: done.
+	if coordinateAll || !anyTxnSerializing {
+		return metas
+	}
+
+	// Second pass, only for batches that can actually conflict: which
+	// transactions touch each key, is it written, and is a serializing
+	// party involved?
+	touchers := make(map[uint64][]int)
+	written := make(map[uint64]bool)
+	anySerializing := make(map[uint64]bool)
+	for i := range txns {
+		ops := txns[i].Ops
+		var seen map[uint64]bool
+		if len(ops) > 1 {
+			seen = make(map[uint64]bool, len(ops))
+		}
+		for _, op := range ops {
+			if op.Kind != OpGet {
+				written[op.Key] = true
+			}
+			if seen != nil {
+				if seen[op.Key] {
+					continue
+				}
+				seen[op.Key] = true
+			}
+			touchers[op.Key] = append(touchers[op.Key], i)
+			if metas[i].serializing {
+				anySerializing[op.Key] = true
+			}
+		}
+	}
+
+	// Union-find over transaction indexes, in deterministic key order.
+	parent := make([]int, len(txns))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra // the smallest txn index roots its group
+	}
+	for _, k := range sortedKeys(touchers) {
+		if !written[k] || !anySerializing[k] {
+			continue
+		}
+		list := touchers[k]
+		for _, i := range list[1:] {
+			union(list[0], i)
+		}
+	}
+
+	// A group is coordinated when any member spans DPUs; group size
+	// decides whether on-DPU members need a tasklet pin.
+	size := make([]int, len(txns))
+	coordRoot := make([]bool, len(txns))
+	for i := range txns {
+		r := find(i)
+		size[r]++
+		if metas[i].cross {
+			coordRoot[r] = true
+		}
+	}
+	for i := range txns {
+		r := find(i)
+		if coordRoot[r] {
+			metas[i].coordinated = true
+			continue
+		}
+		if size[r] > 1 {
+			metas[i].group = r
+		}
+	}
+	return metas
+}
+
+// gatherSources picks the gather source DPU for every key the
+// coordinated transactions touch. Writes are always applied at the
+// owner, but the read side may be served by any fresh replica — so the
+// selector balances the per-DPU gather buckets: each key reads from
+// whichever candidate (owner or fresh copy) currently holds the
+// smallest bucket, preferring the owner on ties. A fresh replica on an
+// already-involved DPU thereby shrinks the round's worst-case bucket,
+// which is what the skew-aware transfer model charges.
+func (pm *PartitionedMap) gatherSources(keys []uint64) map[uint64]int {
+	srcOf := make(map[uint64]int, len(keys))
+	bucket := make(map[int]int)
+	var replicated []uint64
+	for _, k := range keys {
+		if len(pm.place.Replicas(k)) == 0 {
+			o := pm.owner(k)
+			srcOf[k] = o
+			bucket[o]++
+			continue
+		}
+		replicated = append(replicated, k)
+	}
+	for _, k := range replicated {
+		o := pm.owner(k)
+		best := o
+		for _, r := range pm.place.Replicas(k) {
+			if bucket[r] < bucket[best] || (bucket[r] == bucket[best] && best != o && r < best) {
+				best = r
+			}
+		}
+		srcOf[k] = best
+		bucket[best]++
+	}
+	return srcOf
+}
+
+// ApplyTxns executes one batch of transactions in a single quiescent
+// window and returns per-transaction results in order. Single-DPU
+// transactions run as native PIM-STM transactions inside their owner's
+// batch kernel; cross-DPU transactions (and every transaction in their
+// conflict group) are CPU-coordinated through one coalesced snapshot
+// gather and one coalesced writeback scatter. Intersecting transactions
+// with a serializing party commit in batch order; plain single-op
+// transactions keep the concurrent per-op semantics of ApplyBatch.
+// BatchSeconds reports the whole window's wall-clock delta.
+func (pm *PartitionedMap) ApplyTxns(txns []Txn) ([]TxnResult, error) {
+	return pm.applyTxns(txns, false)
+}
+
+// applyTxns is ApplyTxns plus the coordinateAll compatibility mode used
+// by ApplyTransfers: every transaction is host-coordinated, preserving
+// the historical two-round gather/writeback cost model exactly.
+func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult, error) {
+	results := make([]TxnResult, len(txns))
+	totalOps := 0
+	for i := range txns {
+		totalOps += len(txns[i].Ops)
+	}
+	backing := make([]OpResult, totalOps)
+	for i := range txns {
+		n := len(txns[i].Ops)
+		results[i].Results, backing = backing[:n:n], backing[n:]
+	}
+	if len(txns) == 0 {
+		pm.BatchSeconds = 0
+		return results, nil
+	}
+	wallBefore := pm.fleet.Stats().WallSeconds
+	metas := pm.classifyTxns(txns, coordinateAll)
+
+	var coordinated []int
+	for i := range metas {
+		if metas[i].coordinated {
+			coordinated = append(coordinated, i)
+		}
+	}
+
+	// Phase 1: one coalesced snapshot gather of every key the
+	// coordinated transactions touch, from replica-aware sources.
+	var srcOf map[uint64]int
+	state := make(map[uint64]uint64)
+	if len(coordinated) > 0 {
+		keySet := make(map[uint64]bool)
+		for _, ti := range coordinated {
+			for _, op := range txns[ti].Ops {
+				keySet[op.Key] = true
+			}
+		}
+		coordKeys := sortedKeys(keySet)
+		srcOf = pm.gatherSources(coordKeys)
+		perSrc := make(map[int][]uint64)
+		for _, k := range coordKeys {
+			perSrc[srcOf[k]] = append(perSrc[srcOf[k]], k)
+		}
+		vals, err := pm.gatherRecords(perSrc)
+		if err != nil {
+			return nil, err
+		}
+		state = vals
+	}
+
+	// Phase 2: host-apply the coordinated transactions against the
+	// snapshot, in batch order — the deterministic serialization the
+	// conflict rule promises. Dirty keys remember their pre-batch
+	// presence so a net-nothing delete never pays writeback.
+	startPresent := make(map[uint64]bool)
+	dirty := make(map[uint64]bool)
+	for _, ti := range coordinated {
+		order, writes, _, ok := evalTxn(txns[ti].Ops, results[ti].Results,
+			func(k uint64) (uint64, bool) { v, ok := state[k]; return v, ok })
+		results[ti].Committed = ok
+		if !ok {
+			continue
+		}
+		for _, k := range order {
+			if !dirty[k] {
+				_, startPresent[k] = state[k]
+				dirty[k] = true
+			}
+			if writes[k].del {
+				delete(state, k)
+			} else {
+				state[k] = writes[k].val
+			}
+		}
+	}
+
+	// Phase 3: the execute round — on-DPU transactions plus replica
+	// maintenance, charged by the worst-case per-DPU bucket.
+	coordWritten := make(map[uint64]bool)
+	for _, ti := range coordinated {
+		for _, op := range txns[ti].Ops {
+			if op.Kind != OpGet {
+				coordWritten[op.Key] = true
+			}
+		}
+	}
+	if err := pm.executeRound(txns, metas, results, coordWritten); err != nil {
+		return nil, err
+	}
+
+	// Phase 4: one coalesced writeback scatter of the coordinated dirty
+	// records — puts to their owners, deletes for vanished keys and the
+	// replica copies of deleted keys.
+	dirtyKeys := sortedKeys(dirty)
+	wbKeys := dirtyKeys[:0]
+	for _, k := range dirtyKeys {
+		if _, ok := state[k]; ok || startPresent[k] {
+			wbKeys = append(wbKeys, k)
+		}
+	}
+	if len(wbKeys) > 0 {
+		putOn := make(map[int][]uint64)
+		delOn := make(map[int][]uint64)
+		var dropAfter, staleAfter []uint64
+		for _, k := range wbKeys {
+			o := pm.owner(k)
+			if _, ok := state[k]; ok {
+				putOn[o] = append(putOn[o], k)
+				if pm.dir != nil && len(pm.dir.allReplicas(k)) > 0 {
+					// Copies go stale and a later batch refreshes them
+					// from the owner — same protocol as transfers.
+					staleAfter = append(staleAfter, k)
+				}
+				continue
+			}
+			delOn[o] = append(delOn[o], k)
+			if pm.dir != nil {
+				for _, r := range pm.dir.allReplicas(k) {
+					delOn[r] = append(delOn[r], k)
+				}
+				dropAfter = append(dropAfter, k)
+			}
+		}
+		if err := pm.mutateRound(putOn, state, delOn); err != nil {
+			return nil, err
+		}
+		for _, k := range dropAfter {
+			pm.dir.dropReplicas(k)
+		}
+		for _, k := range staleAfter {
+			pm.dir.markStale(k)
+		}
+	}
+
+	pm.TxnsApplied += len(txns)
+	pm.TxnsCoordinated += len(coordinated)
+	if pm.reb != nil {
+		routed := make([]int, pm.fleet.Size())
+		for id, units := range pm.lastExecBuckets {
+			routed[id] = units
+		}
+		for _, ti := range coordinated {
+			for _, op := range txns[ti].Ops {
+				if op.Kind == OpGet {
+					routed[srcOf[op.Key]]++
+				} else {
+					routed[pm.owner(op.Key)]++
+				}
+			}
+		}
+		pm.reb.observe(txns, routed)
+	}
+	pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore
+	return results, nil
+}
+
+// routedUnit is one unit of execute-round work bucketed onto a DPU: a
+// client transaction carrying its result index, or a single-op
+// replica-maintenance shadow (ti < 0). Units sharing a group id are
+// pinned to one tasklet and commit in batch order.
+type routedUnit struct {
+	ops   []Op
+	ti    int
+	group int
+}
+
+// executeRound routes the on-DPU transactions (plus the replica
+// maintenance their writes imply) and launches one program per involved
+// DPU. It is the generalization of the PR 2/3 ApplyBatch round and is
+// bit-for-bit identical to it when every transaction is a plain single
+// op: same routing, same replica read spreading, same tasklet striping,
+// same 24-byte-scatter/16-byte-gather worst-case-bucket charging.
+func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []TxnResult, coordWritten map[uint64]bool) error {
+	pm.lastExecBuckets = nil
+	perDPU := make(map[int][]routedUnit)
+
+	// Pass 1: how do the on-DPU transactions write? lastPut is the
+	// batch's final put value per key; a key whose final value cannot be
+	// known statically (written by a guarded or multi-op transaction)
+	// cannot be written through and goes stale instead. Deletes from
+	// guarded transactions may abort, so only guard-free deletes
+	// (delsCommit) invalidate copies in-round — a conditional delete
+	// just stales them, and the next window's refresh either restores
+	// or reaps the copies depending on what actually committed.
+	puts := make(map[uint64]int)
+	lastPut := make(map[uint64]uint64)
+	dels := make(map[uint64]bool)
+	delsCommit := make(map[uint64]bool)
+	wrote := make(map[uint64]bool)
+	finalKnown := make(map[uint64]bool)
+	hasUnits := false
+	for i := range txns {
+		if metas[i].coordinated {
+			continue
+		}
+		if len(txns[i].Ops) == 0 {
+			results[i].Committed = true // an empty transaction commits trivially
+			continue
+		}
+		hasUnits = true
+		guarded := false
+		for _, op := range txns[i].Ops {
+			if isRMW(op.Kind) {
+				guarded = true
+			}
+		}
+		for _, op := range txns[i].Ops {
+			switch op.Kind {
+			case OpPut:
+				puts[op.Key]++
+				wrote[op.Key] = true
+				if guarded {
+					finalKnown[op.Key] = false
+				} else {
+					lastPut[op.Key] = op.Value
+					finalKnown[op.Key] = true
+				}
+			case OpDelete:
+				dels[op.Key] = true
+				wrote[op.Key] = true
+				if guarded {
+					finalKnown[op.Key] = false
+				} else {
+					delsCommit[op.Key] = true
+				}
+			case OpAdd, OpSub:
+				wrote[op.Key] = true
+				finalKnown[op.Key] = false
+			}
+		}
+	}
+	if !hasUnits {
+		return nil
+	}
+
+	// Pass 2: route the client transactions. Single-op reads of a
+	// replicated key that was fresh at batch start round-robin over the
+	// owner and its copies (a delete pins them to the owner); single-op
+	// puts of a replicated key with siblings are pinned to one owner
+	// tasklet so batch order decides the final value; conflict groups
+	// are pinned as a whole.
+	// putGroups allocates the tasklet-pin ids of the legacy
+	// replicated-put rule; the ids are negative below -1 so they can
+	// never collide with conflict-group roots (transaction indexes).
+	putGroups := make(map[uint64]int)
+	for i := range txns {
+		if metas[i].coordinated || len(txns[i].Ops) == 0 {
+			continue
+		}
+		unit := routedUnit{ops: txns[i].Ops, ti: i, group: metas[i].group}
+		target := metas[i].soleDPU
+		if len(unit.ops) == 1 && unit.group < 0 {
+			op := unit.ops[0]
+			switch op.Kind {
+			case OpGet:
+				if !dels[op.Key] {
+					if reps := pm.place.Replicas(op.Key); len(reps) > 0 {
+						if t := i % (len(reps) + 1); t > 0 {
+							target = reps[t-1]
+						}
+					}
+				}
+			case OpPut:
+				if pm.dir != nil && puts[op.Key] > 1 && len(pm.dir.allReplicas(op.Key)) > 0 && !dels[op.Key] {
+					id, ok := putGroups[op.Key]
+					if !ok {
+						id = -2 - len(putGroups)
+						putGroups[op.Key] = id
+					}
+					unit.group = id
+				}
+			}
+		}
+		perDPU[target] = append(perDPU[target], unit)
+	}
+
+	// Pass 3: shadow ops for written replicated keys, coalesced into
+	// this round. A guaranteed delete invalidates; statically-known
+	// puts write through the batch's last value; everything else
+	// (guarded or multi-op writers, conditional deletes) leaves the
+	// copies stale for a later refresh or reap.
+	var dropAfter, freshAfter, staleAfter []uint64
+	throughPut := make(map[uint64]bool)
+	if pm.dir != nil {
+		for _, k := range sortedKeys(wrote) {
+			copies := pm.dir.allReplicas(k)
+			if len(copies) == 0 {
+				continue
+			}
+			if delsCommit[k] {
+				for _, r := range copies {
+					perDPU[r] = append(perDPU[r], routedUnit{ops: []Op{{Kind: OpDelete, Key: k}}, ti: -1, group: -1})
+				}
+				dropAfter = append(dropAfter, k)
+				continue
+			}
+			if dels[k] || !finalKnown[k] {
+				staleAfter = append(staleAfter, k)
+				continue
+			}
+			for _, r := range copies {
+				perDPU[r] = append(perDPU[r], routedUnit{ops: []Op{{Kind: OpPut, Key: k, Value: lastPut[k]}}, ti: -1, group: -1})
+			}
+			freshAfter = append(freshAfter, k)
+			throughPut[k] = true
+		}
+
+		// Pass 4: refresh the stale copies this window does not write,
+		// with the owner's pre-batch value read in the quiescent window.
+		for _, k := range pm.dir.staleKeys() {
+			if wrote[k] || dels[k] || coordWritten[k] {
+				continue
+			}
+			v, ok := pm.hostGet(pm.place.Owner(k), k)
+			copies := pm.dir.allReplicas(k)
+			if !ok {
+				for _, r := range copies {
+					perDPU[r] = append(perDPU[r], routedUnit{ops: []Op{{Kind: OpDelete, Key: k}}, ti: -1, group: -1})
+				}
+				dropAfter = append(dropAfter, k)
+				continue
+			}
+			for _, r := range copies {
+				perDPU[r] = append(perDPU[r], routedUnit{ops: []Op{{Kind: OpPut, Key: k, Value: v}}, ti: -1, group: -1})
+			}
+			freshAfter = append(freshAfter, k)
+		}
+	}
+
+	involved := sortedKeys(perDPU)
+	var shadowMu sync.Mutex
+	shadowFailed := make(map[uint64]bool)
+
+	// The round takes the slowest DPU, so charge the worst-case bucket
+	// in operations — shadow maintenance included, multi-op
+	// transactions counted op by op.
+	maxOps := 0
+	pm.lastExecBuckets = make(map[int]int, len(involved))
+	for id, units := range perDPU {
+		ops := 0
+		for _, u := range units {
+			ops += len(u.ops)
+		}
+		pm.lastExecBuckets[id] = ops
+		if ops > maxOps {
+			maxOps = ops
+		}
+	}
+
+	err := pm.fleet.Round(RoundSpec{
+		Involved:     len(involved),
+		ScatterBytes: 24 * maxOps,
+		GatherBytes:  16 * maxOps,
+		IDs:          involved,
+		Program: func(id int, d *dpu.DPU) (float64, error) {
+			units := perDPU[id]
+			tm := pm.tms[id]
+			m := pm.maps[id]
+			d.ResetRun()
+			n := pm.tasklets
+			if n > len(units) {
+				n = len(units)
+			}
+			// Stripe units over tasklets by position; grouped units (a
+			// conflict group, or the puts of one replicated key) are
+			// pinned to a single tasklet so they commit in batch order.
+			lists := make([][]int, n)
+			groupTasklet := make(map[int]int)
+			groups := 0
+			for j := range units {
+				if units[j].group != -1 {
+					ti, ok := groupTasklet[units[j].group]
+					if !ok {
+						ti = groups % n
+						groupTasklet[units[j].group] = ti
+						groups++
+					}
+					lists[ti] = append(lists[ti], j)
+					continue
+				}
+				lists[j%n] = append(lists[j%n], j)
+			}
+			progs := make([]func(*dpu.Tasklet), n)
+			for ti := 0; ti < n; ti++ {
+				mine := lists[ti]
+				progs[ti] = func(t *dpu.Tasklet) {
+					tx := tm.NewTx(t)
+					for _, j := range mine {
+						u := units[j]
+						if u.ti < 0 || (len(u.ops) == 1 && !isRMW(u.ops[0].Kind)) {
+							// Plain single op (or shadow): one STM
+							// transaction per op, the PR 2 path.
+							op := u.ops[0]
+							var res OpResult
+							switch op.Kind {
+							case OpGet:
+								tx.Atomic(func(tx *core.Tx) {
+									res.Value, res.OK = m.Get(tx, op.Key)
+								})
+							case OpPut:
+								tx.Atomic(func(tx *core.Tx) {
+									ins, err := m.Put(tx, op.Key, op.Value)
+									res.OK, res.Err = ins, err
+								})
+							case OpDelete:
+								tx.Atomic(func(tx *core.Tx) {
+									res.OK = m.Delete(tx, op.Key)
+								})
+							}
+							if u.ti >= 0 {
+								results[u.ti].Results[0] = res
+								results[u.ti].Committed = res.Err == nil
+								results[u.ti].Err = res.Err
+							} else if res.Err != nil {
+								shadowMu.Lock()
+								shadowFailed[op.Key] = true
+								shadowMu.Unlock()
+							}
+							continue
+						}
+						// Transactional unit: evaluate the whole group
+						// of ops with all-or-nothing semantics inside
+						// one STM transaction, then flush the overlay.
+						// A flush failure (a partition out of
+						// capacity) rolls the already-flushed writes
+						// back to their pre-txn images, so the abort
+						// stays all-or-nothing.
+						res := results[u.ti].Results
+						var committed bool
+						var flushErr error
+						tx.Atomic(func(tx *core.Tx) {
+							flushErr = nil // fresh attempt after an abort
+							for r := range res {
+								res[r] = OpResult{}
+							}
+							order, writes, prior, ok := evalTxn(u.ops, res,
+								func(k uint64) (uint64, bool) { return m.Get(tx, k) })
+							committed = ok
+							if !ok {
+								return
+							}
+							flushed := 0
+							for _, k := range order {
+								if writes[k].del {
+									m.Delete(tx, k)
+									flushed++
+									continue
+								}
+								if _, err := m.Put(tx, k, writes[k].val); err != nil {
+									flushErr = err
+									break
+								}
+								flushed++
+							}
+							if flushErr == nil {
+								return
+							}
+							for r := flushed - 1; r >= 0; r-- {
+								k := order[r]
+								p := prior[k]
+								if p.del {
+									m.Delete(tx, k) // the put allocated it; free it again
+									continue
+								}
+								// Restoring an overwritten or deleted
+								// record reuses its slot (the failed
+								// put allocated nothing), so this put
+								// cannot itself run out of capacity.
+								m.Put(tx, k, p.val)
+							}
+						})
+						results[u.ti].Committed = committed && flushErr == nil
+						results[u.ti].Err = flushErr
+					}
+				}
+			}
+			cycles, err := d.Run(progs)
+			if err != nil {
+				return 0, fmt.Errorf("host: batch on dpu %d: %w", id, err)
+			}
+			return d.Seconds(cycles), nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if pm.dir != nil {
+		// The shadow ops physically ran; commit the deferred directory
+		// mutations, then re-stale any key whose copies or owner put
+		// failed (the copy set is behind or ahead of the owner — a later
+		// batch refreshes it from the owner).
+		for _, k := range dropAfter {
+			pm.dir.dropReplicas(k)
+		}
+		for _, k := range freshAfter {
+			pm.dir.markFresh(k)
+		}
+		for _, k := range staleAfter {
+			pm.dir.markStale(k)
+		}
+		for k := range shadowFailed {
+			pm.dir.markStale(k)
+		}
+		for i := range txns {
+			if metas[i].coordinated {
+				continue
+			}
+			// Transactional units record store-level failures at the
+			// txn level (their flush rolled back, so the owner kept its
+			// old value while the copies got the write-through image);
+			// single-op units record them per op.
+			failed := results[i].Err != nil
+			for j, op := range txns[i].Ops {
+				if op.Kind == OpPut && throughPut[op.Key] &&
+					(failed || results[i].Results[j].Err != nil) {
+					pm.dir.markStale(op.Key)
+				}
+			}
+		}
+	}
+	return nil
+}
