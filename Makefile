@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify fmt vet build test race bench multidpu serve serve-smoke rebalance rebalance-smoke txnserve txnserve-smoke ci
+.PHONY: all verify fmt vet build test race bench multidpu serve serve-smoke rebalance rebalance-smoke txnserve txnserve-smoke schedserve-smoke ci
 
 all: ci
 
@@ -64,12 +64,22 @@ txnserve:
 	$(GO) run ./cmd/pimstm-bench -experiment txnserve
 
 # Short-mode txnserve invocation so the experiment can't rot in CI:
-# two fleet sizes, one skew, all three cross-DPU fractions, no
-# artifact written.
+# two fleet sizes, one skew, all three cross-DPU fractions, default
+# FIFO scheduler only, no artifact written.
 txnserve-smoke:
 	$(GO) run ./cmd/pimstm-bench -experiment txnserve \
 		-txn-dpus 2,4 -txn-algs norec -txn-sizes 1,2 \
 		-txn-cross 0,0.5,1 -txn-skews 1.2 -txn-txns 200 \
-		-txn-keys 128 -txn-batch 32 -txn-out ""
+		-txn-keys 128 -txn-batch 32 -txn-scheds fifo -txn-out ""
 
-ci: fmt vet build race serve-smoke rebalance-smoke txnserve-smoke
+# Short-mode scheduler-comparison sweep so the batch-scheduler axis
+# can't rot in CI: one mixed-fraction cell under all three schedulers,
+# no artifact written.
+schedserve-smoke:
+	$(GO) run ./cmd/pimstm-bench -experiment txnserve \
+		-txn-dpus 4 -txn-algs norec -txn-sizes 2 \
+		-txn-cross 0.5 -txn-skews 1.2 -txn-txns 200 \
+		-txn-keys 128 -txn-batch 32 \
+		-txn-scheds fifo,lane,adaptive -txn-out ""
+
+ci: fmt vet build race serve-smoke rebalance-smoke txnserve-smoke schedserve-smoke

@@ -45,10 +45,12 @@
 // The txnserve experiment serves open-loop multi-key transactions
 // through the Txn front-end, sweeping fleet size (-txn-dpus) ×
 // transaction size (-txn-sizes) × cross-DPU fraction (-txn-cross) ×
-// Zipf skew (-txn-skews) × STM algorithm (-txn-algs), and reports
-// modeled throughput plus per-transaction commit-latency percentiles
-// to -txn-out (default BENCH_txnserve.json) — the cross-DPU
-// coordination cost the paper's single-DPU evaluation never measures.
+// Zipf skew (-txn-skews) × STM algorithm (-txn-algs) × batch
+// scheduler (-txn-scheds: fifo, lane, adaptive), and reports modeled
+// throughput plus per-transaction commit-latency percentiles to
+// -txn-out (default BENCH_txnserve.json) — the cross-DPU coordination
+// cost the paper's single-DPU evaluation never measures, and how much
+// of the mixed-batch cliff lane-segregated batch formation closes.
 // Same seed ⇒ byte-identical artifact.
 package main
 
@@ -118,6 +120,7 @@ func main() {
 		txnSizes   = flag.String("txn-sizes", "1,2,4", "comma-separated ops-per-transaction points for txnserve")
 		txnCross   = flag.String("txn-cross", "0,0.5,1", "comma-separated cross-DPU transaction fractions for txnserve")
 		txnSkews   = flag.String("txn-skews", "0,1.2", "comma-separated Zipf exponents for txnserve (0 = uniform)")
+		txnScheds  = flag.String("txn-scheds", "fifo,lane", "comma-separated batch schedulers for txnserve (fifo, lane, adaptive)")
 		txnRate    = flag.Float64("txn-rate", 4e4, "open-loop arrival rate for txnserve (transactions per modeled second)")
 		txnReads   = flag.Int("txn-reads", 80, "read percentage of the txnserve traffic")
 		txnCount   = flag.Int("txn-txns", 500, "transactions per txnserve scenario")
@@ -281,6 +284,7 @@ func main() {
 			if topt.Skews, err = parseFloats(*txnSkews); err != nil {
 				fatal(err)
 			}
+			topt.Scheds = parseStrings(*txnScheds)
 			if _, err := runTxnServe(topt, os.Stdout); err != nil {
 				fatal(err)
 			}
@@ -326,6 +330,16 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+func parseStrings(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func parseFloats(s string) ([]float64, error) {

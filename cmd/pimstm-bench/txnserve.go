@@ -12,12 +12,14 @@ import (
 
 // txnServeOptions parameterize the multi-key transactional serving
 // sweep: fleet size × transaction size × cross-DPU fraction × skew ×
-// STM algorithm, each cell an open-loop trace of Txns served through
-// the transactional Submitter. The sweep charts the cost cliff the
-// paper's single-DPU evaluation never measures: transactions confined
-// to one DPU commit inside the batch kernel (STM-native atomicity),
-// while cross-DPU transactions pay the CPU-coordinated snapshot and
-// writeback rounds.
+// STM algorithm × batch scheduler, each cell an open-loop trace of
+// Txns served through the transactional Submitter. The sweep charts
+// the cost cliff the paper's single-DPU evaluation never measures —
+// transactions confined to one DPU commit inside the batch kernel
+// (STM-native atomicity), while cross-DPU transactions pay the
+// CPU-coordinated snapshot and writeback rounds — and, on the
+// scheduler axis, how much of the mixed-batch cliff lane-segregated
+// batch formation closes.
 type txnServeOptions struct {
 	// Fleets lists the DPU counts to sweep.
 	Fleets []int
@@ -29,6 +31,9 @@ type txnServeOptions struct {
 	CrossFracs []float64
 	// Skews are Zipf key-popularity exponents (0 = uniform).
 	Skews []float64
+	// Scheds are the batch schedulers to compare ("fifo", "lane",
+	// "adaptive").
+	Scheds []string
 	// Rate is the open-loop arrival rate in transactions per modeled
 	// second.
 	Rate float64
@@ -65,6 +70,9 @@ func (o *txnServeOptions) fill() {
 	if len(o.Skews) == 0 {
 		o.Skews = []float64{0, 1.2}
 	}
+	if len(o.Scheds) == 0 {
+		o.Scheds = []string{"fifo", "lane"}
+	}
 	if o.Rate == 0 {
 		o.Rate = 4e4
 	}
@@ -93,22 +101,25 @@ func (o *txnServeOptions) fill() {
 
 // txnServeScenario is one machine-readable cell of BENCH_txnserve.json.
 type txnServeScenario struct {
-	DPUs            int     `json:"dpus"`
-	Algorithm       string  `json:"algorithm"`
-	TxnSize         int     `json:"txn_size"`
-	CrossDPU        float64 `json:"cross_dpu_frac"`
-	ZipfS           float64 `json:"zipf_s"`
-	ReadPct         int     `json:"read_pct"`
-	RatePerSecond   float64 `json:"rate_txns_per_s"`
-	Txns            int     `json:"txns"`
-	Ops             int     `json:"ops"`
-	CoordinatedTxns int     `json:"coordinated_txns"`
-	Batches         int     `json:"batches"`
-	OpsPerSecond    float64 `json:"ops_per_s"`
-	P50Seconds      float64 `json:"p50_s"`
-	P95Seconds      float64 `json:"p95_s"`
-	P99Seconds      float64 `json:"p99_s"`
-	Makespan        float64 `json:"makespan_s"`
+	DPUs               int     `json:"dpus"`
+	Algorithm          string  `json:"algorithm"`
+	Scheduler          string  `json:"scheduler"`
+	TxnSize            int     `json:"txn_size"`
+	CrossDPU           float64 `json:"cross_dpu_frac"`
+	ZipfS              float64 `json:"zipf_s"`
+	ReadPct            int     `json:"read_pct"`
+	RatePerSecond      float64 `json:"rate_txns_per_s"`
+	Txns               int     `json:"txns"`
+	Ops                int     `json:"ops"`
+	CoordinatedTxns    int     `json:"coordinated_txns"`
+	Batches            int     `json:"batches"`
+	ConfinedBatches    int     `json:"confined_batches"`
+	CoordinatedBatches int     `json:"coordinated_batches"`
+	OpsPerSecond       float64 `json:"ops_per_s"`
+	P50Seconds         float64 `json:"p50_s"`
+	P95Seconds         float64 `json:"p95_s"`
+	P99Seconds         float64 `json:"p99_s"`
+	Makespan           float64 `json:"makespan_s"`
 }
 
 // txnServeReport is the top-level JSON artifact.
@@ -118,8 +129,37 @@ type txnServeReport struct {
 	Scenarios     []txnServeScenario `json:"scenarios"`
 }
 
+// newServeScheduler maps a scheduler name to the factory the serve
+// driver needs, parameterized on the sweep's batch bounds. The
+// confined lane inherits them; the coordinated lane gets double the
+// size and delay budget — its windows are pure handshake (no batch
+// kernel), so fewer, fuller coordination rounds amortize strictly
+// better, and the starvation bound still ships stragglers behind a
+// confined flood. "fifo" returns nil: the Submitter's default path,
+// untouched by the scheduler flag.
+func newServeScheduler(name string, maxBatch int, maxDelaySeconds float64) (func() host.Scheduler, error) {
+	lanes := host.LaneSchedulerConfig{
+		Confined:    host.LaneConfig{MaxBatch: maxBatch, MaxDelaySeconds: maxDelaySeconds},
+		Coordinated: host.LaneConfig{MaxBatch: 2 * maxBatch, MaxDelaySeconds: 2 * maxDelaySeconds},
+	}
+	switch name {
+	case "fifo":
+		return nil, nil
+	case "lane":
+		return func() host.Scheduler { return host.NewLaneScheduler(lanes) }, nil
+	case "adaptive":
+		return func() host.Scheduler { return host.NewAdaptiveScheduler(lanes, host.AdaptiveConfig{}) }, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q (valid: fifo, lane, adaptive)", name)
+	}
+}
+
 // runTxnServeCell serves one cell's transactional trace.
-func runTxnServeCell(dpus int, alg core.Algorithm, size int, cross, skew float64, opt txnServeOptions) (txnServeScenario, error) {
+func runTxnServeCell(dpus int, alg core.Algorithm, sched string, size int, cross, skew float64, opt txnServeOptions) (txnServeScenario, error) {
+	factory, err := newServeScheduler(sched, opt.MaxBatch, opt.MaxDelaySeconds)
+	if err != nil {
+		return txnServeScenario{}, err
+	}
 	res, err := host.Serve(host.ServeConfig{
 		Map: host.PartitionedMapConfig{
 			DPUs: dpus, Tasklets: opt.Tasklets,
@@ -134,6 +174,7 @@ func runTxnServeCell(dpus int, alg core.Algorithm, size int, cross, skew float64
 			Keyspace: opt.Keyspace, ZipfS: skew, Seed: opt.Seed,
 			TxnSize: size, CrossDPU: cross,
 		},
+		Scheduler: factory,
 	})
 	if err != nil {
 		return txnServeScenario{}, err
@@ -142,36 +183,41 @@ func runTxnServeCell(dpus int, alg core.Algorithm, size int, cross, skew float64
 		return txnServeScenario{}, fmt.Errorf("%d/%d txns errored", res.Errors, res.Txns)
 	}
 	return txnServeScenario{
-		DPUs: dpus, Algorithm: alg.String(), TxnSize: size, CrossDPU: cross,
+		DPUs: dpus, Algorithm: alg.String(), Scheduler: sched,
+		TxnSize: size, CrossDPU: cross,
 		ZipfS: skew, ReadPct: opt.ReadPct, RatePerSecond: opt.Rate,
 		Txns: res.Txns, Ops: res.Ops, CoordinatedTxns: res.CoordinatedTxns,
-		Batches: res.Batches, OpsPerSecond: res.OpsPerSecond,
-		P50Seconds: res.P50, P95Seconds: res.P95, P99Seconds: res.P99,
+		Batches:         res.Batches,
+		ConfinedBatches: res.Stats.ConfinedBatches, CoordinatedBatches: res.Stats.CoordinatedBatches,
+		OpsPerSecond: res.OpsPerSecond,
+		P50Seconds:   res.P50, P95Seconds: res.P95, P99Seconds: res.P99,
 		Makespan: res.MakespanSeconds,
 	}, nil
 }
 
-// runTxnServe sweeps fleet × txn size × cross fraction × skew ×
-// algorithm, renders the table to w, and writes BENCH_txnserve.json
-// when opt.Out is set. Single-op cells never cross DPUs, so only the
-// zero cross fraction is run for them.
+// runTxnServe sweeps scheduler × fleet × txn size × cross fraction ×
+// skew × algorithm, renders the table to w, and writes
+// BENCH_txnserve.json when opt.Out is set. Single-op cells never cross
+// DPUs, so only the zero cross fraction is run for them.
 func runTxnServe(opt txnServeOptions, w io.Writer) ([]txnServeScenario, error) {
 	opt.fill()
 	var scenarios []txnServeScenario
-	for _, n := range opt.Fleets {
-		for _, alg := range opt.Algs {
-			for _, size := range opt.TxnSizes {
-				for _, cross := range opt.CrossFracs {
-					if size == 1 && cross > 0 {
-						continue // a 1-op txn cannot span DPUs
-					}
-					for _, skew := range opt.Skews {
-						sc, err := runTxnServeCell(n, alg, size, cross, skew, opt)
-						if err != nil {
-							return nil, fmt.Errorf("txnserve %d DPUs %v size %d cross %g zipf %g: %w",
-								n, alg, size, cross, skew, err)
+	for _, sched := range opt.Scheds {
+		for _, n := range opt.Fleets {
+			for _, alg := range opt.Algs {
+				for _, size := range opt.TxnSizes {
+					for _, cross := range opt.CrossFracs {
+						if size == 1 && cross > 0 {
+							continue // a 1-op txn cannot span DPUs
 						}
-						scenarios = append(scenarios, sc)
+						for _, skew := range opt.Skews {
+							sc, err := runTxnServeCell(n, alg, sched, size, cross, skew, opt)
+							if err != nil {
+								return nil, fmt.Errorf("txnserve %s %d DPUs %v size %d cross %g zipf %g: %w",
+									sched, n, alg, size, cross, skew, err)
+							}
+							scenarios = append(scenarios, sc)
+						}
 					}
 				}
 			}
@@ -180,17 +226,17 @@ func runTxnServe(opt txnServeOptions, w io.Writer) ([]txnServeScenario, error) {
 
 	fmt.Fprintf(w, "== txnserve: multi-key transactional serving sweep (%d txns/cell, %.0f txns/s open loop, batch ≤ %d ops) ==\n",
 		opt.Txns, opt.Rate, opt.MaxBatch)
-	fmt.Fprintf(w, "%6s %-12s %5s %6s %5s %7s %12s %12s %12s\n",
-		"#DPUs", "STM", "size", "cross", "zipf", "coord", "ops/s", "p50 ms", "p99 ms")
+	fmt.Fprintf(w, "%6s %-12s %-8s %5s %6s %5s %7s %12s %12s %12s\n",
+		"#DPUs", "STM", "sched", "size", "cross", "zipf", "coord", "ops/s", "p50 ms", "p99 ms")
 	for _, sc := range scenarios {
-		fmt.Fprintf(w, "%6d %-12s %5d %6.2f %5.2f %7d %12.0f %12.3f %12.3f\n",
-			sc.DPUs, sc.Algorithm, sc.TxnSize, sc.CrossDPU, sc.ZipfS,
+		fmt.Fprintf(w, "%6d %-12s %-8s %5d %6.2f %5.2f %7d %12.0f %12.3f %12.3f\n",
+			sc.DPUs, sc.Algorithm, sc.Scheduler, sc.TxnSize, sc.CrossDPU, sc.ZipfS,
 			sc.CoordinatedTxns, sc.OpsPerSecond, sc.P50Seconds*1e3, sc.P99Seconds*1e3)
 	}
 
 	if opt.Out != "" {
 		blob, err := json.MarshalIndent(txnServeReport{
-			SchemaVersion: 1,
+			SchemaVersion: 2,
 			Experiment:    "txnserve",
 			Scenarios:     scenarios,
 		}, "", "  ")

@@ -1,4 +1,4 @@
-// Smoke tests for the example programs: each of the eight demos must
+// Smoke tests for the example programs: each of the nine demos must
 // build and run to completion with a small workload, so API churn in
 // the packages they showcase can't silently rot them.
 package examples
@@ -37,6 +37,7 @@ func TestExamplesRun(t *testing.T) {
 		{"serve", []string{"-dpus", "2", "-ops", "200", "-keys", "64", "-rate", "100000", "-batch", "16"}},
 		{"rebalance", []string{"-dpus", "4", "-ops", "7680", "-keys", "2560", "-rate", "1200000", "-batch", "768"}},
 		{"txn", []string{"-dpus", "4", "-accounts", "32", "-moves", "12"}},
+		{"sched", []string{"-dpus", "4", "-txns", "300", "-keys", "128", "-batch", "32"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

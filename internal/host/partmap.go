@@ -54,6 +54,11 @@ type PartitionedMap struct {
 	// ApplyTxns/ApplyBatch/ApplyTransfers call (what that window added
 	// to the fleet clock; see Stats for the cumulative breakdown).
 	BatchSeconds float64
+	// BatchLaunchSeconds and BatchTransferSeconds split the last
+	// ApplyTxns window's cost into kernel launch time and host↔DPU
+	// transfer-engine time (handshakes + payload) — the
+	// kernel-vs-handshake signal the adaptive batch scheduler feeds on.
+	BatchLaunchSeconds, BatchTransferSeconds float64
 	// TxnsApplied and TxnsCoordinated count the transactions processed
 	// so far and how many of them needed CPU coordination (cross-DPU
 	// conflict groups routed through snapshot/writeback rounds).

@@ -1,0 +1,559 @@
+package host
+
+import "sort"
+
+// This file is the pluggable batch-formation layer between the
+// Submitter's admission queue and PartitionedMap.ApplyTxns. A Scheduler
+// owns the pending transactions and decides when they leave as batches;
+// the Submitter stays the transport (queue, futures, clock anchoring,
+// stats) and applies whatever the scheduler emits, in order.
+//
+// Three policies ship:
+//
+//   - FIFOScheduler — the historical single pending lane, extracted
+//     verbatim from the pre-scheduler Submitter so the default serving
+//     path (and every BENCH artifact produced through it) is
+//     byte-identical.
+//   - LaneScheduler — classifies each transaction at admission as
+//     confined (all keys on one DPU) or coordinated (keys spanning
+//     DPUs) and batches the two lanes separately, so batches stay
+//     homogeneous: a confined batch coalesces into the execute round's
+//     two handshakes and never pays the coordination rounds a stray
+//     cross-DPU transaction would drag in, and a coordinated batch
+//     skips the execute round entirely. A starvation bound keeps the
+//     sparse lane from being parked behind a busy one.
+//   - AdaptiveScheduler — a LaneScheduler whose confined-lane MaxBatch
+//     is retuned after every applied batch by AIMD against the
+//     observed kernel-vs-handshake ratio (the ROADMAP's adaptive
+//     MaxBatch item): handshake-bound batches grow the lane to
+//     amortize the ~300 µs rounds, kernel-bound batches shrink it to
+//     cut queueing latency.
+
+// The default batching bounds, shared by SubmitterConfig.fill,
+// NewFIFOScheduler and LaneConfig.fill so the three entry points can
+// never drift apart.
+const (
+	defaultMaxBatch        = 64
+	defaultMaxDelaySeconds = 300e-6
+)
+
+// Lane classifies a transaction (or a formed batch) for batch
+// formation. The classification mirrors ApplyTxns's execution tiers —
+// both sides use the same classifyOps analysis, so the scheduler and
+// the store cannot disagree about which transactions coordinate.
+type Lane int
+
+const (
+	// LaneMixed labels batches formed without lane segregation (the
+	// FIFO policy); individual transactions are never mixed.
+	LaneMixed Lane = iota
+	// LaneConfined: every key is owned by one DPU, so the transaction
+	// commits as a native PIM-STM transaction inside that DPU's batch
+	// kernel.
+	LaneConfined
+	// LaneCoordinated: the keys span DPUs, so the transaction pays the
+	// CPU-coordinated snapshot-gather and writeback-scatter rounds.
+	LaneCoordinated
+)
+
+// String names the lane for tables and stats.
+func (l Lane) String() string {
+	switch l {
+	case LaneConfined:
+		return "confined"
+	case LaneCoordinated:
+		return "coordinated"
+	default:
+		return "mixed"
+	}
+}
+
+// SchedTxn is one admitted transaction as schedulers see it. The
+// resolution handle is the Submitter's; schedulers only group and
+// order SchedTxns, they never resolve them.
+type SchedTxn struct {
+	Txn     Txn
+	Arrival float64
+	fut     *Future
+}
+
+// SchedBatch is one formed batch leaving a Scheduler.
+type SchedBatch struct {
+	Txns []SchedTxn
+	// At is the modeled flush time the policy chose (a size flush uses
+	// the triggering arrival, a delay flush the expired deadline). The
+	// Submitter clamps it up to the newest arrival in the batch — a
+	// transaction cannot be scattered before it arrives.
+	At float64
+	// Reason says why the batch left the scheduler.
+	Reason FlushReason
+	// Lane labels the batch: LaneConfined/LaneCoordinated under a
+	// lane-segregating policy, LaneMixed under FIFO.
+	Lane Lane
+}
+
+// ops totals the batch's operations.
+func (b *SchedBatch) ops() int {
+	n := 0
+	for _, t := range b.Txns {
+		n += len(t.Txn.Ops)
+	}
+	return n
+}
+
+// BatchFeedback is the applied batch's modeled cost decomposition, fed
+// back to the scheduler after every flush: the execute/coordination
+// kernels' launch time versus the host↔DPU transfer-engine time (the
+// per-round ~300 µs handshakes plus payload). Adaptive schedulers tune
+// themselves on the ratio; static ones ignore it.
+type BatchFeedback struct {
+	// Ops applied in the batch.
+	Ops int
+	// KernelSeconds is the window's summed kernel launch time.
+	KernelSeconds float64
+	// HandshakeSeconds is the window's summed transfer-engine time.
+	HandshakeSeconds float64
+	// WallSeconds is the window's wall-clock delta on the fleet clock.
+	WallSeconds float64
+}
+
+// Scheduler is the pluggable batch-formation policy of a Submitter.
+// Implementations are single-goroutine state machines driven by the
+// Submitter's flusher (never call them concurrently) and must be pure
+// functions of the admitted transaction stream — order, arrivals, op
+// counts — so a deterministic stream yields a deterministic schedule.
+// A scheduler instance is stateful and must not be shared between
+// submitters.
+type Scheduler interface {
+	// Name labels the policy in stats, benches and artifacts.
+	Name() string
+	// Admit hands the scheduler one accepted transaction and returns
+	// the batches that became due, in flush order: first any pending
+	// deadlines the new arrival proves expired (possibly several), then
+	// a size flush if the admission filled a lane.
+	Admit(t SchedTxn) []SchedBatch
+	// Drain flushes everything pending (an explicit Flush or Close), in
+	// flush order.
+	Drain() []SchedBatch
+	// Observe feeds one applied batch's modeled cost back to the
+	// policy, in flush order, before the next Admit.
+	Observe(b SchedBatch, fb BatchFeedback)
+}
+
+// laneClassified is implemented by schedulers that classify
+// transactions against a store's placement; NewSubmitter binds the
+// store's classifier so the scheduler and ApplyTxns agree by
+// construction. An explicitly configured Classify function wins.
+type laneClassified interface {
+	bindClassifier(classify func(Txn) Lane)
+}
+
+// fifoLane is one FIFO pending lane: the historical Submitter batching
+// state machine (flush at MaxBatch ops, or when a later arrival proves
+// the oldest pending transaction waited past MaxDelay on the modeled
+// clock), extracted so FIFOScheduler uses one and LaneScheduler two.
+type fifoLane struct {
+	maxBatch int
+	maxDelay float64
+	label    Lane
+
+	pending []SchedTxn
+	ops     int
+	// oldest is the minimum arrival in the pending lane: with
+	// concurrent clients the admission order need not follow arrival
+	// order, and the MaxDelay bound is on the oldest transaction, not
+	// on whichever happened to enqueue first.
+	oldest float64
+}
+
+// expire emits the delay flushes a new arrival at `now` proves due:
+// the lane's deadline fired at oldest+maxDelay, shipping everything
+// that had arrived by then — possibly several times over if the new
+// arrival is far ahead.
+func (l *fifoLane) expire(now float64) []SchedBatch {
+	var out []SchedBatch
+	for len(l.pending) > 0 && now > l.oldest+l.maxDelay {
+		deadline := l.oldest + l.maxDelay
+		var due, rest []SchedTxn
+		for _, t := range l.pending {
+			if t.Arrival <= deadline {
+				due = append(due, t)
+			} else {
+				rest = append(rest, t)
+			}
+		}
+		out = append(out, SchedBatch{Txns: due, At: deadline, Reason: FlushDelay, Lane: l.label})
+		l.pending = rest
+		l.oldest = minSchedArrival(rest)
+		l.ops = 0
+		for _, t := range rest {
+			l.ops += len(t.Txn.Ops)
+		}
+	}
+	return out
+}
+
+// admit appends one transaction and returns the size flush it
+// triggered, if any.
+func (l *fifoLane) admit(t SchedTxn) *SchedBatch {
+	if len(l.pending) == 0 || t.Arrival < l.oldest {
+		l.oldest = t.Arrival
+	}
+	l.pending = append(l.pending, t)
+	l.ops += len(t.Txn.Ops)
+	if l.ops >= l.maxBatch {
+		b := SchedBatch{Txns: l.pending, At: t.Arrival, Reason: FlushSize, Lane: l.label}
+		l.pending, l.ops = nil, 0
+		return &b
+	}
+	return nil
+}
+
+// flushAll empties the lane as one batch at the given time (nil when
+// the lane is empty).
+func (l *fifoLane) flushAll(at float64, reason FlushReason) *SchedBatch {
+	if len(l.pending) == 0 {
+		return nil
+	}
+	b := SchedBatch{Txns: l.pending, At: at, Reason: reason, Lane: l.label}
+	l.pending, l.ops = nil, 0
+	return &b
+}
+
+// minSchedArrival returns the smallest arrival in the lane (0 if
+// empty).
+func minSchedArrival(ts []SchedTxn) float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	min := ts[0].Arrival
+	for _, t := range ts[1:] {
+		if t.Arrival < min {
+			min = t.Arrival
+		}
+	}
+	return min
+}
+
+// FIFOScheduler is the default policy: one pending lane holding every
+// accepted transaction in admission order, flushed at MaxBatch ops or
+// once the oldest pending transaction has waited MaxDelaySeconds on
+// the modeled clock. It is the pre-scheduler Submitter's batching
+// logic extracted verbatim — the default serving path through it is
+// byte-identical to the historical one (regression-pinned against the
+// committed BENCH artifacts).
+type FIFOScheduler struct {
+	lane fifoLane
+}
+
+// NewFIFOScheduler builds the policy. Non-positive arguments take the
+// SubmitterConfig defaults (64 ops, 300 µs).
+func NewFIFOScheduler(maxBatch int, maxDelaySeconds float64) *FIFOScheduler {
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
+	if maxDelaySeconds <= 0 {
+		maxDelaySeconds = defaultMaxDelaySeconds
+	}
+	return &FIFOScheduler{lane: fifoLane{maxBatch: maxBatch, maxDelay: maxDelaySeconds, label: LaneMixed}}
+}
+
+// Name labels the policy.
+func (f *FIFOScheduler) Name() string { return "fifo" }
+
+// Admit implements Scheduler.
+func (f *FIFOScheduler) Admit(t SchedTxn) []SchedBatch {
+	out := f.lane.expire(t.Arrival)
+	if b := f.lane.admit(t); b != nil {
+		out = append(out, *b)
+	}
+	return out
+}
+
+// Drain implements Scheduler: the remainder leaves as one batch at the
+// oldest pending arrival.
+func (f *FIFOScheduler) Drain() []SchedBatch {
+	if b := f.lane.flushAll(f.lane.oldest, FlushDrain); b != nil {
+		return []SchedBatch{*b}
+	}
+	return nil
+}
+
+// Observe implements Scheduler (FIFO ignores feedback).
+func (f *FIFOScheduler) Observe(SchedBatch, BatchFeedback) {}
+
+// LaneConfig tunes one lane of a LaneScheduler. Zero fields take the
+// FIFO defaults (64 ops, 300 µs).
+type LaneConfig struct {
+	// MaxBatch flushes the lane once it holds this many operations.
+	MaxBatch int
+	// MaxDelaySeconds bounds how long the lane's oldest transaction may
+	// wait on the modeled clock.
+	MaxDelaySeconds float64
+}
+
+func (c *LaneConfig) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = defaultMaxBatch
+	}
+	if c.MaxDelaySeconds <= 0 {
+		c.MaxDelaySeconds = defaultMaxDelaySeconds
+	}
+}
+
+// LaneSchedulerConfig parameterizes a LaneScheduler.
+type LaneSchedulerConfig struct {
+	// Confined and Coordinated tune the two lanes independently.
+	Confined, Coordinated LaneConfig
+	// StarvationBatches is the starvation bound: after this many
+	// confined batches flush while coordinated transactions wait, the
+	// coordinated lane is flushed with the next one regardless of its
+	// own size and delay bounds, so a trickle of cross-DPU traffic is
+	// never parked behind a confined flood (default 4; negative
+	// disables the bound — the lane then relies on its MaxDelay alone).
+	StarvationBatches int
+	// Classify overrides the transaction classifier (tests and
+	// stores-free use). Nil means NewSubmitter binds the store's
+	// PartitionedMap.LaneOf, which shares ApplyTxns's owner analysis.
+	Classify func(Txn) Lane
+}
+
+// LaneScheduler batches confined and coordinated transactions
+// separately so every batch is homogeneous: confined batches coalesce
+// into the execute round's two handshakes, coordinated batches into
+// the snapshot-gather and writeback-scatter pair, and no batch pays
+// all rounds at once the way a mixed FIFO batch does. Classification
+// happens at admission against the store's current placement; a
+// migration between admission and flush can strand a transaction in
+// the wrong lane, which costs a heterogeneous batch (ApplyTxns
+// re-derives the truth) but never correctness.
+//
+// Each lane keeps the FIFO state machine — per-lane MaxBatch/MaxDelay,
+// oldest-arrival delay bounds — and every arrival drives the deadline
+// checks of both lanes, so a lane with no successor traffic of its own
+// still flushes once any later transaction proves its deadline passed.
+// The StarvationBatches bound additionally ships waiting coordinated
+// transactions after too many confined flushes.
+type LaneScheduler struct {
+	cfg      LaneSchedulerConfig
+	classify func(Txn) Lane
+	conf     fifoLane
+	coord    fifoLane
+
+	// sinceCoord counts confined flushes emitted while coordinated
+	// transactions wait; starved totals the starvation-bound flushes.
+	sinceCoord int
+	starved    int
+}
+
+// NewLaneScheduler builds the policy. Zero config fields take the
+// documented defaults.
+func NewLaneScheduler(cfg LaneSchedulerConfig) *LaneScheduler {
+	cfg.Confined.fill()
+	cfg.Coordinated.fill()
+	if cfg.StarvationBatches == 0 {
+		cfg.StarvationBatches = 4
+	}
+	return &LaneScheduler{
+		cfg:      cfg,
+		classify: cfg.Classify,
+		conf:     fifoLane{maxBatch: cfg.Confined.MaxBatch, maxDelay: cfg.Confined.MaxDelaySeconds, label: LaneConfined},
+		coord:    fifoLane{maxBatch: cfg.Coordinated.MaxBatch, maxDelay: cfg.Coordinated.MaxDelaySeconds, label: LaneCoordinated},
+	}
+}
+
+// Name labels the policy.
+func (l *LaneScheduler) Name() string { return "lane" }
+
+// bindClassifier installs the store's classifier unless the config
+// already provided one.
+func (l *LaneScheduler) bindClassifier(classify func(Txn) Lane) {
+	if l.classify == nil {
+		l.classify = classify
+	}
+}
+
+// Starved reports how many coordinated batches the starvation bound
+// forced out.
+func (l *LaneScheduler) Starved() int { return l.starved }
+
+// push appends one due batch, maintaining the starvation counter: a
+// confined flush while coordinated transactions wait brings the bound
+// closer, and hitting it ships the coordinated lane immediately after.
+func (l *LaneScheduler) push(out []SchedBatch, b SchedBatch) []SchedBatch {
+	out = append(out, b)
+	switch b.Lane {
+	case LaneCoordinated:
+		l.sinceCoord = 0
+	case LaneConfined:
+		if len(l.coord.pending) == 0 {
+			l.sinceCoord = 0
+			break
+		}
+		l.sinceCoord++
+		if l.cfg.StarvationBatches > 0 && l.sinceCoord >= l.cfg.StarvationBatches {
+			if sb := l.coord.flushAll(b.At, FlushDelay); sb != nil {
+				out = append(out, *sb)
+				l.starved++
+			}
+			l.sinceCoord = 0
+		}
+	}
+	return out
+}
+
+// Admit implements Scheduler: the arrival first proves expired
+// deadlines on both lanes (merged in deadline order), then joins its
+// own lane, possibly filling it.
+func (l *LaneScheduler) Admit(t SchedTxn) []SchedBatch {
+	due := append(l.conf.expire(t.Arrival), l.coord.expire(t.Arrival)...)
+	sort.SliceStable(due, func(i, j int) bool { return due[i].At < due[j].At })
+	var out []SchedBatch
+	for _, b := range due {
+		out = l.push(out, b)
+	}
+	lane := &l.conf
+	if l.classify(t.Txn) == LaneCoordinated {
+		lane = &l.coord
+	}
+	if b := lane.admit(t); b != nil {
+		out = l.push(out, *b)
+	}
+	return out
+}
+
+// Drain implements Scheduler: both lanes empty, confined first. The
+// starvation accounting is bypassed — a drain empties the coordinated
+// lane unconditionally anyway, and routing it through the bound would
+// mislabel the flush as FlushDelay (and overcount Starved).
+func (l *LaneScheduler) Drain() []SchedBatch {
+	var out []SchedBatch
+	if b := l.conf.flushAll(l.conf.oldest, FlushDrain); b != nil {
+		out = append(out, *b)
+	}
+	if b := l.coord.flushAll(l.coord.oldest, FlushDrain); b != nil {
+		out = append(out, *b)
+	}
+	l.sinceCoord = 0
+	return out
+}
+
+// Observe implements Scheduler (the static lane policy ignores
+// feedback).
+func (l *LaneScheduler) Observe(SchedBatch, BatchFeedback) {}
+
+// setConfinedMaxBatch retunes the confined lane's size bound (the
+// adaptive controller's knob).
+func (l *LaneScheduler) setConfinedMaxBatch(n int) { l.conf.maxBatch = n }
+
+// confinedMaxBatch reads the confined lane's current size bound.
+func (l *LaneScheduler) confinedMaxBatch() int { return l.conf.maxBatch }
+
+// AdaptiveConfig tunes the AIMD MaxBatch controller. Zero fields take
+// the documented defaults.
+type AdaptiveConfig struct {
+	// Floor and Ceiling clamp the confined lane's MaxBatch (defaults
+	// 16 and 1024 ops). The initial bound is the lane config's
+	// MaxBatch, clamped into this range.
+	Floor, Ceiling int
+	// TargetRatio is the kernel-vs-handshake ratio the controller aims
+	// for (default 1): a batch whose kernel seconds fall below
+	// TargetRatio × its handshake seconds is handshake-bound — the
+	// fixed ~300 µs rounds dominate — and the lane grows to amortize
+	// them.
+	TargetRatio float64
+	// Headroom (default 2) sets the shrink threshold at
+	// Headroom × TargetRatio: only batches that far past kernel-bound
+	// shrink the lane, so the controller does not oscillate inside the
+	// band.
+	Headroom float64
+	// Step is the additive increase in ops per handshake-bound batch
+	// (default 16).
+	Step int
+	// Shrink is the multiplicative decrease factor applied per
+	// strongly kernel-bound batch, in (0, 1) (default 0.5).
+	Shrink float64
+}
+
+func (c *AdaptiveConfig) fill() {
+	if c.Floor <= 0 {
+		c.Floor = 16
+	}
+	if c.Ceiling <= 0 {
+		c.Ceiling = 1024
+	}
+	if c.Ceiling < c.Floor {
+		c.Ceiling = c.Floor
+	}
+	if c.TargetRatio <= 0 {
+		c.TargetRatio = 1
+	}
+	if c.Headroom <= 1 {
+		c.Headroom = 2
+	}
+	if c.Step <= 0 {
+		c.Step = 16
+	}
+	if c.Shrink <= 0 || c.Shrink >= 1 {
+		c.Shrink = 0.5
+	}
+}
+
+// AdaptiveScheduler is a LaneScheduler whose confined-lane MaxBatch is
+// retuned after every applied confined batch by AIMD against the
+// observed kernel-vs-handshake ratio from the fleet's round stats:
+// additive increase while batches are handshake-bound (growing batches
+// amortizes the fixed ~300 µs rounds), multiplicative decrease once
+// the kernel dominates well past the target (smaller batches then cut
+// queueing latency without losing throughput). The bound is clamped to
+// [Floor, Ceiling]; feedback is a pure function of the modeled clock,
+// so the controller's trajectory is deterministic per trace.
+type AdaptiveScheduler struct {
+	*LaneScheduler
+	acfg AdaptiveConfig
+}
+
+// NewAdaptiveScheduler builds the controller over a fresh
+// LaneScheduler.
+func NewAdaptiveScheduler(lane LaneSchedulerConfig, cfg AdaptiveConfig) *AdaptiveScheduler {
+	cfg.fill()
+	a := &AdaptiveScheduler{LaneScheduler: NewLaneScheduler(lane), acfg: cfg}
+	a.setConfinedMaxBatch(clampInt(a.confinedMaxBatch(), cfg.Floor, cfg.Ceiling))
+	return a
+}
+
+// Name labels the policy.
+func (a *AdaptiveScheduler) Name() string { return "adaptive" }
+
+// MaxBatch reports the controller's current confined-lane bound.
+func (a *AdaptiveScheduler) MaxBatch() int { return a.confinedMaxBatch() }
+
+// Observe implements Scheduler: one AIMD step per applied confined
+// batch.
+func (a *AdaptiveScheduler) Observe(b SchedBatch, fb BatchFeedback) {
+	if b.Lane != LaneConfined || fb.HandshakeSeconds <= 0 {
+		return
+	}
+	ratio := fb.KernelSeconds / fb.HandshakeSeconds
+	mb := a.confinedMaxBatch()
+	switch {
+	case ratio < a.acfg.TargetRatio:
+		mb += a.acfg.Step
+	case ratio > a.acfg.TargetRatio*a.acfg.Headroom:
+		mb = int(float64(mb) * a.acfg.Shrink)
+	default:
+		return
+	}
+	a.setConfinedMaxBatch(clampInt(mb, a.acfg.Floor, a.acfg.Ceiling))
+}
+
+// clampInt bounds v to [lo, hi].
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

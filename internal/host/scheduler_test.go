@@ -1,0 +1,403 @@
+package host
+
+import (
+	"testing"
+
+	"pimstm/internal/core"
+)
+
+// keysOnDPUs returns two keys owned by two different DPUs of an n-DPU
+// static hash fleet, so tests can build confined and cross-DPU
+// transactions deterministically.
+func keysOnDPUs(t *testing.T, n int) (k0, k1 uint64) {
+	t.Helper()
+	first := hashOwner(0, n)
+	for k := uint64(1); k < 1<<12; k++ {
+		if hashOwner(k, n) != first {
+			return 0, k
+		}
+	}
+	t.Fatal("static hash put every probe key on one DPU")
+	return 0, 0
+}
+
+// TestFIFOSchedulerExplicitMatchesDefault: passing an explicit
+// FIFOScheduler is the same serving path as the nil default — the
+// extraction changed where the policy lives, not what it does.
+func TestFIFOSchedulerExplicitMatchesDefault(t *testing.T) {
+	drive := func(sched Scheduler) ([]TxnResult, SubmitterStats, float64) {
+		pm := newPM(t, 4)
+		s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 8, MaxDelaySeconds: 1e-3, Scheduler: sched})
+		var futs []*Future
+		for k := uint64(0); k < 30; k++ {
+			arr := float64(k) * 150e-6
+			futs = append(futs, submit(t, s, one(Op{Kind: OpPut, Key: k, Value: k}), arr))
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		res := make([]TxnResult, len(futs))
+		for i, f := range futs {
+			res[i] = f.Wait()
+		}
+		return res, s.Stats(), pm.Stats().WallSeconds
+	}
+
+	defRes, defStats, defWall := drive(nil)
+	expRes, expStats, expWall := drive(NewFIFOScheduler(8, 1e-3))
+	if defStats != expStats {
+		t.Fatalf("stats diverged: default %+v, explicit %+v", defStats, expStats)
+	}
+	if defWall != expWall {
+		t.Fatalf("modeled wall clocks diverged: %g vs %g", defWall, expWall)
+	}
+	for i := range defRes {
+		if defRes[i].LatencySeconds != expRes[i].LatencySeconds || defRes[i].Committed != expRes[i].Committed {
+			t.Fatalf("txn %d diverged: %+v vs %+v", i, defRes[i], expRes[i])
+		}
+	}
+	if defStats.ConfinedBatches != 0 || defStats.CoordinatedBatches != 0 {
+		t.Fatalf("FIFO batches must be unlaned: %+v", defStats)
+	}
+}
+
+// TestLaneOfAgreesWithApplyTxns: the scheduler's admission classifier
+// and the store's execution-time analysis share classifyOps, so a
+// transaction is LaneCoordinated exactly when applying it alone
+// coordinates it.
+func TestLaneOfAgreesWithApplyTxns(t *testing.T) {
+	pm := newPM(t, 4)
+	k0, k1 := keysOnDPUs(t, 4)
+	if _, err := pm.ApplyBatch([]Op{{Kind: OpPut, Key: k0, Value: 1}, {Kind: OpPut, Key: k1, Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Txn{
+		one(Op{Kind: OpGet, Key: k0}),
+		one(Op{Kind: OpPut, Key: k1, Value: 9}),
+		{Ops: []Op{{Kind: OpPut, Key: k0, Value: 2}, {Kind: OpGet, Key: k0}}},
+		{Ops: []Op{{Kind: OpAdd, Key: k0, Value: 1}, {Kind: OpSub, Key: k1, Value: 1}}},
+		{Ops: []Op{{Kind: OpPut, Key: k0, Value: 3}, {Kind: OpPut, Key: k1, Value: 4}}},
+	}
+	for i, txn := range cases {
+		lane := pm.LaneOf(txn)
+		before := pm.TxnsCoordinated
+		if _, err := pm.ApplyTxns([]Txn{txn}); err != nil {
+			t.Fatal(err)
+		}
+		coordinated := pm.TxnsCoordinated > before
+		if coordinated != (lane == LaneCoordinated) {
+			t.Fatalf("case %d: LaneOf says %v but ApplyTxns coordinated=%v", i, lane, coordinated)
+		}
+	}
+}
+
+// TestLaneSchedulerHomogeneousBatches: a mixed stream through a
+// LaneScheduler flushes homogeneous batches — confined transactions
+// never pay coordination, even when they share written keys with
+// cross-DPU transactions that would drag them into a conflict group
+// inside one FIFO batch.
+func TestLaneSchedulerHomogeneousBatches(t *testing.T) {
+	k0, k1 := keysOnDPUs(t, 4)
+	mixed := func(i int) (Txn, bool) {
+		if i%4 == 3 {
+			// Cross-DPU writer sharing k0 with the confined traffic: in
+			// a mixed batch its conflict group swallows the k0 writers.
+			return Txn{Ops: []Op{{Kind: OpPut, Key: k0, Value: uint64(i)}, {Kind: OpPut, Key: k1, Value: uint64(i)}}}, true
+		}
+		return one(Op{Kind: OpPut, Key: k0, Value: uint64(i)}), false
+	}
+	drive := func(sched Scheduler) (SubmitterStats, int) {
+		pm := newPM(t, 4)
+		s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 8, MaxDelaySeconds: 1e-3, Scheduler: sched})
+		var futs []*Future
+		cross := 0
+		for i := 0; i < 40; i++ {
+			txn, isCross := mixed(i)
+			if isCross {
+				cross++
+			}
+			futs = append(futs, submit(t, s, txn, float64(i)*100e-6))
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range futs {
+			if res := f.Wait(); res.Err != nil || !res.Committed {
+				t.Fatalf("txn %d: %+v", i, res)
+			}
+		}
+		if cross != 10 {
+			t.Fatalf("stream shape changed: %d cross txns", cross)
+		}
+		return s.Stats(), pm.TxnsCoordinated
+	}
+
+	_, fifoCoord := drive(nil)
+	laneStats, laneCoord := drive(NewLaneScheduler(LaneSchedulerConfig{
+		Confined:    LaneConfig{MaxBatch: 8, MaxDelaySeconds: 1e-3},
+		Coordinated: LaneConfig{MaxBatch: 8, MaxDelaySeconds: 1e-3},
+	}))
+
+	if laneStats.ConfinedBatches == 0 || laneStats.CoordinatedBatches == 0 {
+		t.Fatalf("both lanes must flush: %+v", laneStats)
+	}
+	if laneStats.ConfinedBatches+laneStats.CoordinatedBatches != laneStats.Batches {
+		t.Fatalf("lane batches must partition Batches: %+v", laneStats)
+	}
+	// Homogeneous batches coordinate exactly the cross transactions;
+	// mixed FIFO batches drag the conflicting confined writers along.
+	if laneCoord != 10 {
+		t.Fatalf("lane scheduling coordinated %d txns, want exactly the 10 cross ones", laneCoord)
+	}
+	if fifoCoord <= laneCoord {
+		t.Fatalf("FIFO should drag conflicting confined txns into coordination: fifo %d vs lane %d", fifoCoord, laneCoord)
+	}
+}
+
+// TestLaneSchedulerStarvationBound: a trickle of coordinated traffic
+// behind a confined flood is shipped by the starvation bound, not
+// parked until its distant delay deadline.
+func TestLaneSchedulerStarvationBound(t *testing.T) {
+	classify := func(txn Txn) Lane {
+		if txn.Ops[0].Key == 999 {
+			return LaneCoordinated
+		}
+		return LaneConfined
+	}
+	l := NewLaneScheduler(LaneSchedulerConfig{
+		Confined:          LaneConfig{MaxBatch: 4, MaxDelaySeconds: 1},
+		Coordinated:       LaneConfig{MaxBatch: 1 << 20, MaxDelaySeconds: 1e9},
+		StarvationBatches: 3,
+		Classify:          classify,
+	})
+
+	if got := l.Admit(SchedTxn{Txn: one(Op{Kind: OpGet, Key: 999}), Arrival: 0}); len(got) != 0 {
+		t.Fatalf("lone coordinated txn flushed immediately: %+v", got)
+	}
+	var flushed []SchedBatch
+	for i := 0; i < 12; i++ { // 12 confined 1-op txns = 3 size flushes of 4
+		flushed = append(flushed, l.Admit(SchedTxn{Txn: one(Op{Kind: OpGet, Key: uint64(i)}), Arrival: float64(i+1) * 1e-6})...)
+	}
+	var lanes []Lane
+	for _, b := range flushed {
+		lanes = append(lanes, b.Lane)
+	}
+	if len(flushed) != 4 {
+		t.Fatalf("want 3 confined size flushes + 1 starved coordinated flush, got %d (%v)", len(flushed), lanes)
+	}
+	for i := 0; i < 3; i++ {
+		if flushed[i].Lane != LaneConfined || flushed[i].Reason != FlushSize {
+			t.Fatalf("flush %d: %v/%v", i, flushed[i].Lane, flushed[i].Reason)
+		}
+	}
+	starved := flushed[3]
+	if starved.Lane != LaneCoordinated || starved.Reason != FlushDelay || len(starved.Txns) != 1 {
+		t.Fatalf("starved flush wrong: %+v", starved)
+	}
+	if l.Starved() != 1 {
+		t.Fatalf("starved counter = %d", l.Starved())
+	}
+	// The bound resets: the next confined flushes run the count anew.
+	if got := l.Drain(); len(got) != 0 {
+		t.Fatalf("drain of empty lanes flushed %d batches", len(got))
+	}
+}
+
+// TestAdaptiveSchedulerAIMDConvergence: the controller grows the
+// confined lane's MaxBatch to the ceiling under handshake-bound
+// feedback, shrinks it to the floor under kernel-bound feedback, and
+// never leaves [Floor, Ceiling] — the deterministic AIMD trajectory
+// the acceptance criteria require.
+func TestAdaptiveSchedulerAIMDConvergence(t *testing.T) {
+	mk := func() *AdaptiveScheduler {
+		return NewAdaptiveScheduler(LaneSchedulerConfig{
+			Confined: LaneConfig{MaxBatch: 64},
+			Classify: func(Txn) Lane { return LaneConfined },
+		}, AdaptiveConfig{Floor: 16, Ceiling: 256, Step: 16})
+	}
+	confined := SchedBatch{Lane: LaneConfined}
+
+	a := mk()
+	// Handshake-bound: kernels tiny next to the ~300 µs rounds.
+	for i := 0; i < 64; i++ {
+		if got := a.MaxBatch(); got < 16 || got > 256 {
+			t.Fatalf("step %d: MaxBatch %d left [16, 256]", i, got)
+		}
+		a.Observe(confined, BatchFeedback{Ops: 8, KernelSeconds: 10e-6, HandshakeSeconds: 600e-6})
+	}
+	if a.MaxBatch() != 256 {
+		t.Fatalf("handshake-bound feedback must grow to the ceiling, got %d", a.MaxBatch())
+	}
+	// Kernel-bound: the batch kernels dwarf the handshakes.
+	for i := 0; i < 64; i++ {
+		a.Observe(confined, BatchFeedback{Ops: 4096, KernelSeconds: 30e-3, HandshakeSeconds: 700e-6})
+		if got := a.MaxBatch(); got < 16 || got > 256 {
+			t.Fatalf("shrink step %d: MaxBatch %d left [16, 256]", i, got)
+		}
+	}
+	if a.MaxBatch() != 16 {
+		t.Fatalf("kernel-bound feedback must shrink to the floor, got %d", a.MaxBatch())
+	}
+
+	b := mk()
+	// Inside the AIMD band nothing moves; coordinated batches and
+	// rebalancer-free feedback never touch the knob either.
+	b.Observe(confined, BatchFeedback{Ops: 64, KernelSeconds: 450e-6, HandshakeSeconds: 300e-6})
+	b.Observe(SchedBatch{Lane: LaneCoordinated}, BatchFeedback{Ops: 64, KernelSeconds: 0, HandshakeSeconds: 600e-6})
+	b.Observe(confined, BatchFeedback{Ops: 0, KernelSeconds: 0, HandshakeSeconds: 0})
+	if b.MaxBatch() != 64 {
+		t.Fatalf("in-band feedback moved MaxBatch to %d", b.MaxBatch())
+	}
+}
+
+// TestAdaptiveServeConverges: end to end on the modeled clock, a
+// handshake-bound open-loop trace (small transactions, thin batches)
+// grows the confined MaxBatch off its floor, deterministically per
+// seed.
+func TestAdaptiveServeConverges(t *testing.T) {
+	run := func() (ServeResult, int) {
+		var a *AdaptiveScheduler
+		res, err := Serve(ServeConfig{
+			Map:    PartitionedMapConfig{DPUs: 4, Tasklets: 4, STM: core.Config{Algorithm: core.NOrec}, Mode: Pipelined},
+			Submit: SubmitterConfig{MaxBatch: 16, MaxDelaySeconds: 200e-6},
+			Traffic: TrafficConfig{
+				Ops: 600, Rate: 1.5e5, ReadPct: 80, Keyspace: 256, ZipfS: 0.8, Seed: 3,
+			},
+			Scheduler: func() Scheduler {
+				a = NewAdaptiveScheduler(LaneSchedulerConfig{
+					Confined:    LaneConfig{MaxBatch: 16, MaxDelaySeconds: 200e-6},
+					Coordinated: LaneConfig{MaxBatch: 16, MaxDelaySeconds: 200e-6},
+				}, AdaptiveConfig{Floor: 16, Ceiling: 512, Step: 16})
+				return a
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, a.MaxBatch()
+	}
+	res1, mb1 := run()
+	res2, mb2 := run()
+	if mb1 != mb2 || res1 != res2 {
+		t.Fatalf("adaptive serving must be deterministic per seed:\n%+v (MaxBatch %d)\n%+v (MaxBatch %d)", res1, mb1, res2, mb2)
+	}
+	if mb1 <= 16 {
+		t.Fatalf("handshake-bound trace must grow MaxBatch off the floor, still %d", mb1)
+	}
+	if res1.Errors > 0 || res1.Stats.Batches == 0 {
+		t.Fatalf("degenerate run: %+v", res1)
+	}
+}
+
+// TestSubmitterFlushReasonAccounting is the flush-reason satellite: for
+// every scheduler, SizeFlushes + DelayFlushes + DrainFlushes must equal
+// Batches, and each trigger must fire for its own reason — a size-filled
+// lane, a proven delay deadline, and a Close drain.
+func TestSubmitterFlushReasonAccounting(t *testing.T) {
+	k0, k1 := keysOnDPUs(t, 4)
+	lane := func() LaneSchedulerConfig {
+		return LaneSchedulerConfig{
+			Confined:    LaneConfig{MaxBatch: 8, MaxDelaySeconds: 1e-3},
+			Coordinated: LaneConfig{MaxBatch: 8, MaxDelaySeconds: 1e-3},
+		}
+	}
+	cases := []struct {
+		name  string
+		sched func() Scheduler
+	}{
+		{"fifo", func() Scheduler { return nil }},
+		{"lane", func() Scheduler { return NewLaneScheduler(lane()) }},
+		{"adaptive", func() Scheduler {
+			return NewAdaptiveScheduler(lane(), AdaptiveConfig{Floor: 8, Ceiling: 64, Step: 8})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pm := newPM(t, 4)
+			s := NewSubmitter(pm, SubmitterConfig{MaxBatch: 8, MaxDelaySeconds: 1e-3, Scheduler: tc.sched()})
+			var futs []*Future
+			// 8 back-to-back confined 1-op txns: one size flush under
+			// every policy.
+			for k := uint64(0); k < 8; k++ {
+				futs = append(futs, submit(t, s, one(Op{Kind: OpPut, Key: k, Value: k}), float64(k)*1e-6))
+			}
+			// 3 txns parked at t=10ms (one of them cross-DPU, so the
+			// lane policies hold pending work in both lanes)...
+			futs = append(futs,
+				submit(t, s, one(Op{Kind: OpPut, Key: 100, Value: 1}), 10e-3),
+				submit(t, s, Txn{Ops: []Op{{Kind: OpPut, Key: k0, Value: 1}, {Kind: OpPut, Key: k1, Value: 1}}}, 10e-3),
+				submit(t, s, one(Op{Kind: OpPut, Key: 101, Value: 2}), 10e-3))
+			// ...until t=20ms proves their 1 ms deadline: delay flushes.
+			// The trigger itself drains on Close.
+			futs = append(futs, submit(t, s, one(Op{Kind: OpGet, Key: 0}), 20e-3))
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for i, f := range futs {
+				if res := f.Wait(); res.Err != nil || !res.Committed {
+					t.Fatalf("txn %d: %+v", i, res)
+				}
+			}
+			st := s.Stats()
+			if st.SizeFlushes+st.DelayFlushes+st.DrainFlushes != st.Batches {
+				t.Fatalf("flush reasons must sum to Batches: %+v", st)
+			}
+			if st.SizeFlushes == 0 || st.DelayFlushes == 0 || st.DrainFlushes == 0 {
+				t.Fatalf("every trigger must fire: %+v", st)
+			}
+			if st.Txns != len(futs) || st.Submitted != 13 {
+				t.Fatalf("accounting off: %+v", st)
+			}
+			if tc.name != "fifo" {
+				if st.ConfinedBatches+st.CoordinatedBatches != st.Batches {
+					t.Fatalf("lane batches must partition Batches: %+v", st)
+				}
+				if st.CoordinatedBatches == 0 {
+					t.Fatalf("the cross txn must flush as a coordinated batch: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+// TestLaneServeWithRebalancerDeterministic: the rebalancer's
+// observation hook is driven by flushes, so under a lane scheduler it
+// sees per-lane homogeneous batches — and the whole loop stays
+// deterministic.
+func TestLaneServeWithRebalancerDeterministic(t *testing.T) {
+	run := func() ServeResult {
+		reb := RebalancerConfig{WindowBatches: 3, TopK: 8, MinKeyOps: 4, Trigger: 1.1}
+		res, err := Serve(ServeConfig{
+			Map: PartitionedMapConfig{
+				DPUs: 4, Tasklets: 4, STM: core.Config{Algorithm: core.NOrec},
+				Mode: Pipelined, Placement: NewDirectory(4),
+			},
+			Submit:    SubmitterConfig{MaxBatch: 64, MaxDelaySeconds: 300e-6},
+			Rebalance: &reb,
+			Traffic: TrafficConfig{
+				Ops: 500, Rate: 2e5, ReadPct: 90, Keyspace: 256, ZipfS: 1.2, Seed: 11,
+				TxnSize: 2, CrossDPU: 0.3, DPUs: 4,
+			},
+			Scheduler: func() Scheduler {
+				return NewLaneScheduler(LaneSchedulerConfig{
+					Confined:    LaneConfig{MaxBatch: 64, MaxDelaySeconds: 300e-6},
+					Coordinated: LaneConfig{MaxBatch: 64, MaxDelaySeconds: 300e-6},
+				})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("lane serving with rebalancer diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Errors > 0 || a.Stats.ConfinedBatches == 0 || a.Stats.CoordinatedBatches == 0 {
+		t.Fatalf("degenerate run: %+v", a)
+	}
+	if a.Rebalance.BatchesObserved != a.Stats.Batches {
+		t.Fatalf("rebalancer must observe every flushed batch: %+v vs %+v", a.Rebalance, a.Stats)
+	}
+}

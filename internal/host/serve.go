@@ -107,6 +107,48 @@ type TimedTxn struct {
 	Arrival float64
 }
 
+// Validate checks every TrafficConfig bound up front with a
+// descriptive error, so a misconfigured sweep fails at the knob that
+// is wrong instead of deep inside the shaper (or, worse, silently: a
+// CrossDPU fraction on a single-op trace used to be ignored, and a
+// positive fraction on a 1-DPU fleet surfaced only as a key-placement
+// error). A zero TxnSize is the documented single-op default and
+// passes.
+func (cfg *TrafficConfig) Validate() error {
+	if cfg.Ops < 1 {
+		return fmt.Errorf("host: traffic needs at least one transaction (Ops = %d)", cfg.Ops)
+	}
+	if cfg.Rate <= 0 {
+		return fmt.Errorf("host: traffic needs a positive arrival rate (Rate = %g)", cfg.Rate)
+	}
+	if cfg.Keyspace < 1 {
+		return fmt.Errorf("host: traffic needs at least one key (Keyspace = %d)", cfg.Keyspace)
+	}
+	if cfg.ZipfS < 0 {
+		return fmt.Errorf("host: negative zipf exponent %g", cfg.ZipfS)
+	}
+	if cfg.TxnSize < 0 {
+		return fmt.Errorf("host: bad transaction size %d (need ≥ 1; 0 defaults to 1)", cfg.TxnSize)
+	}
+	if cfg.CrossDPU < 0 || cfg.CrossDPU > 1 {
+		return fmt.Errorf("host: cross-DPU fraction %g outside [0, 1]", cfg.CrossDPU)
+	}
+	if cfg.CrossDPU > 0 && cfg.TxnSize <= 1 {
+		// TxnSize 0 defaults to the single-op stream, which would
+		// silently drop the fraction.
+		return fmt.Errorf("host: cross-DPU fraction %g needs multi-op transactions (TxnSize ≥ 2, have %d)", cfg.CrossDPU, cfg.TxnSize)
+	}
+	if cfg.TxnSize >= 2 {
+		if cfg.DPUs < 1 {
+			return fmt.Errorf("host: multi-op traffic needs the fleet size (DPUs)")
+		}
+		if cfg.CrossDPU > 0 && cfg.DPUs < 2 {
+			return fmt.Errorf("host: cross-DPU fraction %g needs a fleet of at least two DPUs (have %d)", cfg.CrossDPU, cfg.DPUs)
+		}
+	}
+	return nil
+}
+
 // GenerateTraffic builds the open-loop trace: arrivals keep their
 // schedule regardless of how fast the store drains them — that is what
 // makes queueing delay visible in the modeled latencies. With
@@ -115,23 +157,11 @@ type TimedTxn struct {
 // keys (confined) or forced to span DPUs (a CrossDPU-fraction coin),
 // so the cross-DPU coordination cost is a controlled knob.
 func GenerateTraffic(cfg TrafficConfig) ([]TimedTxn, error) {
-	if cfg.Ops < 1 {
-		return nil, fmt.Errorf("host: traffic needs at least one transaction")
-	}
-	if cfg.Rate <= 0 {
-		return nil, fmt.Errorf("host: traffic needs a positive arrival rate")
-	}
-	if cfg.Keyspace < 1 {
-		return nil, fmt.Errorf("host: traffic needs at least one key")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.TxnSize == 0 {
 		cfg.TxnSize = 1
-	}
-	if cfg.TxnSize < 1 {
-		return nil, fmt.Errorf("host: bad transaction size %d", cfg.TxnSize)
-	}
-	if cfg.CrossDPU < 0 || cfg.CrossDPU > 1 {
-		return nil, fmt.Errorf("host: cross-DPU fraction %g outside [0, 1]", cfg.CrossDPU)
 	}
 	z, err := NewZipf(cfg.Keyspace, cfg.ZipfS)
 	if err != nil {
@@ -156,9 +186,6 @@ func GenerateTraffic(cfg TrafficConfig) ([]TimedTxn, error) {
 		return out, nil
 	}
 
-	if cfg.DPUs < 1 {
-		return nil, fmt.Errorf("host: multi-op traffic needs the fleet size (DPUs)")
-	}
 	shape, err := newTxnShaper(cfg, z)
 	if err != nil {
 		return nil, err
@@ -325,6 +352,11 @@ type ServeConfig struct {
 	// phase (requires Map.Placement to be a *Directory); the submitter
 	// drives it between flushed batches.
 	Rebalance *RebalancerConfig
+	// Scheduler, when non-nil, builds the run's batch-formation policy
+	// (nil = the default FIFOScheduler over Submit's
+	// MaxBatch/MaxDelaySeconds). A factory rather than an instance:
+	// schedulers are stateful and every Serve call needs a fresh one.
+	Scheduler func() Scheduler
 }
 
 // ServeResult is the modeled outcome of one serving run.
@@ -397,7 +429,11 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 		}
 	}
 
-	s := NewSubmitter(pm, cfg.Submit)
+	scfg := cfg.Submit
+	if cfg.Scheduler != nil {
+		scfg.Scheduler = cfg.Scheduler()
+	}
+	s := NewSubmitter(pm, scfg)
 	futs := make([]*Future, len(trace))
 	for i, t := range trace {
 		if futs[i], err = s.Submit(t.Txn, t.Arrival); err != nil {

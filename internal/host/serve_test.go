@@ -2,6 +2,7 @@ package host
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"pimstm/internal/core"
@@ -92,6 +93,63 @@ func TestGenerateTrafficDeterministic(t *testing.T) {
 	}
 	if _, err := GenerateTraffic(TrafficConfig{Ops: 1, Rate: 1, Keyspace: 8, TxnSize: 3, DPUs: 4, CrossDPU: 1.5}); err == nil {
 		t.Fatal("cross-DPU fraction above 1 accepted")
+	}
+}
+
+// TestTrafficConfigValidation is the up-front bounds satellite: every
+// out-of-range knob fails Validate with a descriptive error naming the
+// knob, instead of surfacing deep in the shaper or being silently
+// ignored, and the legitimate shapes all pass.
+func TestTrafficConfigValidation(t *testing.T) {
+	valid := TrafficConfig{Ops: 10, Rate: 1e5, ReadPct: 50, Keyspace: 64, TxnSize: 2, CrossDPU: 0.5, DPUs: 4}
+	cases := []struct {
+		name    string
+		mutate  func(*TrafficConfig)
+		wantErr string // substring of the error ("" = must pass)
+	}{
+		{"valid multi-op", func(c *TrafficConfig) {}, ""},
+		{"valid single-op default", func(c *TrafficConfig) { c.TxnSize, c.CrossDPU, c.DPUs = 0, 0, 0 }, ""},
+		{"valid explicit single-op", func(c *TrafficConfig) { c.TxnSize, c.CrossDPU = 1, 0 }, ""},
+		{"valid confined multi-op", func(c *TrafficConfig) { c.CrossDPU = 0 }, ""},
+		{"valid cross extremes", func(c *TrafficConfig) { c.CrossDPU = 1 }, ""},
+		{"zero ops", func(c *TrafficConfig) { c.Ops = 0 }, "at least one transaction"},
+		{"negative rate", func(c *TrafficConfig) { c.Rate = -1 }, "positive arrival rate"},
+		{"zero keyspace", func(c *TrafficConfig) { c.Keyspace = 0 }, "at least one key"},
+		{"negative zipf", func(c *TrafficConfig) { c.ZipfS = -0.5 }, "zipf"},
+		{"negative txn size", func(c *TrafficConfig) { c.TxnSize = -2 }, "transaction size"},
+		{"cross below zero", func(c *TrafficConfig) { c.CrossDPU = -0.1 }, "outside [0, 1]"},
+		{"cross above one", func(c *TrafficConfig) { c.CrossDPU = 1.01 }, "outside [0, 1]"},
+		{"cross on single-op txns", func(c *TrafficConfig) { c.TxnSize = 1 }, "multi-op transactions"},
+		{"cross on defaulted single-op txns", func(c *TrafficConfig) { c.TxnSize = 0 }, "multi-op transactions"},
+		{"multi-op without fleet size", func(c *TrafficConfig) { c.DPUs = 0 }, "fleet size"},
+		{"cross on one DPU", func(c *TrafficConfig) { c.DPUs = 1 }, "at least two DPUs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				// Validate passing means generation proceeds past the
+				// knob checks.
+				if _, err := GenerateTraffic(cfg); err != nil {
+					t.Fatalf("generation failed on validated config: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("bad config accepted: %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the knob (want %q)", err, tc.wantErr)
+			}
+			if _, gerr := GenerateTraffic(cfg); gerr == nil || gerr.Error() != err.Error() {
+				t.Fatalf("GenerateTraffic must fail the same validation: %v vs %v", gerr, err)
+			}
+		})
 	}
 }
 

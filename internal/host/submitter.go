@@ -13,11 +13,14 @@ var ErrSubmitterClosed = errors.New("host: submitter closed")
 // documented defaults.
 type SubmitterConfig struct {
 	// MaxBatch flushes the pending batch as soon as it holds this many
-	// operations across its transactions (default 64).
+	// operations across its transactions (default 64). It parameterizes
+	// the default FIFOScheduler; an explicit Scheduler brings its own
+	// bounds and ignores it.
 	MaxBatch int
 	// MaxDelaySeconds bounds, on the modeled clock, how long the oldest
 	// pending transaction may wait before the batch flushes (default
-	// 300 µs — about one transfer handshake).
+	// 300 µs — about one transfer handshake). Like MaxBatch it
+	// parameterizes the default FIFOScheduler only.
 	MaxDelaySeconds float64
 	// Queue is the bounded admission queue: Submit blocks once this
 	// many accepted transactions await batching (default 4 × MaxBatch).
@@ -25,14 +28,20 @@ type SubmitterConfig struct {
 	// transaction admitted late still carries its open-loop arrival
 	// stamp, so the backpressure shows up as modeled queueing delay.
 	Queue int
+	// Scheduler is the batch-formation policy (nil = a FIFOScheduler
+	// over MaxBatch/MaxDelaySeconds, the historical single pending
+	// lane). Schedulers are stateful: one instance per submitter. A
+	// lane-segregating scheduler without an explicit classifier is
+	// bound to the store's LaneOf at construction.
+	Scheduler Scheduler
 }
 
 func (c *SubmitterConfig) fill() {
 	if c.MaxBatch <= 0 {
-		c.MaxBatch = 64
+		c.MaxBatch = defaultMaxBatch
 	}
 	if c.MaxDelaySeconds <= 0 {
-		c.MaxDelaySeconds = 300e-6
+		c.MaxDelaySeconds = defaultMaxDelaySeconds
 	}
 	if c.Queue <= 0 {
 		c.Queue = 4 * c.MaxBatch
@@ -80,6 +89,10 @@ type SubmitterStats struct {
 	SizeFlushes, DelayFlushes, DrainFlushes int
 	// MaxBatchOps is the largest batch applied, in ops.
 	MaxBatchOps int
+	// ConfinedBatches and CoordinatedBatches split Batches by lane
+	// under a lane-segregating scheduler (both zero under FIFO, whose
+	// batches are unlaned).
+	ConfinedBatches, CoordinatedBatches int
 }
 
 // submitMsg is one queue entry: a transaction with its future, or a
@@ -93,27 +106,30 @@ type submitMsg struct {
 
 // Submitter is a goroutine-safe serving front-end over a
 // PartitionedMap: many clients Submit transactions — ordered groups of
-// Ops over arbitrary keys; a single op is just a 1-op Txn — and the
-// submitter adaptively batches them, flushing at MaxBatch ops or once
-// the oldest pending transaction has waited MaxDelaySeconds on the
-// modeled clock, and resolves each transaction's Future with its
-// per-op results and one modeled commit latency.
+// Ops over arbitrary keys; a single op is just a 1-op Txn — and a
+// pluggable Scheduler batches them (the default FIFOScheduler flushes
+// at MaxBatch ops or once the oldest pending transaction has waited
+// MaxDelaySeconds on the modeled clock); the submitter applies each
+// emitted batch and resolves each transaction's Future with its per-op
+// results and one modeled commit latency.
 //
 // Arrival times are modeled seconds relative to the submitter's
 // creation (the open-loop traffic clock); the underlying fleet clock
 // is advanced so a batch never starts before its flush time. Flush
 // decisions are a pure function of the transaction stream (order,
-// arrivals, op counts, MaxBatch, MaxDelaySeconds), never of real time,
-// so a deterministic stream yields a deterministic schedule — a
+// arrivals, op counts, the scheduler's bounds), never of real time, so
+// a deterministic stream yields a deterministic schedule — a
 // transaction with no successor traffic stays pending until Flush or
 // Close.
 //
 // The PartitionedMap must not be used directly while the submitter is
-// open; one flusher goroutine owns it.
+// open; one flusher goroutine owns it (and drives the scheduler, so
+// Scheduler implementations need no locking).
 type Submitter struct {
-	pm   *PartitionedMap
-	cfg  SubmitterConfig
-	base float64 // fleet clock at creation; arrivals are offsets from it
+	pm    *PartitionedMap
+	cfg   SubmitterConfig
+	sched Scheduler
+	base  float64 // fleet clock at creation; arrivals are offsets from it
 
 	mu     sync.RWMutex // guards closed vs. channel send
 	closed bool
@@ -130,12 +146,20 @@ type Submitter struct {
 // pending transactions and stop the flusher.
 func NewSubmitter(pm *PartitionedMap, cfg SubmitterConfig) *Submitter {
 	cfg.fill()
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = NewFIFOScheduler(cfg.MaxBatch, cfg.MaxDelaySeconds)
+	}
+	if lc, ok := sched.(laneClassified); ok {
+		lc.bindClassifier(pm.LaneOf)
+	}
 	s := &Submitter{
-		pm:   pm,
-		cfg:  cfg,
-		base: pm.fleet.Stats().WallSeconds,
-		ch:   make(chan submitMsg, cfg.Queue),
-		done: make(chan struct{}),
+		pm:    pm,
+		cfg:   cfg,
+		sched: sched,
+		base:  pm.fleet.Stats().WallSeconds,
+		ch:    make(chan submitMsg, cfg.Queue),
+		done:  make(chan struct{}),
 	}
 	go s.run()
 	return s
@@ -205,115 +229,80 @@ func (s *Submitter) Stats() SubmitterStats {
 	return s.stats
 }
 
-// run is the flusher: it owns the PartitionedMap and serializes batch
-// application (a Fleet is not safe for concurrent rounds).
+// run is the flusher: it owns the PartitionedMap (a Fleet is not safe
+// for concurrent rounds) and drives the scheduler — every queue
+// message becomes an Admit or Drain, and the batches the policy emits
+// are applied in order.
 func (s *Submitter) run() {
 	defer close(s.done)
-	var batch []submitMsg
-	pendingOps := 0
-	// oldest is the minimum arrival in the pending batch: with
-	// concurrent clients the queue order need not follow arrival
-	// order, and the MaxDelay bound is on the oldest transaction, not
-	// on whichever happened to enqueue first.
-	var oldest float64
 	for msg := range s.ch {
 		if msg.barrier != nil {
-			if len(batch) > 0 {
-				s.flush(batch, oldest, FlushDrain)
-				batch, pendingOps = batch[:0], 0
-			}
+			s.flushAll(s.sched.Drain())
 			close(msg.barrier)
 			continue
 		}
-		// The new arrival proves the oldest pending transaction has
-		// waited past MaxDelay on the modeled clock: the front-end's
-		// timer fired at the deadline, shipping everything that had
-		// arrived by then — possibly several times over if the new
-		// arrival is far ahead.
-		for len(batch) > 0 && msg.arrival > oldest+s.cfg.MaxDelaySeconds {
-			deadline := oldest + s.cfg.MaxDelaySeconds
-			var due, rest []submitMsg
-			for _, m := range batch {
-				if m.arrival <= deadline {
-					due = append(due, m)
-				} else {
-					rest = append(rest, m)
-				}
-			}
-			s.flush(due, deadline, FlushDelay)
-			batch, oldest = rest, minArrival(rest)
-			pendingOps = countOps(rest)
-		}
-		if len(batch) == 0 || msg.arrival < oldest {
-			oldest = msg.arrival
-		}
-		batch = append(batch, msg)
-		pendingOps += len(msg.txn.Ops)
-		if pendingOps >= s.cfg.MaxBatch {
-			s.flush(batch, msg.arrival, FlushSize)
-			batch, pendingOps = batch[:0], 0
-		}
+		s.flushAll(s.sched.Admit(SchedTxn{Txn: msg.txn, Arrival: msg.arrival, fut: msg.fut}))
 	}
-	if len(batch) > 0 {
-		s.flush(batch, oldest, FlushDrain)
+	s.flushAll(s.sched.Drain())
+}
+
+// flushAll applies the scheduler's emitted batches in flush order.
+func (s *Submitter) flushAll(batches []SchedBatch) {
+	for _, b := range batches {
+		if len(b.Txns) > 0 {
+			s.flush(b)
+		}
 	}
 }
 
-// minArrival returns the smallest arrival in the batch (0 if empty).
-func minArrival(batch []submitMsg) float64 {
-	if len(batch) == 0 {
-		return 0
-	}
-	min := batch[0].arrival
-	for _, m := range batch[1:] {
-		if m.arrival < min {
-			min = m.arrival
-		}
-	}
-	return min
-}
-
-// countOps totals the ops of the pending transactions.
-func countOps(batch []submitMsg) int {
-	n := 0
-	for _, m := range batch {
-		n += len(m.txn.Ops)
-	}
-	return n
-}
-
-// flush applies one batch at modeled time `at` (clamped to the newest
-// arrival it contains — transactions cannot be scattered before they
-// arrive) and resolves the futures. Batch completion is the fleet wall
-// clock after the window's rounds, which counts the batch's gather as
+// flush applies one batch at its modeled flush time (clamped to the
+// newest arrival it contains — transactions cannot be scattered before
+// they arrive), resolves the futures, and feeds the window's modeled
+// cost back to the scheduler. Batch completion is the fleet wall clock
+// after the window's rounds, which counts the batch's gather as
 // draining immediately; per-transaction latency is completion minus
 // arrival.
-func (s *Submitter) flush(batch []submitMsg, at float64, reason FlushReason) {
-	txns := make([]Txn, len(batch))
+func (s *Submitter) flush(b SchedBatch) {
+	at := b.At
+	txns := make([]Txn, len(b.Txns))
 	ops := 0
-	for i, m := range batch {
-		txns[i] = m.txn
-		ops += len(m.txn.Ops)
-		if m.arrival > at {
-			at = m.arrival
+	for i, m := range b.Txns {
+		txns[i] = m.Txn
+		ops += len(m.Txn.Ops)
+		if m.Arrival > at {
+			at = m.Arrival
 		}
 	}
 	s.pm.fleet.AdvanceTo(s.base + at)
 	res, err := s.pm.ApplyTxns(txns)
 	complete := s.pm.fleet.Stats().WallSeconds
-	for i, m := range batch {
+	for i, m := range b.Txns {
 		if err != nil {
-			m.fut.res = TxnResult{Err: err, Results: make([]OpResult, len(m.txn.Ops))}
+			m.fut.res = TxnResult{Err: err, Results: make([]OpResult, len(m.Txn.Ops))}
 		} else {
 			m.fut.res = res[i]
 		}
-		m.fut.res.LatencySeconds = complete - (s.base + m.arrival)
+		m.fut.res.LatencySeconds = complete - (s.base + m.Arrival)
 		close(m.fut.done)
+	}
+	if err == nil {
+		// Snapshot the window's cost split before the rebalancer can run
+		// placement rounds over it; the feedback must describe this batch
+		// alone. An errored apply leaves the Batch* fields on the
+		// previous window, so it feeds nothing back.
+		s.sched.Observe(b, BatchFeedback{
+			Ops:              ops,
+			KernelSeconds:    s.pm.BatchLaunchSeconds,
+			HandshakeSeconds: s.pm.BatchTransferSeconds,
+			WallSeconds:      s.pm.BatchSeconds,
+		})
 	}
 
 	// Load stats just reached the rebalancer (ApplyTxns observes every
 	// routed batch); let it act in the quiescent window between batches,
 	// where its migration and promotion rounds delay only later traffic.
+	// Under a lane scheduler it thereby sees per-lane batches — each
+	// homogeneous flush is one observation.
 	var rebErr error
 	if err == nil {
 		_, rebErr = s.pm.MaybeRebalance()
@@ -321,18 +310,24 @@ func (s *Submitter) flush(batch []submitMsg, at float64, reason FlushReason) {
 
 	s.statsMu.Lock()
 	s.stats.Submitted += ops
-	s.stats.Txns += len(batch)
+	s.stats.Txns += len(b.Txns)
 	s.stats.Batches++
 	if ops > s.stats.MaxBatchOps {
 		s.stats.MaxBatchOps = ops
 	}
-	switch reason {
+	switch b.Reason {
 	case FlushSize:
 		s.stats.SizeFlushes++
 	case FlushDelay:
 		s.stats.DelayFlushes++
 	default:
 		s.stats.DrainFlushes++
+	}
+	switch b.Lane {
+	case LaneConfined:
+		s.stats.ConfinedBatches++
+	case LaneCoordinated:
+		s.stats.CoordinatedBatches++
 	}
 	if err == nil {
 		err = rebErr

@@ -145,6 +145,47 @@ func evalTxn(ops []Op, results []OpResult, lookup func(uint64) (uint64, bool)) (
 // isRMW reports whether the op kind is a guarded read-modify-write.
 func isRMW(k OpKind) bool { return k == OpAdd || k == OpSub }
 
+// classifyOps is the shared owner analysis: the single DPU owning
+// every key of the op group (-1 when the keys span DPUs), and whether
+// the group is serializing (multi-op, or carrying a guarded RMW — the
+// transactions that impose batch-order serialization on every
+// transaction sharing a written key with them). Both ApplyTxns's
+// conflict grouping and the lane schedulers classify through this one
+// function, so the store and the scheduler cannot disagree about which
+// transactions coordinate.
+func classifyOps(ops []Op, owner func(uint64) int) (soleDPU int, serializing bool) {
+	if len(ops) == 0 {
+		return -1, false
+	}
+	serializing = len(ops) > 1
+	soleDPU = owner(ops[0].Key)
+	for _, op := range ops {
+		if isRMW(op.Kind) {
+			serializing = true
+		}
+		if soleDPU >= 0 && owner(op.Key) != soleDPU {
+			soleDPU = -1
+		}
+	}
+	return soleDPU, serializing
+}
+
+// LaneOf classifies one transaction against the store's current
+// placement: LaneConfined when a single DPU owns every key (the
+// transaction commits natively inside that DPU's batch kernel),
+// LaneCoordinated when the keys span DPUs (it pays the CPU-coordinated
+// snapshot and writeback rounds). This is the classifier NewSubmitter
+// binds into lane-segregating schedulers; it shares classifyOps with
+// ApplyTxns, so a batch the scheduler labels confined never
+// coordinates on its own (only a placement change between admission
+// and flush, or an empty transaction, can shift a lane).
+func (pm *PartitionedMap) LaneOf(txn Txn) Lane {
+	if sole, _ := classifyOps(txn.Ops, pm.owner); sole < 0 && len(txn.Ops) > 0 {
+		return LaneCoordinated
+	}
+	return LaneConfined
+}
+
 // txnMeta is applyTxns' per-transaction routing analysis.
 type txnMeta struct {
 	// soleDPU is the single owner DPU of every key (-1 when cross).
@@ -182,19 +223,8 @@ func (pm *PartitionedMap) classifyTxns(txns []Txn, coordinateAll bool) []txnMeta
 		if len(ops) == 0 {
 			continue
 		}
-		m.serializing = len(ops) > 1
-		m.soleDPU = pm.owner(ops[0].Key)
-		for _, op := range ops {
-			if isRMW(op.Kind) {
-				m.serializing = true
-			}
-			if pm.owner(op.Key) != m.soleDPU {
-				m.cross = true
-			}
-		}
-		if m.cross {
-			m.soleDPU = -1
-		}
+		m.soleDPU, m.serializing = classifyOps(ops, pm.owner)
+		m.cross = m.soleDPU < 0
 		if m.serializing {
 			anyTxnSerializing = true
 		}
@@ -355,9 +385,11 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 	}
 	if len(txns) == 0 {
 		pm.BatchSeconds = 0
+		pm.BatchLaunchSeconds, pm.BatchTransferSeconds = 0, 0
 		return results, nil
 	}
-	wallBefore := pm.fleet.Stats().WallSeconds
+	before := pm.fleet.Stats()
+	wallBefore := before.WallSeconds
 	metas := pm.classifyTxns(txns, coordinateAll)
 
 	var coordinated []int
@@ -493,7 +525,10 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 		}
 		pm.reb.observe(txns, routed)
 	}
-	pm.BatchSeconds = pm.fleet.Stats().WallSeconds - wallBefore
+	after := pm.fleet.Stats()
+	pm.BatchSeconds = after.WallSeconds - wallBefore
+	pm.BatchLaunchSeconds = after.LaunchSeconds - before.LaunchSeconds
+	pm.BatchTransferSeconds = after.TransferSeconds - before.TransferSeconds
 	return results, nil
 }
 
