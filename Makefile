@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify fmt vet build test race bench multidpu serve serve-smoke rebalance rebalance-smoke txnserve txnserve-smoke schedserve-smoke ci
+.PHONY: all verify fmt vet build test race bench multidpu serve serve-smoke rebalance rebalance-smoke txnserve txnserve-smoke schedserve-smoke scale scale-smoke ci
 
 all: ci
 
@@ -82,4 +82,16 @@ schedserve-smoke:
 		-txn-keys 128 -txn-batch 32 \
 		-txn-scheds fifo,lane,adaptive -txn-out ""
 
-ci: fmt vet build race serve-smoke rebalance-smoke txnserve-smoke schedserve-smoke
+# Regenerate the paper-scale sampled-fleet serving sweep (64 → 2500
+# DPUs, BENCH_scale.json).
+scale:
+	$(GO) run ./cmd/pimstm-bench -experiment scale
+
+# Short-mode scale invocation so sampled-fleet execution can't rot in
+# CI: the small end of the fleet sweep, tight wall budget, no artifact
+# written.
+scale-smoke:
+	$(GO) run ./cmd/pimstm-bench -experiment scale \
+		-scale-dpus 64,256 -scale-budget-s 60 -scale-out ""
+
+ci: fmt vet build race serve-smoke rebalance-smoke txnserve-smoke schedserve-smoke scale-smoke

@@ -52,6 +52,19 @@
 // cost the paper's single-DPU evaluation never measures, and how much
 // of the mixed-batch cliff lane-segregated batch formation closes.
 // Same seed ⇒ byte-identical artifact.
+//
+// The scale experiment serves the paper-sized fleet: sampled-fleet
+// execution (-scale-sample representative DPUs simulated, the rest
+// charged from the calibrated cost model) sweeps fleet size
+// (-scale-dpus, up to the paper's 2500) × skew (-scale-skews) with a
+// weak-scaled workload, reports modeled ops/s and latency percentiles
+// to -scale-out (default BENCH_scale.json), and records whether the
+// whole sweep finished inside the pinned real-time budget
+// (-scale-budget-s).
+//
+// -cpuprofile and -memprofile write pprof profiles of whatever
+// experiment ran (the memory profile is taken at exit), for chasing
+// host-side hot spots and allocation regressions.
 package main
 
 import (
@@ -59,6 +72,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -72,6 +87,7 @@ import (
 var experimentList = []string{
 	"latency", "fig4", "fig5", "fig6", "fig9", "fig10", "tiers",
 	"fig7", "fig8", "multidpu", "serve", "rebalance", "txnserve",
+	"scale",
 }
 
 func main() {
@@ -129,8 +145,47 @@ func main() {
 		txnDelayUS = flag.Float64("txn-delay-us", 300, "submitter MaxDelay in modeled microseconds for txnserve")
 		txnSeed    = flag.Uint64("txn-seed", 1, "traffic seed for txnserve")
 		txnOut     = flag.String("txn-out", "BENCH_txnserve.json", "txnserve JSON artifact path (empty = don't write)")
+
+		scaleDPUs   = flag.String("scale-dpus", "64,256,1024,2500", "comma-separated fleet sizes for scale")
+		scaleSample = flag.Int("scale-sample", 8, "simulated representative DPUs per scale point")
+		scaleSkews  = flag.String("scale-skews", "0,1.2", "comma-separated Zipf exponents for scale (0 = uniform)")
+		scaleBudget = flag.Float64("scale-budget-s", 120, "pinned real-time budget for the whole scale sweep, seconds")
+		scaleKeysPD = flag.Int("scale-keys-per-dpu", 32, "distinct keys per DPU in the scale traffic")
+		scaleOpsPD  = flag.Int("scale-ops-per-dpu", 16, "trace length per DPU in the scale traffic")
+		scaleRatePD = flag.Float64("scale-rate-per-dpu", 4e3, "open-loop arrival rate per DPU (ops per modeled second)")
+		scaleBatch  = flag.Int("scale-batch", 4096, "submitter MaxBatch (ops) for scale")
+		scaleSeed   = flag.Uint64("scale-seed", 1, "traffic seed for scale")
+		scaleOut    = flag.String("scale-out", "BENCH_scale.json", "scale JSON artifact path (empty = don't write)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	opt := harness.Options{Scale: *scale}
 	for i := 0; i < *seeds; i++ {
@@ -286,6 +341,27 @@ func main() {
 			}
 			topt.Scheds = parseStrings(*txnScheds)
 			if _, err := runTxnServe(topt, os.Stdout); err != nil {
+				fatal(err)
+			}
+		case "scale":
+			sopt := scaleOptions{
+				Sample:            *scaleSample,
+				KeysPerDPU:        *scaleKeysPD,
+				OpsPerDPU:         *scaleOpsPD,
+				RatePerDPU:        *scaleRatePD,
+				MaxBatch:          *scaleBatch,
+				WallBudgetSeconds: *scaleBudget,
+				Seed:              *scaleSeed,
+				Out:               *scaleOut,
+			}
+			var err error
+			if sopt.Fleets, err = parseInts(*scaleDPUs); err != nil {
+				fatal(err)
+			}
+			if sopt.Skews, err = parseFloats(*scaleSkews); err != nil {
+				fatal(err)
+			}
+			if _, err := runScale(sopt, os.Stdout); err != nil {
 				fatal(err)
 			}
 		case "tiers":

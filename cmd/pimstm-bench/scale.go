@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pimstm/internal/core"
+	"pimstm/internal/host"
+)
+
+// scaleOptions parameterize the paper-scale serving sweep: fleet sizes
+// up to the paper's 2500-DPU system served in sampled-fleet mode, where
+// only Sample representative DPUs are simulated and the rest are
+// charged from the calibrated per-round cost model. The workload weak-
+// scales with the fleet (keys, arrival rate and trace length all grow
+// per DPU) so every point stresses the same per-DPU load, and the whole
+// sweep must finish inside a pinned real-time budget — the point of
+// sampling is that fleet size stops being the simulation bottleneck.
+type scaleOptions struct {
+	// Fleets lists the DPU counts to sweep (the paper's full system is
+	// 2500).
+	Fleets []int
+	// Sample is how many representative DPUs to simulate per point.
+	Sample int
+	// Skews are Zipf key-popularity exponents (0 = uniform).
+	Skews []float64
+	// ReadPct of the traffic is Gets.
+	ReadPct int
+	// KeysPerDPU, OpsPerDPU and RatePerDPU scale the keyspace, trace
+	// length and open-loop arrival rate with the fleet.
+	KeysPerDPU, OpsPerDPU int
+	RatePerDPU            float64
+	// MaxBatch is the submitter's batch bound in ops — large, so the
+	// fleet amortizes its round handshakes over paper-scale batches.
+	MaxBatch        int
+	MaxDelaySeconds float64
+	// Tasklets is the intra-DPU parallelism; Seed the traffic seed.
+	Tasklets int
+	Seed     uint64
+	// WallBudgetSeconds is the pinned real-time budget for the whole
+	// sweep; the artifact records whether the run stayed inside it.
+	WallBudgetSeconds float64
+	// Out is the JSON artifact path ("" = don't write).
+	Out string
+}
+
+func (o *scaleOptions) fill() {
+	if len(o.Fleets) == 0 {
+		o.Fleets = []int{64, 256, 1024, 2500}
+	}
+	if o.Sample == 0 {
+		o.Sample = 8
+	}
+	if len(o.Skews) == 0 {
+		o.Skews = []float64{0, 1.2}
+	}
+	if o.ReadPct == 0 {
+		o.ReadPct = 90
+	}
+	if o.KeysPerDPU == 0 {
+		o.KeysPerDPU = 32
+	}
+	if o.OpsPerDPU == 0 {
+		o.OpsPerDPU = 16
+	}
+	if o.RatePerDPU == 0 {
+		o.RatePerDPU = 4e3
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 4096
+	}
+	if o.MaxDelaySeconds == 0 {
+		o.MaxDelaySeconds = 500e-6
+	}
+	if o.Tasklets == 0 {
+		o.Tasklets = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.WallBudgetSeconds == 0 {
+		o.WallBudgetSeconds = 120
+	}
+}
+
+// scaleScenario is one machine-readable cell of BENCH_scale.json.
+// Everything here is a pure function of the config — the real-time
+// measurement lives on the report, not the cell — so the scenario rows
+// are reproducible run to run.
+type scaleScenario struct {
+	DPUs          int     `json:"dpus"`
+	SimulatedDPUs int     `json:"simulated_dpus"`
+	ZipfS         float64 `json:"zipf_s"`
+	ReadPct       int     `json:"read_pct"`
+	RatePerSecond float64 `json:"rate_ops_per_s"`
+	Keyspace      int     `json:"keys"`
+	Ops           int     `json:"ops"`
+	Batches       int     `json:"batches"`
+	OpsPerSecond  float64 `json:"ops_per_s"`
+	P50Seconds    float64 `json:"p50_s"`
+	P99Seconds    float64 `json:"p99_s"`
+	Makespan      float64 `json:"makespan_s"`
+}
+
+// scaleReport is the top-level JSON artifact. WithinBudget is the only
+// field that depends on the machine: it records whether this sweep's
+// real wall clock stayed inside the pinned budget (the budget itself is
+// pinned in the artifact so a regression is visible in review).
+type scaleReport struct {
+	SchemaVersion     int             `json:"schema_version"`
+	Experiment        string          `json:"experiment"`
+	SampleDPUs        int             `json:"sample_dpus"`
+	WallBudgetSeconds float64         `json:"wall_budget_s"`
+	WithinBudget      bool            `json:"within_budget"`
+	Scenarios         []scaleScenario `json:"scenarios"`
+}
+
+// runScaleCell serves one fleet-size point in sampled-fleet mode.
+func runScaleCell(dpus int, skew float64, opt scaleOptions) (scaleScenario, error) {
+	keys := opt.KeysPerDPU * dpus
+	rate := opt.RatePerDPU * float64(dpus)
+	ops := opt.OpsPerDPU * dpus
+	res, err := host.Serve(host.ServeConfig{
+		Map: host.PartitionedMapConfig{
+			DPUs: dpus, Tasklets: opt.Tasklets, Sample: opt.Sample,
+			Buckets: 64, Capacity: 8 * opt.KeysPerDPU,
+			STM: core.Config{Algorithm: core.NOrec}, Mode: host.Pipelined,
+		},
+		Submit: host.SubmitterConfig{
+			MaxBatch:        opt.MaxBatch,
+			MaxDelaySeconds: opt.MaxDelaySeconds,
+		},
+		Traffic: host.TrafficConfig{
+			Ops: ops, Rate: rate, ReadPct: opt.ReadPct,
+			Keyspace: keys, ZipfS: skew, Seed: opt.Seed,
+		},
+	})
+	if err != nil {
+		return scaleScenario{}, err
+	}
+	if res.Errors > 0 {
+		return scaleScenario{}, fmt.Errorf("%d/%d txns errored", res.Errors, res.Txns)
+	}
+	return scaleScenario{
+		DPUs: dpus, SimulatedDPUs: res.SimulatedDPUs,
+		ZipfS: skew, ReadPct: opt.ReadPct, RatePerSecond: rate,
+		Keyspace: keys, Ops: res.Ops, Batches: res.Batches,
+		OpsPerSecond: res.OpsPerSecond,
+		P50Seconds:   res.P50, P99Seconds: res.P99,
+		Makespan: res.MakespanSeconds,
+	}, nil
+}
+
+// runScale sweeps fleet size × skew under sampled-fleet execution,
+// renders the table to w, and writes BENCH_scale.json when opt.Out is
+// set.
+func runScale(opt scaleOptions, w io.Writer) ([]scaleScenario, error) {
+	opt.fill()
+	start := time.Now()
+	var scenarios []scaleScenario
+	for _, n := range opt.Fleets {
+		for _, skew := range opt.Skews {
+			sc, err := runScaleCell(n, skew, opt)
+			if err != nil {
+				return nil, fmt.Errorf("scale %d DPUs zipf %g: %w", n, skew, err)
+			}
+			scenarios = append(scenarios, sc)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	within := elapsed <= opt.WallBudgetSeconds
+
+	fmt.Fprintf(w, "== scale: paper-scale sampled-fleet serving sweep (%d of n DPUs simulated, batch ≤ %d ops) ==\n",
+		opt.Sample, opt.MaxBatch)
+	fmt.Fprintf(w, "%6s %6s %5s %9s %9s %14s %12s %12s\n",
+		"#DPUs", "#sim", "zipf", "keys", "ops", "modeled ops/s", "p50 ms", "p99 ms")
+	for _, sc := range scenarios {
+		fmt.Fprintf(w, "%6d %6d %5.2f %9d %9d %14.0f %12.3f %12.3f\n",
+			sc.DPUs, sc.SimulatedDPUs, sc.ZipfS, sc.Keyspace, sc.Ops,
+			sc.OpsPerSecond, sc.P50Seconds*1e3, sc.P99Seconds*1e3)
+	}
+	fmt.Fprintf(w, "real wall clock: %.1fs (budget %.0fs, within budget: %v)\n",
+		elapsed, opt.WallBudgetSeconds, within)
+	if !within {
+		fmt.Fprintf(w, "WARNING: sweep exceeded its pinned wall-clock budget\n")
+	}
+
+	if opt.Out != "" {
+		blob, err := json.MarshalIndent(scaleReport{
+			SchemaVersion:     1,
+			Experiment:        "scale",
+			SampleDPUs:        opt.Sample,
+			WallBudgetSeconds: opt.WallBudgetSeconds,
+			WithinBudget:      within,
+			Scenarios:         scenarios,
+		}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opt.Out, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s (%d scenarios)\n", opt.Out, len(scenarios))
+	}
+	return scenarios, nil
+}

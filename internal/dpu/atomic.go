@@ -80,8 +80,13 @@ func (t *Tasklet) ReleaseBit(bit int) {
 		r.owner[bit] = nil
 		return
 	}
-	next := r.waiters[bit][0]
-	r.waiters[bit] = r.waiters[bit][1:]
+	w := r.waiters[bit]
+	next := w[0]
+	// Shift in place rather than re-slicing: w[1:] would shed capacity
+	// and force AcquireBit to reallocate the queue on every contended
+	// acquire (at most MaxTasklets-1 entries, so the copy is trivial).
+	copy(w, w[1:])
+	r.waiters[bit] = w[:len(w)-1]
 	r.owner[bit] = next
 	next.AdvanceTo(t.now)
 	next.state = stateRunnable

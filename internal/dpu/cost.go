@@ -1,0 +1,54 @@
+package dpu
+
+import "math"
+
+// This file exports the simulator's analytic cost model — the same
+// constants dma() and issueInterval() charge — so higher layers can
+// price DPU work they do not simulate. The host's sampled-fleet mode
+// runs K representative DPUs for real and charges the remaining N−K
+// from these formulas, calibrated against the simulated ones: a
+// per-operation cycle rate measured on live kernels, scaled by the
+// analytic bucket size. Keeping the formulas here, next to the
+// simulator they mirror, means a constant can never drift between the
+// two.
+
+// PipelineIssueCycles returns the cycles between two instructions of
+// one tasklet when `live` tasklets share the pipeline: the revolver
+// pipeline serves max(PipelineDepth, live) slots, which is why
+// aggregate throughput scales linearly up to 11 tasklets and is flat
+// beyond (paper §2.1).
+func PipelineIssueCycles(live int) uint64 {
+	if live < PipelineDepth {
+		return PipelineDepth
+	}
+	return uint64(live)
+}
+
+// DMALoadCycles returns the tasklet-visible cost of one MRAM load of n
+// bytes: the serial engine occupancy plus the fixed setup latency the
+// issuing tasklet must wait out (data has to come back). For n = 8
+// this is the paper's 231 ns ≈ 81-cycle local read (§3.1).
+func DMALoadCycles(n int) uint64 {
+	return DMAStoreCycles(n) + dmaFixedLatency
+}
+
+// DMAStoreCycles returns the engine occupancy of one MRAM store of n
+// bytes; stores are posted, so the tasklet is released at the engine
+// hand-off.
+func DMAStoreCycles(n int) uint64 {
+	return uint64(dmaEngineBase) + uint64(math.Ceil(float64(n)/dmaBytesPerTwoCycles))
+}
+
+// EstimateKernelSeconds prices a batch kernel of ops operations at a
+// calibrated per-operation cycle rate on a clock of clockHz (0 selects
+// DefaultClockHz). This is the sampled-fleet charging rule: the
+// worst analytic bucket costs its op count times the measured rate.
+func EstimateKernelSeconds(cyclesPerOp float64, ops int, clockHz float64) float64 {
+	if ops <= 0 || cyclesPerOp <= 0 {
+		return 0
+	}
+	if clockHz <= 0 {
+		clockHz = DefaultClockHz
+	}
+	return cyclesPerOp * float64(ops) / clockHz
+}

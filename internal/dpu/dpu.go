@@ -154,6 +154,13 @@ type DPU struct {
 	tasklets []*Tasklet
 	live     int // tasklets not yet finished
 
+	// taskletPool holds reusable tasklet slots with persistent worker
+	// goroutines, so steady-state relaunches (the serving hot path
+	// relaunches kernels every batch) allocate nothing. A slot's worker
+	// parks on its resume channel between runs.
+	taskletPool []*Tasklet
+	yieldedCh   chan *Tasklet
+
 	dmaBusyUntil uint64
 	dmaTransfers uint64 // total DMA transfers issued (stats)
 	dmaBytes     uint64
@@ -192,6 +199,10 @@ func (d *DPU) Reset() {
 	d.live = 0
 	d.finished = false
 	d.totalCyc = 0
+	// A full reset abandons the worker pool: a prior faulted or
+	// deadlocked run may have left workers parked mid-program.
+	d.taskletPool = nil
+	d.yieldedCh = nil
 }
 
 // ResetRun clears only the execution state — tasklets, DMA engine,
@@ -258,40 +269,45 @@ func (d *DPU) Run(programs []func(t *Tasklet)) (uint64, error) {
 		return 0, fmt.Errorf("dpu: Run called twice without Reset")
 	}
 
-	d.tasklets = make([]*Tasklet, len(programs))
-	d.live = len(programs)
-	yielded := make(chan *Tasklet)
-	for i, prog := range programs {
+	if d.yieldedCh == nil {
+		d.yieldedCh = make(chan *Tasklet)
+	}
+	for len(d.taskletPool) < len(programs) {
 		t := &Tasklet{
-			dpu:     d,
-			ID:      i,
-			resume:  make(chan struct{}),
-			yielded: yielded,
-			rng:     rngState(d.cfg.Seed, uint64(i)),
-			state:   stateRunnable,
+			dpu:    d,
+			ID:     len(d.taskletPool),
+			resume: make(chan struct{}),
 		}
-		d.tasklets[i] = t
-		go func(body func(*Tasklet)) {
-			<-t.resume
-			defer func() {
-				if r := recover(); r != nil {
-					t.panicVal = r
-				}
-				t.state = stateDone
-				yielded <- t
-			}()
-			body(t)
-		}(prog)
+		d.taskletPool = append(d.taskletPool, t)
+		go t.work()
+	}
+	if d.tasklets == nil {
+		d.tasklets = make([]*Tasklet, 0, len(programs))
+	}
+	d.tasklets = d.tasklets[:0]
+	d.live = len(programs)
+	for i, prog := range programs {
+		t := d.taskletPool[i]
+		t.now = 0
+		t.state = stateRunnable
+		t.blockedBit = 0
+		t.panicVal = nil
+		t.yielded = d.yieldedCh
+		t.rng = rngState(d.cfg.Seed, uint64(i))
+		t.body = prog
+		d.tasklets = append(d.tasklets, t)
 	}
 
 	for d.live > 0 {
 		next := d.pickRunnable()
 		if next == nil {
 			d.finished = true
+			d.taskletPool = nil // blocked workers are unrecoverable
+			d.yieldedCh = nil
 			return 0, fmt.Errorf("dpu: deadlock, %d tasklets blocked: %s", d.live, d.blockedReport())
 		}
 		next.resume <- struct{}{}
-		t := <-yielded
+		t := <-d.yieldedCh
 		if t.state == stateDone {
 			d.live--
 			if t.now > d.totalCyc {
@@ -299,8 +315,12 @@ func (d *DPU) Run(programs []func(t *Tasklet)) (uint64, error) {
 			}
 			if t.panicVal != nil {
 				// A tasklet fault is a programming error in the DPU
-				// program; surface it on the caller's goroutine.
+				// program; surface it on the caller's goroutine. Other
+				// workers may be parked mid-program, so the pool is
+				// abandoned.
 				d.finished = true
+				d.taskletPool = nil
+				d.yieldedCh = nil
 				panic(t.panicVal)
 			}
 		}

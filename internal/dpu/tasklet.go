@@ -30,7 +30,35 @@ type Tasklet struct {
 	blockedBit int // valid while state == stateBlocked
 	panicVal   any // fault captured from the program body
 
+	// body is the program armed for the current run; the persistent
+	// worker goroutine reads it after the scheduler's first resume.
+	body func(*Tasklet)
+
 	rng uint64
+}
+
+// work is the persistent worker loop of one pooled tasklet slot: it
+// parks on resume between runs, executes the armed program when the
+// scheduler first resumes it, and reports completion (or a captured
+// fault) through the yielded channel. Pooling the workers keeps
+// steady-state kernel relaunches allocation-free.
+func (t *Tasklet) work() {
+	for {
+		<-t.resume
+		t.runBody()
+	}
+}
+
+// runBody executes one armed program with fault capture.
+func (t *Tasklet) runBody() {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicVal = r
+		}
+		t.state = stateDone
+		t.yielded <- t
+	}()
+	t.body(t)
 }
 
 // DPU returns the hosting DPU.

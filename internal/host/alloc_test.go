@@ -1,0 +1,90 @@
+package host
+
+import (
+	"testing"
+
+	"pimstm/internal/core"
+)
+
+// allocTxns builds a steady-state transactional workload for the
+// allocation gates: 64 single-op puts when confined is true (every txn
+// stays on its owner DPU, the confined fast path), or 32 two-op
+// read-modify-write txns spanning two DPUs when it is false (the
+// coordinated snapshot/writeback path). Keys cycle over a small
+// resident set so repeated batches neither grow the maps nor exhaust
+// the pools.
+func allocTxns(pm *PartitionedMap, confined bool) []Txn {
+	if confined {
+		txns := make([]Txn, 64)
+		for i := range txns {
+			txns[i] = Txn{Ops: []Op{{Kind: OpPut, Key: uint64(i % 32), Value: uint64(i)}}}
+		}
+		return txns
+	}
+	// Pick two keys on different DPUs so every txn coordinates.
+	a, b := uint64(0), uint64(1)
+	for pm.owner(b) == pm.owner(a) {
+		b++
+	}
+	txns := make([]Txn, 32)
+	for i := range txns {
+		txns[i] = Txn{Ops: []Op{
+			{Kind: OpAdd, Key: a, Value: 1},
+			{Kind: OpPut, Key: b + uint64(i%8)*64, Value: uint64(i)},
+		}}
+	}
+	return txns
+}
+
+// measureApplyTxnsAllocs returns steady-state allocations per ApplyTxns
+// batch. The first call warms the scratch (lazy map growth, pooled
+// tasklet spin-up) and is excluded, matching how a serving loop runs.
+func measureApplyTxnsAllocs(t *testing.T, confined bool) float64 {
+	t.Helper()
+	pm, err := NewPartitionedMap(PartitionedMapConfig{
+		DPUs: 4, Buckets: 64, Capacity: 512, Tasklets: 4,
+		STM: core.Config{Algorithm: core.NOrec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := allocTxns(pm, confined)
+	for i := 0; i < 3; i++ {
+		if _, err := pm.ApplyTxns(txns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return testing.AllocsPerRun(20, func() {
+		if _, err := pm.ApplyTxns(txns); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestApplyTxnsConfinedAllocGate pins the allocation budget of the
+// confined (single-DPU) ApplyTxns hot path. The seed implementation
+// spent 677 allocs on this batch (per-batch map storm in classify,
+// route and execute plus a fresh STM descriptor per tasklet per round);
+// the scratch-reuse rewrite has to stay ≥10× below that. Results and
+// their per-op backing are still allocated fresh — callers retain them
+// — so the floor is one TxnResult slab plus one OpResult slab per
+// batch, not zero.
+func TestApplyTxnsConfinedAllocGate(t *testing.T) {
+	got := measureApplyTxnsAllocs(t, true)
+	t.Logf("confined ApplyTxns: %.1f allocs/batch (seed: 677)", got)
+	if got > 67 {
+		t.Fatalf("confined ApplyTxns allocates %.1f per batch, budget 67 (seed 677, required ≥10× reduction)", got)
+	}
+}
+
+// TestApplyTxnsCoordinatedAllocGate pins the coordinated path the same
+// way: snapshot gather, host-side evaluation and writeback rounds must
+// all run out of the PartitionedMap-owned scratch. Seed: 951
+// allocs/batch.
+func TestApplyTxnsCoordinatedAllocGate(t *testing.T) {
+	got := measureApplyTxnsAllocs(t, false)
+	t.Logf("coordinated ApplyTxns: %.1f allocs/batch (seed: 951)", got)
+	if got > 95 {
+		t.Fatalf("coordinated ApplyTxns allocates %.1f per batch, budget 95 (seed 951, required ≥10× reduction)", got)
+	}
+}

@@ -55,6 +55,12 @@ type RoundSpec struct {
 	// when the fleet was built without a factory. A nil Program makes
 	// the round transfer-only.
 	Program func(id int, d *dpu.DPU) (float64, error)
+	// AnalyticKernelSeconds is a floor on the round's kernel time for
+	// work charged analytically rather than simulated — the sampled
+	// fleet's estimate of its worst unsimulated bucket. The round's
+	// kernel is the slower of the slowest Program and this floor
+	// (0 = fully simulated round, the exact mode).
+	AnalyticKernelSeconds float64
 }
 
 // RoundStats is the modeled timing of one executed round.
@@ -113,6 +119,11 @@ type Fleet struct {
 
 	stats  FleetStats
 	rounds []RoundStats
+
+	// roundSecs is Round's reusable per-program result scratch; rounds
+	// run back to back on the serving hot path, so per-round slices
+	// would dominate the allocation profile.
+	roundSecs []float64
 }
 
 // NewFleet builds a fleet executor. mk, when non-nil, creates the
@@ -143,7 +154,10 @@ func (f *Fleet) Size() int { return f.opt.DPUs }
 // Mode reports the fleet's transfer-scheduling mode.
 func (f *Fleet) Mode() ExecMode { return f.mode }
 
-// SimulatedIDs lists the DPU ids actually simulated.
+// SimulatedIDs lists the DPU ids actually simulated, ascending: every
+// id under Exact, otherwise Sample ids spread deterministically across
+// the fleet by ids[i] = i·DPUs/Sample (so id 0 is always simulated and
+// the sample covers the id space evenly).
 func (f *Fleet) SimulatedIDs() []int { return append([]int(nil), f.ids...) }
 
 // DPU returns the persistent simulated DPU for id (nil without a
@@ -179,17 +193,16 @@ func (f *Fleet) Round(spec RoundSpec) error {
 		if ids == nil {
 			ids = f.ids
 		}
-		secs := make([]float64, len(ids))
-		idx := make(map[int]int, len(ids))
-		for i, id := range ids {
-			idx[id] = i
+		if cap(f.roundSecs) < len(ids) {
+			f.roundSecs = make([]float64, len(ids))
 		}
-		err := parallelFor(ids, f.opt.Parallelism, func(id int) error {
-			s, err := spec.Program(id, f.dpus[id])
+		secs := f.roundSecs[:len(ids)]
+		err := parallelForN(len(ids), f.opt.Parallelism, func(i int) error {
+			s, err := spec.Program(ids[i], f.dpus[ids[i]])
 			if err != nil {
 				return err
 			}
-			secs[idx[id]] = s
+			secs[i] = s
 			return nil
 		})
 		if err != nil {
@@ -200,6 +213,9 @@ func (f *Fleet) Round(spec RoundSpec) error {
 				kernel = s
 			}
 		}
+	}
+	if spec.AnalyticKernelSeconds > kernel {
+		kernel = spec.AnalyticKernelSeconds
 	}
 
 	f.schedule(scatter, kernel, gather)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Transfer-model constants, calibrated to the paper's measurements.
@@ -75,7 +76,14 @@ type FleetOptions struct {
 	// Tasklets per DPU (the paper uses the per-workload optimum).
 	Tasklets int
 	// Sample bounds how many distinct-seed DPUs are actually simulated
-	// per round; 0 picks min(n, 4). Ignored when Exact.
+	// per round; 0 picks min(n, 4), and a Sample ≥ DPUs is clamped to
+	// DPUs (every DPU simulated). The simulated ids are spread across
+	// the fleet by the deterministic rule ids[i] = i·DPUs/Sample
+	// (id 0 always included), so a sample sees representatives from
+	// every region of the id space. Setting Sample together with Exact
+	// is a configuration error: Exact means "simulate every DPU", which
+	// contradicts bounding the sample (NewFleet rejects the combination
+	// rather than silently ignoring one of the two).
 	Sample int
 	// Exact simulates every DPU (needed when the merged output must be
 	// numerically correct, e.g. in the examples and correctness tests).
@@ -87,6 +95,10 @@ type FleetOptions struct {
 func (o *FleetOptions) fill() error {
 	if o.DPUs <= 0 {
 		return fmt.Errorf("host: fleet needs at least one DPU")
+	}
+	if o.Exact && o.Sample > 0 {
+		return fmt.Errorf("host: FleetOptions sets both Exact and Sample %d: Exact simulates every one of the %d DPUs, so a sample bound contradicts it — drop Sample (or drop Exact to simulate a %d-DPU sample)",
+			o.Sample, o.DPUs, o.Sample)
 	}
 	if o.Tasklets <= 0 {
 		o.Tasklets = 11
@@ -103,7 +115,10 @@ func (o *FleetOptions) fill() error {
 	return nil
 }
 
-// simulated returns the DPU ids to actually simulate.
+// simulated returns the DPU ids to actually simulate: all of them
+// under Exact (or when the clamped Sample covers the fleet), otherwise
+// Sample ids spread deterministically by ids[i] = i·DPUs/Sample — the
+// rule documented on FleetOptions.Sample and Fleet.SimulatedIDs.
 func (o *FleetOptions) simulated() []int {
 	n := o.Sample
 	if o.Exact {
@@ -116,7 +131,6 @@ func (o *FleetOptions) simulated() []int {
 		}
 		return ids
 	}
-	// Spread sample ids across the fleet deterministically.
 	for i := range ids {
 		ids[i] = i * o.DPUs / n
 	}
@@ -144,6 +158,52 @@ func parallelFor(ids []int, parallelism int, f func(id int) error) error {
 				mu.Unlock()
 			}
 		}(id)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// parallelForN runs f(0..n-1) with the work striped over a fixed pool
+// of min(n, parallelism) workers pulling from an atomic cursor. Unlike
+// parallelFor it spawns one goroutine per worker rather than one per
+// item, so a hot loop calling it every batch stays cheap.
+func parallelForN(n, parallelism int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	return firstErr

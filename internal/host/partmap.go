@@ -2,7 +2,9 @@ package host
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"pimstm/internal/core"
 	"pimstm/internal/dpu"
@@ -35,12 +37,41 @@ import (
 // operations coalesced into the batch's own round, and stale copies are
 // refreshed by shadow writes in a later batch — so replication is never
 // modeled as free.
+//
+// With Sample > 0 the store runs in sampled-fleet mode: only the
+// sample's representative DPUs are cycle-simulated, while every other
+// DPU keeps its key state in a cheap host-side shadow shard (same
+// capacity bound, same guarded-RMW/replica/migration semantics — all
+// results stay exact) and its kernel time is charged analytically from
+// the calibrated per-op cycle rate. Transfer costs are unchanged: a
+// round still pays for every involved DPU under the worst-bucket and
+// per-link-cap rules. That is what lets sweeps reach the paper's 2500
+// DPUs at millions of modeled ops/s without simulating 2500 DPUs.
 type PartitionedMap struct {
 	fleet *Fleet
 	tms   []*core.TM
 	maps  []*structures.Map
 
 	tasklets int
+
+	// Sampled-fleet state. sim flags the cycle-simulated ids; shadow
+	// holds the host-side key state of every unsimulated DPU (nil in
+	// exact mode); shadowCap mirrors the per-partition node-pool
+	// capacity; opCycles is the calibrated per-operation kernel cycle
+	// rate the analytic charge uses, refreshed from every round with
+	// simulated work.
+	sampled   bool
+	sim       []bool
+	shadow    []map[uint64]uint64
+	shadowCap int
+	opCycles  float64
+
+	// sc is the reusable per-batch scratch of the ApplyTxns hot path
+	// and exec the persistent per-simulated-DPU kernel contexts; both
+	// exist so a steady-state batch allocates (nearly) nothing.
+	sc       batchScratch
+	exec     map[int]*dpuExec
+	shadowMu sync.Mutex
 
 	place Placement
 	// dir is place when it is a *Directory (nil otherwise); the data
@@ -64,9 +95,14 @@ type PartitionedMap struct {
 	// conflict groups routed through snapshot/writeback rounds).
 	TxnsApplied, TxnsCoordinated int
 
-	// lastExecBuckets is the last execute round's per-DPU routed op
-	// count, kept for the rebalancer's load observation.
-	lastExecBuckets map[int]int
+	// mutPut/mutVals/mutDel is the in-flight mutateLists context read
+	// by the persistent mutate-round programs; execProgFn and mutProgFn
+	// are the Round program values, bound once so the hot path never
+	// re-creates a method closure.
+	mutPut, mutDel *dpuKeyLists
+	mutVals        map[uint64]uint64
+	execProgFn     func(id int, d *dpu.DPU) (float64, error)
+	mutProgFn      func(id int, d *dpu.DPU) (float64, error)
 }
 
 // PartitionedMapConfig parameterizes a store. Zero fields take the
@@ -89,6 +125,16 @@ type PartitionedMapConfig struct {
 	// seed behavior). Pass a *Directory to enable per-key overrides
 	// and hot-key read replicas.
 	Placement Placement
+	// Sample, when > 0, runs the store in sampled-fleet mode: only
+	// min(Sample, DPUs) representative DPUs — spread deterministically
+	// as ids[i] = i·DPUs/Sample — are cycle-simulated, while the rest
+	// keep their exact key state in host-side shadow shards and charge
+	// their kernel time analytically from a calibrated per-op cycle
+	// rate (transfer costs still pay for every involved DPU). Results
+	// stay exact; only the kernel-time model of unsimulated DPUs is
+	// approximate. 0 simulates every DPU — the exact mode every
+	// pre-sampling artifact uses.
+	Sample int
 }
 
 // OpKind selects a batch operation.
@@ -132,15 +178,21 @@ type Transfer struct {
 	Amount   uint64
 }
 
-// NewPartitionedMap builds a store over cfg.DPUs simulated DPUs. The
-// fleet is always exact (every DPU simulated) because the stored data
-// must be numerically correct.
+// NewPartitionedMap builds a store over cfg.DPUs DPUs. With Sample 0
+// the fleet is exact (every DPU simulated, the mode in which the stored
+// data is bit-for-bit what real hardware would hold); with Sample > 0
+// only the representative sample is simulated and the rest run as
+// host-side shadow shards charged analytically — see
+// PartitionedMapConfig.Sample.
 func NewPartitionedMap(cfg PartitionedMapConfig) (*PartitionedMap, error) {
 	if cfg.DPUs < 1 {
 		return nil, fmt.Errorf("host: partitioned map needs at least one DPU")
 	}
 	if cfg.Tasklets < 1 || cfg.Tasklets > dpu.MaxTasklets {
 		return nil, fmt.Errorf("host: bad tasklet count %d", cfg.Tasklets)
+	}
+	if cfg.Sample < 0 {
+		return nil, fmt.Errorf("host: negative DPU sample %d", cfg.Sample)
 	}
 	if cfg.MRAMSize == 0 {
 		cfg.MRAMSize = 8 << 20
@@ -158,9 +210,13 @@ func NewPartitionedMap(cfg PartitionedMapConfig) (*PartitionedMap, error) {
 		place:    cfg.Placement,
 	}
 	pm.dir, _ = cfg.Placement.(*Directory)
-	fleet, err := NewFleet(
-		FleetOptions{DPUs: cfg.DPUs, Tasklets: cfg.Tasklets, Exact: true},
-		cfg.Mode,
+	fo := FleetOptions{DPUs: cfg.DPUs, Tasklets: cfg.Tasklets}
+	if cfg.Sample > 0 {
+		fo.Sample = cfg.Sample
+	} else {
+		fo.Exact = true
+	}
+	fleet, err := NewFleet(fo, cfg.Mode,
 		func(id int) (*dpu.DPU, error) {
 			d := dpu.New(dpu.Config{MRAMSize: cfg.MRAMSize, Seed: uint64(id) + 1})
 			tm, err := core.New(d, cfg.STM)
@@ -179,8 +235,40 @@ func NewPartitionedMap(cfg PartitionedMapConfig) (*PartitionedMap, error) {
 		return nil, err
 	}
 	pm.fleet = fleet
+	simIDs := fleet.ids
+	pm.sim = make([]bool, cfg.DPUs)
+	for _, id := range simIDs {
+		pm.sim[id] = true
+	}
+	pm.sampled = len(simIDs) < cfg.DPUs
+	if pm.sampled {
+		pm.shadow = make([]map[uint64]uint64, cfg.DPUs)
+		for id := range pm.shadow {
+			if !pm.sim[id] {
+				pm.shadow[id] = make(map[uint64]uint64)
+			}
+		}
+		pm.shadowCap = cfg.Capacity
+		rate, err := calibrateOpCycles(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("host: sampled-fleet calibration: %w", err)
+		}
+		pm.opCycles = rate
+	}
+	pm.sc.init(cfg.DPUs)
+	pm.exec = make(map[int]*dpuExec, len(simIDs))
+	for _, id := range simIDs {
+		pm.exec[id] = newDPUExec(pm, id)
+	}
+	pm.execProgFn = pm.runExecProgram
+	pm.mutProgFn = pm.runMutProgram
 	return pm, nil
 }
+
+// SimulatedDPUs reports how many of the fleet's DPUs are cycle-
+// simulated: the fleet size in exact mode, the sample size in sampled
+// mode.
+func (pm *PartitionedMap) SimulatedDPUs() int { return len(pm.fleet.ids) }
 
 // DPUs returns the fleet size.
 func (pm *PartitionedMap) DPUs() int { return pm.fleet.Size() }
@@ -453,93 +541,197 @@ func (pm *PartitionedMap) ApplyPlacement(moves map[uint64]int, reps map[uint64][
 
 // gatherRecords runs one coalesced gather round over the per-source key
 // lists and returns the values read host-side in the quiescent window.
-// Keys missing from their source are absent from the result.
+// Keys missing from their source are absent from the result. This is
+// the control-plane entry; the serving hot path calls gatherRound with
+// its persistent scratch directly.
 func (pm *PartitionedMap) gatherRecords(perSrc map[int][]uint64) (map[uint64]uint64, error) {
-	srcIDs := sortedKeys(perSrc)
+	lists := &pm.sc.ctlSrc
+	lists.reset()
+	for id, ks := range perSrc {
+		for _, k := range ks {
+			lists.add(id, k)
+		}
+	}
+	vals := make(map[uint64]uint64)
+	if err := pm.gatherRound(lists, vals); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// gatherRound is the gather core: one transfer round charged by the
+// worst per-source bucket, then host-side reads of every listed key —
+// from the simulated DPU's map, or straight from the shadow shard of an
+// unsimulated one. Values land in out; keys missing from their source
+// are left absent.
+func (pm *PartitionedMap) gatherRound(perSrc *dpuKeyLists, out map[uint64]uint64) error {
+	srcIDs := perSrc.sortedIDs()
 	maxRec := 0
-	for _, ks := range perSrc {
-		if len(ks) > maxRec {
-			maxRec = len(ks)
+	for _, id := range srcIDs {
+		if n := len(perSrc.lists[id]); n > maxRec {
+			maxRec = n
 		}
 	}
 	if err := pm.fleet.Round(RoundSpec{
 		Involved:    len(srcIDs),
 		GatherBytes: 16 * maxRec,
 	}); err != nil {
-		return nil, err
+		return err
 	}
-	vals := make(map[uint64]uint64)
 	for _, id := range srcIDs {
-		want := make(map[uint64]bool, len(perSrc[id]))
-		for _, k := range perSrc[id] {
+		ks := perSrc.lists[id]
+		if pm.isShadow(id) {
+			sh := pm.shadow[id]
+			for _, k := range ks {
+				if v, ok := sh[k]; ok {
+					out[k] = v
+				}
+			}
+			continue
+		}
+		want := pm.sc.want
+		clear(want)
+		for _, k := range ks {
 			want[k] = true
 		}
 		pm.maps[id].Walk(pm.fleet.DPU(id), func(k, v uint64) {
 			if want[k] {
-				vals[k] = v
+				out[k] = v
 			}
 		})
 	}
-	return vals, nil
+	return nil
 }
 
 // mutateRound runs one scatter round that puts vals[k] for every key of
-// putOn[id] and deletes every key of delOn[id], one coalesced program
-// per involved DPU. The per-DPU payload is 16 bytes per put record and
-// 8 bytes per delete message; the round charges the worst-case DPU.
+// putOn[id] and deletes every key of delOn[id] — the control-plane
+// entry over mutateLists.
 func (pm *PartitionedMap) mutateRound(putOn map[int][]uint64, vals map[uint64]uint64, delOn map[int][]uint64) error {
-	ids := make(map[int]bool)
-	maxBytes := 0
-	for id := range putOn {
-		ids[id] = true
-	}
-	for id := range delOn {
-		ids[id] = true
-	}
-	involved := sortedKeys(ids)
-	for _, id := range involved {
-		if b := 16*len(putOn[id]) + 8*len(delOn[id]); b > maxBytes {
-			maxBytes = b
+	sc := &pm.sc
+	sc.ctlPut.reset()
+	sc.ctlDel.reset()
+	for id, ks := range putOn {
+		for _, k := range ks {
+			sc.ctlPut.add(id, k)
 		}
 	}
-	return pm.fleet.Round(RoundSpec{
-		Involved:     len(involved),
+	for id, ks := range delOn {
+		for _, k := range ks {
+			sc.ctlDel.add(id, k)
+		}
+	}
+	return pm.mutateLists(&sc.ctlPut, vals, &sc.ctlDel)
+}
+
+// mutateLists is the mutation core: one coalesced program per involved
+// DPU, 16 bytes of scatter payload per put record and 8 per delete
+// message, charged by the worst-case bucket. Simulated DPUs run the
+// persistent single-tasklet mutate program; shadow shards apply the
+// same puts and deletes host-side, with the worst shadow bucket charged
+// analytically through the round's kernel floor.
+func (pm *PartitionedMap) mutateLists(put *dpuKeyLists, vals map[uint64]uint64, del *dpuKeyLists) error {
+	sc := &pm.sc
+	inv := sc.mutInvolved[:0]
+	inv = append(inv, put.touched...)
+	for _, id := range del.touched {
+		if len(put.lists[id]) == 0 {
+			inv = append(inv, id)
+		}
+	}
+	slices.Sort(inv)
+	sc.mutInvolved = inv
+	maxBytes, maxShadowOps := 0, 0
+	for _, id := range inv {
+		if b := 16*len(put.lists[id]) + 8*len(del.lists[id]); b > maxBytes {
+			maxBytes = b
+		}
+		if pm.isShadow(id) {
+			if ops := len(put.lists[id]) + len(del.lists[id]); ops > maxShadowOps {
+				maxShadowOps = ops
+			}
+		}
+	}
+	pm.mutPut, pm.mutVals, pm.mutDel = put, vals, del
+	spec := RoundSpec{
+		Involved:     len(inv),
 		ScatterBytes: maxBytes,
-		IDs:          involved,
-		Program: func(id int, d *dpu.DPU) (float64, error) {
-			tm := pm.tms[id]
-			m := pm.maps[id]
-			puts, dels := putOn[id], delOn[id]
-			d.ResetRun()
-			var putErr error
-			cycles, err := d.Run([]func(*dpu.Tasklet){func(t *dpu.Tasklet) {
-				tx := tm.NewTx(t)
-				tx.Atomic(func(tx *core.Tx) {
-					putErr = nil // fresh attempt after an abort
-					for _, k := range puts {
-						if _, err := m.Put(tx, k, vals[k]); err != nil {
-							putErr = err
-							return
-						}
-					}
-					for _, k := range dels {
-						m.Delete(tx, k)
-					}
-				})
-			}})
-			if err != nil {
-				return 0, err
+		IDs:          inv,
+		Program:      pm.mutProgFn,
+	}
+	if pm.sampled {
+		ids := sc.mutSimIDs[:0]
+		for _, id := range inv {
+			if pm.sim[id] {
+				ids = append(ids, id)
 			}
-			if putErr != nil {
-				return 0, fmt.Errorf("host: placement mutation on dpu %d: %w", id, putErr)
+		}
+		sc.mutSimIDs = ids
+		spec.IDs = ids
+		spec.AnalyticKernelSeconds = dpu.EstimateKernelSeconds(pm.opCycles, maxShadowOps, 0)
+	}
+	if err := pm.fleet.Round(spec); err != nil {
+		return err
+	}
+	if pm.sampled {
+		for _, id := range inv {
+			if pm.sim[id] {
+				continue
 			}
-			return d.Seconds(cycles), nil
-		},
+			for _, k := range put.lists[id] {
+				if _, err := pm.shadowPut(id, k, vals[k]); err != nil {
+					return fmt.Errorf("host: placement mutation on dpu %d: %w", id, err)
+				}
+			}
+			for _, k := range del.lists[id] {
+				pm.shadowDelete(id, k)
+			}
+		}
+	}
+	return nil
+}
+
+// runMutProgram is the Round program of mutateLists on one simulated
+// DPU: it relaunches the DPU's persistent single-tasklet mutate kernel.
+func (pm *PartitionedMap) runMutProgram(id int, d *dpu.DPU) (float64, error) {
+	e := pm.exec[id]
+	d.ResetRun()
+	e.mutErr = nil
+	cycles, err := d.Run(e.muProg)
+	if err != nil {
+		return 0, err
+	}
+	if e.mutErr != nil {
+		return 0, fmt.Errorf("host: placement mutation on dpu %d: %w", id, e.mutErr)
+	}
+	return d.Seconds(cycles), nil
+}
+
+// runMutate is the body of the persistent mutate kernel: one STM
+// transaction applying this DPU's put and delete lists in order.
+func (e *dpuExec) runMutate(t *dpu.Tasklet) {
+	pm := e.pm
+	m := pm.maps[e.id]
+	puts, dels, vals := pm.mutPut.lists[e.id], pm.mutDel.lists[e.id], pm.mutVals
+	tx := e.txFor(0, t)
+	tx.Atomic(func(tx *core.Tx) {
+		e.mutErr = nil // fresh attempt after an abort
+		for _, k := range puts {
+			if _, err := m.Put(tx, k, vals[k]); err != nil {
+				e.mutErr = err
+				return
+			}
+		}
+		for _, k := range dels {
+			m.Delete(tx, k)
+		}
 	})
 }
 
-// hostGet reads a key directly from an idle DPU.
+// hostGet reads a key directly from an idle DPU (or its shadow shard).
 func (pm *PartitionedMap) hostGet(id int, key uint64) (uint64, bool) {
+	if pm.isShadow(id) {
+		return pm.shadowGet(id, key)
+	}
 	var v uint64
 	var ok bool
 	pm.maps[id].Walk(pm.fleet.DPU(id), func(k, val uint64) {
@@ -557,10 +749,15 @@ func (pm *PartitionedMap) Get(key uint64) (uint64, bool) {
 }
 
 // Len counts the distinct keys stored: the sizes of every partition
-// minus the physical replica copies the directory tracks.
+// (simulated map or shadow shard) minus the physical replica copies the
+// directory tracks.
 func (pm *PartitionedMap) Len() int {
 	n := 0
 	for i, m := range pm.maps {
+		if pm.isShadow(i) {
+			n += len(pm.shadow[i])
+			continue
+		}
 		n += m.Len(pm.fleet.DPU(i))
 	}
 	if pm.dir != nil {

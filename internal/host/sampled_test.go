@@ -1,0 +1,107 @@
+package host
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pimstm/internal/core"
+)
+
+// sampledServeCfg is one serving scenario used by the exact-vs-sampled
+// comparison: small enough that exact mode is cheap, busy enough that
+// every path (confined, coordinated, guarded RMW via OpAdd batches from
+// the traffic mix) is exercised.
+func sampledServeCfg(sample int, zipfS, cross float64) ServeConfig {
+	return ServeConfig{
+		Map: PartitionedMapConfig{
+			DPUs: 4, Buckets: 64, Capacity: 2048, Tasklets: 4, Sample: sample,
+			STM: core.Config{Algorithm: core.NOrec},
+		},
+		Submit: SubmitterConfig{MaxBatch: 64, MaxDelaySeconds: 1e-3},
+		Traffic: TrafficConfig{
+			Ops: 400, Rate: 50e3, ReadPct: 50, Keyspace: 256,
+			ZipfS: zipfS, Seed: 7, TxnSize: 2, CrossDPU: cross,
+		},
+	}
+}
+
+// TestSampledFleetMatchesExact is the sampled-fleet error-bound gate:
+// across a skew × cross-fraction grid, serving the same trace on a
+// 4-DPU fleet with only 2 DPUs simulated must (a) return exactly the
+// same transaction outcomes as the exact run — shadow shards execute
+// unsimulated DPUs' ops host-side, so commits, aborts, errors and
+// coordination counts are not approximated — and (b) keep the modeled
+// throughput and p99 latency within 10% of exact, the bound the scale
+// experiment's headline numbers rely on.
+func TestSampledFleetMatchesExact(t *testing.T) {
+	const bound = 0.10
+	for _, zipfS := range []float64{0, 1.2} {
+		for _, cross := range []float64{0, 0.5} {
+			t.Run(fmt.Sprintf("zipf=%g/cross=%g", zipfS, cross), func(t *testing.T) {
+				exact, err := Serve(sampledServeCfg(0, zipfS, cross))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sampled, err := Serve(sampledServeCfg(2, zipfS, cross))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if exact.SimulatedDPUs != 4 || sampled.SimulatedDPUs != 2 {
+					t.Fatalf("simulated DPUs: exact %d (want 4), sampled %d (want 2)",
+						exact.SimulatedDPUs, sampled.SimulatedDPUs)
+				}
+				// Outcomes are exact, not approximated.
+				if sampled.Ops != exact.Ops || sampled.Txns != exact.Txns ||
+					sampled.Batches != exact.Batches ||
+					sampled.Errors != exact.Errors || sampled.Aborted != exact.Aborted ||
+					sampled.CoordinatedTxns != exact.CoordinatedTxns {
+					t.Fatalf("sampled outcomes diverge from exact:\nexact   %+v\nsampled %+v", exact, sampled)
+				}
+				// Timing is modeled: simulated representatives plus the
+				// calibrated analytic charge must track the exact fleet.
+				if relErr := math.Abs(sampled.OpsPerSecond-exact.OpsPerSecond) / exact.OpsPerSecond; relErr > bound {
+					t.Errorf("ops/s off by %.1f%%: exact %.0f, sampled %.0f (bound %.0f%%)",
+						100*relErr, exact.OpsPerSecond, sampled.OpsPerSecond, 100*bound)
+				}
+				if relErr := math.Abs(sampled.P99-exact.P99) / exact.P99; relErr > bound {
+					t.Errorf("p99 off by %.1f%%: exact %.3gs, sampled %.3gs (bound %.0f%%)",
+						100*relErr, exact.P99, sampled.P99, 100*bound)
+				}
+			})
+		}
+	}
+}
+
+// TestSampledConfigValidation pins the config surface: a negative
+// sample is rejected, and Sample on the PartitionedMap cannot be
+// combined with an exact fleet any other way (Sample 0 IS exact mode).
+func TestSampledConfigValidation(t *testing.T) {
+	cfg := PartitionedMapConfig{
+		DPUs: 4, Buckets: 64, Capacity: 512, Tasklets: 4, Sample: -1,
+		STM: core.Config{Algorithm: core.NOrec},
+	}
+	if _, err := NewPartitionedMap(cfg); err == nil {
+		t.Fatal("negative Sample accepted")
+	}
+	cfg.Sample = 8 // clamped to the fleet: all 4 simulated, exact semantics
+	pm, err := NewPartitionedMap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.SimulatedDPUs() != 4 || pm.sampled {
+		t.Fatalf("Sample ≥ DPUs must clamp to exact: simulated %d, sampled %v",
+			pm.SimulatedDPUs(), pm.sampled)
+	}
+}
+
+// TestFleetExactSampleRejected pins the FleetOptions contradiction
+// fixed alongside the sampled-fleet work: Exact says "simulate every
+// DPU", so combining it with a Sample bound is a configuration error
+// with a descriptive message, not a silent override.
+func TestFleetExactSampleRejected(t *testing.T) {
+	_, err := NewFleet(FleetOptions{DPUs: 8, Tasklets: 2, Exact: true, Sample: 3}, Lockstep, nil)
+	if err == nil {
+		t.Fatal("Exact+Sample accepted")
+	}
+}

@@ -1,0 +1,473 @@
+package host
+
+import (
+	"fmt"
+	"slices"
+
+	"pimstm/internal/core"
+	"pimstm/internal/dpu"
+	"pimstm/internal/structures"
+)
+
+// This file holds the allocation-free machinery of the serving hot
+// path: the per-batch scratch owned by PartitionedMap (maps are cleared
+// with clear(), which keeps their buckets; slices are re-sliced to
+// zero length), the persistent per-simulated-DPU kernel contexts, the
+// host-side shadow shards of sampled-fleet mode, and the calibration
+// microbench that seeds the analytic per-op cycle rate. A steady-state
+// ApplyTxns batch reuses all of it and allocates almost nothing.
+
+// dpuKeyLists buckets keys by DPU id with O(touched) reset: lists is
+// fleet-sized and touched records which ids hold keys this batch.
+type dpuKeyLists struct {
+	lists   [][]uint64
+	touched []int
+}
+
+func (p *dpuKeyLists) ensure(n int) {
+	if len(p.lists) < n {
+		p.lists = make([][]uint64, n)
+	}
+}
+
+func (p *dpuKeyLists) reset() {
+	for _, id := range p.touched {
+		p.lists[id] = p.lists[id][:0]
+	}
+	p.touched = p.touched[:0]
+}
+
+func (p *dpuKeyLists) add(id int, k uint64) {
+	if len(p.lists[id]) == 0 {
+		p.touched = append(p.touched, id)
+	}
+	p.lists[id] = append(p.lists[id], k)
+}
+
+// sortedIDs sorts the touched ids in place and returns them.
+func (p *dpuKeyLists) sortedIDs() []int {
+	slices.Sort(p.touched)
+	return p.touched
+}
+
+// keyLookup is the store view evalScratch.run reads through — an
+// interface (with pointer- or map-shaped implementations) rather than a
+// closure so the hot path does not allocate a closure per transaction.
+type keyLookup interface {
+	Lookup(k uint64) (uint64, bool)
+}
+
+// stateLookup reads a host-side key/value map: the coordinated
+// snapshot in phase 2, or a shadow shard in sampled mode.
+type stateLookup map[uint64]uint64
+
+func (s stateLookup) Lookup(k uint64) (uint64, bool) { v, ok := s[k]; return v, ok }
+
+// mapLookup reads the on-DPU hash map through an open STM transaction.
+type mapLookup struct {
+	m  *structures.Map
+	tx *core.Tx
+}
+
+func (v *mapLookup) Lookup(k uint64) (uint64, bool) { return v.m.Get(v.tx, k) }
+
+// evalScratch is the reusable state of one transaction evaluation:
+// write order, overlay and pre-txn images. One lives per (DPU, tasklet
+// slot) for the parallel kernels plus one on the batch scratch for the
+// host-applied phases.
+type evalScratch struct {
+	order  []uint64
+	writes map[uint64]txnWrite
+	prior  map[uint64]txnWrite
+	view   mapLookup
+}
+
+// run executes the ordered ops of one transaction against the lookup
+// view with all-or-nothing semantics: reads see earlier writes of the
+// same transaction through the overlay, guarded ops (OpAdd/OpSub) abort
+// the transaction when their key is missing or the subtraction would
+// underflow, and nothing is applied to the view itself. It returns the
+// written keys in first-write order (valid until the next run; final
+// and pre-txn images stay readable in writes and prior) and whether the
+// transaction commits; per-op results are written into results, which
+// the caller zeroes between attempts. Deletes of keys that were never
+// present net out of the write set, so a writeback never pays for
+// deleting nothing.
+func (es *evalScratch) run(ops []Op, results []OpResult, lk keyLookup) ([]uint64, bool) {
+	if es.writes == nil {
+		es.writes = make(map[uint64]txnWrite, 8)
+		es.prior = make(map[uint64]txnWrite, 8)
+	}
+	es.order = es.order[:0]
+	clear(es.writes)
+	clear(es.prior)
+	for j := range ops {
+		op := ops[j]
+		res := &results[j]
+		switch op.Kind {
+		case OpGet:
+			res.Value, res.OK = es.read(op.Key, lk)
+		case OpPut:
+			_, present := es.read(op.Key, lk)
+			res.OK = !present
+			es.write(op.Key, txnWrite{val: op.Value}, lk)
+		case OpDelete:
+			_, res.OK = es.read(op.Key, lk)
+			es.write(op.Key, txnWrite{del: true}, lk)
+		case OpAdd:
+			v, present := es.read(op.Key, lk)
+			if !present {
+				return nil, false
+			}
+			res.Value, res.OK = v+op.Value, true
+			es.write(op.Key, txnWrite{val: v + op.Value}, lk)
+		case OpSub:
+			v, present := es.read(op.Key, lk)
+			if !present || v < op.Value {
+				return nil, false
+			}
+			res.Value, res.OK = v-op.Value, true
+			es.write(op.Key, txnWrite{val: v - op.Value}, lk)
+		}
+	}
+	out := es.order[:0]
+	for _, k := range es.order {
+		if es.writes[k].del && es.prior[k].del {
+			delete(es.writes, k)
+			continue
+		}
+		out = append(out, k)
+	}
+	return out, true
+}
+
+func (es *evalScratch) read(k uint64, lk keyLookup) (uint64, bool) {
+	if w, ok := es.writes[k]; ok {
+		if w.del {
+			return 0, false
+		}
+		return w.val, true
+	}
+	return lk.Lookup(k)
+}
+
+func (es *evalScratch) write(k uint64, w txnWrite, lk keyLookup) {
+	if _, seen := es.writes[k]; !seen {
+		es.order = append(es.order, k)
+		v, present := lk.Lookup(k)
+		es.prior[k] = txnWrite{val: v, del: !present}
+	}
+	es.writes[k] = w
+}
+
+// classInfo is classifyTxns' per-key analysis: the first transaction
+// touching the key (read or write, in batch order), whether any
+// transaction writes it, and whether a serializing party touches it.
+type classInfo struct {
+	firstT  int32
+	written bool
+	anySer  bool
+}
+
+// keyWrite is executeRound's per-key write analysis (pass 1), the
+// struct-of-maps consolidation of the seed's puts/lastPut/dels/
+// delsCommit/wrote/finalKnown maps.
+type keyWrite struct {
+	puts    int
+	lastPut uint64
+	// fk mirrors the seed's finalKnown three-state: unset (the key has
+	// no statically classified writer yet), known (a guard-free put
+	// whose batch-final value is lastPut), or unknown (a guarded or
+	// read-modify-write writer).
+	fk         uint8
+	dels       bool
+	delsCommit bool
+	wrote      bool
+}
+
+const (
+	fkUnset uint8 = iota
+	fkTrue
+	fkFalse
+)
+
+// batchScratch is PartitionedMap's reusable per-batch state. Everything
+// here is logically dead between ApplyTxns calls; it persists only so
+// the next batch does not reallocate it.
+type batchScratch struct {
+	metas       []txnMeta
+	coordinated []int
+
+	// classifyTxns.
+	classK    map[uint64]classInfo
+	parent    []int
+	size      []int
+	coordRoot []bool
+
+	// Coordination phases 1/2/4.
+	keySet       map[uint64]bool
+	coordKeys    []uint64
+	srcOf        map[uint64]int
+	bucket       map[int]int
+	replicated   []uint64
+	perSrc       dpuKeyLists
+	want         map[uint64]bool
+	state        map[uint64]uint64
+	startPresent map[uint64]bool
+	dirty        map[uint64]bool
+	dirtyKeys    []uint64
+	coordWritten map[uint64]bool
+	eval         evalScratch
+	wbPut, wbDel dpuKeyLists
+
+	// Execute round.
+	perDPU       [][]routedUnit
+	dpuTouched   []int
+	simInvolved  []int
+	keyW         map[uint64]keyWrite
+	wroteKeys    []uint64
+	putGroups    map[uint64]int
+	dropAfter    []uint64
+	freshAfter   []uint64
+	staleAfter   []uint64
+	throughPut   map[uint64]bool
+	shadowFailed map[uint64]bool
+	execBuckets  []int
+	shadowOps    []Op
+	curResults   []TxnResult
+	routed       []int
+
+	// Control-plane wrappers and mutateLists.
+	ctlSrc, ctlPut, ctlDel dpuKeyLists
+	mutInvolved            []int
+	mutSimIDs              []int
+}
+
+func (sc *batchScratch) init(dpus int) {
+	sc.classK = make(map[uint64]classInfo)
+	sc.keySet = make(map[uint64]bool)
+	sc.srcOf = make(map[uint64]int)
+	sc.bucket = make(map[int]int)
+	sc.want = make(map[uint64]bool)
+	sc.state = make(map[uint64]uint64)
+	sc.startPresent = make(map[uint64]bool)
+	sc.dirty = make(map[uint64]bool)
+	sc.coordWritten = make(map[uint64]bool)
+	sc.keyW = make(map[uint64]keyWrite)
+	sc.putGroups = make(map[uint64]int)
+	sc.throughPut = make(map[uint64]bool)
+	sc.shadowFailed = make(map[uint64]bool)
+	sc.perDPU = make([][]routedUnit, dpus)
+	sc.execBuckets = make([]int, dpus)
+	sc.routed = make([]int, dpus)
+	sc.dpuTouched = make([]int, 0, dpus)
+	sc.simInvolved = make([]int, 0, dpus)
+	sc.mutInvolved = make([]int, 0, dpus)
+	sc.mutSimIDs = make([]int, 0, dpus)
+	sc.perSrc.ensure(dpus)
+	sc.wbPut.ensure(dpus)
+	sc.wbDel.ensure(dpus)
+	sc.ctlSrc.ensure(dpus)
+	sc.ctlPut.ensure(dpus)
+	sc.ctlDel.ensure(dpus)
+}
+
+// addUnit buckets one routed unit onto a DPU, tracking touched ids for
+// the O(touched) reset.
+func (sc *batchScratch) addUnit(id int, u routedUnit) {
+	if len(sc.perDPU[id]) == 0 {
+		sc.dpuTouched = append(sc.dpuTouched, id)
+	}
+	sc.perDPU[id] = append(sc.perDPU[id], u)
+}
+
+// shadowOp appends one replica-maintenance op to the batch slab and
+// returns a capacity-clipped one-element view of it. The slab may
+// reallocate as it grows; earlier views keep pointing at the old
+// backing, whose contents are immutable for the rest of the batch.
+func (sc *batchScratch) shadowOp(op Op) []Op {
+	sc.shadowOps = append(sc.shadowOps, op)
+	n := len(sc.shadowOps)
+	return sc.shadowOps[n-1 : n : n]
+}
+
+// appendMapKeys appends the map's keys to dst and sorts the result
+// ascending — sortedKeys without the per-call allocation.
+func appendMapKeys[K int | uint64, V any](dst []K, m map[K]V) []K {
+	for k := range m {
+		dst = append(dst, k)
+	}
+	slices.Sort(dst)
+	return dst
+}
+
+// ensureInts returns *s resized to n (reallocating only on growth);
+// contents are unspecified and must be initialized by the caller.
+func ensureInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// ufFind is path-halving find over the parent slice.
+func ufFind(parent []int, i int) int {
+	for parent[i] != i {
+		parent[i] = parent[parent[i]]
+		i = parent[i]
+	}
+	return i
+}
+
+// dpuExec is the persistent kernel context of one simulated DPU: unit
+// striping scratch, the tasklet program closures (built once — Round
+// relaunches them every batch), per-slot reusable STM transaction
+// descriptors and evaluation scratch, and the mutate-round program.
+type dpuExec struct {
+	pm *PartitionedMap
+	id int
+
+	lists        [][]int
+	groupTasklet map[int]int
+	progs        []func(*dpu.Tasklet)
+	tx           []*core.Tx
+	eval         []evalScratch
+
+	muProg []func(*dpu.Tasklet)
+	mutErr error
+
+	// lastSeconds is the modeled duration of this DPU's last execute
+	// kernel, read by the sampled fleet's calibration refresh.
+	lastSeconds float64
+}
+
+func newDPUExec(pm *PartitionedMap, id int) *dpuExec {
+	e := &dpuExec{
+		pm:           pm,
+		id:           id,
+		lists:        make([][]int, pm.tasklets),
+		groupTasklet: make(map[int]int),
+		progs:        make([]func(*dpu.Tasklet), pm.tasklets),
+		tx:           make([]*core.Tx, pm.tasklets),
+		eval:         make([]evalScratch, pm.tasklets),
+	}
+	for ti := range e.progs {
+		ti := ti
+		e.progs[ti] = func(t *dpu.Tasklet) { e.runTasklet(ti, t) }
+	}
+	e.muProg = []func(*dpu.Tasklet){func(t *dpu.Tasklet) { e.runMutate(t) }}
+	return e
+}
+
+// txFor returns the slot's reusable transaction descriptor, rebuilding
+// it only when the underlying pooled tasklet changed (a DPU Reset).
+func (e *dpuExec) txFor(ti int, t *dpu.Tasklet) *core.Tx {
+	tx := e.tx[ti]
+	if tx == nil || tx.Tasklet() != t {
+		tx = e.pm.tms[e.id].NewTx(t)
+		e.tx[ti] = tx
+	}
+	return tx
+}
+
+// shadowGet/shadowPut/shadowDelete are the host-side shard operations
+// of sampled-fleet mode. They mirror structures.Map semantics exactly,
+// including the fixed node-pool capacity: an insert into a full shard
+// fails like an exhausted pool, so a sampled run hits capacity errors
+// on the same batches an exact run would.
+
+func (pm *PartitionedMap) shadowGet(id int, k uint64) (uint64, bool) {
+	v, ok := pm.shadow[id][k]
+	return v, ok
+}
+
+func (pm *PartitionedMap) shadowPut(id int, k, v uint64) (bool, error) {
+	sh := pm.shadow[id]
+	if _, ok := sh[k]; ok {
+		sh[k] = v
+		return false, nil
+	}
+	if len(sh) >= pm.shadowCap {
+		return false, fmt.Errorf("host: shadow partition %d pool exhausted (capacity %d)", id, pm.shadowCap)
+	}
+	sh[k] = v
+	return true, nil
+}
+
+func (pm *PartitionedMap) shadowDelete(id int, k uint64) bool {
+	sh := pm.shadow[id]
+	if _, ok := sh[k]; !ok {
+		return false
+	}
+	delete(sh, k)
+	return true
+}
+
+// isShadow reports whether id's key state lives in a host-side shadow
+// shard rather than a simulated DPU.
+func (pm *PartitionedMap) isShadow(id int) bool { return pm.sampled && !pm.sim[id] }
+
+// calibrateOpCycles measures the analytic per-operation kernel cycle
+// rate on a scratch DPU built exactly like the fleet's: it loads a
+// small working set, then runs cfg.Tasklets tasklets of mixed
+// single-op STM transactions (the executeRound unit shape) and divides
+// the kernel cycles by the operations executed. The sampled fleet
+// seeds its charge from this rate and refreshes it from every round
+// with simulated work, so the estimate tracks the live workload.
+func calibrateOpCycles(cfg PartitionedMapConfig) (float64, error) {
+	d := dpu.New(dpu.Config{MRAMSize: cfg.MRAMSize, Seed: 1})
+	tm, err := core.New(d, cfg.STM)
+	if err != nil {
+		return 0, err
+	}
+	m, err := structures.NewMap(d, cfg.Buckets, cfg.Capacity)
+	if err != nil {
+		return 0, err
+	}
+	keys := 64
+	if cfg.Capacity < keys {
+		keys = cfg.Capacity
+	}
+	var loadErr error
+	if _, err := d.Run([]func(*dpu.Tasklet){func(t *dpu.Tasklet) {
+		tx := tm.NewTx(t)
+		tx.Atomic(func(tx *core.Tx) {
+			loadErr = nil
+			for k := 0; k < keys; k++ {
+				if _, err := m.Put(tx, uint64(k), uint64(k)); err != nil {
+					loadErr = err
+					return
+				}
+			}
+		})
+	}}); err != nil {
+		return 0, err
+	}
+	if loadErr != nil {
+		return 0, loadErr
+	}
+	d.ResetRun()
+	n := cfg.Tasklets
+	const opsPer = 16
+	progs := make([]func(*dpu.Tasklet), n)
+	for ti := 0; ti < n; ti++ {
+		ti := ti
+		progs[ti] = func(t *dpu.Tasklet) {
+			tx := tm.NewTx(t)
+			for j := 0; j < opsPer; j++ {
+				k := uint64((ti*opsPer + j) % keys)
+				if j%2 == 0 {
+					tx.Atomic(func(tx *core.Tx) { m.Get(tx, k) })
+				} else {
+					tx.Atomic(func(tx *core.Tx) { m.Put(tx, k, k) })
+				}
+			}
+		}
+	}
+	cycles, err := d.Run(progs)
+	if err != nil {
+		return 0, err
+	}
+	return float64(cycles) / float64(n*opsPer), nil
+}

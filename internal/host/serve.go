@@ -384,6 +384,10 @@ type ServeResult struct {
 	// CoordinatedTxns counts the transactions that needed CPU
 	// coordination (cross-DPU conflict groups).
 	CoordinatedTxns int
+	// SimulatedDPUs is how many of the fleet's DPUs were actually
+	// simulated: equal to Map.DPUs in exact mode, the clamped sample
+	// size in sampled-fleet mode (Map.Sample > 0).
+	SimulatedDPUs int
 }
 
 // Serve preloads the keyspace, streams the generated trace through a
@@ -444,7 +448,7 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 		return ServeResult{}, err
 	}
 
-	res := ServeResult{Txns: len(trace), Stats: s.Stats()}
+	res := ServeResult{Txns: len(trace), Stats: s.Stats(), SimulatedDPUs: pm.SimulatedDPUs()}
 	res.Ops = res.Stats.Submitted
 	res.Batches = res.Stats.Batches
 	res.CoordinatedTxns = pm.TxnsCoordinated - coordBase

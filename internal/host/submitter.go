@@ -140,6 +140,10 @@ type Submitter struct {
 	statsMu sync.Mutex
 	stats   SubmitterStats
 	err     error // first ApplyTxns error
+
+	// txnScratch is flush's reusable batch slice; owned by the single
+	// flusher goroutine, and ApplyTxns does not retain its argument.
+	txnScratch []Txn
 }
 
 // NewSubmitter starts the serving front-end over pm. Close it to drain
@@ -264,15 +268,16 @@ func (s *Submitter) flushAll(batches []SchedBatch) {
 // arrival.
 func (s *Submitter) flush(b SchedBatch) {
 	at := b.At
-	txns := make([]Txn, len(b.Txns))
+	txns := s.txnScratch[:0]
 	ops := 0
-	for i, m := range b.Txns {
-		txns[i] = m.Txn
+	for _, m := range b.Txns {
+		txns = append(txns, m.Txn)
 		ops += len(m.Txn.Ops)
 		if m.Arrival > at {
 			at = m.Arrival
 		}
 	}
+	s.txnScratch = txns
 	s.pm.fleet.AdvanceTo(s.base + at)
 	res, err := s.pm.ApplyTxns(txns)
 	complete := s.pm.fleet.Stats().WallSeconds

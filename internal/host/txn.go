@@ -2,7 +2,7 @@ package host
 
 import (
 	"fmt"
-	"sync"
+	"slices"
 
 	"pimstm/internal/core"
 	"pimstm/internal/dpu"
@@ -70,77 +70,10 @@ type txnWrite struct {
 	del bool
 }
 
-// evalTxn executes the ordered ops of one transaction against a store
-// view with all-or-nothing semantics: reads see earlier writes of the
-// same transaction through the overlay, guarded ops (OpAdd/OpSub) abort
-// the transaction when their key is missing or the subtraction would
-// underflow, and nothing is applied to the view itself. It returns the
-// written keys in first-write order, their final images, the pre-txn
-// images (what a failed flush must restore), and whether the
-// transaction commits; per-op results are written into results (which
-// the caller zeroes between attempts). Deletes of keys that were never
-// present net out of the write set, so a writeback never pays for
-// deleting nothing.
-func evalTxn(ops []Op, results []OpResult, lookup func(uint64) (uint64, bool)) ([]uint64, map[uint64]txnWrite, map[uint64]txnWrite, bool) {
-	var order []uint64
-	writes := make(map[uint64]txnWrite, len(ops))
-	prior := make(map[uint64]txnWrite, len(ops))
-	read := func(k uint64) (uint64, bool) {
-		if w, ok := writes[k]; ok {
-			if w.del {
-				return 0, false
-			}
-			return w.val, true
-		}
-		return lookup(k)
-	}
-	write := func(k uint64, w txnWrite) {
-		if _, seen := writes[k]; !seen {
-			order = append(order, k)
-			v, present := lookup(k)
-			prior[k] = txnWrite{val: v, del: !present}
-		}
-		writes[k] = w
-	}
-	for j := range ops {
-		op := ops[j]
-		res := &results[j]
-		switch op.Kind {
-		case OpGet:
-			res.Value, res.OK = read(op.Key)
-		case OpPut:
-			_, present := read(op.Key)
-			res.OK = !present
-			write(op.Key, txnWrite{val: op.Value})
-		case OpDelete:
-			_, res.OK = read(op.Key)
-			write(op.Key, txnWrite{del: true})
-		case OpAdd:
-			v, present := read(op.Key)
-			if !present {
-				return nil, nil, nil, false
-			}
-			res.Value, res.OK = v+op.Value, true
-			write(op.Key, txnWrite{val: v + op.Value})
-		case OpSub:
-			v, present := read(op.Key)
-			if !present || v < op.Value {
-				return nil, nil, nil, false
-			}
-			res.Value, res.OK = v-op.Value, true
-			write(op.Key, txnWrite{val: v - op.Value})
-		}
-	}
-	out := order[:0]
-	for _, k := range order {
-		if writes[k].del && prior[k].del {
-			delete(writes, k)
-			continue
-		}
-		out = append(out, k)
-	}
-	return out, writes, prior, true
-}
+// Transaction evaluation (overlay semantics, guarded aborts, pre-txn
+// images for rollback) lives in evalScratch.run (scratch.go); the hot
+// path reuses one evalScratch per host phase and per tasklet slot
+// instead of allocating overlay maps per transaction.
 
 // isRMW reports whether the op kind is a guarded read-modify-write.
 func isRMW(k OpKind) bool { return k == OpAdd || k == OpSub }
@@ -210,15 +143,24 @@ type txnMeta struct {
 // coordinated regardless (the ApplyTransfers compatibility mode, which
 // keeps that path's cost model bit-for-bit). A batch of plain single
 // ops — the ApplyBatch hot path — takes the early exit and allocates
-// nothing per transaction.
+// nothing per transaction. The returned slice is scratch reused by the
+// next batch.
+//
+// The union order differs from the seed's sorted-key sweep (each
+// transaction unions with its keys' first touchers, in batch order),
+// but unions with smallest-index roots make the resulting partition and
+// root ids independent of union order, so the groups — and therefore
+// the tasklet pinning and the modeled schedule — are identical.
 func (pm *PartitionedMap) classifyTxns(txns []Txn, coordinateAll bool) []txnMeta {
-	metas := make([]txnMeta, len(txns))
+	sc := &pm.sc
+	if cap(sc.metas) < len(txns) {
+		sc.metas = make([]txnMeta, len(txns))
+	}
+	metas := sc.metas[:len(txns)]
 	anyTxnSerializing := false
 	for i := range txns {
 		m := &metas[i]
-		m.group = -1
-		m.soleDPU = -1
-		m.coordinated = coordinateAll
+		*m = txnMeta{group: -1, soleDPU: -1, coordinated: coordinateAll}
 		ops := txns[i].Ops
 		if len(ops) == 0 {
 			continue
@@ -235,81 +177,70 @@ func (pm *PartitionedMap) classifyTxns(txns []Txn, coordinateAll bool) []txnMeta
 		return metas
 	}
 
-	// Second pass, only for batches that can actually conflict: which
-	// transactions touch each key, is it written, and is a serializing
-	// party involved?
-	touchers := make(map[uint64][]int)
-	written := make(map[uint64]bool)
-	anySerializing := make(map[uint64]bool)
+	// Second pass, only for batches that can actually conflict: per
+	// key, the first toucher in batch order, whether any transaction
+	// writes it, and whether a serializing party touches it.
+	clear(sc.classK)
 	for i := range txns {
-		ops := txns[i].Ops
-		var seen map[uint64]bool
-		if len(ops) > 1 {
-			seen = make(map[uint64]bool, len(ops))
-		}
-		for _, op := range ops {
+		ser := metas[i].serializing
+		for _, op := range txns[i].Ops {
+			ci, ok := sc.classK[op.Key]
+			if !ok {
+				ci.firstT = int32(i)
+			}
 			if op.Kind != OpGet {
-				written[op.Key] = true
+				ci.written = true
 			}
-			if seen != nil {
-				if seen[op.Key] {
-					continue
-				}
-				seen[op.Key] = true
+			if ser {
+				ci.anySer = true
 			}
-			touchers[op.Key] = append(touchers[op.Key], i)
-			if metas[i].serializing {
-				anySerializing[op.Key] = true
-			}
+			sc.classK[op.Key] = ci
 		}
 	}
 
-	// Union-find over transaction indexes, in deterministic key order.
-	parent := make([]int, len(txns))
+	// Union-find over transaction indexes: every toucher of a written
+	// key with a serializing party unions with that key's first
+	// toucher. Duplicate unions are no-ops.
+	parent := ensureInts(&sc.parent, len(txns))
 	for i := range parent {
 		parent[i] = i
 	}
-	var find func(int) int
-	find = func(i int) int {
-		for parent[i] != i {
-			parent[i] = parent[parent[i]]
-			i = parent[i]
-		}
-		return i
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra == rb {
-			return
-		}
-		if ra > rb {
-			ra, rb = rb, ra
-		}
-		parent[rb] = ra // the smallest txn index roots its group
-	}
-	for _, k := range sortedKeys(touchers) {
-		if !written[k] || !anySerializing[k] {
-			continue
-		}
-		list := touchers[k]
-		for _, i := range list[1:] {
-			union(list[0], i)
+	for i := range txns {
+		for _, op := range txns[i].Ops {
+			ci := sc.classK[op.Key]
+			if !ci.written || !ci.anySer {
+				continue
+			}
+			ra, rb := ufFind(parent, int(ci.firstT)), ufFind(parent, i)
+			if ra == rb {
+				continue
+			}
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // the smallest txn index roots its group
 		}
 	}
 
 	// A group is coordinated when any member spans DPUs; group size
 	// decides whether on-DPU members need a tasklet pin.
-	size := make([]int, len(txns))
-	coordRoot := make([]bool, len(txns))
+	size := ensureInts(&sc.size, len(txns))
+	if cap(sc.coordRoot) < len(txns) {
+		sc.coordRoot = make([]bool, len(txns))
+	}
+	coordRoot := sc.coordRoot[:len(txns)]
 	for i := range txns {
-		r := find(i)
+		size[i], coordRoot[i] = 0, false
+	}
+	for i := range txns {
+		r := ufFind(parent, i)
 		size[r]++
 		if metas[i].cross {
 			coordRoot[r] = true
 		}
 	}
 	for i := range txns {
-		r := find(i)
+		r := ufFind(parent, i)
 		if coordRoot[r] {
 			metas[i].coordinated = true
 			continue
@@ -330,9 +261,11 @@ func (pm *PartitionedMap) classifyTxns(txns []Txn, coordinateAll bool) []txnMeta
 // already-involved DPU thereby shrinks the round's worst-case bucket,
 // which is what the skew-aware transfer model charges.
 func (pm *PartitionedMap) gatherSources(keys []uint64) map[uint64]int {
-	srcOf := make(map[uint64]int, len(keys))
-	bucket := make(map[int]int)
-	var replicated []uint64
+	sc := &pm.sc
+	clear(sc.srcOf)
+	clear(sc.bucket)
+	srcOf, bucket := sc.srcOf, sc.bucket
+	replicated := sc.replicated[:0]
 	for _, k := range keys {
 		if len(pm.place.Replicas(k)) == 0 {
 			o := pm.owner(k)
@@ -353,6 +286,7 @@ func (pm *PartitionedMap) gatherSources(keys []uint64) map[uint64]int {
 		srcOf[k] = best
 		bucket[best]++
 	}
+	sc.replicated = replicated
 	return srcOf
 }
 
@@ -390,97 +324,98 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 	}
 	before := pm.fleet.Stats()
 	wallBefore := before.WallSeconds
+	sc := &pm.sc
 	metas := pm.classifyTxns(txns, coordinateAll)
 
-	var coordinated []int
+	coordinated := sc.coordinated[:0]
 	for i := range metas {
 		if metas[i].coordinated {
 			coordinated = append(coordinated, i)
 		}
 	}
+	sc.coordinated = coordinated
 
 	// Phase 1: one coalesced snapshot gather of every key the
 	// coordinated transactions touch, from replica-aware sources.
 	var srcOf map[uint64]int
-	state := make(map[uint64]uint64)
+	state := sc.state
+	clear(state)
 	if len(coordinated) > 0 {
-		keySet := make(map[uint64]bool)
+		clear(sc.keySet)
 		for _, ti := range coordinated {
 			for _, op := range txns[ti].Ops {
-				keySet[op.Key] = true
+				sc.keySet[op.Key] = true
 			}
 		}
-		coordKeys := sortedKeys(keySet)
-		srcOf = pm.gatherSources(coordKeys)
-		perSrc := make(map[int][]uint64)
-		for _, k := range coordKeys {
-			perSrc[srcOf[k]] = append(perSrc[srcOf[k]], k)
+		sc.coordKeys = appendMapKeys(sc.coordKeys[:0], sc.keySet)
+		srcOf = pm.gatherSources(sc.coordKeys)
+		sc.perSrc.reset()
+		for _, k := range sc.coordKeys {
+			sc.perSrc.add(srcOf[k], k)
 		}
-		vals, err := pm.gatherRecords(perSrc)
-		if err != nil {
+		if err := pm.gatherRound(&sc.perSrc, state); err != nil {
 			return nil, err
 		}
-		state = vals
 	}
 
 	// Phase 2: host-apply the coordinated transactions against the
 	// snapshot, in batch order — the deterministic serialization the
 	// conflict rule promises. Dirty keys remember their pre-batch
 	// presence so a net-nothing delete never pays writeback.
-	startPresent := make(map[uint64]bool)
-	dirty := make(map[uint64]bool)
+	clear(sc.startPresent)
+	clear(sc.dirty)
 	for _, ti := range coordinated {
-		order, writes, _, ok := evalTxn(txns[ti].Ops, results[ti].Results,
-			func(k uint64) (uint64, bool) { v, ok := state[k]; return v, ok })
+		order, ok := sc.eval.run(txns[ti].Ops, results[ti].Results, stateLookup(state))
 		results[ti].Committed = ok
 		if !ok {
 			continue
 		}
 		for _, k := range order {
-			if !dirty[k] {
-				_, startPresent[k] = state[k]
-				dirty[k] = true
+			if !sc.dirty[k] {
+				_, sc.startPresent[k] = state[k]
+				sc.dirty[k] = true
 			}
-			if writes[k].del {
+			if w := sc.eval.writes[k]; w.del {
 				delete(state, k)
 			} else {
-				state[k] = writes[k].val
+				state[k] = w.val
 			}
 		}
 	}
 
 	// Phase 3: the execute round — on-DPU transactions plus replica
 	// maintenance, charged by the worst-case per-DPU bucket.
-	coordWritten := make(map[uint64]bool)
+	clear(sc.coordWritten)
 	for _, ti := range coordinated {
 		for _, op := range txns[ti].Ops {
 			if op.Kind != OpGet {
-				coordWritten[op.Key] = true
+				sc.coordWritten[op.Key] = true
 			}
 		}
 	}
-	if err := pm.executeRound(txns, metas, results, coordWritten); err != nil {
+	if err := pm.executeRound(txns, metas, results, sc.coordWritten); err != nil {
 		return nil, err
 	}
 
 	// Phase 4: one coalesced writeback scatter of the coordinated dirty
 	// records — puts to their owners, deletes for vanished keys and the
 	// replica copies of deleted keys.
-	dirtyKeys := sortedKeys(dirty)
+	sc.dirtyKeys = appendMapKeys(sc.dirtyKeys[:0], sc.dirty)
+	dirtyKeys := sc.dirtyKeys
 	wbKeys := dirtyKeys[:0]
 	for _, k := range dirtyKeys {
-		if _, ok := state[k]; ok || startPresent[k] {
+		if _, ok := state[k]; ok || sc.startPresent[k] {
 			wbKeys = append(wbKeys, k)
 		}
 	}
 	if len(wbKeys) > 0 {
-		putOn := make(map[int][]uint64)
-		delOn := make(map[int][]uint64)
-		var dropAfter, staleAfter []uint64
+		sc.wbPut.reset()
+		sc.wbDel.reset()
+		dropAfter, staleAfter := sc.dropAfter[:0], sc.staleAfter[:0]
 		for _, k := range wbKeys {
 			o := pm.owner(k)
 			if _, ok := state[k]; ok {
-				putOn[o] = append(putOn[o], k)
+				sc.wbPut.add(o, k)
 				if pm.dir != nil && len(pm.dir.allReplicas(k)) > 0 {
 					// Copies go stale and a later batch refreshes them
 					// from the owner — same protocol as transfers.
@@ -488,15 +423,16 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 				}
 				continue
 			}
-			delOn[o] = append(delOn[o], k)
+			sc.wbDel.add(o, k)
 			if pm.dir != nil {
 				for _, r := range pm.dir.allReplicas(k) {
-					delOn[r] = append(delOn[r], k)
+					sc.wbDel.add(r, k)
 				}
 				dropAfter = append(dropAfter, k)
 			}
 		}
-		if err := pm.mutateRound(putOn, state, delOn); err != nil {
+		sc.dropAfter, sc.staleAfter = dropAfter, staleAfter
+		if err := pm.mutateLists(&sc.wbPut, state, &sc.wbDel); err != nil {
 			return nil, err
 		}
 		for _, k := range dropAfter {
@@ -510,9 +446,12 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 	pm.TxnsApplied += len(txns)
 	pm.TxnsCoordinated += len(coordinated)
 	if pm.reb != nil {
-		routed := make([]int, pm.fleet.Size())
-		for id, units := range pm.lastExecBuckets {
-			routed[id] = units
+		routed := sc.routed[:pm.fleet.Size()]
+		for i := range routed {
+			routed[i] = 0
+		}
+		for _, id := range sc.dpuTouched {
+			routed[id] = sc.execBuckets[id]
 		}
 		for _, ti := range coordinated {
 			for _, op := range txns[ti].Ops {
@@ -549,8 +488,14 @@ type routedUnit struct {
 // op: same routing, same replica read spreading, same tasklet striping,
 // same 24-byte-scatter/16-byte-gather worst-case-bucket charging.
 func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []TxnResult, coordWritten map[uint64]bool) error {
-	pm.lastExecBuckets = nil
-	perDPU := make(map[int][]routedUnit)
+	sc := &pm.sc
+	for _, id := range sc.dpuTouched {
+		sc.perDPU[id] = sc.perDPU[id][:0]
+		sc.execBuckets[id] = 0
+	}
+	sc.dpuTouched = sc.dpuTouched[:0]
+	sc.shadowOps = sc.shadowOps[:0]
+	sc.curResults = results
 
 	// Pass 1: how do the on-DPU transactions write? lastPut is the
 	// batch's final put value per key; a key whose final value cannot be
@@ -560,12 +505,8 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 	// (delsCommit) invalidate copies in-round — a conditional delete
 	// just stales them, and the next window's refresh either restores
 	// or reaps the copies depending on what actually committed.
-	puts := make(map[uint64]int)
-	lastPut := make(map[uint64]uint64)
-	dels := make(map[uint64]bool)
-	delsCommit := make(map[uint64]bool)
-	wrote := make(map[uint64]bool)
-	finalKnown := make(map[uint64]bool)
+	clear(sc.keyW)
+	wroteKeys := sc.wroteKeys[:0]
 	hasUnits := false
 	for i := range txns {
 		if metas[i].coordinated {
@@ -583,30 +524,37 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 			}
 		}
 		for _, op := range txns[i].Ops {
+			if op.Kind == OpGet {
+				continue
+			}
+			kw := sc.keyW[op.Key]
+			if !kw.wrote {
+				kw.wrote = true
+				wroteKeys = append(wroteKeys, op.Key)
+			}
 			switch op.Kind {
 			case OpPut:
-				puts[op.Key]++
-				wrote[op.Key] = true
+				kw.puts++
 				if guarded {
-					finalKnown[op.Key] = false
+					kw.fk = fkFalse
 				} else {
-					lastPut[op.Key] = op.Value
-					finalKnown[op.Key] = true
+					kw.lastPut = op.Value
+					kw.fk = fkTrue
 				}
 			case OpDelete:
-				dels[op.Key] = true
-				wrote[op.Key] = true
+				kw.dels = true
 				if guarded {
-					finalKnown[op.Key] = false
+					kw.fk = fkFalse
 				} else {
-					delsCommit[op.Key] = true
+					kw.delsCommit = true
 				}
 			case OpAdd, OpSub:
-				wrote[op.Key] = true
-				finalKnown[op.Key] = false
+				kw.fk = fkFalse
 			}
+			sc.keyW[op.Key] = kw
 		}
 	}
+	sc.wroteKeys = wroteKeys
 	if !hasUnits {
 		return nil
 	}
@@ -620,7 +568,7 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 	// putGroups allocates the tasklet-pin ids of the legacy
 	// replicated-put rule; the ids are negative below -1 so they can
 	// never collide with conflict-group roots (transaction indexes).
-	putGroups := make(map[uint64]int)
+	clear(sc.putGroups)
 	for i := range txns {
 		if metas[i].coordinated || len(txns[i].Ops) == 0 {
 			continue
@@ -631,7 +579,7 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 			op := unit.ops[0]
 			switch op.Kind {
 			case OpGet:
-				if !dels[op.Key] {
+				if !sc.keyW[op.Key].dels {
 					if reps := pm.place.Replicas(op.Key); len(reps) > 0 {
 						if t := i % (len(reps) + 1); t > 0 {
 							target = reps[t-1]
@@ -639,17 +587,17 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 					}
 				}
 			case OpPut:
-				if pm.dir != nil && puts[op.Key] > 1 && len(pm.dir.allReplicas(op.Key)) > 0 && !dels[op.Key] {
-					id, ok := putGroups[op.Key]
+				if kw := sc.keyW[op.Key]; pm.dir != nil && kw.puts > 1 && len(pm.dir.allReplicas(op.Key)) > 0 && !kw.dels {
+					id, ok := sc.putGroups[op.Key]
 					if !ok {
-						id = -2 - len(putGroups)
-						putGroups[op.Key] = id
+						id = -2 - len(sc.putGroups)
+						sc.putGroups[op.Key] = id
 					}
 					unit.group = id
 				}
 			}
 		}
-		perDPU[target] = append(perDPU[target], unit)
+		sc.addUnit(target, unit)
 	}
 
 	// Pass 3: shadow ops for written replicated keys, coalesced into
@@ -657,27 +605,32 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 	// puts write through the batch's last value; everything else
 	// (guarded or multi-op writers, conditional deletes) leaves the
 	// copies stale for a later refresh or reap.
-	var dropAfter, freshAfter, staleAfter []uint64
-	throughPut := make(map[uint64]bool)
+	dropAfter := sc.dropAfter[:0]
+	freshAfter := sc.freshAfter[:0]
+	staleAfter := sc.staleAfter[:0]
+	clear(sc.throughPut)
+	throughPut := sc.throughPut
 	if pm.dir != nil {
-		for _, k := range sortedKeys(wrote) {
+		slices.Sort(wroteKeys)
+		for _, k := range wroteKeys {
+			kw := sc.keyW[k]
 			copies := pm.dir.allReplicas(k)
 			if len(copies) == 0 {
 				continue
 			}
-			if delsCommit[k] {
+			if kw.delsCommit {
 				for _, r := range copies {
-					perDPU[r] = append(perDPU[r], routedUnit{ops: []Op{{Kind: OpDelete, Key: k}}, ti: -1, group: -1})
+					sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpDelete, Key: k}), ti: -1, group: -1})
 				}
 				dropAfter = append(dropAfter, k)
 				continue
 			}
-			if dels[k] || !finalKnown[k] {
+			if kw.dels || kw.fk != fkTrue {
 				staleAfter = append(staleAfter, k)
 				continue
 			}
 			for _, r := range copies {
-				perDPU[r] = append(perDPU[r], routedUnit{ops: []Op{{Kind: OpPut, Key: k, Value: lastPut[k]}}, ti: -1, group: -1})
+				sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpPut, Key: k, Value: kw.lastPut}), ti: -1, group: -1})
 			}
 			freshAfter = append(freshAfter, k)
 			throughPut[k] = true
@@ -686,182 +639,96 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 		// Pass 4: refresh the stale copies this window does not write,
 		// with the owner's pre-batch value read in the quiescent window.
 		for _, k := range pm.dir.staleKeys() {
-			if wrote[k] || dels[k] || coordWritten[k] {
+			kw := sc.keyW[k]
+			if kw.wrote || kw.dels || coordWritten[k] {
 				continue
 			}
 			v, ok := pm.hostGet(pm.place.Owner(k), k)
 			copies := pm.dir.allReplicas(k)
 			if !ok {
 				for _, r := range copies {
-					perDPU[r] = append(perDPU[r], routedUnit{ops: []Op{{Kind: OpDelete, Key: k}}, ti: -1, group: -1})
+					sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpDelete, Key: k}), ti: -1, group: -1})
 				}
 				dropAfter = append(dropAfter, k)
 				continue
 			}
 			for _, r := range copies {
-				perDPU[r] = append(perDPU[r], routedUnit{ops: []Op{{Kind: OpPut, Key: k, Value: v}}, ti: -1, group: -1})
+				sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpPut, Key: k, Value: v}), ti: -1, group: -1})
 			}
 			freshAfter = append(freshAfter, k)
 		}
 	}
+	sc.dropAfter, sc.freshAfter, sc.staleAfter = dropAfter, freshAfter, staleAfter
 
-	involved := sortedKeys(perDPU)
-	var shadowMu sync.Mutex
-	shadowFailed := make(map[uint64]bool)
+	slices.Sort(sc.dpuTouched)
+	involved := sc.dpuTouched
+	clear(sc.shadowFailed)
 
 	// The round takes the slowest DPU, so charge the worst-case bucket
 	// in operations — shadow maintenance included, multi-op
 	// transactions counted op by op.
-	maxOps := 0
-	pm.lastExecBuckets = make(map[int]int, len(involved))
-	for id, units := range perDPU {
+	maxOps, maxShadowOps := 0, 0
+	for _, id := range involved {
 		ops := 0
-		for _, u := range units {
+		for _, u := range sc.perDPU[id] {
 			ops += len(u.ops)
 		}
-		pm.lastExecBuckets[id] = ops
+		sc.execBuckets[id] = ops
 		if ops > maxOps {
 			maxOps = ops
 		}
+		if pm.isShadow(id) && ops > maxShadowOps {
+			maxShadowOps = ops
+		}
 	}
 
-	err := pm.fleet.Round(RoundSpec{
+	spec := RoundSpec{
 		Involved:     len(involved),
 		ScatterBytes: 24 * maxOps,
 		GatherBytes:  16 * maxOps,
 		IDs:          involved,
-		Program: func(id int, d *dpu.DPU) (float64, error) {
-			units := perDPU[id]
-			tm := pm.tms[id]
-			m := pm.maps[id]
-			d.ResetRun()
-			n := pm.tasklets
-			if n > len(units) {
-				n = len(units)
+		Program:      pm.execProgFn,
+	}
+	if pm.sampled {
+		// Launch kernels only on the simulated representatives; the
+		// worst unsimulated bucket is charged analytically through the
+		// round's kernel floor (transfer costs keep counting every
+		// involved DPU either way).
+		simIDs := sc.simInvolved[:0]
+		for _, id := range involved {
+			if pm.sim[id] {
+				simIDs = append(simIDs, id)
 			}
-			// Stripe units over tasklets by position; grouped units (a
-			// conflict group, or the puts of one replicated key) are
-			// pinned to a single tasklet so they commit in batch order.
-			lists := make([][]int, n)
-			groupTasklet := make(map[int]int)
-			groups := 0
-			for j := range units {
-				if units[j].group != -1 {
-					ti, ok := groupTasklet[units[j].group]
-					if !ok {
-						ti = groups % n
-						groupTasklet[units[j].group] = ti
-						groups++
-					}
-					lists[ti] = append(lists[ti], j)
-					continue
-				}
-				lists[j%n] = append(lists[j%n], j)
-			}
-			progs := make([]func(*dpu.Tasklet), n)
-			for ti := 0; ti < n; ti++ {
-				mine := lists[ti]
-				progs[ti] = func(t *dpu.Tasklet) {
-					tx := tm.NewTx(t)
-					for _, j := range mine {
-						u := units[j]
-						if u.ti < 0 || (len(u.ops) == 1 && !isRMW(u.ops[0].Kind)) {
-							// Plain single op (or shadow): one STM
-							// transaction per op, the PR 2 path.
-							op := u.ops[0]
-							var res OpResult
-							switch op.Kind {
-							case OpGet:
-								tx.Atomic(func(tx *core.Tx) {
-									res.Value, res.OK = m.Get(tx, op.Key)
-								})
-							case OpPut:
-								tx.Atomic(func(tx *core.Tx) {
-									ins, err := m.Put(tx, op.Key, op.Value)
-									res.OK, res.Err = ins, err
-								})
-							case OpDelete:
-								tx.Atomic(func(tx *core.Tx) {
-									res.OK = m.Delete(tx, op.Key)
-								})
-							}
-							if u.ti >= 0 {
-								results[u.ti].Results[0] = res
-								results[u.ti].Committed = res.Err == nil
-								results[u.ti].Err = res.Err
-							} else if res.Err != nil {
-								shadowMu.Lock()
-								shadowFailed[op.Key] = true
-								shadowMu.Unlock()
-							}
-							continue
-						}
-						// Transactional unit: evaluate the whole group
-						// of ops with all-or-nothing semantics inside
-						// one STM transaction, then flush the overlay.
-						// A flush failure (a partition out of
-						// capacity) rolls the already-flushed writes
-						// back to their pre-txn images, so the abort
-						// stays all-or-nothing.
-						res := results[u.ti].Results
-						var committed bool
-						var flushErr error
-						tx.Atomic(func(tx *core.Tx) {
-							flushErr = nil // fresh attempt after an abort
-							for r := range res {
-								res[r] = OpResult{}
-							}
-							order, writes, prior, ok := evalTxn(u.ops, res,
-								func(k uint64) (uint64, bool) { return m.Get(tx, k) })
-							committed = ok
-							if !ok {
-								return
-							}
-							flushed := 0
-							for _, k := range order {
-								if writes[k].del {
-									m.Delete(tx, k)
-									flushed++
-									continue
-								}
-								if _, err := m.Put(tx, k, writes[k].val); err != nil {
-									flushErr = err
-									break
-								}
-								flushed++
-							}
-							if flushErr == nil {
-								return
-							}
-							for r := flushed - 1; r >= 0; r-- {
-								k := order[r]
-								p := prior[k]
-								if p.del {
-									m.Delete(tx, k) // the put allocated it; free it again
-									continue
-								}
-								// Restoring an overwritten or deleted
-								// record reuses its slot (the failed
-								// put allocated nothing), so this put
-								// cannot itself run out of capacity.
-								m.Put(tx, k, p.val)
-							}
-						})
-						results[u.ti].Committed = committed && flushErr == nil
-						results[u.ti].Err = flushErr
-					}
-				}
-			}
-			cycles, err := d.Run(progs)
-			if err != nil {
-				return 0, fmt.Errorf("host: batch on dpu %d: %w", id, err)
-			}
-			return d.Seconds(cycles), nil
-		},
-	})
-	if err != nil {
+		}
+		sc.simInvolved = simIDs
+		spec.IDs = simIDs
+		spec.AnalyticKernelSeconds = dpu.EstimateKernelSeconds(pm.opCycles, maxShadowOps, 0)
+	}
+	if err := pm.fleet.Round(spec); err != nil {
 		return err
 	}
+	if pm.sampled {
+		// Apply the unsimulated buckets on their host-side shadow
+		// shards — exact results, no cycles — then refresh the analytic
+		// per-op rate from what the simulated kernels just measured so
+		// the next round's floor tracks the live workload.
+		for _, id := range involved {
+			if pm.sim[id] {
+				continue
+			}
+			pm.shadowRunUnits(id, sc.perDPU[id], results)
+		}
+		var simSecs float64
+		simOps := 0
+		for _, id := range sc.simInvolved {
+			simSecs += pm.exec[id].lastSeconds
+			simOps += sc.execBuckets[id]
+		}
+		if simOps > 0 && simSecs > 0 {
+			pm.opCycles = simSecs * dpu.DefaultClockHz / float64(simOps)
+		}
+	}
+	shadowFailed := sc.shadowFailed
 	if pm.dir != nil {
 		// The shadow ops physically ran; commit the deferred directory
 		// mutations, then re-stale any key whose copies or owner put
@@ -897,4 +764,210 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 		}
 	}
 	return nil
+}
+
+// runExecProgram is executeRound's Round program on one simulated DPU:
+// it stripes the DPU's routed units over tasklets by position — grouped
+// units (a conflict group, or the puts of one replicated key) pinned to
+// a single tasklet so they commit in batch order — and relaunches the
+// DPU's persistent tasklet programs.
+func (pm *PartitionedMap) runExecProgram(id int, d *dpu.DPU) (float64, error) {
+	e := pm.exec[id]
+	units := pm.sc.perDPU[id]
+	d.ResetRun()
+	n := pm.tasklets
+	if n > len(units) {
+		n = len(units)
+	}
+	for ti := 0; ti < n; ti++ {
+		e.lists[ti] = e.lists[ti][:0]
+	}
+	clear(e.groupTasklet)
+	groups := 0
+	for j := range units {
+		if units[j].group != -1 {
+			ti, ok := e.groupTasklet[units[j].group]
+			if !ok {
+				ti = groups % n
+				e.groupTasklet[units[j].group] = ti
+				groups++
+			}
+			e.lists[ti] = append(e.lists[ti], j)
+			continue
+		}
+		e.lists[j%n] = append(e.lists[j%n], j)
+	}
+	cycles, err := d.Run(e.progs[:n])
+	if err != nil {
+		return 0, fmt.Errorf("host: batch on dpu %d: %w", id, err)
+	}
+	secs := d.Seconds(cycles)
+	e.lastSeconds = secs
+	return secs, nil
+}
+
+// runTasklet is the body of one persistent tasklet program: it runs the
+// slot's share of the DPU's routed units against the on-DPU map through
+// the slot's reusable STM descriptor.
+func (e *dpuExec) runTasklet(ti int, t *dpu.Tasklet) {
+	pm := e.pm
+	m := pm.maps[e.id]
+	units := pm.sc.perDPU[e.id]
+	results := pm.sc.curResults
+	tx := e.txFor(ti, t)
+	es := &e.eval[ti]
+	es.view.m, es.view.tx = m, tx
+	for _, j := range e.lists[ti] {
+		u := units[j]
+		if u.ti < 0 || (len(u.ops) == 1 && !isRMW(u.ops[0].Kind)) {
+			// Plain single op (or shadow): one STM transaction per op,
+			// the PR 2 path.
+			op := u.ops[0]
+			var res OpResult
+			switch op.Kind {
+			case OpGet:
+				tx.Atomic(func(tx *core.Tx) {
+					res.Value, res.OK = m.Get(tx, op.Key)
+				})
+			case OpPut:
+				tx.Atomic(func(tx *core.Tx) {
+					ins, err := m.Put(tx, op.Key, op.Value)
+					res.OK, res.Err = ins, err
+				})
+			case OpDelete:
+				tx.Atomic(func(tx *core.Tx) {
+					res.OK = m.Delete(tx, op.Key)
+				})
+			}
+			if u.ti >= 0 {
+				results[u.ti].Results[0] = res
+				results[u.ti].Committed = res.Err == nil
+				results[u.ti].Err = res.Err
+			} else if res.Err != nil {
+				pm.shadowMu.Lock()
+				pm.sc.shadowFailed[op.Key] = true
+				pm.shadowMu.Unlock()
+			}
+			continue
+		}
+		// Transactional unit: evaluate the whole group of ops with
+		// all-or-nothing semantics inside one STM transaction, then
+		// flush the overlay. A flush failure (a partition out of
+		// capacity) rolls the already-flushed writes back to their
+		// pre-txn images, so the abort stays all-or-nothing.
+		res := results[u.ti].Results
+		var committed bool
+		var flushErr error
+		tx.Atomic(func(tx *core.Tx) {
+			flushErr = nil // fresh attempt after an abort
+			for r := range res {
+				res[r] = OpResult{}
+			}
+			es.view.tx = tx
+			order, ok := es.run(u.ops, res, &es.view)
+			committed = ok
+			if !ok {
+				return
+			}
+			flushed := 0
+			for _, k := range order {
+				if es.writes[k].del {
+					m.Delete(tx, k)
+					flushed++
+					continue
+				}
+				if _, err := m.Put(tx, k, es.writes[k].val); err != nil {
+					flushErr = err
+					break
+				}
+				flushed++
+			}
+			if flushErr == nil {
+				return
+			}
+			for r := flushed - 1; r >= 0; r-- {
+				k := order[r]
+				p := es.prior[k]
+				if p.del {
+					m.Delete(tx, k) // the put allocated it; free it again
+					continue
+				}
+				// Restoring an overwritten or deleted record reuses its
+				// slot (the failed put allocated nothing), so this put
+				// cannot itself run out of capacity.
+				m.Put(tx, k, p.val)
+			}
+		})
+		results[u.ti].Committed = committed && flushErr == nil
+		results[u.ti].Err = flushErr
+	}
+}
+
+// shadowRunUnits applies one unsimulated DPU's routed units to its
+// host-side shadow shard, sequentially in routed order — batch order
+// for pinned groups, one valid serialization for independent plain ops
+// (whose same-key order within a batch is unspecified by contract).
+// Results, guarded aborts, capacity failures and flush rollbacks are
+// computed exactly as the tasklet path computes them; only the cycle
+// cost is skipped, because the round already charged this bucket
+// analytically.
+func (pm *PartitionedMap) shadowRunUnits(id int, units []routedUnit, results []TxnResult) {
+	sc := &pm.sc
+	for _, u := range units {
+		if u.ti < 0 || (len(u.ops) == 1 && !isRMW(u.ops[0].Kind)) {
+			op := u.ops[0]
+			var res OpResult
+			switch op.Kind {
+			case OpGet:
+				res.Value, res.OK = pm.shadowGet(id, op.Key)
+			case OpPut:
+				ins, err := pm.shadowPut(id, op.Key, op.Value)
+				res.OK, res.Err = ins, err
+			case OpDelete:
+				res.OK = pm.shadowDelete(id, op.Key)
+			}
+			if u.ti >= 0 {
+				results[u.ti].Results[0] = res
+				results[u.ti].Committed = res.Err == nil
+				results[u.ti].Err = res.Err
+			} else if res.Err != nil {
+				sc.shadowFailed[op.Key] = true
+			}
+			continue
+		}
+		res := results[u.ti].Results
+		for r := range res {
+			res[r] = OpResult{}
+		}
+		order, ok := sc.eval.run(u.ops, res, stateLookup(pm.shadow[id]))
+		var flushErr error
+		if ok {
+			flushed := 0
+			for _, k := range order {
+				if sc.eval.writes[k].del {
+					pm.shadowDelete(id, k)
+					flushed++
+					continue
+				}
+				if _, err := pm.shadowPut(id, k, sc.eval.writes[k].val); err != nil {
+					flushErr = err
+					break
+				}
+				flushed++
+			}
+			if flushErr != nil {
+				for r := flushed - 1; r >= 0; r-- {
+					k := order[r]
+					p := sc.eval.prior[k]
+					if p.del {
+						pm.shadowDelete(id, k)
+						continue
+					}
+					pm.shadowPut(id, k, p.val)
+				}
+			}
+		}
+		results[u.ti].Committed = ok && flushErr == nil
+		results[u.ti].Err = flushErr
+	}
 }
