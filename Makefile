@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify fmt vet build test race bench multidpu serve serve-smoke rebalance rebalance-smoke txnserve txnserve-smoke schedserve-smoke scale scale-smoke ci
+.PHONY: all verify fmt vet build test race bench bench-diff multidpu serve serve-smoke rebalance rebalance-smoke txnserve txnserve-smoke schedserve-smoke scale scale-smoke ci
 
 all: ci
 
@@ -30,6 +30,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Diff two bench JSON artifacts cell by cell (ops/s + p99 deltas).
+# Usage: make bench-diff OLD=BENCH_txnserve.json.bak NEW=BENCH_txnserve.json
+bench-diff:
+	$(GO) run ./cmd/bench-diff $(OLD) $(NEW)
 
 # Regenerate the machine-readable multi-DPU serving sweep.
 multidpu:
@@ -65,8 +70,11 @@ txnserve:
 
 # Short-mode txnserve invocation so the experiment can't rot in CI:
 # two fleet sizes, one skew, all three cross-DPU fractions, default
-# FIFO scheduler only, no artifact written.
+# FIFO scheduler only, no artifact written. The bench-diff schema gate
+# fails the target when the committed artifact lags a schema bump, so a
+# stale v2 BENCH_txnserve.json can't be silently diffed against v3 rows.
 txnserve-smoke:
+	$(GO) run ./cmd/bench-diff -require-schema 3 BENCH_txnserve.json
 	$(GO) run ./cmd/pimstm-bench -experiment txnserve \
 		-txn-dpus 2,4 -txn-algs norec -txn-sizes 1,2 \
 		-txn-cross 0,0.5,1 -txn-skews 1.2 -txn-txns 200 \

@@ -1,0 +1,200 @@
+// Command bench-diff compares two pimstm-bench JSON artifacts cell by
+// cell and prints the ops/s and p99 deltas, so a refactor's performance
+// impact is read off the committed artifact history instead of eyeballed
+// from two table dumps. Cells are matched on their configuration fields
+// (fleet size, algorithm, scheduler, txn shape, skew, rates); measurement
+// fields are never part of the match key. Artifacts with different
+// schema versions refuse to diff — a v2-vs-v3 comparison would silently
+// pair rows whose meanings drifted.
+//
+// Usage:
+//
+//	bench-diff OLD.json NEW.json
+//	bench-diff -require-schema N FILE.json
+//
+// The second form only checks FILE's schema_version against N and exits
+// non-zero on mismatch; CI smoke targets use it to fail fast when a
+// committed artifact lags a schema bump.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// report is the shared top-level shape of every pimstm-bench artifact.
+// Scenario rows stay generic maps so one tool diffs every experiment.
+type report struct {
+	SchemaVersion int              `json:"schema_version"`
+	Experiment    string           `json:"experiment"`
+	Scenarios     []map[string]any `json:"scenarios"`
+}
+
+// idKeys are the configuration fields (across all experiments) that
+// identify a cell. Only keys present in a row contribute to its key, so
+// the same list serves serve, rebalance, txnserve and scale artifacts.
+var idKeys = []string{
+	"dpus", "simulated_dpus", "algorithm", "scheduler", "txn_size",
+	"cross_dpu_frac", "zipf_s", "read_pct", "rate_txns_per_s",
+	"rate_ops_per_s", "txns", "ops", "keys", "max_batch", "max_delay_s",
+	"ops_per_batch",
+}
+
+func cellKey(row map[string]any) string {
+	var b strings.Builder
+	for _, k := range idKeys {
+		if v, ok := row[k]; ok {
+			fmt.Fprintf(&b, "%s=%v ", k, v)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func load(path string) (report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var r report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.SchemaVersion == 0 || len(r.Scenarios) == 0 {
+		return report{}, fmt.Errorf("%s: not a bench artifact (schema_version %d, %d scenarios)",
+			path, r.SchemaVersion, len(r.Scenarios))
+	}
+	return r, nil
+}
+
+// metric pulls a float field out of a row; ok is false when absent.
+func metric(row map[string]any, key string) (float64, bool) {
+	v, ok := row[key].(float64)
+	return v, ok
+}
+
+// deltaPct formats a relative change, guarding the zero baseline.
+func deltaPct(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "±0.0%"
+		}
+		return "new≠0"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func diff(oldPath, newPath string) error {
+	oldR, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	if oldR.SchemaVersion != newR.SchemaVersion {
+		return fmt.Errorf("schema mismatch: %s is v%d, %s is v%d — refusing to pair rows across schema versions",
+			oldPath, oldR.SchemaVersion, newPath, newR.SchemaVersion)
+	}
+	if oldR.Experiment != newR.Experiment {
+		return fmt.Errorf("experiment mismatch: %s is %q, %s is %q",
+			oldPath, oldR.Experiment, newPath, newR.Experiment)
+	}
+
+	oldCells := make(map[string]map[string]any, len(oldR.Scenarios))
+	for _, row := range oldR.Scenarios {
+		oldCells[cellKey(row)] = row
+	}
+	fmt.Printf("%s v%d: %s → %s (%d vs %d cells)\n",
+		oldR.Experiment, oldR.SchemaVersion, oldPath, newPath,
+		len(oldR.Scenarios), len(newR.Scenarios))
+
+	var unmatched []string
+	matched := 0
+	for _, row := range newR.Scenarios {
+		key := cellKey(row)
+		old, ok := oldCells[key]
+		if !ok {
+			unmatched = append(unmatched, key)
+			continue
+		}
+		delete(oldCells, key)
+		matched++
+		line := fmt.Sprintf("  %s:", key)
+		any := false
+		if no, okO := metric(old, "ops_per_s"); okO {
+			if nn, okN := metric(row, "ops_per_s"); okN {
+				line += fmt.Sprintf(" ops/s %.0f → %.0f (%s)", no, nn, deltaPct(no, nn))
+				any = true
+			}
+		}
+		if po, okO := metric(old, "p99_s"); okO {
+			if pn, okN := metric(row, "p99_s"); okN {
+				line += fmt.Sprintf("  p99 %.3fms → %.3fms (%s)", po*1e3, pn*1e3, deltaPct(po, pn))
+				any = true
+			}
+		}
+		if !any {
+			line += " (no ops_per_s/p99_s fields to compare)"
+		}
+		fmt.Println(line)
+	}
+	for key := range oldCells {
+		unmatched = append(unmatched, key+" (only in old)")
+	}
+	sort.Strings(unmatched)
+	for _, key := range unmatched {
+		fmt.Printf("  UNMATCHED %s\n", key)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no cells matched between %s and %s", oldPath, newPath)
+	}
+	if len(unmatched) > 0 {
+		return fmt.Errorf("%d cells had no counterpart", len(unmatched))
+	}
+	return nil
+}
+
+func main() {
+	requireSchema := flag.Int("require-schema", 0,
+		"check that FILE's schema_version equals N and exit (no diff)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bench-diff OLD.json NEW.json\n"+
+			"       bench-diff -require-schema N FILE.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *requireSchema > 0 {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		r, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-diff:", err)
+			os.Exit(1)
+		}
+		if r.SchemaVersion != *requireSchema {
+			fmt.Fprintf(os.Stderr, "bench-diff: %s: schema_version %d, want %d — regenerate the artifact\n",
+				flag.Arg(0), r.SchemaVersion, *requireSchema)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: schema v%d ok (%s, %d cells)\n",
+			flag.Arg(0), r.SchemaVersion, r.Experiment, len(r.Scenarios))
+		return
+	}
+
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := diff(flag.Arg(0), flag.Arg(1)); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-diff:", err)
+		os.Exit(1)
+	}
+}

@@ -120,6 +120,12 @@ type txnServeScenario struct {
 	P95Seconds         float64 `json:"p95_s"`
 	P99Seconds         float64 `json:"p99_s"`
 	Makespan           float64 `json:"makespan_s"`
+	// Schema v3: the coordinated-commit phase split accumulated over the
+	// cell's batches — prepare gathers, kernel apply-program cycles, and
+	// writeback transfer time (all zero for cells that never coordinate).
+	GatherSeconds    float64 `json:"gather_s"`
+	ApplySeconds     float64 `json:"apply_s"`
+	WritebackSeconds float64 `json:"writeback_s"`
 }
 
 // txnServeReport is the top-level JSON artifact.
@@ -191,7 +197,9 @@ func runTxnServeCell(dpus int, alg core.Algorithm, sched string, size int, cross
 		ConfinedBatches: res.Stats.ConfinedBatches, CoordinatedBatches: res.Stats.CoordinatedBatches,
 		OpsPerSecond: res.OpsPerSecond,
 		P50Seconds:   res.P50, P95Seconds: res.P95, P99Seconds: res.P99,
-		Makespan: res.MakespanSeconds,
+		Makespan:      res.MakespanSeconds,
+		GatherSeconds: res.Stats.GatherSeconds, ApplySeconds: res.Stats.ApplySeconds,
+		WritebackSeconds: res.Stats.WritebackSeconds,
 	}, nil
 }
 
@@ -236,7 +244,7 @@ func runTxnServe(opt txnServeOptions, w io.Writer) ([]txnServeScenario, error) {
 
 	if opt.Out != "" {
 		blob, err := json.MarshalIndent(txnServeReport{
-			SchemaVersion: 2,
+			SchemaVersion: 3,
 			Experiment:    "txnserve",
 			Scenarios:     scenarios,
 		}, "", "  ")

@@ -78,6 +78,13 @@ func TestRunTxnServe(t *testing.T) {
 		if sc.CrossDPU == 0 && sc.CoordinatedTxns != 0 {
 			t.Fatalf("confined cell coordinated %d txns: %+v", sc.CoordinatedTxns, sc)
 		}
+		if sc.CrossDPU == 0 && (sc.GatherSeconds != 0 || sc.ApplySeconds != 0 || sc.WritebackSeconds != 0) {
+			t.Fatalf("confined cell recorded coordination phases: %+v", sc)
+		}
+		if sc.CrossDPU > 0 && sc.TxnSize > 1 &&
+			(sc.GatherSeconds <= 0 || sc.ApplySeconds <= 0 || sc.WritebackSeconds <= 0) {
+			t.Fatalf("coordinating cell missing a phase split: %+v", sc)
+		}
 		if sc.CrossDPU == 1 && sc.TxnSize > 1 && sc.CoordinatedTxns != sc.Txns {
 			t.Fatalf("cross cell coordinated only %d/%d txns", sc.CoordinatedTxns, sc.Txns)
 		}
@@ -144,7 +151,7 @@ func TestRunTxnServe(t *testing.T) {
 	if err := json.Unmarshal(a, &report); err != nil {
 		t.Fatal(err)
 	}
-	if report.SchemaVersion != 2 || report.Experiment != "txnserve" || len(report.Scenarios) != 16 {
+	if report.SchemaVersion != 3 || report.Experiment != "txnserve" || len(report.Scenarios) != 16 {
 		t.Fatalf("artifact wrong: %+v", report)
 	}
 }

@@ -39,16 +39,51 @@ func DMAStoreCycles(n int) uint64 {
 	return uint64(dmaEngineBase) + uint64(math.Ceil(float64(n)/dmaBytesPerTwoCycles))
 }
 
-// EstimateKernelSeconds prices a batch kernel of ops operations at a
-// calibrated per-operation cycle rate on a clock of clockHz (0 selects
-// DefaultClockHz). This is the sampled-fleet charging rule: the
-// worst analytic bucket costs its op count times the measured rate.
-func EstimateKernelSeconds(cyclesPerOp float64, ops int, clockHz float64) float64 {
-	if ops <= 0 || cyclesPerOp <= 0 {
+// KernelCost is the two-phase calibrated cycle model behind the
+// sampled fleet's analytic charge. The two kernel shapes the serving
+// path launches are calibrated independently because they do different
+// work per unit:
+//
+//   - ExecCyclesPerOp prices one operation of the batch execute
+//     kernel: a native STM transaction over client ops, striped across
+//     tasklets.
+//   - ApplyCyclesPerInstr prices one compiled instruction of a
+//     writeback apply kernel: the instruction fetch from the MRAM
+//     program buffer plus the STM mutation it decodes into.
+//
+// Both rates are seeded by a construction-time microbench and
+// refreshed from every round with simulated work, so the estimates
+// track the live workload.
+type KernelCost struct {
+	ExecCyclesPerOp     float64
+	ApplyCyclesPerInstr float64
+}
+
+// Seconds prices one analytic kernel bucket mixing execOps execute
+// operations and applyInstrs apply instructions on a clock of clockHz
+// (0 selects DefaultClockHz). This is the sampled-fleet charging rule:
+// the worst unsimulated bucket costs its unit counts times the
+// measured rates.
+func (c KernelCost) Seconds(execOps, applyInstrs int, clockHz float64) float64 {
+	cycles := 0.0
+	if execOps > 0 && c.ExecCyclesPerOp > 0 {
+		cycles += c.ExecCyclesPerOp * float64(execOps)
+	}
+	if applyInstrs > 0 && c.ApplyCyclesPerInstr > 0 {
+		cycles += c.ApplyCyclesPerInstr * float64(applyInstrs)
+	}
+	if cycles == 0 {
 		return 0
 	}
 	if clockHz <= 0 {
 		clockHz = DefaultClockHz
 	}
-	return cyclesPerOp * float64(ops) / clockHz
+	return cycles / clockHz
+}
+
+// EstimateKernelSeconds prices an execute-only bucket — the
+// single-phase form of KernelCost.Seconds, kept for the callers that
+// charge pure execute-round work.
+func EstimateKernelSeconds(cyclesPerOp float64, ops int, clockHz float64) float64 {
+	return KernelCost{ExecCyclesPerOp: cyclesPerOp}.Seconds(ops, 0, clockHz)
 }

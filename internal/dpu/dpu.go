@@ -384,3 +384,58 @@ func (d *DPU) tierSlice(a Addr) []byte {
 	}
 	return d.mram
 }
+
+// Writeback apply programs. The host's coordinated-transaction commit
+// compiles each committed transaction's effects into a small apply
+// program — packed instructions staged in the target DPU's MRAM
+// alongside a table of gathered remote operands — and a writeback
+// kernel executes them near the data. ApplyOp is the opcode set; the
+// instruction stream and operand table are what the host↔DPU scatter
+// actually carries, so their packed sizes below are also the transfer
+// cost model of the commit round.
+
+// ApplyOp is one opcode of a compiled writeback apply program.
+type ApplyOp uint8
+
+// Apply program opcodes, mirroring the host's transactional op kinds:
+// reads return their value through the result gather, puts/deletes
+// mutate the local partition, and the guarded ApplyAdd/ApplySub abort
+// the whole program's transaction on a missing key or underflow.
+const (
+	ApplyGet ApplyOp = iota
+	ApplyPut
+	ApplyDelete
+	ApplyAdd
+	ApplySub
+)
+
+// ApplyInstr is one packed instruction of an apply program: an opcode
+// plus the key it addresses and an immediate operand (the put value or
+// RMW delta). On the wire and in MRAM it occupies ApplyInstrBytes.
+type ApplyInstr struct {
+	Op  ApplyOp
+	Key uint64
+	Val uint64
+}
+
+// ApplyOperand is one gathered remote-operand record scattered
+// alongside an apply program: the pre-batch value (and presence) of a
+// key the program reads but the executing DPU does not own. It
+// occupies ApplyOperandBytes in MRAM and on the wire.
+type ApplyOperand struct {
+	Key     uint64
+	Val     uint64
+	Present bool
+}
+
+// Packed sizes of the apply-program wire/MRAM format.
+const (
+	// ApplyInstrBytes is one instruction: opcode + flags padded to a
+	// 64-bit word, then the 8-byte key and 8-byte operand.
+	ApplyInstrBytes = 24
+	// ApplyOperandBytes is one remote-operand record: the 8-byte key
+	// and the 8-byte value (presence rides the value word's tag bit
+	// space, which the 16-byte record format of the gather rounds
+	// already reserves).
+	ApplyOperandBytes = 16
+)

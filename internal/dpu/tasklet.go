@@ -220,3 +220,22 @@ func rngState(seed, id uint64) uint64 {
 	}
 	return z
 }
+
+// FetchApplyInstr charges streaming one packed instruction of a
+// writeback apply program from the tasklet's MRAM staging buffer (one
+// DMA load of ApplyInstrBytes) plus the decode/dispatch issue slot.
+// The kernel-side commit path calls this once per compiled instruction
+// before executing it, so apply programs pay for their own code the
+// way the real writeback kernels would.
+func (t *Tasklet) FetchApplyInstr() {
+	t.ChargePrivate(MRAM, ApplyInstrBytes)
+	t.instr(1)
+}
+
+// FetchApplyOperand charges reading one gathered remote-operand record
+// from the apply program's MRAM operand table — the lookup an apply
+// instruction performs when its key lives on another DPU and was
+// snapshotted by the prepare round.
+func (t *Tasklet) FetchApplyOperand() {
+	t.ChargePrivate(MRAM, ApplyOperandBytes)
+}

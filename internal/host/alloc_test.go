@@ -80,11 +80,76 @@ func TestApplyTxnsConfinedAllocGate(t *testing.T) {
 // TestApplyTxnsCoordinatedAllocGate pins the coordinated path the same
 // way: snapshot gather, host-side evaluation and writeback rounds must
 // all run out of the PartitionedMap-owned scratch. Seed: 951
-// allocs/batch.
+// allocs/batch. The workload's write sets span owners, so this gate
+// covers the multi-owner prepare/commit path of the kernel-side commit
+// (host prepare + compiled commit units).
 func TestApplyTxnsCoordinatedAllocGate(t *testing.T) {
 	got := measureApplyTxnsAllocs(t, false)
 	t.Logf("coordinated ApplyTxns: %.1f allocs/batch (seed: 951)", got)
 	if got > 95 {
 		t.Fatalf("coordinated ApplyTxns allocates %.1f per batch, budget 95 (seed 951, required ≥10× reduction)", got)
+	}
+}
+
+// TestApplyTxnsKernelApplyAllocGate extends the allocation discipline to
+// the kernel-apply fast path: transactions whose write set lives on one
+// DPU but whose reads cross, so every conflict group compiles into an
+// apply program executed by the home DPU's writeback kernel. Program
+// compilation, operand tables, unit routing and the kernel-side decode
+// must all run out of the persistent scratch slabs, under the same
+// budget as the host-prepared coordinated path.
+func TestApplyTxnsKernelApplyAllocGate(t *testing.T) {
+	pm, err := NewPartitionedMap(PartitionedMapConfig{
+		DPUs: 4, Buckets: 64, Capacity: 512, Tasklets: 4,
+		STM: core.Config{Algorithm: core.NOrec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One write key per txn, all owned by the same DPU; one read key on
+	// a different DPU, so each txn is cross-DPU with a single-owner
+	// write set — the kernelApply classification.
+	home := pm.owner(0)
+	var writes, reads []uint64
+	for k := uint64(0); len(writes) < 8 || len(reads) < 8; k++ {
+		if pm.owner(k) == home {
+			writes = append(writes, k)
+		} else {
+			reads = append(reads, k)
+		}
+	}
+	var load []Op
+	for _, k := range append(append([]uint64{}, writes[:8]...), reads[:8]...) {
+		load = append(load, Op{Kind: OpPut, Key: k, Value: k})
+	}
+	if _, err := pm.ApplyBatch(load); err != nil {
+		t.Fatal(err)
+	}
+	txns := make([]Txn, 32)
+	for i := range txns {
+		txns[i] = Txn{Ops: []Op{
+			{Kind: OpAdd, Key: writes[i%8], Value: 1},
+			{Kind: OpGet, Key: reads[i%8]},
+		}}
+	}
+	for i := 0; i < 3; i++ {
+		res, err := pm.ApplyTxns(txns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range res {
+			if !res[j].Committed || res[j].Err != nil {
+				t.Fatalf("txn %d did not commit: %+v", j, res[j])
+			}
+		}
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := pm.ApplyTxns(txns); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("kernel-apply ApplyTxns: %.1f allocs/batch", got)
+	if got > 95 {
+		t.Fatalf("kernel-apply ApplyTxns allocates %.1f per batch, budget 95", got)
 	}
 }

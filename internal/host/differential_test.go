@@ -185,6 +185,197 @@ func refApply(ref map[uint64]uint64, step diffStep) ([]OpResult, []bool) {
 	return nil, ok
 }
 
+// TestDifferentialKernelCommit pins the kernel-side commit against the
+// independent host reference under every placement × scheduler × Sample
+// setting: randomized multi-key transaction streams are admitted
+// through a real Scheduler instance (the same Admit/Drain/Observe
+// protocol the Submitter drives), every emitted batch is applied and
+// compared transaction by transaction in batch order, and the final
+// store state must equal the reference map. The stream deliberately
+// mixes single-owner write sets with cross-DPU reads (the kernel-apply
+// fast path), writes spanning owners (the two-round multi-owner
+// commit), and overlapping conflict groups, so both commit paths — and
+// their sampled-fleet shadow twins — face the same adversarial keys.
+func TestDifferentialKernelCommit(t *testing.T) {
+	const (
+		dpus     = 4
+		keyspace = 48
+		txnCount = 120
+	)
+	genTxns := func(seed uint64, owner func(uint64) int) []Txn {
+		rng := Rand64(seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+		pick := func() uint64 {
+			if rng.Next()%2 == 0 {
+				return rng.Next() % 4
+			}
+			return rng.Next() % uint64(keyspace)
+		}
+		// sameOwnerKey draws a key with the same static-hash owner as k,
+		// biasing streams toward single-owner write sets.
+		sameOwnerKey := func(k uint64) uint64 {
+			for attempt := 0; attempt < 16; attempt++ {
+				c := pick()
+				if owner(c) == owner(k) {
+					return c
+				}
+			}
+			return k
+		}
+		txns := make([]Txn, txnCount)
+		for i := range txns {
+			size := int(2 + rng.Next()%3)
+			ops := make([]Op, size)
+			kernelShaped := rng.Next()%2 == 0
+			base := pick()
+			for j := range ops {
+				k := pick()
+				kind := rng.Next() % 10
+				if kernelShaped && kind < 7 {
+					// Writes share base's owner; reads roam — the
+					// kernel-apply classification when placement agrees.
+					k = sameOwnerKey(base)
+				}
+				switch kind {
+				case 0:
+					ops[j] = Op{Kind: OpDelete, Key: k}
+				case 1, 2:
+					ops[j] = Op{Kind: OpPut, Key: k, Value: rng.Next() % 1000}
+				case 3, 4:
+					ops[j] = Op{Kind: OpAdd, Key: k, Value: rng.Next() % 100}
+				case 5, 6:
+					ops[j] = Op{Kind: OpSub, Key: k, Value: rng.Next() % 100}
+				default:
+					ops[j] = Op{Kind: OpGet, Key: k}
+				}
+			}
+			txns[i] = Txn{Ops: ops}
+		}
+		return txns
+	}
+	schedulers := map[string]func(pm *PartitionedMap) Scheduler{
+		"fifo": func(*PartitionedMap) Scheduler { return NewFIFOScheduler(24, 300e-6) },
+		"lane": func(pm *PartitionedMap) Scheduler {
+			s := NewLaneScheduler(LaneSchedulerConfig{
+				Confined:    LaneConfig{MaxBatch: 24, MaxDelaySeconds: 300e-6},
+				Coordinated: LaneConfig{MaxBatch: 48, MaxDelaySeconds: 600e-6},
+			})
+			s.bindClassifier(pm.LaneOf)
+			return s
+		},
+		"adaptive": func(pm *PartitionedMap) Scheduler {
+			s := NewAdaptiveScheduler(LaneSchedulerConfig{
+				Confined:    LaneConfig{MaxBatch: 24, MaxDelaySeconds: 300e-6},
+				Coordinated: LaneConfig{MaxBatch: 48, MaxDelaySeconds: 600e-6},
+			}, AdaptiveConfig{})
+			s.bindClassifier(pm.LaneOf)
+			return s
+		},
+	}
+	placements := map[string]func() Placement{
+		"static":    func() Placement { return nil },
+		"directory": func() Placement { return NewDirectory(dpus) },
+	}
+	for placeName, place := range placements {
+		for schedName, mkSched := range schedulers {
+			for _, sample := range []int{0, 2} {
+				name := fmt.Sprintf("%s/%s/sample%d", placeName, schedName, sample)
+				t.Run(name, func(t *testing.T) {
+					pm, err := NewPartitionedMap(PartitionedMapConfig{
+						DPUs: dpus, Buckets: 64, Capacity: 512, Tasklets: 4,
+						STM: core.Config{Algorithm: core.NOrec}, Placement: place(),
+						Sample: sample,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					var reb *Rebalancer
+					if placeName == "directory" {
+						// An aggressive control plane keeps migrating and
+						// replicating the hot keys under the stream, so
+						// owners shift mid-run.
+						if reb, err = NewRebalancer(pm, RebalancerConfig{
+							WindowBatches: 2, TopK: 4, MinKeyOps: 2, Trigger: 1.01,
+							Replicas: 2, ReplicateMaxWriteShare: 0.5, CooldownWindows: 1,
+						}); err != nil {
+							t.Fatal(err)
+						}
+						_ = reb
+					}
+					ref := make(map[uint64]uint64)
+					// Preload half the keyspace so guarded RMWs both hit
+					// and miss.
+					var load []Txn
+					for k := uint64(0); k < keyspace; k += 2 {
+						load = append(load, Txn{Ops: []Op{{Kind: OpPut, Key: k, Value: k}}})
+						ref[k] = k
+					}
+					if _, err := pm.ApplyTxns(load); err != nil {
+						t.Fatal(err)
+					}
+					sched := mkSched(pm)
+					applyBatch := func(b SchedBatch) {
+						if len(b.Txns) == 0 {
+							return
+						}
+						txns := make([]Txn, len(b.Txns))
+						for i := range b.Txns {
+							txns[i] = b.Txns[i].Txn
+						}
+						got, err := pm.ApplyTxns(txns)
+						if err != nil {
+							t.Fatalf("batch apply: %v", err)
+						}
+						for i, txn := range txns {
+							wantRes, wantOK := refApplyTxn(ref, txn)
+							if got[i].Err != nil {
+								t.Fatalf("txn %d errored: %v", i, got[i].Err)
+							}
+							if got[i].Committed != wantOK {
+								t.Fatalf("txn %d (%+v): committed %v want %v",
+									i, txn.Ops, got[i].Committed, wantOK)
+							}
+							for j := range wantRes {
+								if got[i].Results[j] != wantRes[j] {
+									t.Fatalf("txn %d op %d (%+v): got %+v want %+v",
+										i, j, txn.Ops[j], got[i].Results[j], wantRes[j])
+								}
+							}
+						}
+						sched.Observe(b, BatchFeedback{
+							Ops:              len(txns),
+							KernelSeconds:    pm.BatchLaunchSeconds,
+							HandshakeSeconds: pm.BatchTransferSeconds,
+							WallSeconds:      pm.BatchSeconds,
+						})
+						if _, err := pm.MaybeRebalance(); err != nil {
+							t.Fatalf("rebalance: %v", err)
+						}
+					}
+					txns := genTxns(7, pm.owner)
+					for i, txn := range txns {
+						for _, b := range sched.Admit(SchedTxn{Txn: txn, Arrival: float64(i) * 1e-5}) {
+							applyBatch(b)
+						}
+					}
+					for _, b := range sched.Drain() {
+						applyBatch(b)
+					}
+					if pm.TxnsCoordinated == 0 {
+						t.Fatal("stream never coordinated; the kernel-commit path was not exercised")
+					}
+					for k := uint64(0); k < keyspace; k++ {
+						want, wantOK := ref[k]
+						got, gotOK := pm.Get(k)
+						if gotOK != wantOK || (gotOK && got != want) {
+							t.Fatalf("final key %d: got %d,%v want %d,%v", k, got, gotOK, want, wantOK)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 func TestDifferentialPlacements(t *testing.T) {
 	const (
 		dpus     = 4

@@ -59,12 +59,14 @@ type PartitionedMap struct {
 	// exact mode); shadowCap mirrors the per-partition node-pool
 	// capacity; opCycles is the calibrated per-operation kernel cycle
 	// rate the analytic charge uses, refreshed from every round with
-	// simulated work.
-	sampled   bool
-	sim       []bool
-	shadow    []map[uint64]uint64
-	shadowCap int
-	opCycles  float64
+	// simulated work; applyCycles is its writeback-kernel sibling — the
+	// per-compiled-instruction rate of the kernel-side commit round.
+	sampled     bool
+	sim         []bool
+	shadow      []map[uint64]uint64
+	shadowCap   int
+	opCycles    float64
+	applyCycles float64
 
 	// sc is the reusable per-batch scratch of the ApplyTxns hot path
 	// and exec the persistent per-simulated-DPU kernel contexts; both
@@ -94,6 +96,10 @@ type PartitionedMap struct {
 	// so far and how many of them needed CPU coordination (cross-DPU
 	// conflict groups routed through snapshot/writeback rounds).
 	TxnsApplied, TxnsCoordinated int
+	// BatchPhases breaks the last ApplyTxns window's coordination cost
+	// into gather, kernel-apply, and writeback-transfer phases — the
+	// per-phase attribution the bench artifacts record.
+	BatchPhases ApplyTxnsStats
 
 	// mutPut/mutVals/mutDel is the in-flight mutateLists context read
 	// by the persistent mutate-round programs; execProgFn and mutProgFn
@@ -103,6 +109,7 @@ type PartitionedMap struct {
 	mutVals        map[uint64]uint64
 	execProgFn     func(id int, d *dpu.DPU) (float64, error)
 	mutProgFn      func(id int, d *dpu.DPU) (float64, error)
+	wbProgFn       func(id int, d *dpu.DPU) (float64, error)
 }
 
 // PartitionedMapConfig parameterizes a store. Zero fields take the
@@ -254,6 +261,11 @@ func NewPartitionedMap(cfg PartitionedMapConfig) (*PartitionedMap, error) {
 			return nil, fmt.Errorf("host: sampled-fleet calibration: %w", err)
 		}
 		pm.opCycles = rate
+		applyRate, err := calibrateApplyCycles(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("host: sampled-fleet apply calibration: %w", err)
+		}
+		pm.applyCycles = applyRate
 	}
 	pm.sc.init(cfg.DPUs)
 	pm.exec = make(map[int]*dpuExec, len(simIDs))
@@ -262,6 +274,7 @@ func NewPartitionedMap(cfg PartitionedMapConfig) (*PartitionedMap, error) {
 	}
 	pm.execProgFn = pm.runExecProgram
 	pm.mutProgFn = pm.runMutProgram
+	pm.wbProgFn = pm.runWbProgram
 	return pm, nil
 }
 

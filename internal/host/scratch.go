@@ -71,6 +71,47 @@ type mapLookup struct {
 
 func (v *mapLookup) Lookup(k uint64) (uint64, bool) { return v.m.Get(v.tx, k) }
 
+// kernelView is the store view of a kernel-side apply program: keys
+// snapshotted by the prepare round resolve from the program's
+// scattered operand table (paying the MRAM operand fetch), everything
+// else reads the executing DPU's own partition through the open STM
+// transaction. The operand table carries every off-home key of the
+// program — present or not — so a remote miss can never fall through
+// to a physically co-located record (e.g. a replica copy hosted by the
+// same DPU).
+type kernelView struct {
+	local mapLookup
+	rem   []dpu.ApplyOperand
+	t     *dpu.Tasklet
+}
+
+func (v *kernelView) Lookup(k uint64) (uint64, bool) {
+	for i := range v.rem {
+		if v.rem[i].Key == k {
+			v.t.FetchApplyOperand()
+			return v.rem[i].Val, v.rem[i].Present
+		}
+	}
+	return v.local.Lookup(k)
+}
+
+// remView is kernelView's host-side twin for shadow shards: the same
+// operand-table-first resolution order against the shard map, with no
+// cycle charges (the round charged the bucket analytically).
+type remView struct {
+	rem  []dpu.ApplyOperand
+	next stateLookup
+}
+
+func (v *remView) Lookup(k uint64) (uint64, bool) {
+	for i := range v.rem {
+		if v.rem[i].Key == k {
+			return v.rem[i].Val, v.rem[i].Present
+		}
+	}
+	return v.next.Lookup(k)
+}
+
 // evalScratch is the reusable state of one transaction evaluation:
 // write order, overlay and pre-txn images. One lives per (DPU, tasklet
 // slot) for the parallel kernels plus one on the batch scratch for the
@@ -80,6 +121,24 @@ type evalScratch struct {
 	writes map[uint64]txnWrite
 	prior  map[uint64]txnWrite
 	view   mapLookup
+	// kview and decoded serve the kernel-apply path: the remote-operand
+	// view and the op scratch the compiled program decodes into.
+	kview   kernelView
+	decoded []Op
+}
+
+// decodeProg decodes a compiled apply program into the evaluator's op
+// scratch. The kernel-apply path executes the decoded program rather
+// than the host's original op slice, so what runs is exactly what the
+// commit round's scatter carried; compile∘decode is the identity, which
+// is what keeps kernel-applied outcomes bit-identical to host-applied
+// ones.
+func (es *evalScratch) decodeProg(prog []dpu.ApplyInstr) []Op {
+	es.decoded = es.decoded[:0]
+	for _, in := range prog {
+		es.decoded = append(es.decoded, opForInstr(in))
+	}
+	return es.decoded
 }
 
 // run executes the ordered ops of one transaction against the lookup
@@ -220,6 +279,22 @@ type batchScratch struct {
 	eval         evalScratch
 	wbPut, wbDel dpuKeyLists
 
+	// Kernel-side commit (the writeback round). rootHasWrite/rootOwner
+	// classify each conflict group's write set (indexed by group root);
+	// wbPerDPU buckets the round's apply and commit units; wbInstrs and
+	// remOps are the compiled-program and operand slabs the units hold
+	// capacity-clipped views into; wbInstrBuckets counts each DPU's
+	// apply instructions for the analytic charge and its refresh.
+	rootHasWrite   []bool
+	rootOwner      []int
+	wbPerDPU       [][]routedUnit
+	wbTouched      []int
+	wbSimIDs       []int
+	wbInstrBuckets []int
+	wbInstrs       []dpu.ApplyInstr
+	remOps         []dpu.ApplyOperand
+	shadowRem      remView
+
 	// Execute round.
 	perDPU       [][]routedUnit
 	dpuTouched   []int
@@ -258,9 +333,13 @@ func (sc *batchScratch) init(dpus int) {
 	sc.throughPut = make(map[uint64]bool)
 	sc.shadowFailed = make(map[uint64]bool)
 	sc.perDPU = make([][]routedUnit, dpus)
+	sc.wbPerDPU = make([][]routedUnit, dpus)
 	sc.execBuckets = make([]int, dpus)
+	sc.wbInstrBuckets = make([]int, dpus)
 	sc.routed = make([]int, dpus)
 	sc.dpuTouched = make([]int, 0, dpus)
+	sc.wbTouched = make([]int, 0, dpus)
+	sc.wbSimIDs = make([]int, 0, dpus)
 	sc.simInvolved = make([]int, 0, dpus)
 	sc.mutInvolved = make([]int, 0, dpus)
 	sc.mutSimIDs = make([]int, 0, dpus)
@@ -289,6 +368,99 @@ func (sc *batchScratch) shadowOp(op Op) []Op {
 	sc.shadowOps = append(sc.shadowOps, op)
 	n := len(sc.shadowOps)
 	return sc.shadowOps[n-1 : n : n]
+}
+
+// addWbUnit buckets one writeback-round unit onto a DPU, tracking
+// touched ids for the O(touched) reset.
+func (sc *batchScratch) addWbUnit(id int, u routedUnit) {
+	if len(sc.wbPerDPU[id]) == 0 {
+		sc.wbTouched = append(sc.wbTouched, id)
+	}
+	sc.wbPerDPU[id] = append(sc.wbPerDPU[id], u)
+}
+
+// applyOpFor maps a host op kind to its apply-program opcode.
+func applyOpFor(k OpKind) dpu.ApplyOp {
+	switch k {
+	case OpGet:
+		return dpu.ApplyGet
+	case OpPut:
+		return dpu.ApplyPut
+	case OpDelete:
+		return dpu.ApplyDelete
+	case OpAdd:
+		return dpu.ApplyAdd
+	default:
+		return dpu.ApplySub
+	}
+}
+
+// opForInstr decodes one apply instruction back into the host op the
+// kernel evaluator executes.
+func opForInstr(in dpu.ApplyInstr) Op {
+	var k OpKind
+	switch in.Op {
+	case dpu.ApplyGet:
+		k = OpGet
+	case dpu.ApplyPut:
+		k = OpPut
+	case dpu.ApplyDelete:
+		k = OpDelete
+	case dpu.ApplyAdd:
+		k = OpAdd
+	default:
+		k = OpSub
+	}
+	return Op{Kind: k, Key: in.Key, Value: in.Val}
+}
+
+// compileApply compiles one transaction's ordered ops into packed apply
+// instructions on the batch slab and returns a capacity-clipped view —
+// the same reallocation rule as shadowOp, so earlier programs stay
+// valid as the slab grows.
+func (sc *batchScratch) compileApply(ops []Op) []dpu.ApplyInstr {
+	start := len(sc.wbInstrs)
+	for _, op := range ops {
+		sc.wbInstrs = append(sc.wbInstrs, dpu.ApplyInstr{Op: applyOpFor(op.Kind), Key: op.Key, Val: op.Value})
+	}
+	n := len(sc.wbInstrs)
+	return sc.wbInstrs[start:n:n]
+}
+
+// remOperands builds one apply program's remote-operand table: one
+// record per distinct off-home key the program touches, carrying the
+// pre-batch value (and presence) the prepare round gathered. Every
+// off-home key must appear — present or not — so the kernel view never
+// falls through to the executing DPU's partition for a remote key.
+func (sc *batchScratch) remOperands(ops []Op, home int, owner func(uint64) int, state map[uint64]uint64) []dpu.ApplyOperand {
+	start := len(sc.remOps)
+	for _, op := range ops {
+		if owner(op.Key) == home {
+			continue
+		}
+		dup := false
+		for _, r := range sc.remOps[start:] {
+			if r.Key == op.Key {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		v, ok := state[op.Key]
+		sc.remOps = append(sc.remOps, dpu.ApplyOperand{Key: op.Key, Val: v, Present: ok})
+	}
+	n := len(sc.remOps)
+	return sc.remOps[start:n:n]
+}
+
+// commitUnit builds one single-op writeback commit unit (a put or
+// delete decided host-side by a multi-owner group's prepare phase),
+// compiled like any other apply program.
+func (sc *batchScratch) commitUnit(op Op) routedUnit {
+	ops := sc.shadowOp(op)
+	return routedUnit{ops: ops, ti: -1, group: -1, kind: unitCommit, prog: sc.compileApply(ops)}
 }
 
 // appendMapKeys appends the map's keys to dst and sorts the result
@@ -333,6 +505,16 @@ type dpuExec struct {
 	progs        []func(*dpu.Tasklet)
 	tx           []*core.Tx
 	eval         []evalScratch
+
+	// units is the unit list of the round in flight — the execute
+	// round's client/shadow units or the writeback round's apply/commit
+	// units; runUnitProgram sets it before relaunching the programs.
+	units []routedUnit
+	// wbErr records a commit unit's store-level failure (a partition
+	// out of capacity); unlike a client transaction's per-txn error, a
+	// failed commit of prepared writes fails the whole batch, matching
+	// the historical host-side writeback.
+	wbErr error
 
 	muProg []func(*dpu.Tasklet)
 	mutErr error
@@ -470,4 +652,76 @@ func calibrateOpCycles(cfg PartitionedMapConfig) (float64, error) {
 		return 0, err
 	}
 	return float64(cycles) / float64(n*opsPer), nil
+}
+
+// calibrateApplyCycles measures the analytic per-instruction cycle
+// rate of the writeback apply kernels on a scratch DPU: each tasklet
+// streams an apply-shaped instruction mix — the MRAM instruction fetch
+// every compiled instruction pays, then the STM mutation it decodes
+// into — and the kernel cycles divide by the instructions executed.
+// The sampled fleet seeds its apply-phase charge from this rate and
+// refreshes it from every writeback round with simulated work.
+func calibrateApplyCycles(cfg PartitionedMapConfig) (float64, error) {
+	d := dpu.New(dpu.Config{MRAMSize: cfg.MRAMSize, Seed: 2})
+	tm, err := core.New(d, cfg.STM)
+	if err != nil {
+		return 0, err
+	}
+	m, err := structures.NewMap(d, cfg.Buckets, cfg.Capacity)
+	if err != nil {
+		return 0, err
+	}
+	keys := 64
+	if cfg.Capacity < keys {
+		keys = cfg.Capacity
+	}
+	var loadErr error
+	if _, err := d.Run([]func(*dpu.Tasklet){func(t *dpu.Tasklet) {
+		tx := tm.NewTx(t)
+		tx.Atomic(func(tx *core.Tx) {
+			loadErr = nil
+			for k := 0; k < keys; k++ {
+				if _, err := m.Put(tx, uint64(k), uint64(k)); err != nil {
+					loadErr = err
+					return
+				}
+			}
+		})
+	}}); err != nil {
+		return 0, err
+	}
+	if loadErr != nil {
+		return 0, loadErr
+	}
+	d.ResetRun()
+	n := cfg.Tasklets
+	const instrsPer = 16
+	progs := make([]func(*dpu.Tasklet), n)
+	for ti := 0; ti < n; ti++ {
+		ti := ti
+		progs[ti] = func(t *dpu.Tasklet) {
+			tx := tm.NewTx(t)
+			for j := 0; j < instrsPer; j++ {
+				k := uint64((ti*instrsPer + j) % keys)
+				t.FetchApplyInstr()
+				switch j % 3 {
+				case 0:
+					tx.Atomic(func(tx *core.Tx) { m.Get(tx, k) })
+				case 1:
+					tx.Atomic(func(tx *core.Tx) { m.Put(tx, k, k) })
+				default:
+					tx.Atomic(func(tx *core.Tx) {
+						if v, ok := m.Get(tx, k); ok {
+							m.Put(tx, k, v+1)
+						}
+					})
+				}
+			}
+		}
+	}
+	cycles, err := d.Run(progs)
+	if err != nil {
+		return 0, err
+	}
+	return float64(cycles) / float64(n*instrsPer), nil
 }

@@ -93,6 +93,12 @@ type SubmitterStats struct {
 	// under a lane-segregating scheduler (both zero under FIFO, whose
 	// batches are unlaned).
 	ConfinedBatches, CoordinatedBatches int
+	// GatherSeconds, ApplySeconds and WritebackSeconds accumulate every
+	// applied batch's coordinated-commit phase split (ApplyTxnsStats):
+	// prepare gathers, kernel apply-program cycles, and writeback
+	// transfer time, on the modeled clock. All zero for a workload that
+	// never coordinates.
+	GatherSeconds, ApplySeconds, WritebackSeconds float64
 }
 
 // submitMsg is one queue entry: a transaction with its future, or a
@@ -317,6 +323,11 @@ func (s *Submitter) flush(b SchedBatch) {
 	s.stats.Submitted += ops
 	s.stats.Txns += len(b.Txns)
 	s.stats.Batches++
+	if err == nil {
+		s.stats.GatherSeconds += s.pm.BatchPhases.GatherSeconds
+		s.stats.ApplySeconds += s.pm.BatchPhases.ApplySeconds
+		s.stats.WritebackSeconds += s.pm.BatchPhases.WritebackSeconds
+	}
 	if ops > s.stats.MaxBatchOps {
 		s.stats.MaxBatchOps = ops
 	}

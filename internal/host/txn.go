@@ -17,12 +17,20 @@ import (
 //     PIM-STM transaction inside that DPU's batch kernel — multi-key
 //     atomicity is exactly what the STM gives natively, so it costs no
 //     more than the ops themselves.
-//   - A transaction spanning DPUs is CPU-coordinated in the quiescent
-//     window (§3.1): its keys ride one coalesced snapshot gather, the
-//     host applies the read-modify-writes against the snapshot in batch
-//     order, and the changed records ride one coalesced writeback
-//     scatter — the ApplyTransfers machinery generalized to arbitrary
-//     op groups.
+//   - A transaction spanning DPUs is coordinated in the quiescent
+//     window (§3.1), but the committed writes execute in the kernels,
+//     not on the host. A conflict group whose write set lives on one
+//     DPU takes the single-owner fast path: a prepare round gathers the
+//     group's off-home operands, and the group's transactions are
+//     compiled into per-(DPU, tasklet-slot) apply programs the home
+//     DPU's writeback kernel executes in batch order — guarded
+//     RMWs, rollback and all — paying real kernel cycles. A group
+//     whose writes span owners commits through the two-round
+//     prepare/commit protocol: the host evaluates the group against the
+//     gathered snapshot (the prepare decision), then the decided
+//     puts/deletes run as compiled commit units in the owners'
+//     writeback kernels. Only the prepare decision of multi-owner
+//     groups (and pure cross-DPU reads) remains host-side.
 //
 // Conflicts inside one batch serialize deterministically: transactions
 // that share a key one of them writes — where at least one party is
@@ -132,6 +140,35 @@ type txnMeta struct {
 	coordinated bool
 	// group pins on-DPU conflict groups to one tasklet (-1 ungrouped).
 	group int
+	// Kernel-commit classification of coordinated transactions (set by
+	// classifyGroups): root is the conflict-group root, and kernelApply
+	// marks members of single-owner groups — every written key owned by
+	// home — whose apply programs execute in home's writeback kernel.
+	kernelApply bool
+	home        int
+	root        int
+}
+
+// ApplyTxnsStats splits one ApplyTxns window's coordinated-commit cost
+// by phase, on the modeled clock:
+//
+//   - GatherSeconds is the wall-clock delta of the prepare round (the
+//     coalesced snapshot gather of coordinated operands).
+//   - ApplySeconds is the kernel share of the commit round — the
+//     cycles the compiled apply programs charge on the DPUs (plus the
+//     analytic floor for unsimulated ones in sampled mode). The host
+//     work that remains (multi-owner prepare decisions, pure cross-DPU
+//     reads) contributes nothing here; that is the honesty caveat
+//     DESIGN.md §5.4 documents.
+//   - WritebackSeconds is the rest of the commit round's wall-clock
+//     delta: the scatter/gather handshakes and payload of shipping the
+//     programs down and the results up.
+//
+// All three are zero for batches with no coordinated transactions.
+type ApplyTxnsStats struct {
+	GatherSeconds    float64
+	ApplySeconds     float64
+	WritebackSeconds float64
 }
 
 // classifyTxns analyzes every transaction and resolves the batch's
@@ -252,6 +289,57 @@ func (pm *PartitionedMap) classifyTxns(txns []Txn, coordinateAll bool) []txnMeta
 	return metas
 }
 
+// classifyGroups decides each coordinated conflict group's commit path
+// from the owners of its write set: a group whose written keys all
+// live on one DPU (and that writes at all) kernel-applies — its
+// members' apply programs execute in that home DPU's writeback kernel —
+// while a group writing across owners, or not writing, keeps the host
+// prepare path. Only valid when classifyTxns ran its union-find, i.e.
+// the batch has coordinated groups and coordinateAll is off.
+//
+// The classification is sound because conflict groups are closed over
+// shared keys: every batch toucher of a key a coordinated group writes
+// is itself in the group (a serializing party touches that key by the
+// union rule), so a single-owner group's writes cannot race any
+// confined transaction or other group, and its off-home keys are read-
+// only for the whole batch — the gathered operands stay valid through
+// the commit round.
+func (pm *PartitionedMap) classifyGroups(txns []Txn, metas []txnMeta, coordinated []int) {
+	sc := &pm.sc
+	rootOwner := ensureInts(&sc.rootOwner, len(txns))
+	if cap(sc.rootHasWrite) < len(txns) {
+		sc.rootHasWrite = make([]bool, len(txns))
+	}
+	rootHasWrite := sc.rootHasWrite[:len(txns)]
+	for _, ti := range coordinated {
+		r := ufFind(sc.parent, ti)
+		metas[ti].root = r
+		rootHasWrite[r] = false
+		rootOwner[r] = -1
+	}
+	for _, ti := range coordinated {
+		r := metas[ti].root
+		for _, op := range txns[ti].Ops {
+			if op.Kind == OpGet {
+				continue
+			}
+			o := pm.owner(op.Key)
+			if !rootHasWrite[r] {
+				rootHasWrite[r], rootOwner[r] = true, o
+			} else if rootOwner[r] != o {
+				rootOwner[r] = -2 // writes span owners: multi-owner commit
+			}
+		}
+	}
+	for _, ti := range coordinated {
+		r := metas[ti].root
+		if rootHasWrite[r] && rootOwner[r] >= 0 {
+			metas[ti].kernelApply = true
+			metas[ti].home = rootOwner[r]
+		}
+	}
+}
+
 // gatherSources picks the gather source DPU for every key the
 // coordinated transactions touch. Writes are always applied at the
 // owner, but the read side may be served by any fresh replica — so the
@@ -334,9 +422,21 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 		}
 	}
 	sc.coordinated = coordinated
+	pm.BatchPhases = ApplyTxnsStats{}
 
-	// Phase 1: one coalesced snapshot gather of every key the
-	// coordinated transactions touch, from replica-aware sources.
+	// Commit-path classification: single-owner write sets kernel-apply,
+	// everything else (multi-owner, read-only, and the coordinateAll
+	// compatibility mode) prepares host-side. classifyTxns ran its
+	// union-find exactly when coordinated groups exist without
+	// coordinateAll, which is when the group roots are valid.
+	if !coordinateAll && len(coordinated) > 0 {
+		pm.classifyGroups(txns, metas, coordinated)
+	}
+
+	// Phase 1 (prepare): one coalesced snapshot gather of every operand
+	// the coordination needs, from replica-aware sources — all keys of
+	// host-prepared groups, but only the off-home keys of kernel-applied
+	// ones, whose home-owned state is read in the kernel where it lives.
 	var srcOf map[uint64]int
 	state := sc.state
 	clear(state)
@@ -344,6 +444,9 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 		clear(sc.keySet)
 		for _, ti := range coordinated {
 			for _, op := range txns[ti].Ops {
+				if metas[ti].kernelApply && pm.owner(op.Key) == metas[ti].home {
+					continue
+				}
 				sc.keySet[op.Key] = true
 			}
 		}
@@ -353,18 +456,25 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 		for _, k := range sc.coordKeys {
 			sc.perSrc.add(srcOf[k], k)
 		}
+		gatherBefore := pm.fleet.Stats().WallSeconds
 		if err := pm.gatherRound(&sc.perSrc, state); err != nil {
 			return nil, err
 		}
+		pm.BatchPhases.GatherSeconds = pm.fleet.Stats().WallSeconds - gatherBefore
 	}
 
-	// Phase 2: host-apply the coordinated transactions against the
-	// snapshot, in batch order — the deterministic serialization the
-	// conflict rule promises. Dirty keys remember their pre-batch
-	// presence so a net-nothing delete never pays writeback.
+	// Phase 2: host-prepare the groups that stay host-side — evaluate
+	// them against the snapshot in batch order, the deterministic
+	// serialization the conflict rule promises. Kernel-applied groups
+	// skip this entirely; their evaluation happens in the writeback
+	// kernels. Dirty keys remember their pre-batch presence so a
+	// net-nothing delete never pays writeback.
 	clear(sc.startPresent)
 	clear(sc.dirty)
 	for _, ti := range coordinated {
+		if metas[ti].kernelApply {
+			continue
+		}
 		order, ok := sc.eval.run(txns[ti].Ops, results[ti].Results, stateLookup(state))
 		results[ti].Committed = ok
 		if !ok {
@@ -397,49 +507,63 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 		return nil, err
 	}
 
-	// Phase 4: one coalesced writeback scatter of the coordinated dirty
-	// records — puts to their owners, deletes for vanished keys and the
-	// replica copies of deleted keys.
-	sc.dirtyKeys = appendMapKeys(sc.dirtyKeys[:0], sc.dirty)
-	dirtyKeys := sc.dirtyKeys
-	wbKeys := dirtyKeys[:0]
-	for _, k := range dirtyKeys {
-		if _, ok := state[k]; ok || sc.startPresent[k] {
-			wbKeys = append(wbKeys, k)
-		}
-	}
-	if len(wbKeys) > 0 {
-		sc.wbPut.reset()
-		sc.wbDel.reset()
-		dropAfter, staleAfter := sc.dropAfter[:0], sc.staleAfter[:0]
-		for _, k := range wbKeys {
-			o := pm.owner(k)
-			if _, ok := state[k]; ok {
-				sc.wbPut.add(o, k)
-				if pm.dir != nil && len(pm.dir.allReplicas(k)) > 0 {
-					// Copies go stale and a later batch refreshes them
-					// from the owner — same protocol as transfers.
-					staleAfter = append(staleAfter, k)
-				}
-				continue
-			}
-			sc.wbDel.add(o, k)
-			if pm.dir != nil {
-				for _, r := range pm.dir.allReplicas(k) {
-					sc.wbDel.add(r, k)
-				}
-				dropAfter = append(dropAfter, k)
+	// Phase 4 (commit). coordinateAll keeps the historical host-applied
+	// path verbatim — one coalesced writeback scatter of the dirty
+	// records through the mutate kernels, the ApplyTransfers cost model
+	// bit-for-bit. Everything else commits through the writeback round:
+	// kernel-applied groups execute their compiled apply programs on
+	// their home DPUs, and the host-prepared groups' decided records run
+	// as commit units on their owners.
+	if coordinateAll {
+		sc.dirtyKeys = appendMapKeys(sc.dirtyKeys[:0], sc.dirty)
+		dirtyKeys := sc.dirtyKeys
+		wbKeys := dirtyKeys[:0]
+		for _, k := range dirtyKeys {
+			if _, ok := state[k]; ok || sc.startPresent[k] {
+				wbKeys = append(wbKeys, k)
 			}
 		}
-		sc.dropAfter, sc.staleAfter = dropAfter, staleAfter
-		if err := pm.mutateLists(&sc.wbPut, state, &sc.wbDel); err != nil {
+		if len(wbKeys) > 0 {
+			sc.wbPut.reset()
+			sc.wbDel.reset()
+			dropAfter, staleAfter := sc.dropAfter[:0], sc.staleAfter[:0]
+			for _, k := range wbKeys {
+				o := pm.owner(k)
+				if _, ok := state[k]; ok {
+					sc.wbPut.add(o, k)
+					if pm.dir != nil && len(pm.dir.allReplicas(k)) > 0 {
+						// Copies go stale and a later batch refreshes them
+						// from the owner — same protocol as transfers.
+						staleAfter = append(staleAfter, k)
+					}
+					continue
+				}
+				sc.wbDel.add(o, k)
+				if pm.dir != nil {
+					for _, r := range pm.dir.allReplicas(k) {
+						sc.wbDel.add(r, k)
+					}
+					dropAfter = append(dropAfter, k)
+				}
+			}
+			sc.dropAfter, sc.staleAfter = dropAfter, staleAfter
+			commitBefore := pm.fleet.Stats().WallSeconds
+			if err := pm.mutateLists(&sc.wbPut, state, &sc.wbDel); err != nil {
+				return nil, err
+			}
+			// The host applied the RMWs for free in this mode; the
+			// mutate round is pure writeback.
+			pm.BatchPhases.WritebackSeconds = pm.fleet.Stats().WallSeconds - commitBefore
+			for _, k := range dropAfter {
+				pm.dir.dropReplicas(k)
+			}
+			for _, k := range staleAfter {
+				pm.dir.markStale(k)
+			}
+		}
+	} else if len(coordinated) > 0 {
+		if err := pm.writebackRound(txns, metas, results, state); err != nil {
 			return nil, err
-		}
-		for _, k := range dropAfter {
-			pm.dir.dropReplicas(k)
-		}
-		for _, k := range staleAfter {
-			pm.dir.markStale(k)
 		}
 	}
 
@@ -456,7 +580,14 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 		for _, ti := range coordinated {
 			for _, op := range txns[ti].Ops {
 				if op.Kind == OpGet {
-					routed[srcOf[op.Key]]++
+					// A kernel-applied group's home-owned reads are never
+					// gathered (the kernel serves them), so they are
+					// absent from srcOf and credit the owner directly.
+					if src, ok := srcOf[op.Key]; ok {
+						routed[src]++
+					} else {
+						routed[pm.owner(op.Key)]++
+					}
 				} else {
 					routed[pm.owner(op.Key)]++
 				}
@@ -471,14 +602,36 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 	return results, nil
 }
 
-// routedUnit is one unit of execute-round work bucketed onto a DPU: a
-// client transaction carrying its result index, or a single-op
-// replica-maintenance shadow (ti < 0). Units sharing a group id are
+// unitKind tags what a routed unit is: a client transaction of the
+// execute round, a single-op replica-maintenance shadow, a
+// kernel-applied coordinated transaction of the writeback round, or a
+// host-prepared commit record of a multi-owner group.
+type unitKind uint8
+
+const (
+	unitClient unitKind = iota
+	unitShadow
+	unitApply
+	unitCommit
+)
+
+// routedUnit is one unit of kernel work bucketed onto a DPU — by the
+// execute round (client transactions carrying their result index,
+// replica shadows with ti < 0) or by the writeback round (compiled
+// apply programs and commit records). Units sharing a group id are
 // pinned to one tasklet and commit in batch order.
 type routedUnit struct {
 	ops   []Op
 	ti    int
 	group int
+	kind  unitKind
+	// prog is the compiled apply program of a writeback-round unit; the
+	// kernel decodes and executes it, charging one MRAM instruction
+	// fetch per ApplyInstr.
+	prog []dpu.ApplyInstr
+	// rem is the scattered remote-operand table of a kernel-applied
+	// unit: the gathered pre-batch values of its off-home keys.
+	rem []dpu.ApplyOperand
 }
 
 // executeRound routes the on-DPU transactions (plus the replica
@@ -620,7 +773,7 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 			}
 			if kw.delsCommit {
 				for _, r := range copies {
-					sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpDelete, Key: k}), ti: -1, group: -1})
+					sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpDelete, Key: k}), ti: -1, group: -1, kind: unitShadow})
 				}
 				dropAfter = append(dropAfter, k)
 				continue
@@ -630,7 +783,7 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 				continue
 			}
 			for _, r := range copies {
-				sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpPut, Key: k, Value: kw.lastPut}), ti: -1, group: -1})
+				sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpPut, Key: k, Value: kw.lastPut}), ti: -1, group: -1, kind: unitShadow})
 			}
 			freshAfter = append(freshAfter, k)
 			throughPut[k] = true
@@ -647,13 +800,13 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 			copies := pm.dir.allReplicas(k)
 			if !ok {
 				for _, r := range copies {
-					sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpDelete, Key: k}), ti: -1, group: -1})
+					sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpDelete, Key: k}), ti: -1, group: -1, kind: unitShadow})
 				}
 				dropAfter = append(dropAfter, k)
 				continue
 			}
 			for _, r := range copies {
-				sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpPut, Key: k, Value: v}), ti: -1, group: -1})
+				sc.addUnit(r, routedUnit{ops: sc.shadowOp(Op{Kind: OpPut, Key: k, Value: v}), ti: -1, group: -1, kind: unitShadow})
 			}
 			freshAfter = append(freshAfter, k)
 		}
@@ -716,7 +869,9 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 			if pm.sim[id] {
 				continue
 			}
-			pm.shadowRunUnits(id, sc.perDPU[id], results)
+			if err := pm.shadowRunUnits(id, sc.perDPU[id], results); err != nil {
+				return err
+			}
 		}
 		var simSecs float64
 		simOps := 0
@@ -766,14 +921,199 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 	return nil
 }
 
-// runExecProgram is executeRound's Round program on one simulated DPU:
-// it stripes the DPU's routed units over tasklets by position — grouped
-// units (a conflict group, or the puts of one replicated key) pinned to
-// a single tasklet so they commit in batch order — and relaunches the
-// DPU's persistent tasklet programs.
+// writebackRound is the commit round of the kernel-side commit
+// protocol: one fleet round whose kernels execute the batch's compiled
+// apply programs. Kernel-applied groups run whole transactions —
+// guards, overlay, flush rollback — near their data on their home DPU;
+// multi-owner groups' host-decided puts and deletes run as commit
+// units on their owners, together with the replica-copy deletes the
+// commits imply. Charging follows the execute round's rules: worst
+// per-DPU scatter/gather buckets on the wire (instruction stream +
+// operand tables down, apply results up), real kernel cycles on
+// simulated DPUs, and the calibrated apply-instruction rate — refreshed
+// from every round with simulated work — for unsimulated shadow
+// shards, which also run the same units host-side so outcomes stay
+// exact. Replica directory maintenance is the transfer protocol
+// unchanged: copies of kernel-written keys go stale (their outcome was
+// decided in-kernel) and a later window refreshes or reaps them;
+// copies of host-decided deletes are dropped in-round.
+func (pm *PartitionedMap) writebackRound(txns []Txn, metas []txnMeta, results []TxnResult, state map[uint64]uint64) error {
+	sc := &pm.sc
+	for _, id := range sc.wbTouched {
+		sc.wbPerDPU[id] = sc.wbPerDPU[id][:0]
+		sc.wbInstrBuckets[id] = 0
+	}
+	sc.wbTouched = sc.wbTouched[:0]
+	sc.wbInstrs = sc.wbInstrs[:0]
+	sc.remOps = sc.remOps[:0]
+
+	// Kernel-applied transactions, in batch order; members of one group
+	// share the group root, which pins them to one tasklet.
+	for _, ti := range sc.coordinated {
+		m := &metas[ti]
+		if !m.kernelApply {
+			continue
+		}
+		u := routedUnit{ops: txns[ti].Ops, ti: ti, group: m.root, kind: unitApply}
+		u.prog = sc.compileApply(u.ops)
+		u.rem = sc.remOperands(u.ops, m.home, pm.owner, state)
+		sc.addWbUnit(m.home, u)
+	}
+
+	// Host-prepared commit records of the multi-owner groups: puts of
+	// surviving dirty keys to their owners, deletes for vanished keys
+	// and the replica copies of deleted keys.
+	sc.dirtyKeys = appendMapKeys(sc.dirtyKeys[:0], sc.dirty)
+	dirtyKeys := sc.dirtyKeys
+	wbKeys := dirtyKeys[:0]
+	for _, k := range dirtyKeys {
+		if _, ok := state[k]; ok || sc.startPresent[k] {
+			wbKeys = append(wbKeys, k)
+		}
+	}
+	dropAfter, staleAfter := sc.dropAfter[:0], sc.staleAfter[:0]
+	for _, k := range wbKeys {
+		o := pm.owner(k)
+		if v, ok := state[k]; ok {
+			sc.addWbUnit(o, sc.commitUnit(Op{Kind: OpPut, Key: k, Value: v}))
+			if pm.dir != nil && len(pm.dir.allReplicas(k)) > 0 {
+				// Copies go stale and a later batch refreshes them from
+				// the owner — same protocol as transfers.
+				staleAfter = append(staleAfter, k)
+			}
+			continue
+		}
+		sc.addWbUnit(o, sc.commitUnit(Op{Kind: OpDelete, Key: k}))
+		if pm.dir != nil {
+			for _, r := range pm.dir.allReplicas(k) {
+				sc.addWbUnit(r, sc.commitUnit(Op{Kind: OpDelete, Key: k}))
+			}
+			dropAfter = append(dropAfter, k)
+		}
+	}
+
+	// Copies of kernel-written keys: the write's outcome (guard aborts,
+	// final values) was decided inside the kernel and the host does not
+	// re-derive it, so the copies conservatively go stale; the next
+	// window's refresh restores or reaps them from the owner.
+	if pm.dir != nil {
+		for _, ti := range sc.coordinated {
+			if !metas[ti].kernelApply {
+				continue
+			}
+			for _, op := range txns[ti].Ops {
+				if op.Kind != OpGet && len(pm.dir.allReplicas(op.Key)) > 0 {
+					staleAfter = append(staleAfter, op.Key)
+				}
+			}
+		}
+	}
+	sc.dropAfter, sc.staleAfter = dropAfter, staleAfter
+
+	if len(sc.wbTouched) == 0 {
+		return nil
+	}
+	before := pm.fleet.Stats()
+	slices.Sort(sc.wbTouched)
+	involved := sc.wbTouched
+	maxScatter, maxGather, maxShadowInstrs := 0, 0, 0
+	for _, id := range involved {
+		bytes, instrs, gather := 0, 0, 0
+		for _, u := range sc.wbPerDPU[id] {
+			bytes += len(u.prog)*dpu.ApplyInstrBytes + len(u.rem)*dpu.ApplyOperandBytes
+			instrs += len(u.prog) + len(u.rem)
+			if u.kind == unitApply {
+				gather += 16 * len(u.ops)
+			}
+		}
+		sc.wbInstrBuckets[id] = instrs
+		if bytes > maxScatter {
+			maxScatter = bytes
+		}
+		if gather > maxGather {
+			maxGather = gather
+		}
+		if pm.isShadow(id) && instrs > maxShadowInstrs {
+			maxShadowInstrs = instrs
+		}
+	}
+	spec := RoundSpec{
+		Involved:     len(involved),
+		ScatterBytes: maxScatter,
+		GatherBytes:  maxGather,
+		IDs:          involved,
+		Program:      pm.wbProgFn,
+	}
+	if pm.sampled {
+		simIDs := sc.wbSimIDs[:0]
+		for _, id := range involved {
+			if pm.sim[id] {
+				simIDs = append(simIDs, id)
+			}
+		}
+		sc.wbSimIDs = simIDs
+		spec.IDs = simIDs
+		spec.AnalyticKernelSeconds = dpu.KernelCost{ApplyCyclesPerInstr: pm.applyCycles}.Seconds(0, maxShadowInstrs, 0)
+	}
+	if err := pm.fleet.Round(spec); err != nil {
+		return err
+	}
+	if pm.sampled {
+		for _, id := range involved {
+			if pm.sim[id] {
+				continue
+			}
+			if err := pm.shadowRunUnits(id, sc.wbPerDPU[id], results); err != nil {
+				return err
+			}
+		}
+		var simSecs float64
+		simInstrs := 0
+		for _, id := range sc.wbSimIDs {
+			simSecs += pm.exec[id].lastSeconds
+			simInstrs += sc.wbInstrBuckets[id]
+		}
+		if simInstrs > 0 && simSecs > 0 {
+			pm.applyCycles = simSecs * dpu.DefaultClockHz / float64(simInstrs)
+		}
+	}
+	after := pm.fleet.Stats()
+	pm.BatchPhases.ApplySeconds = after.LaunchSeconds - before.LaunchSeconds
+	if wb := (after.WallSeconds - before.WallSeconds) - pm.BatchPhases.ApplySeconds; wb > 0 {
+		pm.BatchPhases.WritebackSeconds = wb
+	}
+	for _, k := range sc.dropAfter {
+		pm.dir.dropReplicas(k)
+	}
+	for _, k := range sc.staleAfter {
+		pm.dir.markStale(k)
+	}
+	return nil
+}
+
+// runExecProgram and runWbProgram are the Round program values of the
+// execute and writeback rounds on one simulated DPU; both run their
+// unit list through runUnitProgram.
 func (pm *PartitionedMap) runExecProgram(id int, d *dpu.DPU) (float64, error) {
+	return pm.runUnitProgram(id, d, pm.sc.perDPU[id])
+}
+
+func (pm *PartitionedMap) runWbProgram(id int, d *dpu.DPU) (float64, error) {
+	return pm.runUnitProgram(id, d, pm.sc.wbPerDPU[id])
+}
+
+// runUnitProgram stripes one DPU's routed units over tasklets by
+// position — grouped units (a conflict group, or the puts of one
+// replicated key) pinned to a single tasklet so they commit in batch
+// order — and relaunches the DPU's persistent tasklet programs. A
+// commit unit's store-level failure fails the whole round: its write
+// was already decided by the prepare phase, so dropping it would
+// desync the store (the historical host-side writeback was equally
+// loud).
+func (pm *PartitionedMap) runUnitProgram(id int, d *dpu.DPU, units []routedUnit) (float64, error) {
 	e := pm.exec[id]
-	units := pm.sc.perDPU[id]
+	e.units = units
+	e.wbErr = nil
 	d.ResetRun()
 	n := pm.tasklets
 	if n > len(units) {
@@ -801,6 +1141,9 @@ func (pm *PartitionedMap) runExecProgram(id int, d *dpu.DPU) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("host: batch on dpu %d: %w", id, err)
 	}
+	if e.wbErr != nil {
+		return 0, fmt.Errorf("host: writeback commit on dpu %d: %w", id, e.wbErr)
+	}
 	secs := d.Seconds(cycles)
 	e.lastSeconds = secs
 	return secs, nil
@@ -808,20 +1151,29 @@ func (pm *PartitionedMap) runExecProgram(id int, d *dpu.DPU) (float64, error) {
 
 // runTasklet is the body of one persistent tasklet program: it runs the
 // slot's share of the DPU's routed units against the on-DPU map through
-// the slot's reusable STM descriptor.
+// the slot's reusable STM descriptor. Writeback-round units carry a
+// compiled apply program: the kernel charges one MRAM instruction fetch
+// per ApplyInstr, decodes the program, and for kernel-applied units
+// evaluates the decoded ops through the kernelView — remote keys from
+// the scattered operand table (paying the operand fetch), home keys
+// from this DPU's own partition.
 func (e *dpuExec) runTasklet(ti int, t *dpu.Tasklet) {
 	pm := e.pm
 	m := pm.maps[e.id]
-	units := pm.sc.perDPU[e.id]
+	units := e.units
 	results := pm.sc.curResults
 	tx := e.txFor(ti, t)
 	es := &e.eval[ti]
 	es.view.m, es.view.tx = m, tx
 	for _, j := range e.lists[ti] {
 		u := units[j]
+		for range u.prog {
+			t.FetchApplyInstr()
+		}
 		if u.ti < 0 || (len(u.ops) == 1 && !isRMW(u.ops[0].Kind)) {
-			// Plain single op (or shadow): one STM transaction per op,
-			// the PR 2 path.
+			// Plain single op (shadow, commit record, or a group member
+			// whose sole op needs no overlay): one STM transaction per
+			// op, the PR 2 path.
 			op := u.ops[0]
 			var res OpResult
 			switch op.Kind {
@@ -844,9 +1196,16 @@ func (e *dpuExec) runTasklet(ti int, t *dpu.Tasklet) {
 				results[u.ti].Committed = res.Err == nil
 				results[u.ti].Err = res.Err
 			} else if res.Err != nil {
-				pm.shadowMu.Lock()
-				pm.sc.shadowFailed[op.Key] = true
-				pm.shadowMu.Unlock()
+				if u.kind == unitCommit {
+					// Prepared writes must land; see runUnitProgram.
+					// Tasklets of one DPU serialize cooperatively, so the
+					// per-DPU field needs no lock.
+					e.wbErr = res.Err
+				} else {
+					pm.shadowMu.Lock()
+					pm.sc.shadowFailed[op.Key] = true
+					pm.shadowMu.Unlock()
+				}
 			}
 			continue
 		}
@@ -855,6 +1214,14 @@ func (e *dpuExec) runTasklet(ti int, t *dpu.Tasklet) {
 		// flush the overlay. A flush failure (a partition out of
 		// capacity) rolls the already-flushed writes back to their
 		// pre-txn images, so the abort stays all-or-nothing.
+		ops := u.ops
+		var lk keyLookup = &es.view
+		if u.kind == unitApply {
+			ops = es.decodeProg(u.prog)
+			es.kview.rem = u.rem
+			es.kview.t = t
+			lk = &es.kview
+		}
 		res := results[u.ti].Results
 		var committed bool
 		var flushErr error
@@ -864,7 +1231,8 @@ func (e *dpuExec) runTasklet(ti int, t *dpu.Tasklet) {
 				res[r] = OpResult{}
 			}
 			es.view.tx = tx
-			order, ok := es.run(u.ops, res, &es.view)
+			es.kview.local = es.view
+			order, ok := es.run(ops, res, lk)
 			committed = ok
 			if !ok {
 				return
@@ -910,8 +1278,11 @@ func (e *dpuExec) runTasklet(ti int, t *dpu.Tasklet) {
 // Results, guarded aborts, capacity failures and flush rollbacks are
 // computed exactly as the tasklet path computes them; only the cycle
 // cost is skipped, because the round already charged this bucket
-// analytically.
-func (pm *PartitionedMap) shadowRunUnits(id int, units []routedUnit, results []TxnResult) {
+// analytically. Kernel-applied units resolve their remote keys through
+// the same operand-table-first view the kernels use (compile∘decode is
+// the identity, so the shard executes the original ops directly), and a
+// commit unit's store failure is as loud here as on a simulated DPU.
+func (pm *PartitionedMap) shadowRunUnits(id int, units []routedUnit, results []TxnResult) error {
 	sc := &pm.sc
 	for _, u := range units {
 		if u.ti < 0 || (len(u.ops) == 1 && !isRMW(u.ops[0].Kind)) {
@@ -931,15 +1302,24 @@ func (pm *PartitionedMap) shadowRunUnits(id int, units []routedUnit, results []T
 				results[u.ti].Committed = res.Err == nil
 				results[u.ti].Err = res.Err
 			} else if res.Err != nil {
+				if u.kind == unitCommit {
+					return fmt.Errorf("host: writeback commit on dpu %d: %w", id, res.Err)
+				}
 				sc.shadowFailed[op.Key] = true
 			}
 			continue
+		}
+		var lk keyLookup = stateLookup(pm.shadow[id])
+		if u.kind == unitApply {
+			sc.shadowRem.rem = u.rem
+			sc.shadowRem.next = pm.shadow[id]
+			lk = &sc.shadowRem
 		}
 		res := results[u.ti].Results
 		for r := range res {
 			res[r] = OpResult{}
 		}
-		order, ok := sc.eval.run(u.ops, res, stateLookup(pm.shadow[id]))
+		order, ok := sc.eval.run(u.ops, res, lk)
 		var flushErr error
 		if ok {
 			flushed := 0
@@ -970,4 +1350,5 @@ func (pm *PartitionedMap) shadowRunUnits(id int, units []routedUnit, results []T
 		results[u.ti].Committed = ok && flushErr == nil
 		results[u.ti].Err = flushErr
 	}
+	return nil
 }

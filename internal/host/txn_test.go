@@ -551,3 +551,119 @@ func TestApplyTxnsEmpty(t *testing.T) {
 		t.Fatalf("empty txn: %v %v", res, err)
 	}
 }
+
+// TestKernelCommitProtocol pins the kernel-side commit's observable
+// protocol: a conflict group whose write set lives on one DPU takes the
+// kernel-apply fast path (gather + commit round, apply cycles charged
+// on-DPU), guard aborts roll back inside the kernel, a group writing
+// across owners pays the same two rounds through the prepare/commit
+// protocol, and the coordinateAll compatibility mode still applies
+// host-side for free (its ApplySeconds stays zero — the honesty caveat
+// the phase split exists to expose).
+func TestKernelCommitProtocol(t *testing.T) {
+	pm := newPM(t, 4)
+	// w and w2 share an owner (the write set's home); r lives elsewhere
+	// (the cross-DPU read that forces coordination).
+	w := uint64(0)
+	home := pm.owner(w)
+	w2, r := w, w
+	for w2 == w || pm.owner(w2) != home {
+		w2++
+	}
+	for pm.owner(r) == home {
+		r++
+	}
+	if _, err := pm.ApplyBatch([]Op{
+		{Kind: OpPut, Key: w, Value: 100},
+		{Kind: OpPut, Key: w2, Value: 200},
+		{Kind: OpPut, Key: r, Value: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-owner write set + remote read: kernel-applied, two rounds.
+	before := pm.Stats()
+	res, err := pm.ApplyTxns([]Txn{{Ops: []Op{
+		{Kind: OpAdd, Key: w, Value: 1},
+		{Kind: OpPut, Key: w2, Value: 201},
+		{Kind: OpGet, Key: r},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Committed || res[0].Results[0].Value != 101 || res[0].Results[2].Value != 7 {
+		t.Fatalf("kernel-applied txn: %+v", res[0])
+	}
+	if got := pm.Stats().Rounds - before.Rounds; got != 2 {
+		t.Fatalf("kernel-applied txn took %d rounds, want 2 (gather + commit)", got)
+	}
+	ph := pm.BatchPhases
+	if ph.GatherSeconds <= 0 || ph.ApplySeconds <= 0 || ph.WritebackSeconds <= 0 {
+		t.Fatalf("kernel-applied phase split degenerate: %+v", ph)
+	}
+	if va, _ := pm.Get(w); va != 101 {
+		t.Fatalf("w = %d", va)
+	}
+	if vb, _ := pm.Get(w2); vb != 201 {
+		t.Fatalf("w2 = %d", vb)
+	}
+
+	// A failing guard aborts inside the kernel: nothing applies.
+	res, err = pm.ApplyTxns([]Txn{{Ops: []Op{
+		{Kind: OpSub, Key: w, Value: 1000}, // underflows
+		{Kind: OpPut, Key: w2, Value: 999},
+		{Kind: OpGet, Key: r},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Committed || res[0].Err != nil {
+		t.Fatalf("underflowing kernel-applied txn: %+v", res[0])
+	}
+	if va, _ := pm.Get(w); va != 101 {
+		t.Fatalf("aborted txn mutated w: %d", va)
+	}
+	if vb, _ := pm.Get(w2); vb != 201 {
+		t.Fatalf("aborted txn mutated w2: %d", vb)
+	}
+
+	// Writes spanning owners: the two-round multi-owner prepare/commit,
+	// also charging apply cycles (the commit units run in-kernel).
+	before = pm.Stats()
+	res, err = pm.ApplyTxns([]Txn{{Ops: []Op{
+		{Kind: OpSub, Key: w, Value: 10},
+		{Kind: OpAdd, Key: r, Value: 10},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Committed {
+		t.Fatalf("multi-owner txn: %+v", res[0])
+	}
+	if got := pm.Stats().Rounds - before.Rounds; got != 2 {
+		t.Fatalf("multi-owner txn took %d rounds, want 2 (prepare + commit)", got)
+	}
+	ph = pm.BatchPhases
+	if ph.GatherSeconds <= 0 || ph.ApplySeconds <= 0 || ph.WritebackSeconds <= 0 {
+		t.Fatalf("multi-owner phase split degenerate: %+v", ph)
+	}
+	if va, _ := pm.Get(w); va != 91 {
+		t.Fatalf("w = %d", va)
+	}
+	if vr, _ := pm.Get(r); vr != 17 {
+		t.Fatalf("r = %d", vr)
+	}
+
+	// coordinateAll (ApplyTransfers) keeps the historical host-applied
+	// writeback: gather and writeback are paid, apply cycles are not.
+	if ok, err := pm.TransferBetween(w, r, 5); err != nil || !ok {
+		t.Fatalf("transfer: %v %v", ok, err)
+	}
+	ph = pm.BatchPhases
+	if ph.GatherSeconds <= 0 || ph.WritebackSeconds <= 0 {
+		t.Fatalf("transfer phase split degenerate: %+v", ph)
+	}
+	if ph.ApplySeconds != 0 {
+		t.Fatalf("coordinateAll charged apply cycles %g, want 0 (host-applied)", ph.ApplySeconds)
+	}
+}
