@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify fmt vet build test race bench bench-diff multidpu serve serve-smoke rebalance rebalance-smoke txnserve txnserve-smoke schedserve-smoke scale scale-smoke ci
+.PHONY: all verify fmt vet build test race bench bench-diff multidpu serve serve-smoke rebalance rebalance-smoke splitserve-smoke txnserve txnserve-smoke schedserve-smoke scale scale-smoke ci
 
 all: ci
 
@@ -57,12 +57,27 @@ rebalance:
 	$(GO) run ./cmd/pimstm-bench -experiment rebalance
 
 # Short-mode rebalance invocation so the experiment can't rot in CI:
-# tiny fleet, one skewed scenario, no artifact written.
+# tiny fleet, one skewed scenario (uniform grid only), no artifact
+# written. The bench-diff schema gate fails the target when the
+# committed artifact lags the policy-axis schema bump.
 rebalance-smoke:
+	$(GO) run ./cmd/bench-diff -require-schema 2 BENCH_rebalance.json
 	$(GO) run ./cmd/pimstm-bench -experiment rebalance \
 		-rebal-dpus 4 -rebal-skews 1.2 -rebal-reads 99 \
+		-rebal-cells uniform \
 		-rebal-rate 1200000 -rebal-ops 7680 -rebal-keys 2560 \
 		-rebal-batch 768 -rebal-out ""
+
+# Short-mode split-key serving smoke so the split policy can't rot in
+# CI: the hot write-heavy counter cell (the smallest ablation cell that
+# exercises split + reconciliation end to end) plus the differential
+# reconciliation invariant across placement × scheduler × Sample.
+splitserve-smoke:
+	$(GO) run ./cmd/pimstm-bench -experiment rebalance \
+		-rebal-dpus 4 -rebal-cells hot -rebal-policies migrate,split \
+		-rebal-rate 1200000 -rebal-ops 7680 -rebal-keys 2560 \
+		-rebal-batch 768 -rebal-out ""
+	$(GO) test ./internal/host/ -run TestDifferentialSplitReconcile -count=1
 
 # Regenerate the machine-readable multi-key transaction serving sweep.
 txnserve:
@@ -102,4 +117,4 @@ scale-smoke:
 	$(GO) run ./cmd/pimstm-bench -experiment scale \
 		-scale-dpus 64,256 -scale-budget-s 60 -scale-out ""
 
-ci: fmt vet build race serve-smoke rebalance-smoke txnserve-smoke schedserve-smoke scale-smoke
+ci: fmt vet build race serve-smoke rebalance-smoke splitserve-smoke txnserve-smoke schedserve-smoke scale-smoke

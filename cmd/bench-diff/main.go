@@ -9,18 +9,22 @@
 //
 // Usage:
 //
-//	bench-diff OLD.json NEW.json
+//	bench-diff [-top N] OLD.json NEW.json
 //	bench-diff -require-schema N FILE.json
 //
-// The second form only checks FILE's schema_version against N and exits
-// non-zero on mismatch; CI smoke targets use it to fail fast when a
-// committed artifact lags a schema bump.
+// -top N prints only the N matched cells with the largest relative p99
+// change (regressions and improvements alike), worst first — the
+// triage view for artifacts with dozens of cells. The second form only
+// checks FILE's schema_version against N and exits non-zero on
+// mismatch; CI smoke targets use it to fail fast when a committed
+// artifact lags a schema bump.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -38,10 +42,10 @@ type report struct {
 // identify a cell. Only keys present in a row contribute to its key, so
 // the same list serves serve, rebalance, txnserve and scale artifacts.
 var idKeys = []string{
-	"dpus", "simulated_dpus", "algorithm", "scheduler", "txn_size",
-	"cross_dpu_frac", "zipf_s", "read_pct", "rate_txns_per_s",
-	"rate_ops_per_s", "txns", "ops", "keys", "max_batch", "max_delay_s",
-	"ops_per_batch",
+	"dpus", "simulated_dpus", "algorithm", "scheduler", "policy",
+	"txn_size", "cross_dpu_frac", "zipf_s", "read_pct", "hot_keys",
+	"hot_write_frac", "rate_txns_per_s", "rate_ops_per_s", "txns", "ops",
+	"keys", "max_batch", "max_delay_s", "ops_per_batch",
 }
 
 func cellKey(row map[string]any) string {
@@ -87,7 +91,15 @@ func deltaPct(old, new float64) string {
 	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 }
 
-func diff(oldPath, newPath string) error {
+// matchedCell is one paired row with its rendered line and the relative
+// p99 change used by -top ranking (0 when either side lacks p99_s).
+type matchedCell struct {
+	line   string
+	p99Rel float64
+	hasP99 bool
+}
+
+func diff(oldPath, newPath string, top int) error {
 	oldR, err := load(oldPath)
 	if err != nil {
 		return err
@@ -114,7 +126,7 @@ func diff(oldPath, newPath string) error {
 		len(oldR.Scenarios), len(newR.Scenarios))
 
 	var unmatched []string
-	matched := 0
+	var cells []matchedCell
 	for _, row := range newR.Scenarios {
 		key := cellKey(row)
 		old, ok := oldCells[key]
@@ -123,25 +135,46 @@ func diff(oldPath, newPath string) error {
 			continue
 		}
 		delete(oldCells, key)
-		matched++
-		line := fmt.Sprintf("  %s:", key)
+		cell := matchedCell{line: fmt.Sprintf("  %s:", key)}
 		any := false
 		if no, okO := metric(old, "ops_per_s"); okO {
 			if nn, okN := metric(row, "ops_per_s"); okN {
-				line += fmt.Sprintf(" ops/s %.0f → %.0f (%s)", no, nn, deltaPct(no, nn))
+				cell.line += fmt.Sprintf(" ops/s %.0f → %.0f (%s)", no, nn, deltaPct(no, nn))
 				any = true
 			}
 		}
 		if po, okO := metric(old, "p99_s"); okO {
 			if pn, okN := metric(row, "p99_s"); okN {
-				line += fmt.Sprintf("  p99 %.3fms → %.3fms (%s)", po*1e3, pn*1e3, deltaPct(po, pn))
+				cell.line += fmt.Sprintf("  p99 %.3fms → %.3fms (%s)", po*1e3, pn*1e3, deltaPct(po, pn))
 				any = true
+				if po != 0 {
+					cell.p99Rel = (pn - po) / po
+					cell.hasP99 = true
+				}
 			}
 		}
 		if !any {
-			line += " (no ops_per_s/p99_s fields to compare)"
+			cell.line += " (no ops_per_s/p99_s fields to compare)"
 		}
-		fmt.Println(line)
+		cells = append(cells, cell)
+	}
+	matched := len(cells)
+	if top > 0 {
+		// Worst tail-latency regressions first: the cells a perf change
+		// most needs eyes on. Cells without a p99 on both sides sort last.
+		sort.SliceStable(cells, func(i, j int) bool {
+			if cells[i].hasP99 != cells[j].hasP99 {
+				return cells[i].hasP99
+			}
+			return math.Abs(cells[i].p99Rel) > math.Abs(cells[j].p99Rel)
+		})
+		if len(cells) > top {
+			fmt.Printf("  (top %d of %d matched cells by |p99| change)\n", top, len(cells))
+			cells = cells[:top]
+		}
+	}
+	for _, c := range cells {
+		fmt.Println(c.line)
 	}
 	for key := range oldCells {
 		unmatched = append(unmatched, key+" (only in old)")
@@ -162,8 +195,10 @@ func diff(oldPath, newPath string) error {
 func main() {
 	requireSchema := flag.Int("require-schema", 0,
 		"check that FILE's schema_version equals N and exit (no diff)")
+	top := flag.Int("top", 0,
+		"print only the N matched cells with the largest relative p99 change (0 = all, in artifact order)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bench-diff OLD.json NEW.json\n"+
+		fmt.Fprintf(os.Stderr, "usage: bench-diff [-top N] OLD.json NEW.json\n"+
 			"       bench-diff -require-schema N FILE.json\n")
 		flag.PrintDefaults()
 	}
@@ -193,7 +228,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := diff(flag.Arg(0), flag.Arg(1)); err != nil {
+	if err := diff(flag.Arg(0), flag.Arg(1), *top); err != nil {
 		fmt.Fprintln(os.Stderr, "bench-diff:", err)
 		os.Exit(1)
 	}

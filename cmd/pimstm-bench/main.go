@@ -35,12 +35,17 @@
 // for pipelined and lockstep transfers to -serve-out (default
 // BENCH_serve.json). Same seed ⇒ byte-identical artifact.
 //
-// The rebalance experiment compares the static hash placement against
-// the Directory placement with the hot-key Rebalancer in the loop,
-// sweeping fleet size (-rebal-dpus) × Zipf skew (-rebal-skews) × read
-// mix (-rebal-reads) at one open-loop rate (-rebal-rate), and writes
-// ops/s plus latency percentiles per placement to -rebal-out (default
-// BENCH_rebalance.json). Same seed ⇒ byte-identical artifact.
+// The rebalance experiment is the placement-policy ablation: it sweeps
+// fleet size (-rebal-dpus) × traffic cell × control-plane policy
+// (-rebal-policies: none, replicate, migrate, split) at one open-loop
+// rate (-rebal-rate) and writes one row per (fleet, cell, policy) to
+// -rebal-out (default BENCH_rebalance.json). The cells (-rebal-cells:
+// all, uniform, hot) are the classic Zipf × read-mix grid
+// (-rebal-skews × -rebal-reads) plus a hot write-heavy counter cell
+// (-rebal-hot-keys shared counters taking -rebal-hot-write of the
+// arrivals as commutative adds) — the Doppel-style contention that
+// migration cannot fix and split-key execution can. Same seed ⇒
+// byte-identical artifact.
 //
 // The txnserve experiment serves open-loop multi-key transactions
 // through the Txn front-end, sweeping fleet size (-txn-dpus) ×
@@ -120,16 +125,20 @@ func main() {
 		serveSeed    = flag.Uint64("serve-seed", 1, "traffic seed for serve")
 		serveOut     = flag.String("serve-out", "BENCH_serve.json", "serve JSON artifact path (empty = don't write)")
 
-		rebalDPUs   = flag.String("rebal-dpus", "4,8", "comma-separated fleet sizes for rebalance")
-		rebalSkews  = flag.String("rebal-skews", "0,1.2", "comma-separated Zipf exponents for rebalance (0 = uniform)")
-		rebalReads  = flag.String("rebal-reads", "99,50", "comma-separated read percentages for rebalance")
-		rebalRate   = flag.Float64("rebal-rate", 3e6, "open-loop arrival rate for rebalance (ops per modeled second)")
-		rebalOps    = flag.Int("rebal-ops", 38400, "operations per rebalance scenario")
-		rebalKeys   = flag.Int("rebal-keys", 10240, "distinct keys in the rebalance traffic")
-		rebalBatch  = flag.Int("rebal-batch", 2560, "submitter MaxBatch for rebalance")
-		rebalWindow = flag.Int("rebal-window", 3, "rebalancer decision window in batches")
-		rebalSeed   = flag.Uint64("rebal-seed", 1, "traffic seed for rebalance")
-		rebalOut    = flag.String("rebal-out", "BENCH_rebalance.json", "rebalance JSON artifact path (empty = don't write)")
+		rebalDPUs     = flag.String("rebal-dpus", "4,8", "comma-separated fleet sizes for rebalance")
+		rebalSkews    = flag.String("rebal-skews", "0,1.2", "comma-separated Zipf exponents for rebalance (0 = uniform)")
+		rebalReads    = flag.String("rebal-reads", "99,50", "comma-separated read percentages for rebalance")
+		rebalPolicies = flag.String("rebal-policies", "none,replicate,migrate,split", "comma-separated control-plane policies for rebalance")
+		rebalCells    = flag.String("rebal-cells", "all", "rebalance cell families: all, uniform (Zipf × read-mix grid) or hot (counter cell)")
+		rebalHotKeys  = flag.Int("rebal-hot-keys", 1, "shared counters in the hot rebalance cell")
+		rebalHotWrite = flag.Float64("rebal-hot-write", 0.9, "fraction of hot-cell arrivals that are commutative counter adds")
+		rebalRate     = flag.Float64("rebal-rate", 3e6, "open-loop arrival rate for rebalance (ops per modeled second)")
+		rebalOps      = flag.Int("rebal-ops", 38400, "operations per rebalance scenario")
+		rebalKeys     = flag.Int("rebal-keys", 10240, "distinct keys in the rebalance traffic")
+		rebalBatch    = flag.Int("rebal-batch", 2560, "submitter MaxBatch for rebalance")
+		rebalWindow   = flag.Int("rebal-window", 1, "rebalancer decision window in batches")
+		rebalSeed     = flag.Uint64("rebal-seed", 1, "traffic seed for rebalance")
+		rebalOut      = flag.String("rebal-out", "BENCH_rebalance.json", "rebalance JSON artifact path (empty = don't write)")
 
 		txnDPUs    = flag.String("txn-dpus", "2,8", "comma-separated fleet sizes for txnserve")
 		txnAlgs    = flag.String("txn-algs", "norec", "comma-separated STM algorithms for txnserve")
@@ -291,6 +300,10 @@ func main() {
 			}
 		case "rebalance":
 			ropt := rebalanceOptions{
+				Cells:         *rebalCells,
+				Policies:      parseStrings(*rebalPolicies),
+				HotKeys:       *rebalHotKeys,
+				HotWriteFrac:  *rebalHotWrite,
 				Rate:          *rebalRate,
 				Ops:           *rebalOps,
 				Keyspace:      *rebalKeys,

@@ -10,24 +10,47 @@ import (
 	"pimstm/internal/host"
 )
 
-// rebalanceOptions parameterize the skew-adaptive placement sweep:
-// fleet size × key-popularity skew × read mix, each cell served twice
-// through the pipelined adaptive batcher — once on the static hash
-// placement, once on a Directory placement with the Rebalancer in the
-// loop — at the same open-loop arrival rate.
+// rebalanceOptions parameterize the placement-policy ablation: fleet
+// size × traffic cell × control-plane policy, every cell served through
+// the pipelined adaptive batcher at the same open-loop arrival rate.
+//
+// The policy axis isolates each remedy of the Rebalancer:
+//
+//	none       static hash, no control plane — the baseline
+//	replicate  every hot key is promoted to read replicas
+//	migrate    every hot key is migrated to the least-loaded DPU
+//	split      migrate, plus commutative hot keys enter split-key
+//	           execution (per-DPU delta shards, epoch reconciliation)
+//
+// The cell axis holds the uniform/skewed read-mix grid of the original
+// experiment (no hot counters, so the split policy is provably inert
+// there — the sweep verifies its rows byte-identical to migrate's) plus
+// one hot write-heavy counter cell: uniform background traffic with
+// HotWriteFrac of the arrivals hammering HotKeys shared counters with
+// commutative adds — the Doppel-style contention that migration cannot
+// fix (the bottleneck kernel just moves) and splitting can.
 //
 // The interesting regime is kernel-bound batches: MaxBatch is sized so
-// a Zipf-skewed batch's worst-case per-DPU bucket costs more kernel
-// time than the ~600 µs of transfer handshakes, which is exactly when
-// spreading hot reads over replicas and migrating hot keys off the
-// hottest DPU buys modeled throughput and tail latency.
+// a skewed batch's worst-case per-DPU bucket costs more kernel time
+// than the ~600 µs of transfer handshakes, which is when spreading the
+// load — replicas, migrations, or delta shards — buys modeled
+// throughput and tail latency.
 type rebalanceOptions struct {
 	// Fleets lists the DPU counts to sweep.
 	Fleets []int
-	// Skews are Zipf key-popularity exponents (0 = uniform).
+	// Skews are Zipf key-popularity exponents for the uniform-grid
+	// cells (0 = uniform).
 	Skews []float64
-	// ReadPcts lists the read mixes.
+	// ReadPcts lists the read mixes of the uniform-grid cells.
 	ReadPcts []int
+	// Policies selects the control-plane arms (default all four).
+	Policies []string
+	// Cells selects the cell families: "all", "uniform" (the classic
+	// grid only) or "hot" (the counter cell only).
+	Cells string
+	// HotKeys and HotWriteFrac shape the hot counter cell.
+	HotKeys      int
+	HotWriteFrac float64
 	// Rate is the open-loop arrival rate in ops per modeled second.
 	Rate float64
 	// Ops per scenario and the Keyspace they draw from.
@@ -54,6 +77,22 @@ func (o *rebalanceOptions) fill() {
 	if len(o.ReadPcts) == 0 {
 		o.ReadPcts = []int{99, 50}
 	}
+	if len(o.Policies) == 0 {
+		o.Policies = []string{"none", "replicate", "migrate", "split"}
+	}
+	if o.Cells == "" {
+		o.Cells = "all"
+	}
+	if o.HotKeys == 0 {
+		// One counter: the canonical Doppel bottleneck. Migration can
+		// spread several hot keys across the fleet, but a single hot
+		// counter pins one DPU's kernel no matter where it lives —
+		// only splitting dissolves it.
+		o.HotKeys = 1
+	}
+	if o.HotWriteFrac == 0 {
+		o.HotWriteFrac = 0.9
+	}
 	if o.Rate == 0 {
 		o.Rate = 3e6
 	}
@@ -73,7 +112,11 @@ func (o *rebalanceOptions) fill() {
 		o.MaxDelaySeconds = 2e-3
 	}
 	if o.WindowBatches == 0 {
-		o.WindowBatches = 3
+		// One batch per decision window: the ablation studies where each
+		// remedy's steady state lands, so the control plane reacts at
+		// batch granularity instead of spending a fifth of the run
+		// undecided (a 2560-op batch is plenty of window statistics).
+		o.WindowBatches = 1
 	}
 	if o.Tasklets == 0 {
 		o.Tasklets = 11
@@ -83,40 +126,43 @@ func (o *rebalanceOptions) fill() {
 	}
 }
 
-// rebalancePlacement is one placement's modeled outcome of a cell.
-type rebalancePlacement struct {
+// rebalanceCell is one traffic shape of the sweep.
+type rebalanceCell struct {
+	skew    float64
+	readPct int
+	hotKeys int
+	hotFrac float64
+}
+
+// rebalanceScenario is one (fleet, cell, policy) row of
+// BENCH_rebalance.json — schema 2 flattened the old per-cell
+// static/directory pair into one row per policy so the policy axis can
+// grow without another schema bump.
+type rebalanceScenario struct {
+	DPUs          int     `json:"dpus"`
+	Policy        string  `json:"policy"`
+	ReadPct       int     `json:"read_pct"`
+	ZipfS         float64 `json:"zipf_s"`
+	HotKeys       int     `json:"hot_keys"`
+	HotWriteFrac  float64 `json:"hot_write_frac"`
+	RatePerSecond float64 `json:"rate_ops_per_s"`
+	Ops           int     `json:"ops"`
+	MaxBatch      int     `json:"max_batch"`
+
 	OpsPerSecond float64 `json:"ops_per_s"`
 	P50Seconds   float64 `json:"p50_s"`
 	P95Seconds   float64 `json:"p95_s"`
 	P99Seconds   float64 `json:"p99_s"`
 	Batches      int     `json:"batches"`
 	Makespan     float64 `json:"makespan_s"`
-}
 
-// rebalanceControl reports what the control plane did in a cell.
-type rebalanceControl struct {
 	WindowsEvaluated int `json:"windows_evaluated"`
 	WindowsActed     int `json:"windows_acted"`
 	KeysReplicated   int `json:"keys_replicated"`
 	KeysMigrated     int `json:"keys_migrated"`
-}
-
-// rebalanceScenario is one machine-readable cell of
-// BENCH_rebalance.json.
-type rebalanceScenario struct {
-	DPUs          int                `json:"dpus"`
-	ReadPct       int                `json:"read_pct"`
-	ZipfS         float64            `json:"zipf_s"`
-	RatePerSecond float64            `json:"rate_ops_per_s"`
-	Ops           int                `json:"ops"`
-	MaxBatch      int                `json:"max_batch"`
-	Static        rebalancePlacement `json:"static"`
-	Directory     rebalancePlacement `json:"directory"`
-	Control       rebalanceControl   `json:"control"`
-	// P99Gain is static p99 over directory p99, OpsGain directory
-	// ops/s over static ops/s (> 1 = adaptive placement wins).
-	P99Gain float64 `json:"p99_gain"`
-	OpsGain float64 `json:"ops_gain"`
+	KeysSplit        int `json:"keys_split"`
+	KeysUnsplit      int `json:"keys_unsplit"`
+	SplitReconciles  int `json:"split_reconciles"`
 }
 
 // rebalanceReport is the top-level JSON artifact.
@@ -126,99 +172,160 @@ type rebalanceReport struct {
 	Scenarios     []rebalanceScenario `json:"scenarios"`
 }
 
-// runRebalanceCell serves one cell's trace under both placements.
-func runRebalanceCell(dpus int, skew float64, readPct int, opt rebalanceOptions) (rebalanceScenario, error) {
-	serve := func(placement host.Placement, reb *host.RebalancerConfig) (host.ServeResult, error) {
-		return host.Serve(host.ServeConfig{
-			Map: host.PartitionedMapConfig{
-				DPUs: dpus, Tasklets: opt.Tasklets,
-				STM:       core.Config{Algorithm: core.NOrec},
-				Mode:      host.Pipelined,
-				Placement: placement,
-			},
-			Submit: host.SubmitterConfig{
-				MaxBatch:        opt.MaxBatch,
-				MaxDelaySeconds: opt.MaxDelaySeconds,
-			},
-			Traffic: host.TrafficConfig{
-				Ops: opt.Ops, Rate: opt.Rate, ReadPct: readPct,
-				Keyspace: opt.Keyspace, ZipfS: skew, Seed: opt.Seed,
-			},
-			Rebalance: reb,
-		})
+// rebalanceSchemaVersion bumps when row identity or fields change:
+// v2 = policy-axis rows (none/replicate/migrate/split) with the
+// hot-counter cell knobs in the identity.
+const rebalanceSchemaVersion = 2
+
+// policyRebalance maps a policy arm to its placement + control plane.
+func policyRebalance(policy string, dpus int, opt rebalanceOptions) (host.Placement, *host.RebalancerConfig, error) {
+	if policy == "none" {
+		return nil, nil, nil
 	}
-	static, err := serve(nil, nil)
-	if err != nil {
-		return rebalanceScenario{}, err
+	cfg := host.KernelBoundServingRebalance(opt.WindowBatches)
+	switch policy {
+	case "replicate":
+		cfg.ReplicateMaxWriteShare = 1.0
+	case "migrate":
+		// Effectively zero: every hot key is write-heavy enough to move.
+		cfg.ReplicateMaxWriteShare = 1e-9
+	case "split":
+		cfg.ReplicateMaxWriteShare = 1e-9
+		cfg.SplitMinAddShare = 0.5
+	default:
+		return nil, nil, fmt.Errorf("unknown rebalance policy %q (want none, replicate, migrate or split)", policy)
 	}
-	rebCfg := host.KernelBoundServingRebalance(opt.WindowBatches)
-	adaptive, err := serve(host.NewDirectory(dpus), &rebCfg)
-	if err != nil {
-		return rebalanceScenario{}, err
-	}
-	if static.Errors > 0 || adaptive.Errors > 0 {
-		return rebalanceScenario{}, fmt.Errorf("%d/%d ops errored", static.Errors+adaptive.Errors, 2*opt.Ops)
-	}
-	pack := func(r host.ServeResult) rebalancePlacement {
-		return rebalancePlacement{
-			OpsPerSecond: r.OpsPerSecond,
-			P50Seconds:   r.P50, P95Seconds: r.P95, P99Seconds: r.P99,
-			Batches: r.Batches, Makespan: r.MakespanSeconds,
-		}
-	}
-	sc := rebalanceScenario{
-		DPUs: dpus, ReadPct: readPct, ZipfS: skew,
-		RatePerSecond: opt.Rate, Ops: opt.Ops, MaxBatch: opt.MaxBatch,
-		Static: pack(static), Directory: pack(adaptive),
-		Control: rebalanceControl{
-			WindowsEvaluated: adaptive.Rebalance.WindowsEvaluated,
-			WindowsActed:     adaptive.Rebalance.WindowsActed,
-			KeysReplicated:   adaptive.Rebalance.KeysReplicated,
-			KeysMigrated:     adaptive.Rebalance.KeysMigrated,
-		},
-	}
-	if adaptive.P99 > 0 {
-		sc.P99Gain = static.P99 / adaptive.P99
-	}
-	if static.OpsPerSecond > 0 {
-		sc.OpsGain = adaptive.OpsPerSecond / static.OpsPerSecond
-	}
-	return sc, nil
+	return host.NewDirectory(dpus), &cfg, nil
 }
 
-// runRebalance sweeps fleet × skew × read mix, renders the table to w,
-// and writes BENCH_rebalance.json when opt.Out is set.
+// runRebalanceCell serves one cell's trace under one policy.
+func runRebalanceCell(dpus int, cell rebalanceCell, policy string, opt rebalanceOptions) (rebalanceScenario, error) {
+	placement, reb, err := policyRebalance(policy, dpus, opt)
+	if err != nil {
+		return rebalanceScenario{}, err
+	}
+	res, err := host.Serve(host.ServeConfig{
+		Map: host.PartitionedMapConfig{
+			DPUs: dpus, Tasklets: opt.Tasklets,
+			STM:       core.Config{Algorithm: core.NOrec},
+			Mode:      host.Pipelined,
+			Placement: placement,
+		},
+		Submit: host.SubmitterConfig{
+			MaxBatch:        opt.MaxBatch,
+			MaxDelaySeconds: opt.MaxDelaySeconds,
+		},
+		Traffic: host.TrafficConfig{
+			Ops: opt.Ops, Rate: opt.Rate, ReadPct: cell.readPct,
+			Keyspace: opt.Keyspace, ZipfS: cell.skew, Seed: opt.Seed,
+			HotKeys: cell.hotKeys, HotWriteFrac: cell.hotFrac,
+		},
+		Rebalance: reb,
+	})
+	if err != nil {
+		return rebalanceScenario{}, err
+	}
+	if res.Errors > 0 {
+		return rebalanceScenario{}, fmt.Errorf("%d/%d ops errored", res.Errors, opt.Ops)
+	}
+	return rebalanceScenario{
+		DPUs: dpus, Policy: policy,
+		ReadPct: cell.readPct, ZipfS: cell.skew,
+		HotKeys: cell.hotKeys, HotWriteFrac: cell.hotFrac,
+		RatePerSecond: opt.Rate, Ops: opt.Ops, MaxBatch: opt.MaxBatch,
+		OpsPerSecond: res.OpsPerSecond,
+		P50Seconds:   res.P50, P95Seconds: res.P95, P99Seconds: res.P99,
+		Batches: res.Batches, Makespan: res.MakespanSeconds,
+		WindowsEvaluated: res.Rebalance.WindowsEvaluated,
+		WindowsActed:     res.Rebalance.WindowsActed,
+		KeysReplicated:   res.Rebalance.KeysReplicated,
+		KeysMigrated:     res.Rebalance.KeysMigrated,
+		KeysSplit:        res.Rebalance.KeysSplit,
+		KeysUnsplit:      res.Rebalance.KeysUnsplit,
+		SplitReconciles:  res.SplitReconciles,
+	}, nil
+}
+
+// samePolicyNumbers reports whether two rows of one cell produced
+// byte-identical serving numbers (everything but the policy label and
+// control-plane counters).
+func samePolicyNumbers(a, b rebalanceScenario) bool {
+	a.Policy, b.Policy = "", ""
+	return a == b
+}
+
+// runRebalance sweeps fleet × cell × policy, renders the table to w,
+// and writes BENCH_rebalance.json when opt.Out is set. On every cell
+// without hot counters it verifies the split arm byte-identical to the
+// migrate arm — no commutative adds means the split trigger must be
+// provably inert, the hysteresis guarantee of the policy.
 func runRebalance(opt rebalanceOptions, w io.Writer) ([]rebalanceScenario, error) {
 	opt.fill()
-	var scenarios []rebalanceScenario
-	for _, n := range opt.Fleets {
+	var cells []rebalanceCell
+	if opt.Cells == "all" || opt.Cells == "uniform" {
 		for _, skew := range opt.Skews {
 			for _, pct := range opt.ReadPcts {
-				sc, err := runRebalanceCell(n, skew, pct, opt)
+				cells = append(cells, rebalanceCell{skew: skew, readPct: pct})
+			}
+		}
+	}
+	if opt.Cells == "all" || opt.Cells == "hot" {
+		// Uniform background so the only hotspot is the counters
+		// themselves; the heavily commutative mix is the regime the
+		// split remedy exists for, with the background's stray
+		// reads/writes of the counter forcing occasional paid
+		// reconciliations.
+		cells = append(cells, rebalanceCell{
+			skew: 0, readPct: 50,
+			hotKeys: opt.HotKeys, hotFrac: opt.HotWriteFrac,
+		})
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("unknown cell selector %q (want all, uniform or hot)", opt.Cells)
+	}
+
+	var scenarios []rebalanceScenario
+	for _, n := range opt.Fleets {
+		for _, cell := range cells {
+			rows := make(map[string]rebalanceScenario, len(opt.Policies))
+			for _, policy := range opt.Policies {
+				sc, err := runRebalanceCell(n, cell, policy, opt)
 				if err != nil {
-					return nil, fmt.Errorf("rebalance %d DPUs zipf %g %d%% reads: %w", n, skew, pct, err)
+					return nil, fmt.Errorf("rebalance %d DPUs zipf %g %d%% reads hot %g×%d policy %s: %w",
+						n, cell.skew, cell.readPct, cell.hotFrac, cell.hotKeys, policy, err)
 				}
+				rows[policy] = sc
 				scenarios = append(scenarios, sc)
+			}
+			if cell.hotFrac == 0 {
+				mig, hasMig := rows["migrate"]
+				spl, hasSpl := rows["split"]
+				if hasMig && hasSpl && !samePolicyNumbers(mig, spl) {
+					return nil, fmt.Errorf("rebalance %d DPUs zipf %g %d%% reads: split diverged from migrate without commutative traffic:\nmigrate %+v\nsplit   %+v",
+						n, cell.skew, cell.readPct, mig, spl)
+				}
+				if hasSpl && (spl.KeysSplit != 0 || spl.SplitReconciles != 0) {
+					return nil, fmt.Errorf("rebalance %d DPUs zipf %g %d%% reads: split policy acted on add-free traffic: %+v",
+						n, cell.skew, cell.readPct, spl)
+				}
 			}
 		}
 	}
 
-	fmt.Fprintf(w, "== rebalance: static hash vs directory placement with hot-key rebalancing (%d ops/cell, batch ≤ %d, %.0f ops/s open loop) ==\n",
+	fmt.Fprintf(w, "== rebalance: placement-policy ablation — none / replicate / migrate / split (%d ops/cell, batch ≤ %d, %.0f ops/s open loop) ==\n",
 		opt.Ops, opt.MaxBatch, opt.Rate)
-	fmt.Fprintf(w, "%6s %6s %5s %13s %13s %8s %13s %13s %8s %5s %5s\n",
-		"#DPUs", "reads", "zipf", "static ops/s", "dir ops/s", "gain",
-		"static p99ms", "dir p99ms", "gain", "repl", "migr")
+	fmt.Fprintf(w, "%6s %5s %5s %4s %5s %10s %13s %12s %5s %5s %5s %6s\n",
+		"#DPUs", "reads", "zipf", "hotk", "hotw", "policy", "ops/s", "p99ms", "repl", "migr", "split", "recon")
 	for _, sc := range scenarios {
-		fmt.Fprintf(w, "%6d %5d%% %5.2f %13.0f %13.0f %7.2fx %13.3f %13.3f %7.2fx %5d %5d\n",
-			sc.DPUs, sc.ReadPct, sc.ZipfS,
-			sc.Static.OpsPerSecond, sc.Directory.OpsPerSecond, sc.OpsGain,
-			sc.Static.P99Seconds*1e3, sc.Directory.P99Seconds*1e3, sc.P99Gain,
-			sc.Control.KeysReplicated, sc.Control.KeysMigrated)
+		fmt.Fprintf(w, "%6d %4d%% %5.2f %4d %5.2f %10s %13.0f %12.3f %5d %5d %5d %6d\n",
+			sc.DPUs, sc.ReadPct, sc.ZipfS, sc.HotKeys, sc.HotWriteFrac, sc.Policy,
+			sc.OpsPerSecond, sc.P99Seconds*1e3,
+			sc.KeysReplicated, sc.KeysMigrated, sc.KeysSplit, sc.SplitReconciles)
 	}
 
 	if opt.Out != "" {
 		blob, err := json.MarshalIndent(rebalanceReport{
-			SchemaVersion: 1,
+			SchemaVersion: rebalanceSchemaVersion,
 			Experiment:    "rebalance",
 			Scenarios:     scenarios,
 		}, "", "  ")

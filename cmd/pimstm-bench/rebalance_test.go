@@ -8,12 +8,30 @@ import (
 	"testing"
 )
 
-// TestRunRebalance is the acceptance gate for the skew-adaptive
-// placement experiment, on a miniature version of the artifact sweep:
-// the directory placement with rebalancing must beat static hash on
-// both ops/s and p99 at Zipf 1.2 on the read-heavy mix, and must match
-// it exactly on uniform traffic (the hysteresis guarantee — no actions,
-// identical routing, identical numbers).
+// findRow pulls one (cell, policy) row out of the sweep.
+func findRow(t *testing.T, scenarios []rebalanceScenario, hotFrac float64, zipf float64, policy string) rebalanceScenario {
+	t.Helper()
+	for _, sc := range scenarios {
+		if sc.HotWriteFrac == hotFrac && sc.ZipfS == zipf && sc.Policy == policy {
+			return sc
+		}
+	}
+	t.Fatalf("no row for hotFrac %g zipf %g policy %s", hotFrac, zipf, policy)
+	return rebalanceScenario{}
+}
+
+// TestRunRebalance is the acceptance gate for the placement-policy
+// ablation, on a miniature version of the artifact sweep. Three claims:
+//
+//  1. Uniform traffic: no policy churns, and every policy row carries
+//     the exact same serving numbers as the static baseline (the
+//     hysteresis guarantee — the sweep itself additionally enforces
+//     split == migrate on every add-free cell).
+//  2. Skewed read-heavy traffic: replication beats the static baseline
+//     on both ops/s and p99, paid for by real control-plane actions.
+//  3. The hot write-heavy counter cell: splitting beats migration ≥ 2×
+//     on both ops/s and p99 — migration just relocates the bottleneck
+//     kernel, per-DPU delta shards dissolve it.
 func TestRunRebalance(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_rebalance.json")
 	var sb strings.Builder
@@ -30,33 +48,57 @@ func TestRunRebalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(scenarios) != 2 {
-		t.Fatalf("scenarios = %d", len(scenarios))
+	// 3 cells (uniform, zipf 1.2, hot counter) × 4 policies.
+	if len(scenarios) != 12 {
+		t.Fatalf("scenarios = %d, want 12", len(scenarios))
 	}
-	for _, sc := range scenarios {
-		if sc.ZipfS == 0 {
-			// Uniform: the trigger never fires, the directory stays
-			// empty, and both placements route identically.
-			if sc.Control.WindowsActed != 0 || sc.Control.KeysReplicated != 0 || sc.Control.KeysMigrated != 0 {
-				t.Fatalf("uniform cell churned: %+v", sc.Control)
+
+	// Uniform cell: every policy is inert and matches the baseline.
+	base := findRow(t, scenarios, 0, 0, "none")
+	for _, policy := range []string{"replicate", "migrate", "split"} {
+		sc := findRow(t, scenarios, 0, 0, policy)
+		if sc.WindowsActed != 0 || sc.KeysReplicated != 0 || sc.KeysMigrated != 0 || sc.KeysSplit != 0 {
+			t.Fatalf("uniform cell churned under %s: %+v", policy, sc)
+		}
+		if !samePolicyNumbers(base, sc) {
+			// Control-plane counters differ (WindowsEvaluated ticks), so
+			// compare the serving numbers only.
+			if sc.OpsPerSecond != base.OpsPerSecond || sc.P99Seconds != base.P99Seconds ||
+				sc.Batches != base.Batches || sc.Makespan != base.Makespan {
+				t.Fatalf("uniform cell diverged under %s:\nnone %+v\n%s %+v", policy, base, policy, sc)
 			}
-			if sc.Static != sc.Directory {
-				t.Fatalf("uniform cell diverged:\nstatic    %+v\ndirectory %+v", sc.Static, sc.Directory)
-			}
-			continue
-		}
-		// Skewed read-heavy: the adaptive placement must win both ways,
-		// with the win paid for by real control-plane actions.
-		if sc.OpsGain <= 1 {
-			t.Fatalf("zipf %.1f: directory ops/s gain %.3fx, want > 1", sc.ZipfS, sc.OpsGain)
-		}
-		if sc.P99Gain <= 1 {
-			t.Fatalf("zipf %.1f: directory p99 gain %.3fx, want > 1", sc.ZipfS, sc.P99Gain)
-		}
-		if sc.Control.WindowsActed == 0 || sc.Control.KeysReplicated == 0 {
-			t.Fatalf("skewed cell won without acting: %+v", sc.Control)
 		}
 	}
+
+	// Skewed read-heavy cell: replication wins over static.
+	skewNone := findRow(t, scenarios, 0, 1.2, "none")
+	skewRepl := findRow(t, scenarios, 0, 1.2, "replicate")
+	if skewRepl.OpsPerSecond <= skewNone.OpsPerSecond {
+		t.Fatalf("zipf 1.2: replicate ops/s %.0f, static %.0f, want a win",
+			skewRepl.OpsPerSecond, skewNone.OpsPerSecond)
+	}
+	if skewRepl.P99Seconds >= skewNone.P99Seconds {
+		t.Fatalf("zipf 1.2: replicate p99 %.6f, static %.6f, want a win",
+			skewRepl.P99Seconds, skewNone.P99Seconds)
+	}
+	if skewRepl.WindowsActed == 0 || skewRepl.KeysReplicated == 0 {
+		t.Fatalf("skewed cell won without acting: %+v", skewRepl)
+	}
+
+	// Hot counter cell: split is the only policy that dissolves the
+	// commutative bottleneck.
+	hotMig := findRow(t, scenarios, 0.9, 0, "migrate")
+	hotSpl := findRow(t, scenarios, 0.9, 0, "split")
+	if hotSpl.KeysSplit == 0 {
+		t.Fatalf("hot cell never split: %+v", hotSpl)
+	}
+	if gain := hotSpl.OpsPerSecond / hotMig.OpsPerSecond; gain < 2 {
+		t.Fatalf("hot cell: split ops/s gain %.3fx over migrate, want ≥ 2", gain)
+	}
+	if gain := hotMig.P99Seconds / hotSpl.P99Seconds; gain < 2 {
+		t.Fatalf("hot cell: split p99 gain %.3fx over migrate, want ≥ 2", gain)
+	}
+
 	if !strings.Contains(sb.String(), "rebalance") {
 		t.Fatalf("table incomplete:\n%s", sb.String())
 	}
@@ -68,7 +110,54 @@ func TestRunRebalance(t *testing.T) {
 	if err := json.Unmarshal(blob, &report); err != nil {
 		t.Fatal(err)
 	}
-	if report.SchemaVersion != 1 || report.Experiment != "rebalance" || len(report.Scenarios) != 2 {
-		t.Fatalf("artifact wrong: %+v", report)
+	if report.SchemaVersion != 2 || report.Experiment != "rebalance" || len(report.Scenarios) != 12 {
+		t.Fatalf("artifact wrong: schema %d experiment %q scenarios %d",
+			report.SchemaVersion, report.Experiment, len(report.Scenarios))
+	}
+}
+
+// TestRunRebalanceCellSelectors pins the -rebal-cells knob: "hot" runs
+// only the counter cell, "uniform" only the grid, and an unknown
+// selector errors.
+func TestRunRebalanceCellSelectors(t *testing.T) {
+	var sb strings.Builder
+	mini := rebalanceOptions{
+		Fleets:   []int{4},
+		Skews:    []float64{0},
+		ReadPcts: []int{99},
+		Policies: []string{"none"},
+		Rate:     1.2e6,
+		Ops:      1920,
+		Keyspace: 2560,
+		MaxBatch: 768,
+	}
+
+	mini.Cells = "hot"
+	scenarios, err := runRebalance(mini, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 1 || scenarios[0].HotWriteFrac == 0 {
+		t.Fatalf("hot selector: %+v", scenarios)
+	}
+
+	mini.Cells = "uniform"
+	scenarios, err = runRebalance(mini, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 1 || scenarios[0].HotWriteFrac != 0 {
+		t.Fatalf("uniform selector: %+v", scenarios)
+	}
+
+	mini.Cells = "bogus"
+	if _, err := runRebalance(mini, &sb); err == nil {
+		t.Fatal("bogus cell selector accepted")
+	}
+
+	mini.Cells = "uniform"
+	mini.Policies = []string{"bogus"}
+	if _, err := runRebalance(mini, &sb); err == nil {
+		t.Fatal("bogus policy accepted")
 	}
 }

@@ -87,3 +87,11 @@ func (c KernelCost) Seconds(execOps, applyInstrs int, clockHz float64) float64 {
 func EstimateKernelSeconds(cyclesPerOp float64, ops int, clockHz float64) float64 {
 	return KernelCost{ExecCyclesPerOp: cyclesPerOp}.Seconds(ops, 0, clockHz)
 }
+
+// EstimateApplyKernelSeconds prices an apply-only bucket — the
+// writeback-kernel twin of EstimateKernelSeconds, used to charge
+// unsimulated shadow shards for commit and split-key reconciliation
+// rounds that run nothing but compiled apply instructions.
+func EstimateApplyKernelSeconds(cyclesPerInstr float64, instrs int, clockHz float64) float64 {
+	return KernelCost{ApplyCyclesPerInstr: cyclesPerInstr}.Seconds(0, instrs, clockHz)
+}

@@ -153,3 +153,55 @@ func TestApplyTxnsKernelApplyAllocGate(t *testing.T) {
 		t.Fatalf("kernel-apply ApplyTxns allocates %.1f per batch, budget 95", got)
 	}
 }
+
+// TestApplyTxnsSplitConfinedAllocGate holds the confined budget with
+// split shards active: a pure hot-counter batch is rewritten by the
+// split pre-pass (touch classification, shard-key rewrite into the
+// scratch transaction/op slabs) and then runs as ordinary confined
+// adds on the shard keys. The rewrite must be allocation-free in
+// steady state — same budget as the unrewritten confined gate.
+func TestApplyTxnsSplitConfinedAllocGate(t *testing.T) {
+	dir := NewDirectory(4)
+	pm, err := NewPartitionedMap(PartitionedMapConfig{
+		DPUs: 4, Buckets: 64, Capacity: 512, Tasklets: 4,
+		STM: core.Config{Algorithm: core.NOrec}, Placement: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := []uint64{0, 1, 2, 3}
+	var load []Op
+	for _, k := range hot {
+		load = append(load, Op{Kind: OpPut, Key: k, Value: k})
+	}
+	if _, err := pm.ApplyBatch(load); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.SplitKeys(hot); err != nil {
+		t.Fatal(err)
+	}
+	txns := make([]Txn, 64)
+	for i := range txns {
+		txns[i] = Txn{Ops: []Op{{Kind: OpAdd, Key: hot[i%len(hot)], Value: 1}}}
+	}
+	for i := 0; i < 3; i++ {
+		res, err := pm.ApplyTxns(txns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range res {
+			if !res[j].Committed || res[j].Err != nil {
+				t.Fatalf("txn %d did not commit: %+v", j, res[j])
+			}
+		}
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := pm.ApplyTxns(txns); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("split-rewritten confined ApplyTxns: %.1f allocs/batch", got)
+	if got > 67 {
+		t.Fatalf("split-rewritten confined ApplyTxns allocates %.1f per batch, budget 67", got)
+	}
+}

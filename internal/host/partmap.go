@@ -96,6 +96,10 @@ type PartitionedMap struct {
 	// so far and how many of them needed CPU coordination (cross-DPU
 	// conflict groups routed through snapshot/writeback rounds).
 	TxnsApplied, TxnsCoordinated int
+	// SplitReconciles counts the split-key epoch reconciliations paid so
+	// far: one per key per merge round folding its per-DPU delta shards
+	// into the home value (see split.go).
+	SplitReconciles int
 	// BatchPhases breaks the last ApplyTxns window's coordination cost
 	// into gather, kernel-apply, and writeback-transfer phases — the
 	// per-phase attribution the bench artifacts record.
@@ -756,9 +760,18 @@ func (pm *PartitionedMap) hostGet(id int, key uint64) (uint64, bool) {
 }
 
 // Get reads a key from the host (between batches), always from its
-// authoritative owner.
+// authoritative owner. A split key's logical value is its home base
+// plus every per-DPU delta shard — what a reconciliation would fold.
 func (pm *PartitionedMap) Get(key uint64) (uint64, bool) {
-	return pm.hostGet(pm.owner(key), key)
+	v, ok := pm.hostGet(pm.owner(key), key)
+	if ok && pm.dir != nil && pm.dir.isSplit(key) {
+		for d := 0; d < pm.fleet.Size(); d++ {
+			if sv, sok := pm.hostGet(d, shardKeyFor(key, d)); sok {
+				v += sv
+			}
+		}
+	}
+	return v, ok
 }
 
 // Len counts the distinct keys stored: the sizes of every partition
@@ -775,6 +788,9 @@ func (pm *PartitionedMap) Len() int {
 	}
 	if pm.dir != nil {
 		n -= pm.dir.replicaCopies()
+		// Every split key holds one delta shard per DPU — bookkeeping
+		// records, not client keys.
+		n -= pm.dir.splitCount() * pm.fleet.Size()
 	}
 	return n
 }

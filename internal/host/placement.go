@@ -84,6 +84,9 @@ type DirectoryStats struct {
 	// Invalidations counts replica drops (deletes and write storms),
 	// Refreshes the stale-copy refreshes ridden on later batches.
 	Invalidations, Refreshes int
+	// SplitKeys is the number of keys currently in the split state
+	// (per-DPU delta shards absorbing commutative adds locally).
+	SplitKeys int
 }
 
 // Directory is the adaptive placement: a host-side routing table over
@@ -96,13 +99,19 @@ type DirectoryStats struct {
 type Directory struct {
 	n       int
 	entries map[uint64]*dirEntry
-	stats   DirectoryStats
+	// splits marks keys in the split state: the home record still holds
+	// the base value, and every DPU holds a per-DPU delta shard (a
+	// physical map entry under shardKeyFor) absorbing commutative adds
+	// locally. Split state is tracked apart from entries so the gc of a
+	// key's owner/replica record never forgets that its shards exist.
+	splits map[uint64]bool
+	stats  DirectoryStats
 }
 
 // NewDirectory builds an empty directory over n DPUs. With no entries
 // it routes exactly like NewStaticHash(n).
 func NewDirectory(n int) *Directory {
-	return &Directory{n: n, entries: make(map[uint64]*dirEntry)}
+	return &Directory{n: n, entries: make(map[uint64]*dirEntry), splits: make(map[uint64]bool)}
 }
 
 // Size implements Placement.
@@ -137,6 +146,7 @@ func (d *Directory) Stats() DirectoryStats {
 			s.ReplicaCopies += len(e.replicas)
 		}
 	}
+	s.SplitKeys = len(d.splits)
 	return s
 }
 
@@ -237,6 +247,31 @@ func (d *Directory) replicatedKeys() []uint64 {
 		if len(e.replicas) > 0 {
 			out = append(out, k)
 		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// setSplit marks key as split; clearSplit forgets it. The physical
+// shard entries and their owner overrides are the PartitionedMap's to
+// create and tear down (SplitKeys / UnsplitKeys) — the directory only
+// remembers which client keys are in the state.
+func (d *Directory) setSplit(key uint64)   { d.splits[key] = true }
+func (d *Directory) clearSplit(key uint64) { delete(d.splits, key) }
+
+// isSplit reports whether key is in the split state.
+func (d *Directory) isSplit(key uint64) bool { return d.splits[key] }
+
+// splitCount is the number of split keys — the data plane's cheap "any
+// splits at all?" guard before per-op isSplit lookups.
+func (d *Directory) splitCount() int { return len(d.splits) }
+
+// splitKeys lists the split keys ascending (deterministic iteration for
+// control-plane sweeps and reconciliation rounds).
+func (d *Directory) splitKeys() []uint64 {
+	out := make([]uint64, 0, len(d.splits))
+	for k := range d.splits {
+		out = append(out, k)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

@@ -41,6 +41,20 @@ type RebalancerConfig struct {
 	// ColdWindows is how many consecutive cold windows a replicated key
 	// must accumulate before its copies are dropped (default 2).
 	ColdWindows int
+	// SplitMinAddShare enables the third remedy, split-key execution
+	// (split.go), and sets its trigger: a hot write-heavy key whose
+	// window traffic is at least this fraction commutative adds is
+	// entered into the split state instead of migrating — its adds then
+	// run on per-DPU delta shards in the confined lane, and only
+	// non-commutative accesses pay an epoch reconciliation. 0 (the
+	// default) disables splitting entirely, which keeps every historical
+	// artifact byte-identical.
+	SplitMinAddShare float64
+	// SplitColdWindows is the split↔unsplit hysteresis: a split key
+	// whose traffic stops qualifying (below MinKeyOps, or add share
+	// under SplitMinAddShare) for this many consecutive windows is
+	// reconciled and unsplit (default 2).
+	SplitColdWindows int
 }
 
 func (c *RebalancerConfig) fill(dpus int) {
@@ -74,6 +88,9 @@ func (c *RebalancerConfig) fill(dpus int) {
 	if c.ColdWindows <= 0 {
 		c.ColdWindows = 2
 	}
+	if c.SplitColdWindows <= 0 {
+		c.SplitColdWindows = 2
+	}
 }
 
 // KernelBoundServingRebalance is the documented preset the rebalance
@@ -100,11 +117,18 @@ type RebalancerStats struct {
 	// KeysReplicated and KeysMigrated total the remedies applied;
 	// KeysDepromoted counts cold keys whose replicas were dropped.
 	KeysReplicated, KeysMigrated, KeysDepromoted int
+	// KeysSplit and KeysUnsplit total the split-key remedy: keys entered
+	// into split-key execution, and split keys torn down again after
+	// their commutative traffic dried up.
+	KeysSplit, KeysUnsplit int
 }
 
-// keyLoad accumulates one key's window traffic.
+// keyLoad accumulates one key's window traffic. adds counts the subset
+// of writes that are commutative OpAdds — the split-key trigger's
+// signal (ddtxn-style: a key whose conflicts come from commutative
+// increments splits instead of migrating).
 type keyLoad struct {
-	reads, writes int
+	reads, writes, adds int
 }
 
 // Rebalancer is the adaptive placement control plane over a
@@ -134,6 +158,9 @@ type Rebalancer struct {
 	// coldRuns counts a replicated key's consecutive cold windows; at
 	// ColdWindows the key is de-promoted.
 	coldRuns map[uint64]int
+	// splitRuns counts a split key's consecutive non-qualifying windows;
+	// at SplitColdWindows the key is reconciled and unsplit.
+	splitRuns map[uint64]int
 
 	stats RebalancerStats
 }
@@ -150,12 +177,13 @@ func NewRebalancer(pm *PartitionedMap, cfg RebalancerConfig) (*Rebalancer, error
 	}
 	cfg.fill(pm.DPUs())
 	r := &Rebalancer{
-		pm:       pm,
-		cfg:      cfg,
-		dpuOps:   make([]int, pm.DPUs()),
-		keys:     make(map[uint64]*keyLoad),
-		cooled:   make(map[uint64]int),
-		coldRuns: make(map[uint64]int),
+		pm:        pm,
+		cfg:       cfg,
+		dpuOps:    make([]int, pm.DPUs()),
+		keys:      make(map[uint64]*keyLoad),
+		cooled:    make(map[uint64]int),
+		coldRuns:  make(map[uint64]int),
+		splitRuns: make(map[uint64]int),
 	}
 	pm.reb = r
 	return r, nil
@@ -180,6 +208,9 @@ func (r *Rebalancer) observe(txns []Txn, routed []int) {
 				l.reads++
 			} else {
 				l.writes++
+				if op.Kind == OpAdd {
+					l.adds++
+				}
 			}
 		}
 	}
@@ -190,22 +221,81 @@ func (r *Rebalancer) observe(txns []Txn, routed []int) {
 	r.stats.BatchesObserved++
 }
 
-// Step evaluates the window if it is full: cold replicated keys are
-// de-promoted first (their copies dropped in one paid round), then at
-// most one placement decision runs — replicate the read-mostly hot keys
-// of the hottest DPU, migrate the write-heavy ones. It reports whether
-// anything moved.
+// Step evaluates the window if it is full: split keys whose commutative
+// traffic dried up are reconciled and unsplit, cold replicated keys are
+// de-promoted (their copies dropped in one paid round), then at most
+// one placement decision runs — replicate the read-mostly hot keys of
+// the hottest DPU, split the commutative write-heavy ones, migrate the
+// rest. It reports whether anything moved.
 func (r *Rebalancer) Step() (bool, error) {
 	if r.batches < r.cfg.WindowBatches {
 		return false, nil
 	}
-	dropped, err := r.depromote()
+	unsplit, err := r.unsplitCold()
+	dropped := false
+	if err == nil {
+		dropped, err = r.depromote()
+	}
 	acted := false
 	if err == nil {
 		acted, err = r.decide()
 	}
 	r.reset()
-	return acted || dropped, err
+	return unsplit || dropped || acted, err
+}
+
+// unsplitCold is the split-key teardown hysteresis: a split key stays
+// split while its window traffic keeps qualifying (MinKeyOps ops with
+// SplitMinAddShare of them adds); once it stops qualifying for
+// SplitColdWindows consecutive windows it is reconciled and unsplit in
+// one paid round, so the shards (and their reconciliation tax on
+// non-commutative accesses) never outlive the hot counter.
+func (r *Rebalancer) unsplitCold() (bool, error) {
+	if r.cfg.SplitMinAddShare <= 0 {
+		return false, nil
+	}
+	split := r.pm.dir.splitKeys()
+	live := make(map[uint64]bool, len(split))
+	var drops []uint64
+	for _, k := range split {
+		live[k] = true
+		ops, adds := 0, 0
+		if l := r.keys[k]; l != nil {
+			ops = l.reads + l.writes
+			adds = l.adds
+		}
+		if ops >= r.cfg.MinKeyOps && float64(adds) >= r.cfg.SplitMinAddShare*float64(ops) {
+			delete(r.splitRuns, k)
+			continue
+		}
+		if until, cooling := r.cooled[k]; cooling && r.window < until {
+			continue
+		}
+		r.splitRuns[k]++
+		if r.splitRuns[k] < r.cfg.SplitColdWindows {
+			continue
+		}
+		delete(r.splitRuns, k)
+		drops = append(drops, k)
+	}
+	// Keys unsplit elsewhere (a batch delete reconciles and tears down)
+	// have no run to keep counting.
+	for k := range r.splitRuns {
+		if !live[k] {
+			delete(r.splitRuns, k)
+		}
+	}
+	if len(drops) == 0 {
+		return false, nil
+	}
+	if err := r.pm.UnsplitKeys(drops); err != nil {
+		return false, err
+	}
+	for _, k := range drops {
+		r.cooled[k] = r.window + r.cfg.CooldownWindows
+	}
+	r.stats.KeysUnsplit += len(drops)
+	return true, nil
 }
 
 // depromote drops the replicas of keys whose window load fell below the
@@ -313,6 +403,10 @@ func (r *Rebalancer) decide() (bool, error) {
 		if until, cooling := r.cooled[key]; cooling && r.window < until {
 			continue
 		}
+		if r.pm.dir.isSplit(key) {
+			// Already remedied; unsplitCold owns its lifecycle.
+			continue
+		}
 		cands = append(cands, hotKey{key: key, ops: ops, load: l})
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -333,8 +427,30 @@ func (r *Rebalancer) decide() (bool, error) {
 	}
 	reps := make(map[uint64][]int)
 	moves := make(map[uint64]int)
+	var splits []uint64
 	for _, c := range cands {
 		owner := r.pm.owner(c.key)
+		// A hot key dominated by commutative adds splits, checked before
+		// either classical remedy: replicas are useless for a write
+		// stream (every add would invalidate them), and migration just
+		// relocates the bottleneck kernel, while per-DPU delta shards
+		// spread the adds over the whole fleet's confined lanes
+		// (Doppel's remedy for commutative contention).
+		if r.cfg.SplitMinAddShare > 0 && n >= 2 && c.key < splitKeyLimit &&
+			float64(c.load.adds) >= r.cfg.SplitMinAddShare*float64(c.ops) {
+			if adjusted[owner] <= mean {
+				continue
+			}
+			splits = append(splits, c.key)
+			per := float64(c.ops) / float64(n)
+			adjusted[owner] -= float64(c.ops) - per
+			for id := 0; id < n; id++ {
+				if id != owner {
+					adjusted[id] += per
+				}
+			}
+			continue
+		}
 		writeShare := float64(c.load.writes) / float64(c.ops)
 		if writeShare <= r.cfg.ReplicateMaxWriteShare {
 			if targets := r.replicaTargets(c.key, owner, adjusted); len(targets) > 0 {
@@ -371,22 +487,47 @@ func (r *Rebalancer) decide() (bool, error) {
 		adjusted[owner] -= float64(c.ops)
 		adjusted[dst] += float64(c.ops)
 	}
-	if len(reps) == 0 && len(moves) == 0 {
+	if len(reps) == 0 && len(moves) == 0 && len(splits) == 0 {
 		return false, nil
+	}
+	// A key holding replica copies when the split trigger fires resolves
+	// deterministically: its copies are dropped in one paid round first,
+	// then the key splits — never both states at once (SplitKeys rejects
+	// replicated keys outright, so the ordering is load-bearing).
+	var dropFirst []uint64
+	for _, k := range splits {
+		if len(r.pm.dir.allReplicas(k)) > 0 {
+			dropFirst = append(dropFirst, k)
+		}
+	}
+	if len(dropFirst) > 0 {
+		if err := r.pm.DropReplicaKeys(dropFirst); err != nil {
+			return false, err
+		}
 	}
 	// One coalesced placement change: both remedies share a single
 	// gather + scatter round pair, so a decision costs two handshakes.
 	if err := r.pm.ApplyPlacement(moves, reps); err != nil {
 		return false, err
 	}
+	if len(splits) > 0 {
+		if err := r.pm.SplitKeys(splits); err != nil {
+			return false, err
+		}
+	}
 	r.stats.KeysReplicated += len(reps)
 	r.stats.KeysMigrated += len(moves)
+	r.stats.KeysSplit += len(splits)
 	for k := range reps {
 		r.cooled[k] = r.window + r.cfg.CooldownWindows
 		delete(r.coldRuns, k) // a fresh promotion restarts cold counting
 	}
 	for k := range moves {
 		r.cooled[k] = r.window + r.cfg.CooldownWindows
+	}
+	for _, k := range splits {
+		r.cooled[k] = r.window + r.cfg.CooldownWindows
+		delete(r.coldRuns, k)
 	}
 	r.stats.WindowsActed++
 	return true, nil

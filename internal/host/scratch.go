@@ -316,6 +316,19 @@ type batchScratch struct {
 	ctlSrc, ctlPut, ctlDel dpuKeyLists
 	mutInvolved            []int
 	mutSimIDs              []int
+
+	// Split-key execution (split.go). splitTouch flags how the batch
+	// touches each split key; splitRecon/splitDrop list the keys forced
+	// to reconcile (and, for drops, unsplit); splitSrc/splitVals are the
+	// reconciliation gather scratch; splitTxns/splitOps hold the
+	// rewritten batch — client transactions are never mutated in place.
+	splitTouch map[uint64]uint8
+	splitRecon []uint64
+	splitDrop  []uint64
+	splitSrc   dpuKeyLists
+	splitVals  map[uint64]uint64
+	splitTxns  []Txn
+	splitOps   []Op
 }
 
 func (sc *batchScratch) init(dpus int) {
@@ -349,6 +362,9 @@ func (sc *batchScratch) init(dpus int) {
 	sc.ctlSrc.ensure(dpus)
 	sc.ctlPut.ensure(dpus)
 	sc.ctlDel.ensure(dpus)
+	sc.splitTouch = make(map[uint64]uint8)
+	sc.splitVals = make(map[uint64]uint64)
+	sc.splitSrc.ensure(dpus)
 }
 
 // addUnit buckets one routed unit onto a DPU, tracking touched ids for

@@ -97,6 +97,18 @@ type TrafficConfig struct {
 	// routing), required when TxnSize ≥ 2. Serve fills it from the
 	// store config automatically.
 	DPUs int
+	// HotKeys and HotWriteFrac overlay a write-heavy hot-counter stream
+	// on the single-op trace: each arrival is, with probability
+	// HotWriteFrac, an OpAdd(+1) on one of the first HotKeys keys
+	// (uniformly) instead of the usual Zipf-sampled Get/Put — the
+	// commutative contention that drives the Rebalancer's split-key
+	// trigger, without relying on Zipf tails. HotWriteFrac 0 (the
+	// default) leaves the trace bit-identical to the historical
+	// generator. Only meaningful on single-op traces (TxnSize ≤ 1), and
+	// HotKeys must fit inside Keyspace so the serve preload covers the
+	// counters (a guarded OpAdd aborts on a missing key).
+	HotKeys      int
+	HotWriteFrac float64
 }
 
 // TimedTxn is one generated transaction with its modeled arrival time.
@@ -146,6 +158,23 @@ func (cfg *TrafficConfig) Validate() error {
 			return fmt.Errorf("host: cross-DPU fraction %g needs a fleet of at least two DPUs (have %d)", cfg.CrossDPU, cfg.DPUs)
 		}
 	}
+	if cfg.HotKeys < 0 {
+		return fmt.Errorf("host: negative hot-counter count %d", cfg.HotKeys)
+	}
+	if cfg.HotWriteFrac < 0 || cfg.HotWriteFrac > 1 {
+		return fmt.Errorf("host: hot-counter write fraction %g outside [0, 1]", cfg.HotWriteFrac)
+	}
+	if cfg.HotWriteFrac > 0 {
+		if cfg.HotKeys < 1 {
+			return fmt.Errorf("host: hot-counter write fraction %g needs HotKeys ≥ 1", cfg.HotWriteFrac)
+		}
+		if cfg.TxnSize > 1 {
+			return fmt.Errorf("host: hot-counter stream needs single-op traffic (TxnSize ≤ 1, have %d)", cfg.TxnSize)
+		}
+	}
+	if cfg.HotKeys > cfg.Keyspace {
+		return fmt.Errorf("host: %d hot counters exceed the keyspace %d (the preload must cover them)", cfg.HotKeys, cfg.Keyspace)
+	}
 	return nil
 }
 
@@ -173,9 +202,16 @@ func GenerateTraffic(cfg TrafficConfig) ([]TimedTxn, error) {
 
 	if cfg.TxnSize == 1 {
 		// The historical generator, consuming the PRNG identically so
-		// every pre-Txn trace (and artifact) stays byte-identical.
+		// every pre-Txn trace (and artifact) stays byte-identical: the
+		// hot-counter branch is guarded on HotWriteFrac > 0 before any
+		// variate is drawn, so an unset overlay changes nothing.
 		for i := range out {
 			clock += -math.Log(1-rng.Float()) / cfg.Rate
+			if cfg.HotWriteFrac > 0 && rng.Float() < cfg.HotWriteFrac {
+				op := Op{Kind: OpAdd, Key: rng.Next() % uint64(cfg.HotKeys), Value: 1}
+				out[i] = TimedTxn{Txn: Txn{Ops: []Op{op}}, Arrival: clock}
+				continue
+			}
 			key := uint64(z.Rank(rng.Float()))
 			op := Op{Kind: OpPut, Key: key, Value: rng.Next()}
 			if int(rng.Next()%100) < cfg.ReadPct {
@@ -388,6 +424,10 @@ type ServeResult struct {
 	// simulated: equal to Map.DPUs in exact mode, the clamped sample
 	// size in sampled-fleet mode (Map.Sample > 0).
 	SimulatedDPUs int
+	// SplitReconciles counts the split-key epoch reconciliations the
+	// run paid (always zero unless the rebalancer's split policy is
+	// armed and triggered).
+	SplitReconciles int
 }
 
 // Serve preloads the keyspace, streams the generated trace through a
@@ -449,6 +489,7 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 	}
 
 	res := ServeResult{Txns: len(trace), Stats: s.Stats(), SimulatedDPUs: pm.SimulatedDPUs()}
+	res.SplitReconciles = pm.SplitReconciles
 	res.Ops = res.Stats.Submitted
 	res.Batches = res.Stats.Batches
 	res.CoordinatedTxns = pm.TxnsCoordinated - coordBase

@@ -123,6 +123,24 @@ func TestTrafficConfigValidation(t *testing.T) {
 		{"cross on defaulted single-op txns", func(c *TrafficConfig) { c.TxnSize = 0 }, "multi-op transactions"},
 		{"multi-op without fleet size", func(c *TrafficConfig) { c.DPUs = 0 }, "fleet size"},
 		{"cross on one DPU", func(c *TrafficConfig) { c.DPUs = 1 }, "at least two DPUs"},
+		{"valid hot counters", func(c *TrafficConfig) {
+			c.TxnSize, c.CrossDPU, c.DPUs = 0, 0, 0
+			c.HotKeys, c.HotWriteFrac = 4, 0.6
+		}, ""},
+		{"negative hot keys", func(c *TrafficConfig) { c.HotKeys = -1 }, "negative hot-counter count"},
+		{"hot write frac below zero", func(c *TrafficConfig) { c.HotWriteFrac = -0.1 }, "outside [0, 1]"},
+		{"hot write frac above one", func(c *TrafficConfig) { c.HotWriteFrac = 1.5 }, "outside [0, 1]"},
+		{"hot writes without counters", func(c *TrafficConfig) {
+			c.TxnSize, c.CrossDPU, c.DPUs = 0, 0, 0
+			c.HotWriteFrac = 0.5
+		}, "needs HotKeys ≥ 1"},
+		{"hot writes on multi-op txns", func(c *TrafficConfig) {
+			c.HotKeys, c.HotWriteFrac = 4, 0.5
+		}, "single-op traffic"},
+		{"hot counters exceed keyspace", func(c *TrafficConfig) {
+			c.TxnSize, c.CrossDPU, c.DPUs = 0, 0, 0
+			c.HotKeys, c.HotWriteFrac = 65, 0.5
+		}, "exceed the keyspace"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -331,5 +349,110 @@ func TestServeSkewHurtsLatency(t *testing.T) {
 	}
 	if math.IsNaN(skewed.P99) || math.IsNaN(uniform.P99) {
 		t.Fatal("NaN latency")
+	}
+}
+
+// TestGenerateTrafficHotCounters pins the hot-counter overlay: an
+// armed overlay emits roughly HotWriteFrac unit adds confined to the
+// first HotKeys keys, a disarmed one consumes the PRNG identically to
+// the historical generator (so every pre-overlay trace and bench
+// artifact stays byte-identical), and the whole thing is
+// deterministic.
+func TestGenerateTrafficHotCounters(t *testing.T) {
+	base := TrafficConfig{Ops: 2000, Rate: 1e5, ReadPct: 50, Keyspace: 64, ZipfS: 1.0, Seed: 9}
+	plain, err := GenerateTraffic(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disarmed := base
+	disarmed.HotKeys = 4 // HotWriteFrac stays 0: the overlay is off
+	off, err := GenerateTraffic(disarmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTrace(plain, off) {
+		t.Fatal("a disarmed overlay changed the trace")
+	}
+
+	armed := base
+	armed.HotKeys, armed.HotWriteFrac = 4, 0.6
+	hot, err := GenerateTraffic(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := GenerateTraffic(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTrace(hot, again) {
+		t.Fatal("hot-counter trace is nondeterministic")
+	}
+	adds := 0
+	for i, tt := range hot {
+		if len(tt.Txn.Ops) != 1 {
+			t.Fatalf("txn %d is not single-op", i)
+		}
+		op := tt.Txn.Ops[0]
+		if op.Kind != OpAdd {
+			continue
+		}
+		adds++
+		if op.Key >= 4 || op.Value != 1 {
+			t.Fatalf("txn %d: hot add %+v outside the counter set", i, op)
+		}
+	}
+	frac := float64(adds) / float64(len(hot))
+	if frac < 0.5 || frac > 0.7 {
+		t.Fatalf("hot-add fraction %.3f far from the configured 0.6", frac)
+	}
+	// The Poisson arrival process is still the same law: the first
+	// arrival precedes any overlay draw, and the stream stays ordered.
+	if hot[0].Arrival != plain[0].Arrival {
+		t.Fatalf("first arrival moved: %g vs %g", hot[0].Arrival, plain[0].Arrival)
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Arrival < hot[i-1].Arrival {
+			t.Fatalf("arrivals regress at %d", i)
+		}
+	}
+}
+
+// TestServeHotCountersSplit is the end-to-end wiring check of the
+// split policy under the serving harness: hot-counter traffic through
+// a Directory store with the add-share trigger armed splits the
+// counters mid-run, stays deterministic, and serves every transaction
+// (adds always land on preloaded keys, so nothing aborts).
+func TestServeHotCountersSplit(t *testing.T) {
+	run := func() ServeResult {
+		res, err := Serve(ServeConfig{
+			Map: PartitionedMapConfig{
+				DPUs: 4, Tasklets: 4,
+				STM:       core.Config{Algorithm: core.NOrec},
+				Placement: NewDirectory(4),
+			},
+			Submit: SubmitterConfig{MaxBatch: 64},
+			Traffic: TrafficConfig{
+				Ops: 1200, Rate: 2e5, ReadPct: 50, Keyspace: 128, Seed: 5,
+				HotKeys: 4, HotWriteFrac: 0.6,
+			},
+			Rebalance: &RebalancerConfig{
+				WindowBatches: 3, TopK: 4, MinKeyOps: 8,
+				SplitMinAddShare: 0.5,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic hot-counter serve:\n%+v\n%+v", a, b)
+	}
+	if a.Errors != 0 || a.Aborted != 0 {
+		t.Fatalf("%d errors, %d aborts serving guarded counters", a.Errors, a.Aborted)
+	}
+	if a.Rebalance.KeysSplit == 0 {
+		t.Fatalf("the serving loop never split a counter: %+v", a.Rebalance)
 	}
 }

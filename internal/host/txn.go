@@ -120,8 +120,35 @@ func classifyOps(ops []Op, owner func(uint64) int) (soleDPU int, serializing boo
 // ApplyTxns, so a batch the scheduler labels confined never
 // coordinates on its own (only a placement change between admission
 // and flush, or an empty transaction, can shift a lane).
+// With split keys active, an OpAdd on a split key is a chameleon: the
+// split-rewrite pre-pass redirects it onto a local delta shard of
+// whichever DPU the transaction already touches, so it never constrains
+// the sole owner — only the transaction's other ops can force
+// coordination. (A batch that also touches the key non-commutatively
+// suppresses the rewrite and reconciles instead, which can coordinate a
+// transaction this classifier admitted as confined — the same
+// admission-vs-flush caveat as a placement change.)
 func (pm *PartitionedMap) LaneOf(txn Txn) Lane {
-	if sole, _ := classifyOps(txn.Ops, pm.owner); sole < 0 && len(txn.Ops) > 0 {
+	ops := txn.Ops
+	if len(ops) == 0 {
+		return LaneConfined
+	}
+	if pm.dir != nil && pm.dir.splitCount() > 0 {
+		sole := -1
+		for _, op := range ops {
+			if op.Kind == OpAdd && pm.dir.isSplit(op.Key) {
+				continue
+			}
+			o := pm.owner(op.Key)
+			if sole < 0 {
+				sole = o
+			} else if o != sole {
+				return LaneCoordinated
+			}
+		}
+		return LaneConfined
+	}
+	if sole, _ := classifyOps(ops, pm.owner); sole < 0 {
 		return LaneCoordinated
 	}
 	return LaneConfined
@@ -413,7 +440,21 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 	before := pm.fleet.Stats()
 	wallBefore := before.WallSeconds
 	sc := &pm.sc
-	metas := pm.classifyTxns(txns, coordinateAll)
+	pm.BatchPhases = ApplyTxnsStats{}
+
+	// Split-key pre-pass (split.go): reconcile the split keys this batch
+	// touches non-commutatively (paid rounds, accumulated into
+	// BatchPhases), then rewrite the remaining split-key adds onto
+	// per-DPU delta shards. work is txns itself whenever no split key is
+	// touched, so batches without splits pay nothing.
+	work := txns
+	if pm.dir != nil && pm.dir.splitCount() > 0 {
+		var err error
+		if work, err = pm.splitRewrite(txns, coordinateAll); err != nil {
+			return nil, err
+		}
+	}
+	metas := pm.classifyTxns(work, coordinateAll)
 
 	coordinated := sc.coordinated[:0]
 	for i := range metas {
@@ -422,7 +463,6 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 		}
 	}
 	sc.coordinated = coordinated
-	pm.BatchPhases = ApplyTxnsStats{}
 
 	// Commit-path classification: single-owner write sets kernel-apply,
 	// everything else (multi-owner, read-only, and the coordinateAll
@@ -430,7 +470,7 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 	// union-find exactly when coordinated groups exist without
 	// coordinateAll, which is when the group roots are valid.
 	if !coordinateAll && len(coordinated) > 0 {
-		pm.classifyGroups(txns, metas, coordinated)
+		pm.classifyGroups(work, metas, coordinated)
 	}
 
 	// Phase 1 (prepare): one coalesced snapshot gather of every operand
@@ -443,7 +483,7 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 	if len(coordinated) > 0 {
 		clear(sc.keySet)
 		for _, ti := range coordinated {
-			for _, op := range txns[ti].Ops {
+			for _, op := range work[ti].Ops {
 				if metas[ti].kernelApply && pm.owner(op.Key) == metas[ti].home {
 					continue
 				}
@@ -460,7 +500,7 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 		if err := pm.gatherRound(&sc.perSrc, state); err != nil {
 			return nil, err
 		}
-		pm.BatchPhases.GatherSeconds = pm.fleet.Stats().WallSeconds - gatherBefore
+		pm.BatchPhases.GatherSeconds += pm.fleet.Stats().WallSeconds - gatherBefore
 	}
 
 	// Phase 2: host-prepare the groups that stay host-side — evaluate
@@ -475,7 +515,7 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 		if metas[ti].kernelApply {
 			continue
 		}
-		order, ok := sc.eval.run(txns[ti].Ops, results[ti].Results, stateLookup(state))
+		order, ok := sc.eval.run(work[ti].Ops, results[ti].Results, stateLookup(state))
 		results[ti].Committed = ok
 		if !ok {
 			continue
@@ -497,13 +537,13 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 	// maintenance, charged by the worst-case per-DPU bucket.
 	clear(sc.coordWritten)
 	for _, ti := range coordinated {
-		for _, op := range txns[ti].Ops {
+		for _, op := range work[ti].Ops {
 			if op.Kind != OpGet {
 				sc.coordWritten[op.Key] = true
 			}
 		}
 	}
-	if err := pm.executeRound(txns, metas, results, sc.coordWritten); err != nil {
+	if err := pm.executeRound(work, metas, results, sc.coordWritten); err != nil {
 		return nil, err
 	}
 
@@ -553,7 +593,7 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 			}
 			// The host applied the RMWs for free in this mode; the
 			// mutate round is pure writeback.
-			pm.BatchPhases.WritebackSeconds = pm.fleet.Stats().WallSeconds - commitBefore
+			pm.BatchPhases.WritebackSeconds += pm.fleet.Stats().WallSeconds - commitBefore
 			for _, k := range dropAfter {
 				pm.dir.dropReplicas(k)
 			}
@@ -562,7 +602,7 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 			}
 		}
 	} else if len(coordinated) > 0 {
-		if err := pm.writebackRound(txns, metas, results, state); err != nil {
+		if err := pm.writebackRound(work, metas, results, state); err != nil {
 			return nil, err
 		}
 	}
@@ -578,7 +618,7 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 			routed[id] = sc.execBuckets[id]
 		}
 		for _, ti := range coordinated {
-			for _, op := range txns[ti].Ops {
+			for _, op := range work[ti].Ops {
 				if op.Kind == OpGet {
 					// A kernel-applied group's home-owned reads are never
 					// gathered (the kernel serves them), so they are
@@ -593,6 +633,10 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 				}
 			}
 		}
+		// Load is attributed where it physically ran (work — a rewritten
+		// add credits its shard's DPU), but the key statistics observe
+		// the client's original transactions, so the Rebalancer's per-key
+		// view never sees internal shard keys.
 		pm.reb.observe(txns, routed)
 	}
 	after := pm.fleet.Stats()
@@ -1053,7 +1097,7 @@ func (pm *PartitionedMap) writebackRound(txns []Txn, metas []txnMeta, results []
 		}
 		sc.wbSimIDs = simIDs
 		spec.IDs = simIDs
-		spec.AnalyticKernelSeconds = dpu.KernelCost{ApplyCyclesPerInstr: pm.applyCycles}.Seconds(0, maxShadowInstrs, 0)
+		spec.AnalyticKernelSeconds = dpu.EstimateApplyKernelSeconds(pm.applyCycles, maxShadowInstrs, 0)
 	}
 	if err := pm.fleet.Round(spec); err != nil {
 		return err
@@ -1078,9 +1122,10 @@ func (pm *PartitionedMap) writebackRound(txns []Txn, metas []txnMeta, results []
 		}
 	}
 	after := pm.fleet.Stats()
-	pm.BatchPhases.ApplySeconds = after.LaunchSeconds - before.LaunchSeconds
-	if wb := (after.WallSeconds - before.WallSeconds) - pm.BatchPhases.ApplySeconds; wb > 0 {
-		pm.BatchPhases.WritebackSeconds = wb
+	launch := after.LaunchSeconds - before.LaunchSeconds
+	pm.BatchPhases.ApplySeconds += launch
+	if wb := (after.WallSeconds - before.WallSeconds) - launch; wb > 0 {
+		pm.BatchPhases.WritebackSeconds += wb
 	}
 	for _, k := range sc.dropAfter {
 		pm.dir.dropReplicas(k)
