@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify fmt vet build test race bench bench-diff multidpu serve serve-smoke rebalance rebalance-smoke splitserve-smoke txnserve txnserve-smoke schedserve-smoke scale scale-smoke ci
+.PHONY: all verify fmt vet build test race bench bench-diff multidpu serve serve-smoke rebalance rebalance-smoke splitserve-smoke txnserve txnserve-smoke schedserve-smoke scale scale-smoke apps apps-smoke ci
 
 all: ci
 
@@ -117,4 +117,18 @@ scale-smoke:
 	$(GO) run ./cmd/pimstm-bench -experiment scale \
 		-scale-dpus 64,256 -scale-budget-s 60 -scale-out ""
 
-ci: fmt vet build race serve-smoke rebalance-smoke splitserve-smoke txnserve-smoke schedserve-smoke scale-smoke
+# Regenerate the application-workload scenario matrix
+# (BENCH_apps.json).
+apps:
+	$(GO) run ./cmd/pimstm-bench -experiment apps
+
+# Short-mode apps invocation so the scenario matrix can't rot in CI:
+# the bare pairwise cover with invariants proven per cell, no artifact
+# written. The bench-diff schema gate fails the target when the
+# committed artifact lags a schema bump.
+apps-smoke:
+	$(GO) run ./cmd/bench-diff -require-schema 1 BENCH_apps.json
+	$(GO) run ./cmd/pimstm-bench -experiment apps \
+		-apps-txns 200 -apps-min-cells 1 -apps-out ""
+
+ci: fmt vet build race serve-smoke rebalance-smoke splitserve-smoke txnserve-smoke schedserve-smoke scale-smoke apps-smoke

@@ -40,10 +40,12 @@ type report struct {
 
 // idKeys are the configuration fields (across all experiments) that
 // identify a cell. Only keys present in a row contribute to its key, so
-// the same list serves serve, rebalance, txnserve and scale artifacts.
+// the same list serves serve, rebalance, txnserve, scale and apps
+// artifacts ("cell" is the apps matrix's pre-rendered axis identity;
+// "workload" tags application rows).
 var idKeys = []string{
-	"dpus", "simulated_dpus", "algorithm", "scheduler", "policy",
-	"txn_size", "cross_dpu_frac", "zipf_s", "read_pct", "hot_keys",
+	"cell", "workload", "dpus", "simulated_dpus", "algorithm", "scheduler",
+	"policy", "txn_size", "cross_dpu_frac", "zipf_s", "read_pct", "hot_keys",
 	"hot_write_frac", "rate_txns_per_s", "rate_ops_per_s", "txns", "ops",
 	"keys", "max_batch", "max_delay_s", "ops_per_batch",
 }

@@ -16,6 +16,7 @@
 //	pimstm-bench -experiment serve           # open-loop adaptive-batching sweep
 //	pimstm-bench -experiment rebalance       # static vs skew-adaptive placement sweep
 //	pimstm-bench -experiment txnserve        # multi-key transaction serving sweep
+//	pimstm-bench -experiment apps            # application-workload scenario matrix
 //	pimstm-bench -experiment all             # everything above
 //
 // -scale trades fidelity for speed (1.0 = paper-sized workloads);
@@ -67,6 +68,19 @@
 // whole sweep finished inside the pinned real-time budget
 // (-scale-budget-s).
 //
+// The apps experiment replaces hand-enumerated sweeps with a declared
+// scenario matrix: application workloads (kv, TPC-C-style neworder,
+// RUBiS-style auction) × fleet size × skew × transaction shape ×
+// cross-DPU fraction × scheduler × placement policy × STM algorithm,
+// with exclusion predicates carving out meaningless cells and a seeded
+// pairwise-covering expansion (-apps-min-cells floor) choosing which
+// cells run. Every cell serves a deterministic application trace and
+// then proves the workload's conservation invariant (e.g. Σstock +
+// Σordered == initial) against the served store; rows land in
+// -apps-out (default BENCH_apps.json) with per-cell axis tags,
+// guard-abort counts, and a coverage audit block. Same seed ⇒
+// byte-identical artifact.
+//
 // -cpuprofile and -memprofile write pprof profiles of whatever
 // experiment ran (the memory profile is taken at exit), for chasing
 // host-side hot spots and allocation regressions.
@@ -92,7 +106,7 @@ import (
 var experimentList = []string{
 	"latency", "fig4", "fig5", "fig6", "fig9", "fig10", "tiers",
 	"fig7", "fig8", "multidpu", "serve", "rebalance", "txnserve",
-	"scale",
+	"scale", "apps",
 }
 
 func main() {
@@ -165,6 +179,16 @@ func main() {
 		scaleBatch  = flag.Int("scale-batch", 4096, "submitter MaxBatch (ops) for scale")
 		scaleSeed   = flag.Uint64("scale-seed", 1, "traffic seed for scale")
 		scaleOut    = flag.String("scale-out", "BENCH_scale.json", "scale JSON artifact path (empty = don't write)")
+
+		appsTxns     = flag.Int("apps-txns", 400, "transactions per apps cell")
+		appsRate     = flag.Float64("apps-rate", 2e5, "open-loop arrival rate for apps (transactions per modeled second)")
+		appsKeys     = flag.Int("apps-keys", 128, "distinct keys in the apps KV cells")
+		appsReads    = flag.Int("apps-reads", 80, "read percentage of the apps KV traffic")
+		appsBatch    = flag.Int("apps-batch", 48, "submitter MaxBatch (ops) for apps")
+		appsDelayUS  = flag.Float64("apps-delay-us", 300, "submitter MaxDelay in modeled microseconds for apps")
+		appsMinCells = flag.Int("apps-min-cells", 32, "pad the covering cell set to at least this many cells")
+		appsSeed     = flag.Uint64("apps-seed", 1, "matrix-expansion and traffic seed for apps")
+		appsOut      = flag.String("apps-out", "BENCH_apps.json", "apps JSON artifact path (empty = don't write)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -375,6 +399,21 @@ func main() {
 				fatal(err)
 			}
 			if _, err := runScale(sopt, os.Stdout); err != nil {
+				fatal(err)
+			}
+		case "apps":
+			aopt := appsOptions{
+				Txns:            *appsTxns,
+				Rate:            *appsRate,
+				Keyspace:        *appsKeys,
+				ReadPct:         *appsReads,
+				MaxBatch:        *appsBatch,
+				MaxDelaySeconds: *appsDelayUS * 1e-6,
+				MinCells:        *appsMinCells,
+				Seed:            *appsSeed,
+				Out:             *appsOut,
+			}
+			if _, err := runApps(aopt, os.Stdout); err != nil {
 				fatal(err)
 			}
 		case "tiers":

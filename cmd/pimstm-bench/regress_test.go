@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -97,7 +98,7 @@ func TestServeExplicitFIFOMatchesDefault(t *testing.T) {
 	}
 	def := run(nil)
 	exp := run(func() host.Scheduler { return host.NewFIFOScheduler(32, 300e-6) })
-	if def != exp {
+	if !reflect.DeepEqual(def, exp) {
 		t.Fatalf("explicit FIFOScheduler diverged from the nil default:\n%+v\n%+v", def, exp)
 	}
 	if def.Ops != 300 || def.Batches == 0 {

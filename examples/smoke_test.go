@@ -1,4 +1,4 @@
-// Smoke tests for the example programs: each of the nine demos must
+// Smoke tests for the example programs: each of the ten demos must
 // build and run to completion with a small workload, so API churn in
 // the packages they showcase can't silently rot them.
 package examples
@@ -38,6 +38,7 @@ func TestExamplesRun(t *testing.T) {
 		{"rebalance", []string{"-dpus", "4", "-ops", "7680", "-keys", "2560", "-rate", "1200000", "-batch", "768"}},
 		{"txn", []string{"-dpus", "4", "-accounts", "32", "-moves", "12"}},
 		{"sched", []string{"-dpus", "4", "-txns", "300", "-keys", "128", "-batch", "32"}},
+		{"apps", []string{"-dpus", "4", "-orders", "300", "-items", "16", "-stock", "30"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -83,6 +83,14 @@ type PartitionedMap struct {
 	// between quiescent windows (see MaybeRebalance).
 	reb *Rebalancer
 
+	// splitTrack is the host's exact view of every delta shard's
+	// balance, keyed by shard key: seeded at zero by SplitKeys, set
+	// exactly at every reconciliation fold, adjusted by committed
+	// rewritten ops post-batch, and deleted on unsplit. The sub-rewrite
+	// coverage check (split.go) reads it to prove a batch's pending
+	// subtractions cannot underflow their shards.
+	splitTrack map[uint64]uint64
+
 	// BatchSeconds is the modeled wall-clock delta of the last
 	// ApplyTxns/ApplyBatch/ApplyTransfers call (what that window added
 	// to the fleet clock; see Stats for the cumulative breakdown).

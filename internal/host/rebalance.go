@@ -43,12 +43,12 @@ type RebalancerConfig struct {
 	ColdWindows int
 	// SplitMinAddShare enables the third remedy, split-key execution
 	// (split.go), and sets its trigger: a hot write-heavy key whose
-	// window traffic is at least this fraction commutative adds is
-	// entered into the split state instead of migrating — its adds then
-	// run on per-DPU delta shards in the confined lane, and only
-	// non-commutative accesses pay an epoch reconciliation. 0 (the
-	// default) disables splitting entirely, which keeps every historical
-	// artifact byte-identical.
+	// window traffic is at least this fraction commutative RMWs (OpAdd
+	// and OpSub) is entered into the split state instead of migrating —
+	// its adds and covered subs then run on per-DPU delta shards in the
+	// confined lane, and only non-commutative accesses pay an epoch
+	// reconciliation. 0 (the default) disables splitting entirely, which
+	// keeps every historical artifact byte-identical.
 	SplitMinAddShare float64
 	// SplitColdWindows is the split↔unsplit hysteresis: a split key
 	// whose traffic stops qualifying (below MinKeyOps, or add share
@@ -124,9 +124,10 @@ type RebalancerStats struct {
 }
 
 // keyLoad accumulates one key's window traffic. adds counts the subset
-// of writes that are commutative OpAdds — the split-key trigger's
-// signal (ddtxn-style: a key whose conflicts come from commutative
-// increments splits instead of migrating).
+// of writes that are commutative guarded RMWs — OpAdd and OpSub — the
+// split-key trigger's signal (ddtxn-style: a key whose conflicts come
+// from commutative increments or decrements splits instead of
+// migrating).
 type keyLoad struct {
 	reads, writes, adds int
 }
@@ -208,7 +209,7 @@ func (r *Rebalancer) observe(txns []Txn, routed []int) {
 				l.reads++
 			} else {
 				l.writes++
-				if op.Kind == OpAdd {
+				if isRMW(op.Kind) {
 					l.adds++
 				}
 			}
@@ -430,12 +431,12 @@ func (r *Rebalancer) decide() (bool, error) {
 	var splits []uint64
 	for _, c := range cands {
 		owner := r.pm.owner(c.key)
-		// A hot key dominated by commutative adds splits, checked before
-		// either classical remedy: replicas are useless for a write
-		// stream (every add would invalidate them), and migration just
-		// relocates the bottleneck kernel, while per-DPU delta shards
-		// spread the adds over the whole fleet's confined lanes
-		// (Doppel's remedy for commutative contention).
+		// A hot key dominated by commutative RMWs (adds and subs)
+		// splits, checked before either classical remedy: replicas are
+		// useless for a write stream (every RMW would invalidate them),
+		// and migration just relocates the bottleneck kernel, while
+		// per-DPU delta shards spread the RMWs over the whole fleet's
+		// confined lanes (Doppel's remedy for commutative contention).
 		if r.cfg.SplitMinAddShare > 0 && n >= 2 && c.key < splitKeyLimit &&
 			float64(c.load.adds) >= r.cfg.SplitMinAddShare*float64(c.ops) {
 			if adjusted[owner] <= mean {

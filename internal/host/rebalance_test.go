@@ -1,6 +1,7 @@
 package host
 
 import (
+	"reflect"
 	"testing"
 
 	"pimstm/internal/core"
@@ -270,7 +271,7 @@ func TestServeWithRebalancerDeterministic(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("nondeterministic serve with rebalancer:\n%+v\n%+v", a, b)
 	}
 	if a.Errors != 0 {

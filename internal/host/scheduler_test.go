@@ -1,6 +1,7 @@
 package host
 
 import (
+	"reflect"
 	"testing"
 
 	"pimstm/internal/core"
@@ -278,7 +279,7 @@ func TestAdaptiveServeConverges(t *testing.T) {
 	}
 	res1, mb1 := run()
 	res2, mb2 := run()
-	if mb1 != mb2 || res1 != res2 {
+	if mb1 != mb2 || !reflect.DeepEqual(res1, res2) {
 		t.Fatalf("adaptive serving must be deterministic per seed:\n%+v (MaxBatch %d)\n%+v (MaxBatch %d)", res1, mb1, res2, mb2)
 	}
 	if mb1 <= 16 {
@@ -391,7 +392,7 @@ func TestLaneServeWithRebalancerDeterministic(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("lane serving with rebalancer diverged:\n%+v\n%+v", a, b)
 	}
 	if a.Errors > 0 || a.Stats.ConfinedBatches == 0 || a.Stats.CoordinatedBatches == 0 {

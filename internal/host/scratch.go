@@ -322,13 +322,36 @@ type batchScratch struct {
 	// to reconcile (and, for drops, unsplit); splitSrc/splitVals are the
 	// reconciliation gather scratch; splitTxns/splitOps hold the
 	// rewritten batch — client transactions are never mutated in place.
-	splitTouch map[uint64]uint8
-	splitRecon []uint64
-	splitDrop  []uint64
-	splitSrc   dpuKeyLists
-	splitVals  map[uint64]uint64
-	splitTxns  []Txn
-	splitOps   []Op
+	// The sub-rewrite machinery: splitTargets caches each transaction's
+	// tentative shard target, splitPend tallies the batch's pending
+	// rewritten subtractions per shard key, splitSubOK marks the keys
+	// whose subs rewrite (covered or provisioned), splitProv the keys
+	// the fold provisioned with escrow, and splitRewrites records every
+	// rewritten op so committed ones update pm.splitTrack post-batch.
+	splitTouch    map[uint64]uint8
+	splitRecon    []uint64
+	splitDrop     []uint64
+	splitSrc      dpuKeyLists
+	splitVals     map[uint64]uint64
+	splitTxns     []Txn
+	splitOps      []Op
+	splitTargets  []int
+	splitPend     map[uint64]uint64
+	splitSubOK    map[uint64]bool
+	splitProv     map[uint64]bool
+	splitRewrites []splitRewriteRec
+}
+
+// splitRewriteRec records one rewritten split-key op: which transaction
+// carried it, the shard key it landed on, and its signed delta. After
+// the batch executes, committed records adjust the host's exact
+// shard-balance view (pm.splitTrack); aborted transactions applied
+// nothing and adjust nothing.
+type splitRewriteRec struct {
+	ti   int32
+	sub  bool
+	skey uint64
+	val  uint64
 }
 
 func (sc *batchScratch) init(dpus int) {
@@ -365,6 +388,9 @@ func (sc *batchScratch) init(dpus int) {
 	sc.splitTouch = make(map[uint64]uint8)
 	sc.splitVals = make(map[uint64]uint64)
 	sc.splitSrc.ensure(dpus)
+	sc.splitPend = make(map[uint64]uint64)
+	sc.splitSubOK = make(map[uint64]bool)
+	sc.splitProv = make(map[uint64]bool)
 }
 
 // addUnit buckets one routed unit onto a DPU, tracking touched ids for

@@ -393,6 +393,21 @@ type ServeConfig struct {
 	// MaxBatch/MaxDelaySeconds). A factory rather than an instance:
 	// schedulers are stateful and every Serve call needs a fresh one.
 	Scheduler func() Scheduler
+	// Trace, when non-nil, is served verbatim instead of a trace
+	// generated from Traffic — the hook application workloads use to
+	// inject their own transaction streams. Arrivals must be
+	// non-decreasing. Traffic.Keyspace still sizes the store defaults
+	// and the identity preload.
+	Trace []TimedTxn
+	// Preload, when non-nil, replaces the identity preload (Put(k, k)
+	// for every key below Traffic.Keyspace) with an explicit op list
+	// applied before the clock baseline — how workloads install their
+	// initial state (stock levels, wallets, …).
+	Preload []Op
+	// KeepResults retains every transaction's TxnResult (trace order)
+	// and the served store on the result — the hooks invariant checkers
+	// need. Off by default; serving benchmarks don't pay the memory.
+	KeepResults bool
 }
 
 // ServeResult is the modeled outcome of one serving run.
@@ -428,6 +443,12 @@ type ServeResult struct {
 	// run paid (always zero unless the rebalancer's split policy is
 	// armed and triggered).
 	SplitReconciles int
+	// Results are the per-transaction outcomes in trace order; nil
+	// unless ServeConfig.KeepResults is set.
+	Results []TxnResult
+	// Store is the served map after the run, for post-run state checks
+	// (invariants); nil unless ServeConfig.KeepResults is set.
+	Store *PartitionedMap
 }
 
 // Serve preloads the keyspace, streams the generated trace through a
@@ -437,15 +458,21 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 	if cfg.Traffic.TxnSize > 1 && cfg.Traffic.DPUs == 0 {
 		cfg.Traffic.DPUs = cfg.Map.DPUs
 	}
-	trace, err := GenerateTraffic(cfg.Traffic)
-	if err != nil {
-		return ServeResult{}, err
+	trace := cfg.Trace
+	if trace == nil {
+		var err error
+		if trace, err = GenerateTraffic(cfg.Traffic); err != nil {
+			return ServeResult{}, err
+		}
 	}
 	if cfg.Map.Buckets == 0 {
 		cfg.Map.Buckets = 256
 	}
 	if cfg.Map.Capacity == 0 {
 		cfg.Map.Capacity = 4 * cfg.Traffic.Keyspace
+		if n := 4 * len(cfg.Preload); n > cfg.Map.Capacity {
+			cfg.Map.Capacity = n
+		}
 	}
 	pm, err := NewPartitionedMap(cfg.Map)
 	if err != nil {
@@ -453,10 +480,14 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 	}
 
 	// Load phase: populate every key so Gets hit, then baseline the
-	// clock — the serving numbers exclude the load.
-	load := make([]Op, cfg.Traffic.Keyspace)
-	for k := range load {
-		load[k] = Op{Kind: OpPut, Key: uint64(k), Value: uint64(k)}
+	// clock — the serving numbers exclude the load. An explicit Preload
+	// replaces the identity fill.
+	load := cfg.Preload
+	if load == nil {
+		load = make([]Op, cfg.Traffic.Keyspace)
+		for k := range load {
+			load[k] = Op{Kind: OpPut, Key: uint64(k), Value: uint64(k)}
+		}
 	}
 	if _, err := pm.ApplyBatch(load); err != nil {
 		return ServeResult{}, err
@@ -496,6 +527,10 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 	if reb != nil {
 		res.Rebalance = reb.Stats()
 	}
+	if cfg.KeepResults {
+		res.Results = make([]TxnResult, 0, len(futs))
+		res.Store = pm
+	}
 	lats := make([]float64, len(futs))
 	for i, f := range futs {
 		r := f.Wait()
@@ -505,6 +540,9 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 			res.Aborted++
 		}
 		lats[i] = r.LatencySeconds
+		if cfg.KeepResults {
+			res.Results = append(res.Results, r)
+		}
 	}
 	sort.Float64s(lats)
 	res.P50 = quantileSorted(lats, 0.50)

@@ -2,6 +2,7 @@ package host
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -303,7 +304,7 @@ func TestServeDeterministicAndPipelined(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pipe != again {
+	if !reflect.DeepEqual(pipe, again) {
 		t.Fatalf("same-seed serve runs diverged:\n%+v\n%+v", pipe, again)
 	}
 	if pipe.Errors != 0 || pipe.Ops != 600 || pipe.Batches == 0 {
@@ -446,7 +447,7 @@ func TestServeHotCountersSplit(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("nondeterministic hot-counter serve:\n%+v\n%+v", a, b)
 	}
 	if a.Errors != 0 || a.Aborted != 0 {

@@ -23,13 +23,30 @@ import (
 //     touches — the adds commute, so absorbing them locally is exact —
 //     turning what would be cross-DPU coordination into confined-lane
 //     kernel work. The logical value of K is home + Σ shards.
-//   - Any non-commutative access forces a paid epoch reconciliation at
-//     batch start: one coalesced gather of home + shards, then one
-//     writeback-style apply round folding the deltas into the home
-//     value and zeroing the shards. The key stays split.
+//   - A batch touching K only through OpAdd/OpSub also rewrites its
+//     subs, but only when the host's exact shard-balance view
+//     (splitTrack) proves every shard covers its pending subtractions —
+//     subtraction commutes, and coverage rules out the underflow the
+//     guard exists for, so the rewritten guard can never fire where the
+//     reference guard would not (and vice versa: the logical value is
+//     at least any one shard's balance). A covered sub batch pays no
+//     reconciliation at all.
+//   - An uncovered sub batch reconciles, and the fold provisions
+//     escrow when the folded total T still covers the batch's pending
+//     subs: each shard is seeded with its pending amount plus an equal
+//     share of half the surplus, the home keeps the rest, and the subs
+//     stay rewritten — future covered batches then run reconcile-free
+//     until the escrow drains. When T cannot cover the pending subs
+//     (genuine underflow is in play) the fold zeroes the shards and the
+//     batch runs the key unrewritten — adds included — preserving exact
+//     batch-order guard semantics.
+//   - Any other non-commutative access forces a paid epoch
+//     reconciliation at batch start: one coalesced gather of home +
+//     shards, then one writeback-style apply round folding the deltas
+//     into the home value and zeroing the shards. The key stays split.
 //   - After reconciling, a batch that WRITES K non-commutatively
-//     (OpPut, or OpSub — the sub's underflow guard observes the value)
-//     runs the key unrewritten, preserving exact batch-order
+//     (OpPut) runs the key unrewritten — subs included, since their
+//     underflow guard observes the value — preserving exact batch-order
 //     semantics for the write and every add around it.
 //   - A batch that only READS K (OpGet) keeps its adds rewritten: the
 //     reads observe the epoch value the reconciliation just folded,
@@ -47,13 +64,14 @@ import (
 // calibrated per-instruction rate for sampled shadow shards).
 //
 // Two documented deviations, both value-level only: the OpResult.Value
-// of a rewritten add is the post-add value of its local shard, not of
-// the logical counter — the global sum is unknowable without paying the
-// reconciliation the rewrite exists to avoid — and the OpResult.Value
-// of a read sharing a batch with rewritten adds is the reconciled epoch
-// value, not the batch-order running value. Committed/abort semantics
-// are unchanged (split keys are always present at home, and so are
-// their shards).
+// of a rewritten add or sub is the post-op value of its local shard,
+// not of the logical counter — the global sum is unknowable without
+// paying the reconciliation the rewrite exists to avoid — and the
+// OpResult.Value of a read sharing a batch with rewritten adds is the
+// reconciled epoch value, not the batch-order running value.
+// Committed/abort semantics are unchanged (split keys are always
+// present at home, and so are their shards; subs only rewrite when
+// coverage proves the guard outcome matches the reference's).
 
 const (
 	// shardKeyFlag tags delta-shard keys; shardKeyShift packs the DPU id
@@ -78,14 +96,27 @@ const (
 	splitTouchRead
 	splitTouchWrite
 	splitTouchDelete
+	splitTouchSub
 )
 
 // splitRewritable reports whether a batch's adds on a split key stay
 // rewritten onto delta shards: yes unless the batch also writes the key
 // non-commutatively (reads only force the epoch reconciliation, not the
-// rewrite suppression).
+// rewrite suppression). A key whose subs end up suppressed additionally
+// suppresses its adds — see splitRewrite's rewriteOp — because a
+// suppressed sub behaves like a write (its guard observes the home
+// value, which must reflect every add before it in batch order).
 func splitRewritable(f uint8) bool {
 	return f&splitTouchAdd != 0 && f&(splitTouchWrite|splitTouchDelete) == 0
+}
+
+// subCandidate reports whether a batch's subs on a split key are
+// rewrite candidates: the key is touched only through OpAdd/OpSub this
+// batch. Any read, write or delete alongside a sub falls back to the
+// suppress-and-reconcile protocol, whose batch-order guard semantics
+// are exact by construction.
+func subCandidate(f uint8) bool {
+	return f&splitTouchSub != 0 && f&(splitTouchRead|splitTouchWrite|splitTouchDelete) == 0
 }
 
 // SplitKeys enters each key into the split state: one paid gather round
@@ -155,9 +186,13 @@ func (pm *PartitionedMap) SplitKeys(keys []uint64) error {
 		if err := pm.mutateRound(putOn, shardVals, nil); err != nil {
 			return err
 		}
+		if pm.splitTrack == nil {
+			pm.splitTrack = make(map[uint64]uint64)
+		}
 		for _, k := range split {
 			for d := 0; d < n; d++ {
 				pm.dir.setOwner(shardKeyFor(k, d), d)
+				pm.splitTrack[shardKeyFor(k, d)] = 0
 			}
 			pm.dir.setSplit(k)
 		}
@@ -191,7 +226,7 @@ func (pm *PartitionedMap) UnsplitKeys(keys []uint64) error {
 	slices.Sort(drop)
 	wallBefore := pm.fleet.Stats().WallSeconds
 	phases := pm.BatchPhases
-	err := pm.reconcileSplitKeys(nil, drop)
+	err := pm.reconcileSplitKeys(nil, drop, false)
 	pm.BatchPhases = phases
 	if err != nil {
 		return err
@@ -209,7 +244,15 @@ func (pm *PartitionedMap) UnsplitKeys(keys []uint64) error {
 // apply cycles on simulated DPUs, the calibrated per-instruction rate
 // for sampled shadow shards — and the phase deltas accumulate into
 // BatchPhases like any other coordination round.
-func (pm *PartitionedMap) reconcileSplitKeys(stay, drop []uint64) error {
+//
+// With provision set (only from splitRewrite, whose splitPend tally is
+// fresh for this batch), a staying key whose folded total covers its
+// pending rewritten subtractions redistributes the total as escrow
+// instead of zero-folding: each shard gets its pending amount plus an
+// equal share of half the surplus, the home keeps the rest, and the key
+// is marked in splitProv so the batch's subs stay rewritten. The
+// splitTrack balances are set exactly at every fold either way.
+func (pm *PartitionedMap) reconcileSplitKeys(stay, drop []uint64, provision bool) error {
 	sc := &pm.sc
 	n := pm.fleet.Size()
 	if len(stay)+len(drop) == 0 {
@@ -251,6 +294,37 @@ func (pm *PartitionedMap) reconcileSplitKeys(stay, drop []uint64) error {
 		for d := 0; d < n; d++ {
 			delta += vals[shardKeyFor(k, d)]
 		}
+		if provision && !unsplit {
+			var pend uint64
+			for d := 0; d < n; d++ {
+				pend += sc.splitPend[shardKeyFor(k, d)]
+			}
+			if total := vals[k] + delta; pend > 0 && total >= pend {
+				// Escrow provisioning: the total covers the batch's
+				// pending subs, so instead of folding everything home the
+				// fold seeds each shard with its pending amount plus an
+				// equal headroom share of half the surplus. Σ alloc ≤
+				// total by construction, so the home remainder never
+				// underflows, and pm.Get (home + Σ shards) still reads
+				// the exact logical value.
+				head := (total - pend) / uint64(2*n)
+				rest := total
+				for d := 0; d < n; d++ {
+					skey := shardKeyFor(k, d)
+					alloc := sc.splitPend[skey] + head
+					rest -= alloc
+					if vals[skey] != alloc {
+						sc.addWbUnit(d, sc.commitUnit(Op{Kind: OpPut, Key: skey, Value: alloc}))
+					}
+					pm.splitTrack[skey] = alloc
+				}
+				if vals[k] != rest {
+					sc.addWbUnit(pm.owner(k), sc.commitUnit(Op{Kind: OpPut, Key: k, Value: rest}))
+				}
+				sc.splitProv[k] = true
+				return
+			}
+		}
 		if delta > 0 {
 			// Split keys are always present at home (SplitKeys checks
 			// presence, deletes unsplit first), so the fold is a put of
@@ -261,8 +335,14 @@ func (pm *PartitionedMap) reconcileSplitKeys(stay, drop []uint64) error {
 			skey := shardKeyFor(k, d)
 			if unsplit {
 				sc.addWbUnit(d, sc.commitUnit(Op{Kind: OpDelete, Key: skey}))
-			} else if vals[skey] != 0 {
-				sc.addWbUnit(d, sc.commitUnit(Op{Kind: OpPut, Key: skey, Value: 0}))
+				delete(pm.splitTrack, skey)
+			} else {
+				if vals[skey] != 0 {
+					sc.addWbUnit(d, sc.commitUnit(Op{Kind: OpPut, Key: skey, Value: 0}))
+				}
+				if pm.splitTrack != nil {
+					pm.splitTrack[skey] = 0
+				}
 			}
 		}
 	}
@@ -374,6 +454,7 @@ func (pm *PartitionedMap) splitRewrite(txns []Txn, coordinateAll bool) ([]Txn, e
 	sc := &pm.sc
 	dir := pm.dir
 	clear(sc.splitTouch)
+	sc.splitRewrites = sc.splitRewrites[:0]
 	touched := false
 	for i := range txns {
 		for _, op := range txns[i].Ops {
@@ -385,6 +466,8 @@ func (pm *PartitionedMap) splitRewrite(txns []Txn, coordinateAll bool) ([]Txn, e
 			switch {
 			case op.Kind == OpAdd && !coordinateAll:
 				f |= splitTouchAdd
+			case op.Kind == OpSub && !coordinateAll:
+				f |= splitTouchSub
 			case op.Kind == OpGet:
 				f |= splitTouchRead
 			case op.Kind == OpDelete:
@@ -398,52 +481,45 @@ func (pm *PartitionedMap) splitRewrite(txns []Txn, coordinateAll bool) ([]Txn, e
 	if !touched {
 		return txns, nil
 	}
-	recon, drops := sc.splitRecon[:0], sc.splitDrop[:0]
-	rewrite := false
-	for k, f := range sc.splitTouch {
-		switch {
-		case f&splitTouchDelete != 0:
-			drops = append(drops, k)
-		case f&(splitTouchRead|splitTouchWrite) != 0:
-			recon = append(recon, k)
-		}
-		if splitRewritable(f) {
-			rewrite = true
-		}
-	}
-	slices.Sort(recon)
-	slices.Sort(drops)
-	sc.splitRecon, sc.splitDrop = recon, drops
-	if len(recon) > 0 || len(drops) > 0 {
-		if err := pm.reconcileSplitKeys(recon, drops); err != nil {
-			return nil, err
-		}
-	}
-	if !rewrite || coordinateAll {
-		return txns, nil
-	}
 	n := pm.fleet.Size()
-	work := append(sc.splitTxns[:0], txns...)
-	sc.splitOps = sc.splitOps[:0]
-	for i := range work {
-		ops := work[i].Ops
-		needs := false
-		for _, op := range ops {
-			if op.Kind == OpAdd && splitRewritable(sc.splitTouch[op.Key]) {
-				needs = true
-				break
-			}
+
+	// Tentative rewrite view and shard targets, computed once per
+	// transaction assuming every candidate add and sub rewrites. The
+	// targets stay fixed even when a key's subs are later suppressed
+	// (coverage failed and the fold could not provision escrow):
+	// recomputing them would shift other keys' pending-sub tallies
+	// between shards after coverage was already decided, which could
+	// manufacture the underflow coverage just ruled out. For batches
+	// without sub candidates the tentative view coincides with the
+	// final one, so this pass reproduces the historical add-only
+	// targets exactly.
+	tentative := func(op Op) bool {
+		f := sc.splitTouch[op.Key]
+		switch op.Kind {
+		case OpAdd:
+			return splitRewritable(f)
+		case OpSub:
+			return subCandidate(f)
 		}
-		if !needs {
-			continue
+		return false
+	}
+	anySub := false
+	for _, f := range sc.splitTouch {
+		if subCandidate(f) {
+			anySub = true
+			break
 		}
+	}
+	targets := ensureInts(&sc.splitTargets, len(txns))
+	clear(sc.splitPend)
+	for i := range txns {
 		// Shard target: the owner of the transaction's first op that is
-		// not itself a rewritten add — the DPU the transaction already
-		// touches, keeping it confined. Pure counter transactions spread
-		// round-robin by batch position.
+		// not itself rewritten — the DPU the transaction already
+		// touches, keeping it confined. Pure counter transactions
+		// spread round-robin by batch position.
 		target := -1
-		for _, op := range ops {
-			if op.Kind == OpAdd && splitRewritable(sc.splitTouch[op.Key]) {
+		for _, op := range txns[i].Ops {
+			if tentative(op) {
 				continue
 			}
 			target = pm.owner(op.Key)
@@ -452,10 +528,111 @@ func (pm *PartitionedMap) splitRewrite(txns []Txn, coordinateAll bool) ([]Txn, e
 		if target < 0 {
 			target = i % n
 		}
+		targets[i] = target
+		if anySub {
+			for _, op := range txns[i].Ops {
+				if op.Kind == OpSub && subCandidate(sc.splitTouch[op.Key]) {
+					sc.splitPend[shardKeyFor(op.Key, target)] += op.Value
+				}
+			}
+		}
+	}
+
+	// Coverage: a candidate key's subs rewrite without any reconcile
+	// when every shard's tracked balance covers its pending
+	// subtraction. Uncovered candidates reconcile, and the fold decides
+	// between escrow provisioning (subs stay rewritten) and the exact
+	// zero-fold suppression.
+	clear(sc.splitSubOK)
+	clear(sc.splitProv)
+	if anySub {
+		for k, f := range sc.splitTouch {
+			if !subCandidate(f) {
+				continue
+			}
+			covered := true
+			for d := 0; d < n; d++ {
+				skey := shardKeyFor(k, d)
+				if p := sc.splitPend[skey]; p > 0 && pm.splitTrack[skey] < p {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				sc.splitSubOK[k] = true
+			}
+		}
+	}
+	recon, drops := sc.splitRecon[:0], sc.splitDrop[:0]
+	for k, f := range sc.splitTouch {
+		switch {
+		case f&splitTouchDelete != 0:
+			drops = append(drops, k)
+		case f&(splitTouchRead|splitTouchWrite) != 0:
+			recon = append(recon, k)
+		case subCandidate(f) && !sc.splitSubOK[k]:
+			recon = append(recon, k)
+		}
+	}
+	slices.Sort(recon)
+	slices.Sort(drops)
+	sc.splitRecon, sc.splitDrop = recon, drops
+	if len(recon) > 0 || len(drops) > 0 {
+		if err := pm.reconcileSplitKeys(recon, drops, !coordinateAll); err != nil {
+			return nil, err
+		}
+	}
+	for k := range sc.splitProv {
+		sc.splitSubOK[k] = true
+	}
+
+	// The final rewrite view: adds rewrite as before unless the key's
+	// subs were suppressed (a suppressed sub observes the home value,
+	// so the adds before it must land there too); subs rewrite exactly
+	// when covered or provisioned.
+	rewriteOp := func(op Op) bool {
+		f := sc.splitTouch[op.Key]
+		switch op.Kind {
+		case OpAdd:
+			return splitRewritable(f) && (f&splitTouchSub == 0 || sc.splitSubOK[op.Key])
+		case OpSub:
+			return sc.splitSubOK[op.Key]
+		}
+		return false
+	}
+	rewrite := false
+	for k, f := range sc.splitTouch {
+		if sc.splitSubOK[k] || (splitRewritable(f) && f&splitTouchSub == 0) {
+			rewrite = true
+			break
+		}
+	}
+	if !rewrite || coordinateAll {
+		return txns, nil
+	}
+	work := append(sc.splitTxns[:0], txns...)
+	sc.splitOps = sc.splitOps[:0]
+	for i := range work {
+		ops := work[i].Ops
+		needs := false
+		for _, op := range ops {
+			if rewriteOp(op) {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			continue
+		}
+		target := targets[i]
 		start := len(sc.splitOps)
 		for _, op := range ops {
-			if op.Kind == OpAdd && splitRewritable(sc.splitTouch[op.Key]) {
-				op.Key = shardKeyFor(op.Key, target)
+			if rewriteOp(op) {
+				skey := shardKeyFor(op.Key, target)
+				sc.splitRewrites = append(sc.splitRewrites, splitRewriteRec{
+					ti: int32(i), sub: op.Kind == OpSub, skey: skey, val: op.Value,
+				})
+				op.Key = skey
 			}
 			sc.splitOps = append(sc.splitOps, op)
 		}

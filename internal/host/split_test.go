@@ -357,14 +357,15 @@ func TestDifferentialSplitReconcile(t *testing.T) {
 									t.Fatalf("txn %d op %d (%+v): OK %v want %v",
 										i, j, txn.Ops[j], gr.OK, wr.OK)
 								}
-								if op := txn.Ops[j]; (op.Kind == OpAdd || op.Kind == OpGet) && dir.isSplit(op.Key) {
+								if op := txn.Ops[j]; (isRMW(op.Kind) || op.Kind == OpGet) && dir.isSplit(op.Key) {
 									// The documented deviations: a rewritten
-									// add reports its local shard's value, and
-									// a read sharing a batch with rewritten
-									// adds reports the reconciled epoch value
-									// rather than the batch-order running
-									// value. The post-batch logical-value
-									// check below still pins state exactness.
+									// add or sub reports its local shard's
+									// value, and a read sharing a batch with
+									// rewritten adds reports the reconciled
+									// epoch value rather than the batch-order
+									// running value. The post-batch
+									// logical-value check below still pins
+									// state exactness.
 									continue
 								}
 								if gr.Value != wr.Value {
@@ -439,6 +440,202 @@ func TestDifferentialSplitReconcile(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// genSubStream is the sub-dominated trace for the guarded-decrement
+// differential: small stock decrements dominate 4 hot counters,
+// replenishment adds and occasional reads keep the escrow being
+// re-proven across epoch folds, and oversized decrements force genuine
+// underflow aborts (the suppressed exact path). Order-line
+// transactions ride a decrement alongside confined cold work so the
+// shard-target selection is exercised for subs too.
+func genSubStream(seed uint64, count int, keyspace uint64) []Txn {
+	rng := Rand64(seed*0x9E3779B97F4A7C15 + 0x5851F42D4C957F2D)
+	hot := func() uint64 { return rng.Next() % 4 }
+	cold := func() uint64 { return 4 + rng.Next()%(keyspace-4) }
+	txns := make([]Txn, count)
+	for i := range txns {
+		switch draw := rng.Next() % 40; {
+		case draw < 18: // pure stock decrement — the sub-rewrite target
+			txns[i] = Txn{Ops: []Op{{Kind: OpSub, Key: hot(), Value: 1 + rng.Next()%4}}}
+		case draw < 24: // order line: a decrement riding confined cold work
+			txns[i] = Txn{Ops: []Op{
+				{Kind: OpPut, Key: cold(), Value: rng.Next() % 1000},
+				{Kind: OpSub, Key: hot(), Value: 1 + rng.Next()%4},
+			}}
+		case draw < 30: // replenishment increment
+			txns[i] = Txn{Ops: []Op{{Kind: OpAdd, Key: hot(), Value: rng.Next() % 8}}}
+		case draw < 31: // oversized decrement → guaranteed underflow abort
+			txns[i] = Txn{Ops: []Op{{Kind: OpSub, Key: hot(), Value: 50000 + rng.Next()%5000}}}
+		case draw < 33: // non-commutative read → epoch reconciliation
+			txns[i] = Txn{Ops: []Op{{Kind: OpGet, Key: hot()}}}
+		default: // cold background traffic
+			txns[i] = Txn{Ops: []Op{{Kind: OpGet, Key: cold()}}}
+		}
+	}
+	return txns
+}
+
+// TestDifferentialSplitSubRewrite pins the escrowed guarded-decrement
+// path against the host reference: a sub-dominated stream over split
+// stock counters must keep exact commit/abort parity (underflow aborts
+// included), keep the logical value (home + Σ shards) exact after
+// every batch, and — the point of the escrow — execute at least one
+// decrement-bearing batch without paying a reconciliation. Guard-abort
+// accounting is recounted against per-transaction outcomes, and in
+// rebalancer mode the RMW-share trigger must discover and split the
+// sub-dominated counters on its own.
+func TestDifferentialSplitSubRewrite(t *testing.T) {
+	const (
+		dpus     = 4
+		keyspace = 48
+		txnCount = 240
+		stock    = 4000
+	)
+	hotKeys := []uint64{0, 1, 2, 3}
+	for _, mode := range []string{"manual", "rebalancer"} {
+		for _, sample := range []int{0, 2} {
+			name := fmt.Sprintf("%s/sample%d", mode, sample)
+			t.Run(name, func(t *testing.T) {
+				pm, dir, ref := newSplitPM(t, dpus, keyspace, sample)
+				// Stock up the hot counters so small decrements stay
+				// covered while the oversized ones still underflow.
+				restock := make([]Op, 0, len(hotKeys))
+				for _, k := range hotKeys {
+					restock = append(restock, Op{Kind: OpPut, Key: k, Value: stock})
+					ref[k] = stock
+				}
+				if _, err := pm.ApplyBatch(restock); err != nil {
+					t.Fatal(err)
+				}
+				var reb *Rebalancer
+				var err error
+				if mode == "manual" {
+					if err := pm.SplitKeys(hotKeys); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if reb, err = NewRebalancer(pm, RebalancerConfig{
+						WindowBatches: 2, TopK: 4, MinKeyOps: 2, Trigger: 1.01,
+						Replicas: 2, ReplicateMaxWriteShare: 0.25,
+						SplitMinAddShare: 0.5, CooldownWindows: 1,
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				sched := NewFIFOScheduler(12, 300e-6)
+				var (
+					batches         int
+					coveredBatches  int
+					guardAbortsAcc  int
+					guardAbortsSeen int
+				)
+				applyBatch := func(b SchedBatch) {
+					if len(b.Txns) == 0 {
+						return
+					}
+					txns := make([]Txn, len(b.Txns))
+					for i := range b.Txns {
+						txns[i] = b.Txns[i].Txn
+					}
+					hotSub := false
+					for _, txn := range txns {
+						for _, op := range txn.Ops {
+							if op.Kind == OpSub && dir.isSplit(op.Key) {
+								hotSub = true
+							}
+						}
+					}
+					recBefore := pm.SplitReconciles
+					got, err := pm.ApplyTxns(txns)
+					if err != nil {
+						t.Fatalf("batch apply: %v", err)
+					}
+					guardAbortsAcc += pm.BatchPhases.GuardAborts
+					if hotSub && pm.SplitReconciles == recBefore {
+						coveredBatches++
+					}
+					for i, txn := range txns {
+						wantRes, wantOK := refApplyTxn(ref, txn)
+						if got[i].Err != nil {
+							t.Fatalf("txn %d errored: %v", i, got[i].Err)
+						}
+						if got[i].Committed != wantOK {
+							t.Fatalf("txn %d (%+v): committed %v want %v",
+								i, txn.Ops, got[i].Committed, wantOK)
+						}
+						if !got[i].Committed {
+							guardAbortsSeen++
+						}
+						for j := range wantRes {
+							gr, wr := got[i].Results[j], wantRes[j]
+							if gr.OK != wr.OK {
+								t.Fatalf("txn %d op %d (%+v): OK %v want %v",
+									i, j, txn.Ops[j], gr.OK, wr.OK)
+							}
+							if op := txn.Ops[j]; (isRMW(op.Kind) || op.Kind == OpGet) && dir.isSplit(op.Key) {
+								continue // documented value deviations, as above
+							}
+							if gr.Value != wr.Value {
+								t.Fatalf("txn %d op %d (%+v): got %+v want %+v",
+									i, j, txn.Ops[j], gr, wr)
+							}
+						}
+					}
+					for _, k := range hotKeys {
+						want, wantOK := ref[k]
+						gotV, gotOK := pm.Get(k)
+						if gotOK != wantOK || (gotOK && gotV != want) {
+							t.Fatalf("batch %d: logical value of key %d = %d,%v want %d,%v",
+								batches, k, gotV, gotOK, want, wantOK)
+						}
+					}
+					batches++
+					sched.Observe(b, BatchFeedback{
+						Ops:           len(txns),
+						KernelSeconds: pm.BatchLaunchSeconds,
+						WallSeconds:   pm.BatchSeconds,
+					})
+					if _, err := pm.MaybeRebalance(); err != nil {
+						t.Fatalf("rebalance: %v", err)
+					}
+				}
+				stream := genSubStream(17, txnCount, keyspace)
+				for i, txn := range stream {
+					for _, b := range sched.Admit(SchedTxn{Txn: txn, Arrival: float64(i) * 1e-5}) {
+						applyBatch(b)
+					}
+				}
+				for _, b := range sched.Drain() {
+					applyBatch(b)
+				}
+				if coveredBatches == 0 {
+					t.Fatal("every decrement-bearing batch paid a reconciliation; the escrow never amortized")
+				}
+				if guardAbortsSeen == 0 {
+					t.Fatal("the oversized decrements never aborted; the guard path was not exercised")
+				}
+				if guardAbortsAcc != guardAbortsSeen {
+					t.Fatalf("GuardAborts accounting = %d, recount of aborted txns = %d",
+						guardAbortsAcc, guardAbortsSeen)
+				}
+				if mode == "rebalancer" && reb.Stats().KeysSplit == 0 {
+					t.Fatalf("the RMW-share trigger never split a sub-dominated key: %+v", reb.Stats())
+				}
+				// Tear down and compare exactly.
+				if err := pm.UnsplitKeys(dir.splitKeys()); err != nil {
+					t.Fatal(err)
+				}
+				for k := uint64(0); k < keyspace; k++ {
+					want, wantOK := ref[k]
+					got, gotOK := pm.Get(k)
+					if gotOK != wantOK || (gotOK && got != want) {
+						t.Fatalf("final key %d: got %d,%v want %d,%v", k, got, gotOK, want, wantOK)
+					}
+				}
+			})
 		}
 	}
 }

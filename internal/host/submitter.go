@@ -99,6 +99,10 @@ type SubmitterStats struct {
 	// transfer time, on the modeled clock. All zero for a workload that
 	// never coordinates.
 	GatherSeconds, ApplySeconds, WritebackSeconds float64
+	// GuardAborts accumulates every applied batch's guard-aborted
+	// transactions (ApplyTxnsStats.GuardAborts): clean aborts on a
+	// missing key or an OpSub underflow, with no store-level error.
+	GuardAborts int
 }
 
 // submitMsg is one queue entry: a transaction with its future, or a
@@ -327,6 +331,7 @@ func (s *Submitter) flush(b SchedBatch) {
 		s.stats.GatherSeconds += s.pm.BatchPhases.GatherSeconds
 		s.stats.ApplySeconds += s.pm.BatchPhases.ApplySeconds
 		s.stats.WritebackSeconds += s.pm.BatchPhases.WritebackSeconds
+		s.stats.GuardAborts += s.pm.BatchPhases.GuardAborts
 	}
 	if ops > s.stats.MaxBatchOps {
 		s.stats.MaxBatchOps = ops

@@ -120,11 +120,12 @@ func classifyOps(ops []Op, owner func(uint64) int) (soleDPU int, serializing boo
 // ApplyTxns, so a batch the scheduler labels confined never
 // coordinates on its own (only a placement change between admission
 // and flush, or an empty transaction, can shift a lane).
-// With split keys active, an OpAdd on a split key is a chameleon: the
-// split-rewrite pre-pass redirects it onto a local delta shard of
-// whichever DPU the transaction already touches, so it never constrains
-// the sole owner — only the transaction's other ops can force
-// coordination. (A batch that also touches the key non-commutatively
+// With split keys active, an OpAdd or OpSub on a split key is a
+// chameleon: the split-rewrite pre-pass redirects it onto a local delta
+// shard of whichever DPU the transaction already touches, so it never
+// constrains the sole owner — only the transaction's other ops can
+// force coordination. (A batch that also touches the key
+// non-commutatively — or whose subs fail the shard-coverage check —
 // suppresses the rewrite and reconciles instead, which can coordinate a
 // transaction this classifier admitted as confined — the same
 // admission-vs-flush caveat as a placement change.)
@@ -136,7 +137,7 @@ func (pm *PartitionedMap) LaneOf(txn Txn) Lane {
 	if pm.dir != nil && pm.dir.splitCount() > 0 {
 		sole := -1
 		for _, op := range ops {
-			if op.Kind == OpAdd && pm.dir.isSplit(op.Key) {
+			if isRMW(op.Kind) && pm.dir.isSplit(op.Key) {
 				continue
 			}
 			o := pm.owner(op.Key)
@@ -192,10 +193,17 @@ type txnMeta struct {
 //     programs down and the results up.
 //
 // All three are zero for batches with no coordinated transactions.
+//
+// GuardAborts counts the window's transactions that aborted on a guard
+// (a missing key, or an OpSub underflow) — cleanly, with no store-level
+// error. Workload abort rates are first-class observable through this
+// counter: it flows through SubmitterStats into ServeResult.Stats and
+// the bench artifacts.
 type ApplyTxnsStats struct {
 	GatherSeconds    float64
 	ApplySeconds     float64
 	WritebackSeconds float64
+	GuardAborts      int
 }
 
 // classifyTxns analyzes every transaction and resolves the batch's
@@ -604,6 +612,31 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 	} else if len(coordinated) > 0 {
 		if err := pm.writebackRound(work, metas, results, state); err != nil {
 			return nil, err
+		}
+	}
+
+	// Post-batch shard-balance bookkeeping: committed rewritten ops
+	// adjust the host's exact per-shard view (aborted transactions
+	// applied nothing, so they adjust nothing).
+	if len(sc.splitRewrites) > 0 {
+		for _, rec := range sc.splitRewrites {
+			if !results[rec.ti].Committed {
+				continue
+			}
+			if rec.sub {
+				pm.splitTrack[rec.skey] -= rec.val
+			} else {
+				pm.splitTrack[rec.skey] += rec.val
+			}
+		}
+		sc.splitRewrites = sc.splitRewrites[:0]
+	}
+
+	// Guarded-abort accounting: a transaction that did not commit and
+	// carries no store-level error aborted on a guard.
+	for i := range results {
+		if !results[i].Committed && results[i].Err == nil && len(txns[i].Ops) > 0 {
+			pm.BatchPhases.GuardAborts++
 		}
 	}
 

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"pimstm/internal/host"
+)
+
+// AuctionConfig parameterizes the RUBiS-style auction workload.
+type AuctionConfig struct {
+	// Txns is the trace length in requests (required, ≥ 1).
+	Txns int
+	// Rate is the mean arrival rate in requests per modeled second
+	// (required, > 0).
+	Rate float64
+	// Seed makes the trace reproducible.
+	Seed uint64
+	// Bidders is the wallet population (default 32).
+	Bidders int
+	// Items is the number of concurrently hot auctions (default 8).
+	Items int
+	// InitialFunds is each wallet's starting balance (default 60);
+	// eager bidders run dry, which is the natural abort path.
+	InitialFunds uint64
+	// BidFrac is the fraction of requests that bid; the rest view
+	// (default 0.25 — the view-heavy read mix that rewards replicating
+	// the hot items).
+	BidFrac float64
+	// MaxBid bounds a single bid amount (default 20; bids draw
+	// 1..MaxBid).
+	MaxBid uint64
+	// ItemZipfS is the item-popularity skew (0 = uniform) — bids and
+	// views concentrate on the same hot auctions.
+	ItemZipfS float64
+}
+
+// Auction generates bid/view traffic over a three-region key layout:
+// wallets in [0, B), per-item escrow totals in [B, B+I), per-item bid
+// counters in [B+I, B+2I). A bid is one atomic transaction — a guarded
+// OpSub on the bidder's wallet, an OpAdd of the amount on the item's
+// escrow, and an OpAdd(+1) on its bid counter — so funds conservation
+// is exact whatever commits:
+//
+//	Σ wallets + Σ escrow == Bidders × InitialFunds.
+//
+// A view reads the hot item's escrow and bid counter, the read-heavy
+// side of the mix.
+type Auction struct {
+	cfg AuctionConfig
+
+	trace []host.TimedTxn
+}
+
+// NewAuction validates the config and applies defaults.
+func NewAuction(cfg AuctionConfig) (*Auction, error) {
+	if cfg.Bidders == 0 {
+		cfg.Bidders = 32
+	}
+	if cfg.Items == 0 {
+		cfg.Items = 8
+	}
+	if cfg.InitialFunds == 0 {
+		cfg.InitialFunds = 60
+	}
+	if cfg.BidFrac == 0 {
+		cfg.BidFrac = 0.25
+	}
+	if cfg.MaxBid == 0 {
+		cfg.MaxBid = 20
+	}
+	if cfg.Txns < 1 {
+		return nil, fmt.Errorf("workload: auction needs at least one request (Txns = %d)", cfg.Txns)
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("workload: auction needs a positive arrival rate (Rate = %g)", cfg.Rate)
+	}
+	if cfg.Bidders < 1 || cfg.Items < 1 {
+		return nil, fmt.Errorf("workload: auction needs positive Bidders/Items (%d/%d)", cfg.Bidders, cfg.Items)
+	}
+	if cfg.BidFrac < 0 || cfg.BidFrac > 1 {
+		return nil, fmt.Errorf("workload: bid fraction %g outside [0, 1]", cfg.BidFrac)
+	}
+	if cfg.ItemZipfS < 0 {
+		return nil, fmt.Errorf("workload: negative item skew %g", cfg.ItemZipfS)
+	}
+	return &Auction{cfg: cfg}, nil
+}
+
+// Key layout helpers.
+func (w *Auction) walletKey(b int) uint64   { return uint64(b) }
+func (w *Auction) escrowKey(i int) uint64   { return uint64(w.cfg.Bidders + i) }
+func (w *Auction) bidCountKey(i int) uint64 { return uint64(w.cfg.Bidders + w.cfg.Items + i) }
+
+// Name implements Workload.
+func (w *Auction) Name() string { return "auction" }
+
+// Preload implements Workload: funded wallets, zeroed escrow and bid
+// counters.
+func (w *Auction) Preload() []host.Op {
+	load := make([]host.Op, 0, w.cfg.Bidders+2*w.cfg.Items)
+	for b := 0; b < w.cfg.Bidders; b++ {
+		load = append(load, host.Op{Kind: host.OpPut, Key: w.walletKey(b), Value: w.cfg.InitialFunds})
+	}
+	for i := 0; i < w.cfg.Items; i++ {
+		load = append(load, host.Op{Kind: host.OpPut, Key: w.escrowKey(i), Value: 0})
+	}
+	for i := 0; i < w.cfg.Items; i++ {
+		load = append(load, host.Op{Kind: host.OpPut, Key: w.bidCountKey(i), Value: 0})
+	}
+	return load
+}
+
+// Generate implements Workload. PRNG draw order per request: arrival,
+// bid coin, item rank, then (bids only) bidder and amount — fixed,
+// since the trace bytes are part of the artifact contract.
+func (w *Auction) Generate() ([]host.TimedTxn, error) {
+	z, err := host.NewZipf(w.cfg.Items, w.cfg.ItemZipfS)
+	if err != nil {
+		return nil, err
+	}
+	rng := host.Rand64(w.cfg.Seed*0x9E3779B97F4A7C15 + 0x8CB92BA72F3D8DD7)
+	out := make([]host.TimedTxn, w.cfg.Txns)
+	clock := 0.0
+	for n := range out {
+		clock += -math.Log(1-rng.Float()) / w.cfg.Rate
+		bid := rng.Float() < w.cfg.BidFrac
+		item := z.Rank(rng.Float())
+		if !bid {
+			out[n] = host.TimedTxn{Txn: host.Txn{Ops: []host.Op{
+				{Kind: host.OpGet, Key: w.escrowKey(item)},
+				{Kind: host.OpGet, Key: w.bidCountKey(item)},
+			}}, Arrival: clock}
+			continue
+		}
+		bidder := int(rng.Next() % uint64(w.cfg.Bidders))
+		amt := 1 + rng.Next()%w.cfg.MaxBid
+		out[n] = host.TimedTxn{Txn: host.Txn{Ops: []host.Op{
+			{Kind: host.OpSub, Key: w.walletKey(bidder), Value: amt},
+			{Kind: host.OpAdd, Key: w.escrowKey(item), Value: amt},
+			{Kind: host.OpAdd, Key: w.bidCountKey(item), Value: 1},
+		}}, Arrival: clock}
+	}
+	w.trace = out
+	return out, nil
+}
+
+// Check implements Workload. Order-independent given the commit set:
+// global funds conservation, exact per-wallet balances (initial minus
+// committed bids), exact per-item escrow and bid counts, and views
+// must always commit and hit (nothing guards a read, and the preload
+// covers every key).
+func (w *Auction) Check(get func(uint64) (uint64, bool), results []host.TxnResult) error {
+	if w.trace == nil {
+		return fmt.Errorf("workload: auction Check before Generate")
+	}
+	if len(results) != len(w.trace) {
+		return fmt.Errorf("workload: auction got %d results for %d requests", len(results), len(w.trace))
+	}
+	spent := make([]uint64, w.cfg.Bidders)
+	escrow := make([]uint64, w.cfg.Items)
+	bids := make([]uint64, w.cfg.Items)
+	for n, t := range w.trace {
+		r := results[n]
+		if r.Err != nil {
+			return fmt.Errorf("workload: request %d errored: %w", n, r.Err)
+		}
+		isBid := t.Txn.Ops[0].Kind == host.OpSub
+		if !isBid {
+			if !r.Committed {
+				return fmt.Errorf("workload: view %d aborted", n)
+			}
+			for j := range r.Results {
+				if !r.Results[j].OK {
+					return fmt.Errorf("workload: view %d op %d missed a preloaded key", n, j)
+				}
+			}
+			continue
+		}
+		if !r.Committed {
+			continue // wallet ran dry — the legitimate abort path
+		}
+		sub := t.Txn.Ops[0]
+		spent[sub.Key] += sub.Value
+		item := int(t.Txn.Ops[1].Key - w.escrowKey(0))
+		escrow[item] += sub.Value
+		bids[item]++
+	}
+	var wallets, held uint64
+	for b := 0; b < w.cfg.Bidders; b++ {
+		v, ok := get(w.walletKey(b))
+		if !ok {
+			return fmt.Errorf("workload: wallet %d vanished", b)
+		}
+		if v != w.cfg.InitialFunds-spent[b] {
+			return fmt.Errorf("workload: wallet %d = %d, want %d - committed bids %d",
+				b, v, w.cfg.InitialFunds, spent[b])
+		}
+		wallets += v
+	}
+	for i := 0; i < w.cfg.Items; i++ {
+		e, ok1 := get(w.escrowKey(i))
+		c, ok2 := get(w.bidCountKey(i))
+		if !ok1 || !ok2 {
+			return fmt.Errorf("workload: item %d lost its escrow or bid counter (%v/%v)", i, ok1, ok2)
+		}
+		if e != escrow[i] || c != bids[i] {
+			return fmt.Errorf("workload: item %d escrow/bids = %d/%d, committed %d/%d", i, e, c, escrow[i], bids[i])
+		}
+		held += e
+	}
+	if want := uint64(w.cfg.Bidders) * w.cfg.InitialFunds; wallets+held != want {
+		return fmt.Errorf("workload: funds leaked: Σwallets %d + Σescrow %d != %d", wallets, held, want)
+	}
+	return nil
+}

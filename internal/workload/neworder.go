@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"pimstm/internal/host"
+)
+
+// NewOrderConfig parameterizes the TPC-C-style order-entry workload.
+type NewOrderConfig struct {
+	// Txns is the trace length in orders (required, ≥ 1).
+	Txns int
+	// Rate is the mean arrival rate in orders per modeled second
+	// (required, > 0); inter-arrivals are exponential.
+	Rate float64
+	// Seed makes the trace reproducible.
+	Seed uint64
+	// Districts is the number of district counters (default 4) — the
+	// hot add-only keys every order increments, the traffic shape that
+	// lights up the Rebalancer's split-key policy.
+	Districts int
+	// Items is the catalog size (default 64).
+	Items int
+	// InitialStock is each item's starting stock level (default 50);
+	// popular items run dry, which is the natural abort path.
+	InitialStock uint64
+	// MaxLines bounds the order lines per transaction (default 3; each
+	// order draws 1..MaxLines lines).
+	MaxLines int
+	// ItemZipfS is the item-popularity skew (0 = uniform).
+	ItemZipfS float64
+}
+
+// NewOrder generates order-entry transactions over a three-region key
+// layout: district counters in [0, D), stock levels in [D, D+I),
+// per-item ordered totals in [D+I, D+2I). Each order is one atomic
+// transaction — an OpAdd(+1) on its district and, per line, a guarded
+// OpSub on the item's stock paired with an OpAdd of the same quantity
+// on the item's ordered total. Stock underflow aborts the whole order,
+// so conservation is per-item exact whatever commits:
+//
+//	stock_i + ordered_i == InitialStock, for every item i.
+type NewOrder struct {
+	cfg NewOrderConfig
+
+	trace []host.TimedTxn
+}
+
+// NewNewOrder validates the config and applies defaults.
+func NewNewOrder(cfg NewOrderConfig) (*NewOrder, error) {
+	if cfg.Districts == 0 {
+		cfg.Districts = 4
+	}
+	if cfg.Items == 0 {
+		cfg.Items = 64
+	}
+	if cfg.InitialStock == 0 {
+		cfg.InitialStock = 50
+	}
+	if cfg.MaxLines == 0 {
+		cfg.MaxLines = 3
+	}
+	if cfg.Txns < 1 {
+		return nil, fmt.Errorf("workload: neworder needs at least one order (Txns = %d)", cfg.Txns)
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("workload: neworder needs a positive arrival rate (Rate = %g)", cfg.Rate)
+	}
+	if cfg.Districts < 1 || cfg.Items < 1 || cfg.MaxLines < 1 {
+		return nil, fmt.Errorf("workload: neworder needs positive Districts/Items/MaxLines (%d/%d/%d)",
+			cfg.Districts, cfg.Items, cfg.MaxLines)
+	}
+	if cfg.ItemZipfS < 0 {
+		return nil, fmt.Errorf("workload: negative item skew %g", cfg.ItemZipfS)
+	}
+	return &NewOrder{cfg: cfg}, nil
+}
+
+// Key layout helpers.
+func (w *NewOrder) districtKey(d int) uint64 { return uint64(d) }
+func (w *NewOrder) stockKey(i int) uint64    { return uint64(w.cfg.Districts + i) }
+func (w *NewOrder) orderedKey(i int) uint64  { return uint64(w.cfg.Districts + w.cfg.Items + i) }
+
+// Name implements Workload.
+func (w *NewOrder) Name() string { return "neworder" }
+
+// Preload implements Workload: zeroed districts and ordered totals,
+// stocked items.
+func (w *NewOrder) Preload() []host.Op {
+	load := make([]host.Op, 0, w.cfg.Districts+2*w.cfg.Items)
+	for d := 0; d < w.cfg.Districts; d++ {
+		load = append(load, host.Op{Kind: host.OpPut, Key: w.districtKey(d), Value: 0})
+	}
+	for i := 0; i < w.cfg.Items; i++ {
+		load = append(load, host.Op{Kind: host.OpPut, Key: w.stockKey(i), Value: w.cfg.InitialStock})
+	}
+	for i := 0; i < w.cfg.Items; i++ {
+		load = append(load, host.Op{Kind: host.OpPut, Key: w.orderedKey(i), Value: 0})
+	}
+	return load
+}
+
+// Generate implements Workload. PRNG draw order per order: arrival,
+// district, line count, then per line item rank and quantity — fixed,
+// since the trace bytes are part of the artifact contract.
+func (w *NewOrder) Generate() ([]host.TimedTxn, error) {
+	z, err := host.NewZipf(w.cfg.Items, w.cfg.ItemZipfS)
+	if err != nil {
+		return nil, err
+	}
+	rng := host.Rand64(w.cfg.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+	out := make([]host.TimedTxn, w.cfg.Txns)
+	clock := 0.0
+	for n := range out {
+		clock += -math.Log(1-rng.Float()) / w.cfg.Rate
+		d := int(rng.Next() % uint64(w.cfg.Districts))
+		lines := 1 + int(rng.Next()%uint64(w.cfg.MaxLines))
+		ops := make([]host.Op, 0, 1+2*lines)
+		ops = append(ops, host.Op{Kind: host.OpAdd, Key: w.districtKey(d), Value: 1})
+		for l := 0; l < lines; l++ {
+			item := z.Rank(rng.Float())
+			qty := 1 + rng.Next()%3
+			ops = append(ops,
+				host.Op{Kind: host.OpSub, Key: w.stockKey(item), Value: qty},
+				host.Op{Kind: host.OpAdd, Key: w.orderedKey(item), Value: qty},
+			)
+		}
+		out[n] = host.TimedTxn{Txn: host.Txn{Ops: ops}, Arrival: clock}
+	}
+	w.trace = out
+	return out, nil
+}
+
+// Check implements Workload. Every check is order-independent, so it
+// holds under any batch-formation policy: per-item conservation
+// (stock + ordered == InitialStock), exact per-item totals given the
+// commit set, and district counters equal to the committed orders they
+// admitted. Aborts are legitimate (stock ran dry) but must never leak
+// a partial order.
+func (w *NewOrder) Check(get func(uint64) (uint64, bool), results []host.TxnResult) error {
+	if w.trace == nil {
+		return fmt.Errorf("workload: neworder Check before Generate")
+	}
+	if len(results) != len(w.trace) {
+		return fmt.Errorf("workload: neworder got %d results for %d orders", len(results), len(w.trace))
+	}
+	ordered := make([]uint64, w.cfg.Items)
+	perDistrict := make([]uint64, w.cfg.Districts)
+	for n, t := range w.trace {
+		r := results[n]
+		if r.Err != nil {
+			return fmt.Errorf("workload: order %d errored: %w", n, r.Err)
+		}
+		if !r.Committed {
+			continue
+		}
+		for _, op := range t.Txn.Ops {
+			switch {
+			case op.Kind == host.OpAdd && op.Key < uint64(w.cfg.Districts):
+				perDistrict[op.Key]++
+			case op.Kind == host.OpAdd:
+				ordered[op.Key-w.orderedKey(0)] += op.Value
+			}
+		}
+	}
+	for i := 0; i < w.cfg.Items; i++ {
+		stock, ok1 := get(w.stockKey(i))
+		total, ok2 := get(w.orderedKey(i))
+		if !ok1 || !ok2 {
+			return fmt.Errorf("workload: item %d lost its stock or ordered record (%v/%v)", i, ok1, ok2)
+		}
+		if stock+total != w.cfg.InitialStock {
+			return fmt.Errorf("workload: item %d broke conservation: stock %d + ordered %d != initial %d",
+				i, stock, total, w.cfg.InitialStock)
+		}
+		if total != ordered[i] {
+			return fmt.Errorf("workload: item %d ordered total %d, committed lines sum to %d", i, total, ordered[i])
+		}
+	}
+	for d := 0; d < w.cfg.Districts; d++ {
+		v, ok := get(w.districtKey(d))
+		if !ok || v != perDistrict[d] {
+			return fmt.Errorf("workload: district %d counter = %d,%v want %d committed orders", d, v, ok, perDistrict[d])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package workload is the application-workload subsystem: deterministic
+// transaction streams shaped like real applications (key-value serving,
+// TPC-C-style order entry, RUBiS-style auctions), each paired with a
+// closed-form invariant its generator guarantees and a checker that
+// proves the served store still satisfies it. The streams plug into the
+// serving harness through host.ServeConfig's Trace/Preload/KeepResults
+// hooks, and the scenario matrix in scenario.go expands axis
+// declarations into the covering cell set the apps benchmark runs.
+//
+// Every workload is a pure function of its config: same seed, same
+// trace, same preload — so any invariant violation is reproducible from
+// the cell's axis tags alone.
+package workload
+
+import (
+	"fmt"
+
+	"pimstm/internal/host"
+)
+
+// Workload is one deterministic application stream. Generate must be
+// called before Check: the checker replays the generated trace against
+// the per-transaction outcomes, so the two must describe the same run.
+type Workload interface {
+	// Name tags the workload in cell IDs and artifacts.
+	Name() string
+	// Preload is the initial state, applied before the serving clock
+	// baseline (host.ServeConfig.Preload).
+	Preload() []host.Op
+	// Generate builds the trace (host.ServeConfig.Trace). Deterministic
+	// per config; the trace is retained for Check.
+	Generate() ([]host.TimedTxn, error)
+	// Check proves the workload invariant against the served store
+	// (get is the store's point lookup — logical values for split
+	// keys) and the per-transaction outcomes in trace order.
+	Check(get func(uint64) (uint64, bool), results []host.TxnResult) error
+}
+
+// KV is the key-value serving workload: the repo's historical
+// Zipf × read-mix × Poisson traffic, wrapped behind the Workload
+// interface so the generated stream is byte-identical to
+// host.GenerateTraffic for the same TrafficConfig (the serve and
+// txnserve artifacts pin that generator; this wrapper must never
+// drift from it).
+type KV struct {
+	Traffic host.TrafficConfig
+
+	trace []host.TimedTxn
+}
+
+// NewKV wraps a traffic config.
+func NewKV(cfg host.TrafficConfig) *KV { return &KV{Traffic: cfg} }
+
+// Name implements Workload.
+func (k *KV) Name() string { return "kv" }
+
+// Preload implements Workload: the identity fill Put(k, k) over the
+// keyspace, exactly what host.Serve does on its nil-preload path.
+func (k *KV) Preload() []host.Op {
+	load := make([]host.Op, k.Traffic.Keyspace)
+	for i := range load {
+		load[i] = host.Op{Kind: host.OpPut, Key: uint64(i), Value: uint64(i)}
+	}
+	return load
+}
+
+// Generate implements Workload by delegating to host.GenerateTraffic.
+func (k *KV) Generate() ([]host.TimedTxn, error) {
+	trace, err := host.GenerateTraffic(k.Traffic)
+	if err != nil {
+		return nil, err
+	}
+	k.trace = trace
+	return trace, nil
+}
+
+// Check implements Workload. The KV invariants are order-independent
+// (batch formation may reorder transactions across scheduler lanes, so
+// a trace-order value replay would over-constrain): the key set is
+// conserved — no generated op deletes, so every preloaded key must
+// still be present — every committed operation hit (the preload covers
+// the keyspace, so a miss is a routing bug), and each hot counter the
+// Zipf put stream never overwrote ends at its preload plus the
+// committed increments (commutative, hence order-free).
+func (k *KV) Check(get func(uint64) (uint64, bool), results []host.TxnResult) error {
+	if k.trace == nil {
+		return fmt.Errorf("workload: kv Check before Generate")
+	}
+	if len(results) != len(k.trace) {
+		return fmt.Errorf("workload: kv got %d results for %d transactions", len(results), len(k.trace))
+	}
+	adds := make(map[uint64]uint64)
+	overwritten := make(map[uint64]bool)
+	for i, t := range k.trace {
+		r := results[i]
+		if r.Err != nil {
+			return fmt.Errorf("workload: kv txn %d errored: %w", i, r.Err)
+		}
+		if !r.Committed {
+			// Nothing in the generated mix guards: puts and gets cannot
+			// abort, and the hot-counter adds land on preloaded keys.
+			return fmt.Errorf("workload: kv txn %d aborted (%+v)", i, t.Txn.Ops)
+		}
+		for j, op := range t.Txn.Ops {
+			// OpResult.OK reports insertion for puts, so only reads
+			// assert presence here.
+			if op.Kind == host.OpGet && j < len(r.Results) && !r.Results[j].OK {
+				return fmt.Errorf("workload: kv txn %d op %d (%+v) missed a preloaded key", i, j, op)
+			}
+			if op.Kind == host.OpAdd {
+				adds[op.Key] += op.Value
+			}
+			if op.Kind == host.OpPut {
+				// The Zipf Put stream shares the low keys with the
+				// hot-counter overlay; a put resets the running total,
+				// so the counter check below only binds untouched keys.
+				overwritten[op.Key] = true
+			}
+		}
+	}
+	for key := uint64(0); key < uint64(k.Traffic.Keyspace); key++ {
+		v, ok := get(key)
+		if !ok {
+			return fmt.Errorf("workload: kv key %d vanished from the store", key)
+		}
+		if delta, hot := adds[key]; hot && !overwritten[key] && v != key+delta {
+			return fmt.Errorf("workload: kv hot counter %d = %d, want preload %d + committed increments %d",
+				key, v, key, delta)
+		}
+	}
+	return nil
+}

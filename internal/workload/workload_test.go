@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"pimstm/internal/core"
+	"pimstm/internal/host"
+)
+
+// serveWorkload runs one workload through the serving harness and
+// returns the result with per-transaction outcomes kept.
+func serveWorkload(t *testing.T, w Workload, cfg host.ServeConfig) host.ServeResult {
+	t.Helper()
+	trace, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = trace
+	cfg.Preload = w.Preload()
+	cfg.KeepResults = true
+	res, err := host.Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkAgainstStore(t *testing.T, w Workload, res host.ServeResult) {
+	t.Helper()
+	if err := w.Check(res.Store.Get, res.Results); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKVMatchesGenerateTraffic pins the KV wrapper to the historical
+// generator: the serve/txnserve artifacts are built on
+// host.GenerateTraffic, so the wrapper must reproduce its trace
+// byte-for-byte and its preload must equal Serve's identity fill.
+func TestKVMatchesGenerateTraffic(t *testing.T) {
+	cfgs := []host.TrafficConfig{
+		{Ops: 400, Rate: 2e5, ReadPct: 90, Keyspace: 128, ZipfS: 1.1, Seed: 42},
+		{Ops: 300, Rate: 1e5, ReadPct: 50, Keyspace: 64, Seed: 7, TxnSize: 3, CrossDPU: 0.4, DPUs: 4},
+		{Ops: 200, Rate: 2e5, ReadPct: 50, Keyspace: 64, Seed: 3, HotKeys: 4, HotWriteFrac: 0.5},
+	}
+	for _, cfg := range cfgs {
+		want, err := host.GenerateTraffic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kv := NewKV(cfg)
+		got, err := kv.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("kv wrapper diverged from GenerateTraffic for %+v", cfg)
+		}
+		load := kv.Preload()
+		if len(load) != cfg.Keyspace {
+			t.Fatalf("kv preload %d ops, keyspace %d", len(load), cfg.Keyspace)
+		}
+		for k, op := range load {
+			if op.Kind != host.OpPut || op.Key != uint64(k) || op.Value != uint64(k) {
+				t.Fatalf("kv preload[%d] = %+v, want identity put", k, op)
+			}
+		}
+	}
+}
+
+// TestKVServeInvariant runs the wrapper end to end: key-set
+// conservation and hot-counter totals hold, and no KV transaction may
+// abort.
+func TestKVServeInvariant(t *testing.T) {
+	kv := NewKV(host.TrafficConfig{
+		Ops: 500, Rate: 2e5, ReadPct: 70, Keyspace: 128, ZipfS: 1.1, Seed: 9,
+		HotKeys: 4, HotWriteFrac: 0.4,
+	})
+	res := serveWorkload(t, kv, host.ServeConfig{
+		Map:    host.PartitionedMapConfig{DPUs: 4, Tasklets: 4, STM: core.Config{Algorithm: core.NOrec}},
+		Submit: host.SubmitterConfig{MaxBatch: 48},
+	})
+	if res.Errors != 0 || res.Aborted != 0 {
+		t.Fatalf("kv serve: %d errors, %d aborts", res.Errors, res.Aborted)
+	}
+	checkAgainstStore(t, kv, res)
+}
+
+// TestNewOrderInvariant drives the order-entry workload until popular
+// items run dry: per-item conservation must hold through the aborts,
+// the guard-abort accounting must match the per-transaction outcomes
+// exactly (the satellite-2 plumbing), and the invariant must keep
+// holding when the split-key policy is carving up the district
+// counters mid-run.
+func TestNewOrderInvariant(t *testing.T) {
+	base := NewOrderConfig{
+		Txns: 600, Rate: 2e5, Seed: 12,
+		Districts: 4, Items: 32, InitialStock: 40, MaxLines: 3, ItemZipfS: 1.1,
+	}
+	scenarios := []struct {
+		name string
+		cfg  func() host.ServeConfig
+	}{
+		{"static", func() host.ServeConfig {
+			return host.ServeConfig{
+				Map:    host.PartitionedMapConfig{DPUs: 4, Tasklets: 4, STM: core.Config{Algorithm: core.NOrec}},
+				Submit: host.SubmitterConfig{MaxBatch: 48},
+			}
+		}},
+		{"split", func() host.ServeConfig {
+			return host.ServeConfig{
+				Map: host.PartitionedMapConfig{
+					DPUs: 4, Tasklets: 4, STM: core.Config{Algorithm: core.NOrec},
+					Placement: host.NewDirectory(4),
+				},
+				Submit: host.SubmitterConfig{MaxBatch: 48},
+				Rebalance: &host.RebalancerConfig{
+					WindowBatches: 3, TopK: 4, MinKeyOps: 8, SplitMinAddShare: 0.5,
+				},
+			}
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			w, err := NewNewOrder(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := serveWorkload(t, w, sc.cfg())
+			if res.Errors != 0 {
+				t.Fatalf("%d orders errored", res.Errors)
+			}
+			if res.Aborted == 0 {
+				t.Fatal("no order aborted; the stock-dry path was not exercised")
+			}
+			if res.Stats.GuardAborts != res.Aborted {
+				t.Fatalf("GuardAborts %d != aborted transactions %d", res.Stats.GuardAborts, res.Aborted)
+			}
+			checkAgainstStore(t, w, res)
+		})
+	}
+}
+
+// TestAuctionInvariant drives the bid/view mix until eager wallets run
+// dry: funds conservation must hold through the aborts and every view
+// must hit.
+func TestAuctionInvariant(t *testing.T) {
+	w, err := NewAuction(AuctionConfig{
+		Txns: 600, Rate: 2e5, Seed: 21,
+		Bidders: 24, Items: 8, InitialFunds: 50, BidFrac: 0.4, MaxBid: 20, ItemZipfS: 1.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := serveWorkload(t, w, host.ServeConfig{
+		Map:    host.PartitionedMapConfig{DPUs: 4, Tasklets: 4, STM: core.Config{Algorithm: core.NOrec}},
+		Submit: host.SubmitterConfig{MaxBatch: 48},
+	})
+	if res.Errors != 0 {
+		t.Fatalf("%d requests errored", res.Errors)
+	}
+	if res.Aborted == 0 {
+		t.Fatal("no bid aborted; the wallet-dry path was not exercised")
+	}
+	if res.Stats.GuardAborts != res.Aborted {
+		t.Fatalf("GuardAborts %d != aborted transactions %d", res.Stats.GuardAborts, res.Aborted)
+	}
+	checkAgainstStore(t, w, res)
+}
+
+// TestWorkloadGenerateDeterministic pins both application generators:
+// same config, same trace.
+func TestWorkloadGenerateDeterministic(t *testing.T) {
+	no := func() []host.TimedTxn {
+		w, err := NewNewOrder(NewOrderConfig{Txns: 100, Rate: 1e5, Seed: 5, ItemZipfS: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := w.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	if !reflect.DeepEqual(no(), no()) {
+		t.Fatal("neworder trace is nondeterministic")
+	}
+	au := func() []host.TimedTxn {
+		w, err := NewAuction(AuctionConfig{Txns: 100, Rate: 1e5, Seed: 5, ItemZipfS: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := w.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	if !reflect.DeepEqual(au(), au()) {
+		t.Fatal("auction trace is nondeterministic")
+	}
+}
+
+// TestCheckersCatchCorruption proves the invariant checkers are not
+// vacuous: perturbing one record after the run must fail the check.
+func TestCheckersCatchCorruption(t *testing.T) {
+	w, err := NewNewOrder(NewOrderConfig{
+		Txns: 200, Rate: 2e5, Seed: 3, Districts: 2, Items: 16, InitialStock: 30, ItemZipfS: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := serveWorkload(t, w, host.ServeConfig{
+		Map:    host.PartitionedMapConfig{DPUs: 2, Tasklets: 4, STM: core.Config{Algorithm: core.NOrec}},
+		Submit: host.SubmitterConfig{MaxBatch: 32},
+	})
+	checkAgainstStore(t, w, res)
+	// Siphon one unit of stock behind the workload's back.
+	if _, err := res.Store.ApplyBatch([]host.Op{{Kind: host.OpAdd, Key: w.stockKey(0), Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(res.Store.Get, res.Results); err == nil {
+		t.Fatal("checker accepted corrupted stock")
+	}
+}
