@@ -30,6 +30,7 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/host
 
 # Diff two bench JSON artifacts cell by cell (ops/s + p99 deltas).
 # Usage: make bench-diff OLD=BENCH_txnserve.json.bak NEW=BENCH_txnserve.json
@@ -111,11 +112,13 @@ scale:
 	$(GO) run ./cmd/pimstm-bench -experiment scale
 
 # Short-mode scale invocation so sampled-fleet execution can't rot in
-# CI: the small end of the fleet sweep, tight wall budget, no artifact
-# written.
+# CI: the small end of the fleet sweep, tight wall budget enforced as a
+# hard failure, no artifact written. The bench-diff schema gate fails
+# the target when the committed artifact lags a schema bump.
 scale-smoke:
+	$(GO) run ./cmd/bench-diff -require-schema 2 BENCH_scale.json
 	$(GO) run ./cmd/pimstm-bench -experiment scale \
-		-scale-dpus 64,256 -scale-budget-s 60 -scale-out ""
+		-scale-dpus 64,256 -scale-budget-s 60 -scale-strict-budget -scale-out ""
 
 # Regenerate the application-workload scenario matrix
 # (BENCH_apps.json).

@@ -12,12 +12,17 @@
 //	bench-diff [-top N] OLD.json NEW.json
 //	bench-diff -require-schema N FILE.json
 //
-// -top N prints only the N matched cells with the largest relative p99
-// change (regressions and improvements alike), worst first — the
-// triage view for artifacts with dozens of cells. The second form only
-// checks FILE's schema_version against N and exits non-zero on
-// mismatch; CI smoke targets use it to fail fast when a committed
-// artifact lags a schema bump.
+// Besides the modeled ops/s and p99 metrics, rows carrying the scale
+// experiment's real host wall clock (host_wall_s, host_ops_per_s_real)
+// get those deltas printed too — the simulator-throughput regression
+// view.
+//
+// -top N prints only the N matched cells with the largest relative
+// change in p99 or host wall clock (regressions and improvements
+// alike), worst first — the triage view for artifacts with dozens of
+// cells. The second form only checks FILE's schema_version against N
+// and exits non-zero on mismatch; CI smoke targets use it to fail fast
+// when a committed artifact lags a schema bump.
 package main
 
 import (
@@ -93,12 +98,25 @@ func deltaPct(old, new float64) string {
 	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 }
 
-// matchedCell is one paired row with its rendered line and the relative
-// p99 change used by -top ranking (0 when either side lacks p99_s).
+// matchedCell is one paired row with its rendered line and the largest
+// relative change across its ranked metrics — p99_s and host_wall_s —
+// used by -top ranking (hasRank is false when neither metric exists on
+// both sides).
 type matchedCell struct {
-	line   string
-	p99Rel float64
-	hasP99 bool
+	line    string
+	rankRel float64
+	hasRank bool
+}
+
+// rank folds a metric's relative change into the cell's -top key.
+func (c *matchedCell) rank(old, new float64) {
+	if old == 0 {
+		return
+	}
+	if rel := (new - old) / old; !c.hasRank || math.Abs(rel) > math.Abs(c.rankRel) {
+		c.rankRel = rel
+		c.hasRank = true
+	}
 }
 
 func diff(oldPath, newPath string, top int) error {
@@ -149,29 +167,41 @@ func diff(oldPath, newPath string, top int) error {
 			if pn, okN := metric(row, "p99_s"); okN {
 				cell.line += fmt.Sprintf("  p99 %.3fms → %.3fms (%s)", po*1e3, pn*1e3, deltaPct(po, pn))
 				any = true
-				if po != 0 {
-					cell.p99Rel = (pn - po) / po
-					cell.hasP99 = true
-				}
+				cell.rank(po, pn)
+			}
+		}
+		if ho, okO := metric(old, "host_wall_s"); okO {
+			if hn, okN := metric(row, "host_wall_s"); okN {
+				cell.line += fmt.Sprintf("  host %.1fms → %.1fms (%s)", ho*1e3, hn*1e3, deltaPct(ho, hn))
+				any = true
+				cell.rank(ho, hn)
+			}
+		}
+		if ro, okO := metric(old, "host_ops_per_s_real"); okO {
+			if rn, okN := metric(row, "host_ops_per_s_real"); okN {
+				cell.line += fmt.Sprintf("  host ops/s %.0f → %.0f (%s)", ro, rn, deltaPct(ro, rn))
+				any = true
 			}
 		}
 		if !any {
-			cell.line += " (no ops_per_s/p99_s fields to compare)"
+			cell.line += " (no ops_per_s/p99_s/host_wall_s fields to compare)"
 		}
 		cells = append(cells, cell)
 	}
 	matched := len(cells)
 	if top > 0 {
-		// Worst tail-latency regressions first: the cells a perf change
-		// most needs eyes on. Cells without a p99 on both sides sort last.
+		// Worst regressions first — by tail latency or real host wall
+		// clock, whichever moved more: the cells a perf change most
+		// needs eyes on. Cells without a ranked metric on both sides
+		// sort last.
 		sort.SliceStable(cells, func(i, j int) bool {
-			if cells[i].hasP99 != cells[j].hasP99 {
-				return cells[i].hasP99
+			if cells[i].hasRank != cells[j].hasRank {
+				return cells[i].hasRank
 			}
-			return math.Abs(cells[i].p99Rel) > math.Abs(cells[j].p99Rel)
+			return math.Abs(cells[i].rankRel) > math.Abs(cells[j].rankRel)
 		})
 		if len(cells) > top {
-			fmt.Printf("  (top %d of %d matched cells by |p99| change)\n", top, len(cells))
+			fmt.Printf("  (top %d of %d matched cells by |p99|/|host wall| change)\n", top, len(cells))
 			cells = cells[:top]
 		}
 	}
@@ -198,7 +228,7 @@ func main() {
 	requireSchema := flag.Int("require-schema", 0,
 		"check that FILE's schema_version equals N and exit (no diff)")
 	top := flag.Int("top", 0,
-		"print only the N matched cells with the largest relative p99 change (0 = all, in artifact order)")
+		"print only the N matched cells with the largest relative p99 or host wall-clock change (0 = all, in artifact order)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bench-diff [-top N] OLD.json NEW.json\n"+
 			"       bench-diff -require-schema N FILE.json\n")

@@ -43,6 +43,9 @@ type appsOptions struct {
 	MinCells int
 	// Seed drives both the matrix expansion and every cell's traffic.
 	Seed uint64
+	// Parallelism is the host-side worker-pool setting (0 = GOMAXPROCS,
+	// 1 = serial reference).
+	Parallelism int
 	// Out is the JSON artifact path ("" = don't write).
 	Out string
 }
@@ -240,7 +243,8 @@ func runAppsCell(m workload.Matrix, c workload.Cell, opt appsOptions) (appsScena
 		Map: host.PartitionedMapConfig{
 			DPUs: dpus, Tasklets: opt.Tasklets,
 			STM: core.Config{Algorithm: alg}, Mode: host.Pipelined,
-			Placement: placement,
+			Placement:       placement,
+			HostParallelism: opt.Parallelism,
 		},
 		Submit: host.SubmitterConfig{
 			MaxBatch:        opt.MaxBatch,
@@ -303,6 +307,7 @@ func runApps(opt appsOptions, out io.Writer) ([]appsScenario, error) {
 
 	fmt.Fprintf(out, "== apps: application-workload scenario matrix (%d of %d valid cells, %d/%d axis pairs, %d txns/cell) ==\n",
 		cov.Selected, cov.ValidCells, cov.PairsCovered, cov.PairsTotal, opt.Txns)
+	fmt.Fprintln(out, hostParHeader(opt.Parallelism))
 	fmt.Fprintf(out, "%-9s %5s %5s %4s %6s %-5s %-8s %-10s %7s %7s %12s %12s %5s\n",
 		"workload", "#DPUs", "zipf", "txn", "cross", "sched", "place", "stm", "abort", "guard", "ops/s", "p99 ms", "inv")
 	for _, sc := range scenarios {

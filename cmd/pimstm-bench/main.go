@@ -111,14 +111,15 @@ var experimentList = []string{
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", strings.Join(experimentList, "|")+"|all")
-		scale      = flag.Float64("scale", 0.5, "workload scale factor (1.0 = paper sizes)")
-		seeds      = flag.Int("seeds", 3, "runs to average per point (paper: 10)")
-		tasklets   = flag.String("tasklets", "1,3,5,7,9,11", "comma-separated tasklet counts")
-		dpus       = flag.String("dpus", "1,64,256,1024,2500", "comma-separated fleet sizes for fig7")
-		fleet      = flag.Int("fleet", 2500, "fleet size for fig8")
-		points     = flag.Int("points-per-dpu", 2000, "KMeans shard size for fig7/fig8 (paper: 200000)")
-		paths      = flag.Int("paths", 40, "Labyrinth paths per instance for fig7/fig8 (paper: 100)")
+		experiment  = flag.String("experiment", "all", strings.Join(experimentList, "|")+"|all")
+		parallelism = flag.Int("parallelism", 0, "host-side worker pool for batch phases and DPU simulation (0 = GOMAXPROCS, 1 = serial reference implementation)")
+		scale       = flag.Float64("scale", 0.5, "workload scale factor (1.0 = paper sizes)")
+		seeds       = flag.Int("seeds", 3, "runs to average per point (paper: 10)")
+		tasklets    = flag.String("tasklets", "1,3,5,7,9,11", "comma-separated tasklet counts")
+		dpus        = flag.String("dpus", "1,64,256,1024,2500", "comma-separated fleet sizes for fig7")
+		fleet       = flag.Int("fleet", 2500, "fleet size for fig8")
+		points      = flag.Int("points-per-dpu", 2000, "KMeans shard size for fig7/fig8 (paper: 200000)")
+		paths       = flag.Int("paths", 40, "Labyrinth paths per instance for fig7/fig8 (paper: 100)")
 
 		mdpuDPUs    = flag.String("mdpu-dpus", "1,8,64", "comma-separated fleet sizes for multidpu")
 		mdpuAlgs    = flag.String("mdpu-algs", "norec,tinyetlwb,vretlwb", "comma-separated STM algorithms for multidpu")
@@ -178,6 +179,7 @@ func main() {
 		scaleRatePD = flag.Float64("scale-rate-per-dpu", 4e3, "open-loop arrival rate per DPU (ops per modeled second)")
 		scaleBatch  = flag.Int("scale-batch", 4096, "submitter MaxBatch (ops) for scale")
 		scaleSeed   = flag.Uint64("scale-seed", 1, "traffic seed for scale")
+		scaleStrict = flag.Bool("scale-strict-budget", false, "fail (non-zero exit) when the scale sweep blows its wall-clock budget")
 		scaleOut    = flag.String("scale-out", "BENCH_scale.json", "scale JSON artifact path (empty = don't write)")
 
 		appsTxns     = flag.Int("apps-txns", 400, "transactions per apps cell")
@@ -281,6 +283,7 @@ func main() {
 			mopt := multiDPUOptions{
 				Batches:     *mdpuBatches,
 				OpsPerBatch: *mdpuOps,
+				Parallelism: *parallelism,
 				Out:         *mdpuOut,
 			}
 			var err error
@@ -304,6 +307,7 @@ func main() {
 				MaxBatch:        *serveBatch,
 				MaxDelaySeconds: *serveDelayUS * 1e-6,
 				Seed:            *serveSeed,
+				Parallelism:     *parallelism,
 				Out:             *serveOut,
 			}
 			var err error
@@ -334,6 +338,7 @@ func main() {
 				MaxBatch:      *rebalBatch,
 				WindowBatches: *rebalWindow,
 				Seed:          *rebalSeed,
+				Parallelism:   *parallelism,
 				Out:           *rebalOut,
 			}
 			var err error
@@ -358,6 +363,7 @@ func main() {
 				MaxBatch:        *txnBatch,
 				MaxDelaySeconds: *txnDelayUS * 1e-6,
 				Seed:            *txnSeed,
+				Parallelism:     *parallelism,
 				Out:             *txnOut,
 			}
 			var err error
@@ -388,7 +394,9 @@ func main() {
 				RatePerDPU:        *scaleRatePD,
 				MaxBatch:          *scaleBatch,
 				WallBudgetSeconds: *scaleBudget,
+				StrictBudget:      *scaleStrict,
 				Seed:              *scaleSeed,
+				Parallelism:       *parallelism,
 				Out:               *scaleOut,
 			}
 			var err error
@@ -411,6 +419,7 @@ func main() {
 				MaxDelaySeconds: *appsDelayUS * 1e-6,
 				MinCells:        *appsMinCells,
 				Seed:            *appsSeed,
+				Parallelism:     *parallelism,
 				Out:             *appsOut,
 			}
 			if _, err := runApps(aopt, os.Stdout); err != nil {
@@ -446,6 +455,25 @@ func main() {
 		return
 	}
 	run(*experiment)
+}
+
+// hostParHeader renders the host-execution context line every serving
+// experiment prints under its table header: the resolved worker count,
+// which implementation it selects, and GOMAXPROCS. It goes to stdout
+// only — the pinned JSON artifacts stay machine-independent (the scale
+// artifact, whose schema embraces real wall clock, records both fields
+// in its report header too).
+func hostParHeader(par int) string {
+	workers := par
+	mode := "engine"
+	switch par {
+	case 0:
+		workers = runtime.GOMAXPROCS(0)
+	case 1:
+		mode = "serial reference"
+	}
+	return fmt.Sprintf("host parallelism: %d worker(s), %s path, GOMAXPROCS %d",
+		workers, mode, runtime.GOMAXPROCS(0))
 }
 
 func parseInts(s string) ([]int, error) {

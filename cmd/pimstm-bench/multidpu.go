@@ -25,6 +25,9 @@ type multiDPUOptions struct {
 	Batches, OpsPerBatch int
 	// Tasklets is the intra-DPU parallelism.
 	Tasklets int
+	// Parallelism is the host-side worker-pool setting (0 = GOMAXPROCS,
+	// 1 = serial reference).
+	Parallelism int
 	// Out is the JSON artifact path ("" = don't write).
 	Out string
 }
@@ -82,6 +85,7 @@ func runMultiDPUCell(dpus int, alg core.Algorithm, readPct int, opt multiDPUOpti
 	pm, err := host.NewPartitionedMap(host.PartitionedMapConfig{
 		DPUs: dpus, Buckets: 256, Capacity: 2 * keyspace, Tasklets: opt.Tasklets,
 		STM: core.Config{Algorithm: alg}, Mode: host.Pipelined,
+		HostParallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return multiDPUScenario{}, err
@@ -166,6 +170,7 @@ func runMultiDPU(opt multiDPUOptions, w io.Writer) ([]multiDPUScenario, error) {
 
 	fmt.Fprintf(w, "== multidpu: fleet serving sweep (%d batches × %d ops, pipelined vs lockstep) ==\n",
 		opt.Batches, opt.OpsPerBatch)
+	fmt.Fprintln(w, hostParHeader(opt.Parallelism))
 	fmt.Fprintf(w, "%6s %-12s %6s %14s %14s %8s %14s\n",
 		"#DPUs", "STM", "reads", "pipelined ms", "lockstep ms", "gain", "ops/s")
 	for _, sc := range scenarios {

@@ -63,6 +63,9 @@ type rebalanceOptions struct {
 	// Tasklets is the intra-DPU parallelism; Seed the traffic seed.
 	Tasklets int
 	Seed     uint64
+	// Parallelism is the host-side worker-pool setting (0 = GOMAXPROCS,
+	// 1 = serial reference).
+	Parallelism int
 	// Out is the JSON artifact path ("" = don't write).
 	Out string
 }
@@ -207,9 +210,10 @@ func runRebalanceCell(dpus int, cell rebalanceCell, policy string, opt rebalance
 	res, err := host.Serve(host.ServeConfig{
 		Map: host.PartitionedMapConfig{
 			DPUs: dpus, Tasklets: opt.Tasklets,
-			STM:       core.Config{Algorithm: core.NOrec},
-			Mode:      host.Pipelined,
-			Placement: placement,
+			STM:             core.Config{Algorithm: core.NOrec},
+			Mode:            host.Pipelined,
+			Placement:       placement,
+			HostParallelism: opt.Parallelism,
 		},
 		Submit: host.SubmitterConfig{
 			MaxBatch:        opt.MaxBatch,
@@ -314,6 +318,7 @@ func runRebalance(opt rebalanceOptions, w io.Writer) ([]rebalanceScenario, error
 
 	fmt.Fprintf(w, "== rebalance: placement-policy ablation — none / replicate / migrate / split (%d ops/cell, batch ≤ %d, %.0f ops/s open loop) ==\n",
 		opt.Ops, opt.MaxBatch, opt.Rate)
+	fmt.Fprintln(w, hostParHeader(opt.Parallelism))
 	fmt.Fprintf(w, "%6s %5s %5s %4s %5s %10s %13s %12s %5s %5s %5s %6s\n",
 		"#DPUs", "reads", "zipf", "hotk", "hotw", "policy", "ops/s", "p99ms", "repl", "migr", "split", "recon")
 	for _, sc := range scenarios {

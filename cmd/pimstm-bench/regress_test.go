@@ -98,6 +98,8 @@ func TestServeExplicitFIFOMatchesDefault(t *testing.T) {
 	}
 	def := run(nil)
 	exp := run(func() host.Scheduler { return host.NewFIFOScheduler(32, 300e-6) })
+	def.ZeroHostClock()
+	exp.ZeroHostClock()
 	if !reflect.DeepEqual(def, exp) {
 		t.Fatalf("explicit FIFOScheduler diverged from the nil default:\n%+v\n%+v", def, exp)
 	}

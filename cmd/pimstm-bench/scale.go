@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
+	"runtime"
 	"time"
 
 	"pimstm/internal/core"
@@ -43,6 +45,14 @@ type scaleOptions struct {
 	// WallBudgetSeconds is the pinned real-time budget for the whole
 	// sweep; the artifact records whether the run stayed inside it.
 	WallBudgetSeconds float64
+	// StrictBudget fails the sweep (non-zero exit) when the real wall
+	// clock blows the pinned budget, instead of printing a warning.
+	StrictBudget bool
+	// Parallelism is the host-side worker-pool setting of the measured
+	// run (0 = GOMAXPROCS). Every cell also runs the HostParallelism=1
+	// serial reference to price the engine and prove the modeled
+	// outputs identical.
+	Parallelism int
 	// Out is the JSON artifact path ("" = don't write).
 	Out string
 }
@@ -87,9 +97,14 @@ func (o *scaleOptions) fill() {
 }
 
 // scaleScenario is one machine-readable cell of BENCH_scale.json.
-// Everything here is a pure function of the config — the real-time
-// measurement lives on the report, not the cell — so the scenario rows
-// are reproducible run to run.
+// The modeled fields (ops/s, latency percentiles, makespan) are a pure
+// function of the config and reproduce byte-for-byte run to run; the
+// host_* fields (schema 2) are this machine's real wall clock for the
+// host side of the cell — how long classify, route, shadow apply and
+// program compilation actually took — on the engine and on the
+// HostParallelism=1 serial reference. Both runs must produce identical
+// modeled outputs (asserted per cell), so host_speedup prices the
+// engine without any fidelity caveat.
 type scaleScenario struct {
 	DPUs          int     `json:"dpus"`
 	SimulatedDPUs int     `json:"simulated_dpus"`
@@ -103,55 +118,118 @@ type scaleScenario struct {
 	P50Seconds    float64 `json:"p50_s"`
 	P99Seconds    float64 `json:"p99_s"`
 	Makespan      float64 `json:"makespan_s"`
+
+	HostWorkers           int     `json:"host_workers"`
+	HostWallSeconds       float64 `json:"host_wall_s"`
+	HostOpsPerSecondReal  float64 `json:"host_ops_per_s_real"`
+	HostWallSerialSeconds float64 `json:"host_wall_serial_s"`
+	HostSpeedup           float64 `json:"host_speedup"`
 }
 
-// scaleReport is the top-level JSON artifact. WithinBudget is the only
-// field that depends on the machine: it records whether this sweep's
-// real wall clock stayed inside the pinned budget (the budget itself is
-// pinned in the artifact so a regression is visible in review).
+// scaleReport is the top-level JSON artifact. WithinBudget, GOMAXPROCS
+// and the per-scenario host_* wall clocks depend on the machine; every
+// other field reproduces byte-for-byte. Schema 2 added the host-side
+// real-time measurements and the parallelism context they ran under.
 type scaleReport struct {
 	SchemaVersion     int             `json:"schema_version"`
 	Experiment        string          `json:"experiment"`
 	SampleDPUs        int             `json:"sample_dpus"`
+	GOMAXPROCS        int             `json:"gomaxprocs"`
+	HostParallelism   int             `json:"host_parallelism"`
 	WallBudgetSeconds float64         `json:"wall_budget_s"`
 	WithinBudget      bool            `json:"within_budget"`
 	Scenarios         []scaleScenario `json:"scenarios"`
 }
 
-// runScaleCell serves one fleet-size point in sampled-fleet mode.
+// scaleCellReps is how many times each path of a cell is served; the
+// modeled outputs are identical across repetitions (and asserted so),
+// while the host wall clock keeps the best repetition — a best-of-N
+// floor is the standard way to strip scheduler noise from a
+// millisecond-scale measurement.
+const scaleCellReps = 3
+
+// runScaleCell serves one fleet-size point in sampled-fleet mode on
+// two paths: the configured engine and the HostParallelism=1 serial
+// reference. The two paths must agree on every modeled output — the
+// engine is pure mechanism — and their best-of-N host-side wall clocks
+// become the cell's host_speedup.
 func runScaleCell(dpus int, skew float64, opt scaleOptions) (scaleScenario, error) {
 	keys := opt.KeysPerDPU * dpus
 	rate := opt.RatePerDPU * float64(dpus)
 	ops := opt.OpsPerDPU * dpus
-	res, err := host.Serve(host.ServeConfig{
-		Map: host.PartitionedMapConfig{
-			DPUs: dpus, Tasklets: opt.Tasklets, Sample: opt.Sample,
-			Buckets: 64, Capacity: 8 * opt.KeysPerDPU,
-			STM: core.Config{Algorithm: core.NOrec}, Mode: host.Pipelined,
-		},
-		Submit: host.SubmitterConfig{
-			MaxBatch:        opt.MaxBatch,
-			MaxDelaySeconds: opt.MaxDelaySeconds,
-		},
-		Traffic: host.TrafficConfig{
-			Ops: ops, Rate: rate, ReadPct: opt.ReadPct,
-			Keyspace: keys, ZipfS: skew, Seed: opt.Seed,
-		},
-	})
+	serve := func(par int) (host.ServeResult, error) {
+		return host.Serve(host.ServeConfig{
+			Map: host.PartitionedMapConfig{
+				DPUs: dpus, Tasklets: opt.Tasklets, Sample: opt.Sample,
+				Buckets: 64, Capacity: 8 * opt.KeysPerDPU,
+				STM: core.Config{Algorithm: core.NOrec}, Mode: host.Pipelined,
+				HostParallelism: par,
+			},
+			Submit: host.SubmitterConfig{
+				MaxBatch:        opt.MaxBatch,
+				MaxDelaySeconds: opt.MaxDelaySeconds,
+			},
+			Traffic: host.TrafficConfig{
+				Ops: ops, Rate: rate, ReadPct: opt.ReadPct,
+				Keyspace: keys, ZipfS: skew, Seed: opt.Seed,
+			},
+		})
+	}
+	// best serves one path scaleCellReps times and keeps the repetition
+	// with the lowest host wall clock; modeled outputs don't vary.
+	best := func(par int) (host.ServeResult, error) {
+		r, err := serve(par)
+		if err != nil {
+			return r, err
+		}
+		for i := 1; i < scaleCellReps; i++ {
+			again, err := serve(par)
+			if err != nil {
+				return r, err
+			}
+			if again.HostSeconds < r.HostSeconds {
+				r = again
+			}
+		}
+		return r, nil
+	}
+	res, err := best(opt.Parallelism)
 	if err != nil {
 		return scaleScenario{}, err
 	}
 	if res.Errors > 0 {
 		return scaleScenario{}, fmt.Errorf("%d/%d txns errored", res.Errors, res.Txns)
 	}
-	return scaleScenario{
+	ref, err := best(1)
+	if err != nil {
+		return scaleScenario{}, fmt.Errorf("serial reference: %w", err)
+	}
+	// Modeled outputs must be byte-identical across host parallelism:
+	// zero the real-time counters and compare everything else.
+	engCmp, refCmp := res, ref
+	engCmp.Store, refCmp.Store = nil, nil
+	engCmp.ZeroHostClock()
+	refCmp.ZeroHostClock()
+	if !reflect.DeepEqual(engCmp, refCmp) {
+		return scaleScenario{}, fmt.Errorf("engine (%d workers) diverged from the serial reference on modeled outputs", res.HostWorkers)
+	}
+	sc := scaleScenario{
 		DPUs: dpus, SimulatedDPUs: res.SimulatedDPUs,
 		ZipfS: skew, ReadPct: opt.ReadPct, RatePerSecond: rate,
 		Keyspace: keys, Ops: res.Ops, Batches: res.Batches,
 		OpsPerSecond: res.OpsPerSecond,
 		P50Seconds:   res.P50, P99Seconds: res.P99,
 		Makespan: res.MakespanSeconds,
-	}, nil
+
+		HostWorkers:           res.HostWorkers,
+		HostWallSeconds:       res.HostSeconds,
+		HostWallSerialSeconds: ref.HostSeconds,
+	}
+	if res.HostSeconds > 0 {
+		sc.HostOpsPerSecondReal = float64(res.Ops) / res.HostSeconds
+		sc.HostSpeedup = ref.HostSeconds / res.HostSeconds
+	}
+	return sc, nil
 }
 
 // runScale sweeps fleet size × skew under sampled-fleet execution,
@@ -175,24 +253,25 @@ func runScale(opt scaleOptions, w io.Writer) ([]scaleScenario, error) {
 
 	fmt.Fprintf(w, "== scale: paper-scale sampled-fleet serving sweep (%d of n DPUs simulated, batch ≤ %d ops) ==\n",
 		opt.Sample, opt.MaxBatch)
-	fmt.Fprintf(w, "%6s %6s %5s %9s %9s %14s %12s %12s\n",
-		"#DPUs", "#sim", "zipf", "keys", "ops", "modeled ops/s", "p50 ms", "p99 ms")
+	fmt.Fprintln(w, hostParHeader(opt.Parallelism))
+	fmt.Fprintf(w, "%6s %6s %5s %9s %9s %14s %12s %12s %12s %8s\n",
+		"#DPUs", "#sim", "zipf", "keys", "ops", "modeled ops/s", "p50 ms", "p99 ms", "host ms", "host ×")
 	for _, sc := range scenarios {
-		fmt.Fprintf(w, "%6d %6d %5.2f %9d %9d %14.0f %12.3f %12.3f\n",
+		fmt.Fprintf(w, "%6d %6d %5.2f %9d %9d %14.0f %12.3f %12.3f %12.3f %8.2f\n",
 			sc.DPUs, sc.SimulatedDPUs, sc.ZipfS, sc.Keyspace, sc.Ops,
-			sc.OpsPerSecond, sc.P50Seconds*1e3, sc.P99Seconds*1e3)
+			sc.OpsPerSecond, sc.P50Seconds*1e3, sc.P99Seconds*1e3,
+			sc.HostWallSeconds*1e3, sc.HostSpeedup)
 	}
 	fmt.Fprintf(w, "real wall clock: %.1fs (budget %.0fs, within budget: %v)\n",
 		elapsed, opt.WallBudgetSeconds, within)
-	if !within {
-		fmt.Fprintf(w, "WARNING: sweep exceeded its pinned wall-clock budget\n")
-	}
 
 	if opt.Out != "" {
 		blob, err := json.MarshalIndent(scaleReport{
-			SchemaVersion:     1,
+			SchemaVersion:     2,
 			Experiment:        "scale",
 			SampleDPUs:        opt.Sample,
+			GOMAXPROCS:        runtime.GOMAXPROCS(0),
+			HostParallelism:   opt.Parallelism,
 			WallBudgetSeconds: opt.WallBudgetSeconds,
 			WithinBudget:      within,
 			Scenarios:         scenarios,
@@ -204,6 +283,12 @@ func runScale(opt scaleOptions, w io.Writer) ([]scaleScenario, error) {
 			return nil, err
 		}
 		fmt.Fprintf(w, "wrote %s (%d scenarios)\n", opt.Out, len(scenarios))
+	}
+	if !within {
+		if opt.StrictBudget {
+			return nil, fmt.Errorf("sweep took %.1fs, over its pinned %.0fs wall-clock budget", elapsed, opt.WallBudgetSeconds)
+		}
+		fmt.Fprintf(w, "WARNING: sweep exceeded its pinned wall-clock budget\n")
 	}
 	return scenarios, nil
 }

@@ -32,6 +32,9 @@ type serveOptions struct {
 	// Tasklets is the intra-DPU parallelism; Seed the traffic seed.
 	Tasklets int
 	Seed     uint64
+	// Parallelism is the host-side worker-pool setting (0 = GOMAXPROCS,
+	// 1 = serial reference).
+	Parallelism int
 	// Out is the JSON artifact path ("" = don't write).
 	Out string
 }
@@ -113,6 +116,7 @@ func runServeCell(dpus int, alg core.Algorithm, skew, rate float64, opt serveOpt
 			Map: host.PartitionedMapConfig{
 				DPUs: dpus, Tasklets: opt.Tasklets,
 				STM: core.Config{Algorithm: alg}, Mode: m,
+				HostParallelism: opt.Parallelism,
 			},
 			Submit: host.SubmitterConfig{
 				MaxBatch:        opt.MaxBatch,
@@ -176,6 +180,7 @@ func runServe(opt serveOptions, w io.Writer) ([]serveScenario, error) {
 
 	fmt.Fprintf(w, "== serve: adaptive-batching open-loop sweep (%d ops/cell, batch ≤ %d, delay ≤ %.0f µs) ==\n",
 		opt.Ops, opt.MaxBatch, opt.MaxDelaySeconds*1e6)
+	fmt.Fprintln(w, hostParHeader(opt.Parallelism))
 	fmt.Fprintf(w, "%6s %-12s %5s %9s %12s %12s %12s %12s %7s\n",
 		"#DPUs", "STM", "zipf", "rate/s", "pipe ops/s", "pipe p50 ms", "pipe p99 ms", "lock p99 ms", "gain")
 	for _, sc := range scenarios {

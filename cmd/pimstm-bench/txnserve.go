@@ -47,6 +47,9 @@ type txnServeOptions struct {
 	// Tasklets is the intra-DPU parallelism; Seed the traffic seed.
 	Tasklets int
 	Seed     uint64
+	// Parallelism is the host-side worker-pool setting (0 = GOMAXPROCS,
+	// 1 = serial reference).
+	Parallelism int
 	// Out is the JSON artifact path ("" = don't write).
 	Out string
 }
@@ -170,6 +173,7 @@ func runTxnServeCell(dpus int, alg core.Algorithm, sched string, size int, cross
 		Map: host.PartitionedMapConfig{
 			DPUs: dpus, Tasklets: opt.Tasklets,
 			STM: core.Config{Algorithm: alg}, Mode: host.Pipelined,
+			HostParallelism: opt.Parallelism,
 		},
 		Submit: host.SubmitterConfig{
 			MaxBatch:        opt.MaxBatch,
@@ -234,6 +238,7 @@ func runTxnServe(opt txnServeOptions, w io.Writer) ([]txnServeScenario, error) {
 
 	fmt.Fprintf(w, "== txnserve: multi-key transactional serving sweep (%d txns/cell, %.0f txns/s open loop, batch ≤ %d ops) ==\n",
 		opt.Txns, opt.Rate, opt.MaxBatch)
+	fmt.Fprintln(w, hostParHeader(opt.Parallelism))
 	fmt.Fprintf(w, "%6s %-12s %-8s %5s %6s %5s %7s %12s %12s %12s\n",
 		"#DPUs", "STM", "sched", "size", "cross", "zipf", "coord", "ops/s", "p50 ms", "p99 ms")
 	for _, sc := range scenarios {

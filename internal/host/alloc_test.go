@@ -37,13 +37,14 @@ func allocTxns(pm *PartitionedMap, confined bool) []Txn {
 }
 
 // measureApplyTxnsAllocs returns steady-state allocations per ApplyTxns
-// batch. The first call warms the scratch (lazy map growth, pooled
-// tasklet spin-up) and is excluded, matching how a serving loop runs.
-func measureApplyTxnsAllocs(t *testing.T, confined bool) float64 {
+// batch at the given HostParallelism setting. The first call warms the
+// scratch (lazy map growth, pooled tasklet spin-up) and is excluded,
+// matching how a serving loop runs.
+func measureApplyTxnsAllocs(t *testing.T, confined bool, par int) float64 {
 	t.Helper()
 	pm, err := NewPartitionedMap(PartitionedMapConfig{
 		DPUs: 4, Buckets: 64, Capacity: 512, Tasklets: 4,
-		STM: core.Config{Algorithm: core.NOrec},
+		STM: core.Config{Algorithm: core.NOrec}, HostParallelism: par,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +62,20 @@ func measureApplyTxnsAllocs(t *testing.T, confined bool) float64 {
 	})
 }
 
+// allocGatePaths are the host-execution paths every gate pins: the
+// GOMAXPROCS engine default, the HostParallelism=1 serial reference,
+// and an explicit multi-worker engine (whose small-batch dispatch
+// stays inline below the work floors — the engine must not buy its
+// parallelism with per-batch garbage).
+var allocGatePaths = []struct {
+	name string
+	par  int
+}{
+	{"engine", 0},
+	{"serial-ref", 1},
+	{"engine-w4", 4},
+}
+
 // TestApplyTxnsConfinedAllocGate pins the allocation budget of the
 // confined (single-DPU) ApplyTxns hot path. The seed implementation
 // spent 677 allocs on this batch (per-batch map storm in classify,
@@ -70,10 +85,14 @@ func measureApplyTxnsAllocs(t *testing.T, confined bool) float64 {
 // — so the floor is one TxnResult slab plus one OpResult slab per
 // batch, not zero.
 func TestApplyTxnsConfinedAllocGate(t *testing.T) {
-	got := measureApplyTxnsAllocs(t, true)
-	t.Logf("confined ApplyTxns: %.1f allocs/batch (seed: 677)", got)
-	if got > 67 {
-		t.Fatalf("confined ApplyTxns allocates %.1f per batch, budget 67 (seed 677, required ≥10× reduction)", got)
+	for _, p := range allocGatePaths {
+		t.Run(p.name, func(t *testing.T) {
+			got := measureApplyTxnsAllocs(t, true, p.par)
+			t.Logf("confined ApplyTxns (%s): %.1f allocs/batch (seed: 677)", p.name, got)
+			if got > 67 {
+				t.Fatalf("confined ApplyTxns (%s) allocates %.1f per batch, budget 67 (seed 677, required ≥10× reduction)", p.name, got)
+			}
+		})
 	}
 }
 
@@ -84,10 +103,14 @@ func TestApplyTxnsConfinedAllocGate(t *testing.T) {
 // covers the multi-owner prepare/commit path of the kernel-side commit
 // (host prepare + compiled commit units).
 func TestApplyTxnsCoordinatedAllocGate(t *testing.T) {
-	got := measureApplyTxnsAllocs(t, false)
-	t.Logf("coordinated ApplyTxns: %.1f allocs/batch (seed: 951)", got)
-	if got > 95 {
-		t.Fatalf("coordinated ApplyTxns allocates %.1f per batch, budget 95 (seed 951, required ≥10× reduction)", got)
+	for _, p := range allocGatePaths {
+		t.Run(p.name, func(t *testing.T) {
+			got := measureApplyTxnsAllocs(t, false, p.par)
+			t.Logf("coordinated ApplyTxns (%s): %.1f allocs/batch (seed: 951)", p.name, got)
+			if got > 95 {
+				t.Fatalf("coordinated ApplyTxns (%s) allocates %.1f per batch, budget 95 (seed 951, required ≥10× reduction)", p.name, got)
+			}
+		})
 	}
 }
 
@@ -203,5 +226,61 @@ func TestApplyTxnsSplitConfinedAllocGate(t *testing.T) {
 	t.Logf("split-rewritten confined ApplyTxns: %.1f allocs/batch", got)
 	if got > 67 {
 		t.Fatalf("split-rewritten confined ApplyTxns allocates %.1f per batch, budget 67", got)
+	}
+}
+
+// TestApplyTxnsParallelDispatchAllocGate pins the engine's allocation
+// budget when the multi-worker dispatch actually engages: a sampled
+// fleet with 248 shadow shards and a 1024-txn batch crosses both the
+// shard and transaction work floors, so classification, write analysis
+// and shadow application all fan out over the 4-worker pool. Steady
+// state measures ~59 allocs for the 1024-txn batch (goroutine spawns
+// and a handful of map rehashes); the gate pins a flat 192 so per-batch
+// worker garbage can't creep in hidden under the batch size.
+func TestApplyTxnsParallelDispatchAllocGate(t *testing.T) {
+	const (
+		dpus     = 256
+		keyspace = 4096
+		batch    = 1024
+	)
+	pm, err := NewPartitionedMap(PartitionedMapConfig{
+		DPUs: dpus, Buckets: 64, Capacity: 512, Tasklets: 4,
+		STM: core.Config{Algorithm: core.NOrec}, Mode: Pipelined,
+		Sample: 8, HostParallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var load []Op
+	for k := uint64(0); k < keyspace; k++ {
+		load = append(load, Op{Kind: OpPut, Key: k, Value: k})
+	}
+	if _, err := pm.ApplyBatch(load); err != nil {
+		t.Fatal(err)
+	}
+	txns := make([]Txn, batch)
+	for i := range txns {
+		k := uint64(i*2654435761) % keyspace
+		txns[i] = Txn{Ops: []Op{{Kind: OpAdd, Key: k, Value: 1}}}
+	}
+	for i := 0; i < 3; i++ {
+		res, err := pm.ApplyTxns(txns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range res {
+			if !res[j].Committed || res[j].Err != nil {
+				t.Fatalf("txn %d did not commit: %+v", j, res[j])
+			}
+		}
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := pm.ApplyTxns(txns); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("parallel-dispatch ApplyTxns: %.1f allocs/batch (budget 192)", got)
+	if got > 192 {
+		t.Fatalf("parallel-dispatch ApplyTxns allocates %.1f per batch, budget 192", got)
 	}
 }

@@ -2,9 +2,9 @@ package host
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
 	"sort"
-	"sync"
 
 	"pimstm/internal/core"
 	"pimstm/internal/dpu"
@@ -71,9 +71,20 @@ type PartitionedMap struct {
 	// sc is the reusable per-batch scratch of the ApplyTxns hot path
 	// and exec the persistent per-simulated-DPU kernel contexts; both
 	// exist so a steady-state batch allocates (nearly) nothing.
-	sc       batchScratch
-	exec     map[int]*dpuExec
-	shadowMu sync.Mutex
+	sc   batchScratch
+	exec map[int]*dpuExec
+
+	// Host-parallel engine state (hostpar.go): the resolved worker
+	// count, whether the serial reference path is selected instead, the
+	// static-hash fan-in of the engine's devirtualized owner routing
+	// (0 when the placement is not a plain StaticHash), the owner
+	// closure bound once for classifyOps, and the per-worker scratch
+	// arenas with their dispatch cursor.
+	hostWorkers int
+	hostSerial  bool
+	staticN     int
+	ownerFn     func(uint64) int
+	par         hostPar
 
 	place Placement
 	// dir is place when it is a *Directory (nil otherwise); the data
@@ -154,6 +165,15 @@ type PartitionedMapConfig struct {
 	// approximate. 0 simulates every DPU — the exact mode every
 	// pre-sampling artifact uses.
 	Sample int
+	// HostParallelism bounds the worker pool of the host-side batch
+	// phases (transaction classification, per-key write analysis,
+	// sampled shadow-shard application) and of the fleet's DPU
+	// simulations. 0 resolves to GOMAXPROCS. 1 selects the historical
+	// serial implementations verbatim — the differential reference the
+	// parallel engine must match byte-identically on every modeled
+	// artifact. Any other value runs the engine with that many workers
+	// (a 1-worker engine is HostParallelism on a single-CPU GOMAXPROCS).
+	HostParallelism int
 }
 
 // OpKind selects a batch operation.
@@ -213,6 +233,9 @@ func NewPartitionedMap(cfg PartitionedMapConfig) (*PartitionedMap, error) {
 	if cfg.Sample < 0 {
 		return nil, fmt.Errorf("host: negative DPU sample %d", cfg.Sample)
 	}
+	if cfg.HostParallelism < 0 {
+		return nil, fmt.Errorf("host: negative host parallelism %d", cfg.HostParallelism)
+	}
 	if cfg.MRAMSize == 0 {
 		cfg.MRAMSize = 8 << 20
 	}
@@ -229,7 +252,19 @@ func NewPartitionedMap(cfg PartitionedMapConfig) (*PartitionedMap, error) {
 		place:    cfg.Placement,
 	}
 	pm.dir, _ = cfg.Placement.(*Directory)
-	fo := FleetOptions{DPUs: cfg.DPUs, Tasklets: cfg.Tasklets}
+	pm.hostSerial = cfg.HostParallelism == 1
+	pm.hostWorkers = cfg.HostParallelism
+	if pm.hostWorkers == 0 {
+		pm.hostWorkers = runtime.GOMAXPROCS(0)
+	}
+	pm.ownerFn = pm.owner
+	if _, static := cfg.Placement.(*StaticHash); static {
+		pm.staticN = cfg.DPUs
+	}
+	if !pm.hostSerial {
+		pm.par.w = make([]hostWorker, pm.hostWorkers)
+	}
+	fo := FleetOptions{DPUs: cfg.DPUs, Tasklets: cfg.Tasklets, Parallelism: cfg.HostParallelism}
 	if cfg.Sample > 0 {
 		fo.Sample = cfg.Sample
 	} else {

@@ -271,6 +271,8 @@ func TestServeWithRebalancerDeterministic(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
+	a.ZeroHostClock()
+	b.ZeroHostClock()
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("nondeterministic serve with rebalancer:\n%+v\n%+v", a, b)
 	}

@@ -46,6 +46,8 @@ func TestFIFOSchedulerExplicitMatchesDefault(t *testing.T) {
 
 	defRes, defStats, defWall := drive(nil)
 	expRes, expStats, expWall := drive(NewFIFOScheduler(8, 1e-3))
+	defStats.ZeroHostClock()
+	expStats.ZeroHostClock()
 	if defStats != expStats {
 		t.Fatalf("stats diverged: default %+v, explicit %+v", defStats, expStats)
 	}
@@ -279,6 +281,8 @@ func TestAdaptiveServeConverges(t *testing.T) {
 	}
 	res1, mb1 := run()
 	res2, mb2 := run()
+	res1.ZeroHostClock()
+	res2.ZeroHostClock()
 	if mb1 != mb2 || !reflect.DeepEqual(res1, res2) {
 		t.Fatalf("adaptive serving must be deterministic per seed:\n%+v (MaxBatch %d)\n%+v (MaxBatch %d)", res1, mb1, res2, mb2)
 	}
@@ -392,6 +396,8 @@ func TestLaneServeWithRebalancerDeterministic(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
+	a.ZeroHostClock()
+	b.ZeroHostClock()
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("lane serving with rebalancer diverged:\n%+v\n%+v", a, b)
 	}

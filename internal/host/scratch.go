@@ -557,6 +557,12 @@ type dpuExec struct {
 	// failed commit of prepared writes fails the whole batch, matching
 	// the historical host-side writeback.
 	wbErr error
+	// failed stages the keys whose shadow ops hit store-level failures
+	// this round; executeRound merges the stages into the batch's
+	// shadowFailed set after the round, replacing the old global mutex
+	// (tasklets of one DPU serialize cooperatively, and each round's
+	// DPUs own disjoint contexts, so the staging needs no lock).
+	failed []uint64
 
 	muProg []func(*dpu.Tasklet)
 	mutErr error

@@ -443,6 +443,17 @@ type ServeResult struct {
 	// run paid (always zero unless the rebalancer's split policy is
 	// armed and triggered).
 	SplitReconciles int
+	// HostSeconds is the REAL machine wall-clock the simulator spent in
+	// the serving phase's host-side batch work (classify + route +
+	// shadow + compile, summed from Stats.Host*Seconds) — simulator
+	// speed, not modeled time. It varies run to run and across machines;
+	// byte-identity comparisons must go through ZeroHostClock first.
+	HostSeconds float64
+	// HostWorkers is the store's effective host-side worker count
+	// (1 on the serial reference path, the resolved HostParallelism
+	// otherwise) — recorded so artifacts are interpretable across
+	// machines.
+	HostWorkers int
 	// Results are the per-transaction outcomes in trace order; nil
 	// unless ServeConfig.KeepResults is set.
 	Results []TxnResult
@@ -451,9 +462,21 @@ type ServeResult struct {
 	Store *PartitionedMap
 }
 
+// ZeroHostClock zeroes every real-time (machine wall-clock) field of
+// the result — HostSeconds, HostWorkers and the Stats.Host*Seconds
+// accumulators — leaving only modeled fields. Identical configs give
+// identical results only modulo these fields (real time differs run to
+// run), so byte-identity tests compare ZeroHostClock'd copies.
+func (r *ServeResult) ZeroHostClock() {
+	r.HostSeconds = 0
+	r.HostWorkers = 0
+	r.Stats.ZeroHostClock()
+}
+
 // Serve preloads the keyspace, streams the generated trace through a
 // Submitter in arrival order, and reports modeled throughput and
-// latency. Deterministic: identical configs give identical results.
+// latency. Deterministic: identical configs give identical results
+// modulo the real-time host-clock fields (see ZeroHostClock).
 func Serve(cfg ServeConfig) (ServeResult, error) {
 	if cfg.Traffic.TxnSize > 1 && cfg.Traffic.DPUs == 0 {
 		cfg.Traffic.DPUs = cfg.Map.DPUs
@@ -521,6 +544,9 @@ func Serve(cfg ServeConfig) (ServeResult, error) {
 
 	res := ServeResult{Txns: len(trace), Stats: s.Stats(), SimulatedDPUs: pm.SimulatedDPUs()}
 	res.SplitReconciles = pm.SplitReconciles
+	res.HostWorkers = pm.HostWorkers()
+	res.HostSeconds = res.Stats.HostClassifySeconds + res.Stats.HostRouteSeconds +
+		res.Stats.HostShadowSeconds + res.Stats.HostCompileSeconds
 	res.Ops = res.Stats.Submitted
 	res.Batches = res.Stats.Batches
 	res.CoordinatedTxns = pm.TxnsCoordinated - coordBase

@@ -103,6 +103,26 @@ type SubmitterStats struct {
 	// transactions (ApplyTxnsStats.GuardAborts): clean aborts on a
 	// missing key or an OpSub underflow, with no store-level error.
 	GuardAborts int
+	// HostClassifySeconds, HostRouteSeconds, HostShadowSeconds and
+	// HostCompileSeconds accumulate the batches' REAL machine wall-clock
+	// per host-side phase (ApplyTxnsStats.Host*Seconds) — simulator
+	// speed, not modeled time. They vary run to run, so every
+	// byte-identity comparison of serving results must zero them first
+	// (see ServeResult.ZeroHostClock).
+	HostClassifySeconds float64
+	HostRouteSeconds    float64
+	HostShadowSeconds   float64
+	HostCompileSeconds  float64
+}
+
+// ZeroHostClock clears the real-time host phase counters so two runs'
+// stats can be compared for byte identity. Every modeled-clock field
+// stays untouched.
+func (s *SubmitterStats) ZeroHostClock() {
+	s.HostClassifySeconds = 0
+	s.HostRouteSeconds = 0
+	s.HostShadowSeconds = 0
+	s.HostCompileSeconds = 0
 }
 
 // submitMsg is one queue entry: a transaction with its future, or a
@@ -332,6 +352,10 @@ func (s *Submitter) flush(b SchedBatch) {
 		s.stats.ApplySeconds += s.pm.BatchPhases.ApplySeconds
 		s.stats.WritebackSeconds += s.pm.BatchPhases.WritebackSeconds
 		s.stats.GuardAborts += s.pm.BatchPhases.GuardAborts
+		s.stats.HostClassifySeconds += s.pm.BatchPhases.HostClassifySeconds
+		s.stats.HostRouteSeconds += s.pm.BatchPhases.HostRouteSeconds
+		s.stats.HostShadowSeconds += s.pm.BatchPhases.HostShadowSeconds
+		s.stats.HostCompileSeconds += s.pm.BatchPhases.HostCompileSeconds
 	}
 	if ops > s.stats.MaxBatchOps {
 		s.stats.MaxBatchOps = ops

@@ -3,6 +3,7 @@ package host
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"pimstm/internal/core"
 	"pimstm/internal/dpu"
@@ -199,11 +200,26 @@ type txnMeta struct {
 // error. Workload abort rates are first-class observable through this
 // counter: it flows through SubmitterStats into ServeResult.Stats and
 // the bench artifacts.
+//
+// The Host*Seconds fields are different in kind from everything above:
+// they are REAL machine wall-clock, not modeled time — how long the
+// simulator itself spent in the window's host-side phases
+// (classification and conflict grouping; unit routing through the
+// execute round's analysis passes; sampled shadow-shard application;
+// writeback-unit compilation). They measure simulator speed — the
+// pinned host_ops_per_s_real metric of BENCH_scale.json — so they vary
+// run to run and across machines, and are excluded from every
+// byte-identity comparison of modeled results.
 type ApplyTxnsStats struct {
 	GatherSeconds    float64
 	ApplySeconds     float64
 	WritebackSeconds float64
 	GuardAborts      int
+
+	HostClassifySeconds float64
+	HostRouteSeconds    float64
+	HostShadowSeconds   float64
+	HostCompileSeconds  float64
 }
 
 // classifyTxns analyzes every transaction and resolves the batch's
@@ -223,7 +239,21 @@ type ApplyTxnsStats struct {
 // but unions with smallest-index roots make the resulting partition and
 // root ids independent of union order, so the groups — and therefore
 // the tasklet pinning and the modeled schedule — are identical.
+//
+// HostParallelism == 1 runs the historical serial implementation;
+// everything else runs the sharded engine (hostpar.go), whose merged
+// tables are equal to the serial fold by construction.
 func (pm *PartitionedMap) classifyTxns(txns []Txn, coordinateAll bool) []txnMeta {
+	if pm.hostSerial {
+		return pm.classifyTxnsSerial(txns, coordinateAll)
+	}
+	return pm.classifyTxnsPar(txns, coordinateAll)
+}
+
+// classifyTxnsSerial is the reference implementation: one sequential
+// pass per transaction, then — only for batches that can conflict — the
+// sequential per-key table and the union-find.
+func (pm *PartitionedMap) classifyTxnsSerial(txns []Txn, coordinateAll bool) []txnMeta {
 	sc := &pm.sc
 	if cap(sc.metas) < len(txns) {
 		sc.metas = make([]txnMeta, len(txns))
@@ -248,10 +278,17 @@ func (pm *PartitionedMap) classifyTxns(txns []Txn, coordinateAll bool) []txnMeta
 	if coordinateAll || !anyTxnSerializing {
 		return metas
 	}
+	pm.buildClassK(txns, metas)
+	pm.resolveGroups(txns, metas)
+	return metas
+}
 
-	// Second pass, only for batches that can actually conflict: per
-	// key, the first toucher in batch order, whether any transaction
-	// writes it, and whether a serializing party touches it.
+// buildClassK is the conflict pass, run only for batches that can
+// actually conflict: per key, the first toucher in batch order, whether
+// any transaction writes it, and whether a serializing party touches
+// it.
+func (pm *PartitionedMap) buildClassK(txns []Txn, metas []txnMeta) {
+	sc := &pm.sc
 	clear(sc.classK)
 	for i := range txns {
 		ser := metas[i].serializing
@@ -269,10 +306,16 @@ func (pm *PartitionedMap) classifyTxns(txns []Txn, coordinateAll bool) []txnMeta
 			sc.classK[op.Key] = ci
 		}
 	}
+}
 
-	// Union-find over transaction indexes: every toucher of a written
-	// key with a serializing party unions with that key's first
-	// toucher. Duplicate unions are no-ops.
+// resolveGroups runs the union-find over the built classK table and
+// marks each transaction's conflict group: every toucher of a written
+// key with a serializing party unions with that key's first toucher
+// (duplicate unions are no-ops), and a group containing a cross-DPU
+// member coordinates as a whole. It folds over the merged per-key
+// table only, so serial and sharded builds resolve identically.
+func (pm *PartitionedMap) resolveGroups(txns []Txn, metas []txnMeta) {
+	sc := &pm.sc
 	parent := ensureInts(&sc.parent, len(txns))
 	for i := range parent {
 		parent[i] = i
@@ -321,7 +364,6 @@ func (pm *PartitionedMap) classifyTxns(txns []Txn, coordinateAll bool) []txnMeta
 			metas[i].group = r
 		}
 	}
-	return metas
 }
 
 // classifyGroups decides each coordinated conflict group's commit path
@@ -462,6 +504,7 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 			return nil, err
 		}
 	}
+	classifyStart := time.Now()
 	metas := pm.classifyTxns(work, coordinateAll)
 
 	coordinated := sc.coordinated[:0]
@@ -480,6 +523,7 @@ func (pm *PartitionedMap) applyTxns(txns []Txn, coordinateAll bool) ([]TxnResult
 	if !coordinateAll && len(coordinated) > 0 {
 		pm.classifyGroups(work, metas, coordinated)
 	}
+	pm.BatchPhases.HostClassifySeconds += time.Since(classifyStart).Seconds()
 
 	// Phase 1 (prepare): one coalesced snapshot gather of every operand
 	// the coordination needs, from replica-aware sources — all keys of
@@ -718,6 +762,7 @@ type routedUnit struct {
 // op: same routing, same replica read spreading, same tasklet striping,
 // same 24-byte-scatter/16-byte-gather worst-case-bucket charging.
 func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []TxnResult, coordWritten map[uint64]bool) error {
+	routeStart := time.Now()
 	sc := &pm.sc
 	for _, id := range sc.dpuTouched {
 		sc.perDPU[id] = sc.perDPU[id][:0]
@@ -735,57 +780,207 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 	// (delsCommit) invalidate copies in-round — a conditional delete
 	// just stales them, and the next window's refresh either restores
 	// or reaps the copies depending on what actually committed.
-	clear(sc.keyW)
-	wroteKeys := sc.wroteKeys[:0]
+	//
+	// The serial reference runs the historical per-op fold; the engine
+	// takes a single-op fast path (or the striped parallel build when
+	// the batch is large enough to shard). All three produce the same
+	// table — the merge rules are in hostpar.go.
+	//
+	// Table reclamation differs on purpose. The reference clears the
+	// whole map — O(table capacity), so one huge preload batch taxes
+	// every later batch. The engine deletes exactly the previous
+	// batch's written keys (wroteKeys lists every entry by
+	// construction), and without a directory it skips the table
+	// entirely: its only consumers are the replica routing rules and
+	// the write-through/refresh passes, all directory-gated, so the
+	// engine fuses pass 1 and pass 2 into one sweep and sc.keyW stays
+	// empty for the store's lifetime.
 	hasUnits := false
-	for i := range txns {
-		if metas[i].coordinated {
-			continue
-		}
-		if len(txns[i].Ops) == 0 {
-			results[i].Committed = true // an empty transaction commits trivially
-			continue
-		}
-		hasUnits = true
-		guarded := false
-		for _, op := range txns[i].Ops {
-			if isRMW(op.Kind) {
-				guarded = true
-			}
-		}
-		for _, op := range txns[i].Ops {
-			if op.Kind == OpGet {
+	fusedRoute := false
+	inlineShadow := false
+	if pm.hostSerial {
+		clear(sc.keyW)
+		wroteKeys := sc.wroteKeys[:0]
+		for i := range txns {
+			if metas[i].coordinated {
 				continue
 			}
-			kw := sc.keyW[op.Key]
-			if !kw.wrote {
-				kw.wrote = true
-				wroteKeys = append(wroteKeys, op.Key)
+			if len(txns[i].Ops) == 0 {
+				results[i].Committed = true // an empty transaction commits trivially
+				continue
 			}
-			switch op.Kind {
-			case OpPut:
-				kw.puts++
-				if guarded {
+			hasUnits = true
+			guarded := false
+			for _, op := range txns[i].Ops {
+				if isRMW(op.Kind) {
+					guarded = true
+				}
+			}
+			for _, op := range txns[i].Ops {
+				if op.Kind == OpGet {
+					continue
+				}
+				kw := sc.keyW[op.Key]
+				if !kw.wrote {
+					kw.wrote = true
+					wroteKeys = append(wroteKeys, op.Key)
+				}
+				switch op.Kind {
+				case OpPut:
+					kw.puts++
+					if guarded {
+						kw.fk = fkFalse
+					} else {
+						kw.lastPut = op.Value
+						kw.fk = fkTrue
+					}
+				case OpDelete:
+					kw.dels = true
+					if guarded {
+						kw.fk = fkFalse
+					} else {
+						kw.delsCommit = true
+					}
+				case OpAdd, OpSub:
 					kw.fk = fkFalse
-				} else {
+				}
+				sc.keyW[op.Key] = kw
+			}
+		}
+		sc.wroteKeys = wroteKeys
+	} else if pm.dir == nil {
+		fusedRoute = true
+		// When every client unit in the batch is single-op, the
+		// per-shard apply order is batch order no matter where the op
+		// runs, so shadow-shard ops apply inline right here — no unit
+		// staging, no dispatch sweep — and only the simulated
+		// representatives' units get routed. The shard's analytic op
+		// count (execBuckets) and touched tracking still accrue so the
+		// round spec charges exactly what the staged path would.
+		if pm.sampled {
+			inlineShadow = true
+			for i := range txns {
+				if !metas[i].coordinated && len(txns[i].Ops) > 1 {
+					inlineShadow = false
+					break
+				}
+			}
+		}
+		if inlineShadow {
+			w := &pm.par.w[0]
+			for i := range txns {
+				if metas[i].coordinated {
+					continue
+				}
+				ops := txns[i].Ops
+				if len(ops) == 0 {
+					results[i].Committed = true // an empty transaction commits trivially
+					continue
+				}
+				hasUnits = true
+				id := metas[i].soleDPU
+				if pm.sim[id] {
+					sc.addUnit(id, routedUnit{ops: ops, ti: i, group: metas[i].group})
+					continue
+				}
+				if sc.execBuckets[id] == 0 && len(sc.perDPU[id]) == 0 {
+					sc.dpuTouched = append(sc.dpuTouched, id)
+				}
+				sc.execBuckets[id]++
+				op := &ops[0]
+				if op.Kind == OpGet {
+					v, ok := pm.shadow[id][op.Key]
+					r := &results[i]
+					r.Results[0] = OpResult{Value: v, OK: ok}
+					r.Committed = true
+					r.Err = nil
+					continue
+				}
+				if !isRMW(op.Kind) {
+					var res OpResult
+					switch op.Kind {
+					case OpPut:
+						ins, err := pm.shadowPut(id, op.Key, op.Value)
+						res.OK, res.Err = ins, err
+					case OpDelete:
+						res.OK = pm.shadowDelete(id, op.Key)
+					}
+					results[i].Results[0] = res
+					results[i].Committed = res.Err == nil
+					results[i].Err = res.Err
+					continue
+				}
+				u := routedUnit{ops: ops, ti: i, group: metas[i].group}
+				pm.shadowEvalUnit(w, id, &u, results)
+			}
+		} else {
+			for i := range txns {
+				if metas[i].coordinated {
+					continue
+				}
+				ops := txns[i].Ops
+				if len(ops) == 0 {
+					results[i].Committed = true // an empty transaction commits trivially
+					continue
+				}
+				hasUnits = true
+				sc.addUnit(metas[i].soleDPU, routedUnit{ops: ops, ti: i, group: metas[i].group})
+			}
+		}
+		sc.wroteKeys = sc.wroteKeys[:0]
+	} else if workers := scaleWorkers(pm.hostWorkers, len(txns), minTxnsPerWorker); workers > 1 {
+		for _, k := range sc.wroteKeys {
+			delete(sc.keyW, k)
+		}
+		hasUnits = pm.buildKeyWPar(txns, metas, results, workers)
+	} else {
+		for _, k := range sc.wroteKeys {
+			delete(sc.keyW, k)
+		}
+		wroteKeys := sc.wroteKeys[:0]
+		for i := range txns {
+			if metas[i].coordinated {
+				continue
+			}
+			ops := txns[i].Ops
+			if len(ops) == 0 {
+				results[i].Committed = true // an empty transaction commits trivially
+				continue
+			}
+			hasUnits = true
+			if len(ops) == 1 {
+				// Single op: guarded iff the op itself is an RMW, so the
+				// generic two-scan fold collapses to one table update.
+				op := ops[0]
+				if op.Kind == OpGet {
+					continue
+				}
+				kw := sc.keyW[op.Key]
+				if !kw.wrote {
+					kw.wrote = true
+					wroteKeys = append(wroteKeys, op.Key)
+				}
+				switch op.Kind {
+				case OpPut:
+					kw.puts++
 					kw.lastPut = op.Value
 					kw.fk = fkTrue
-				}
-			case OpDelete:
-				kw.dels = true
-				if guarded {
-					kw.fk = fkFalse
-				} else {
+				case OpDelete:
+					kw.dels = true
 					kw.delsCommit = true
+				default: // OpAdd, OpSub
+					kw.fk = fkFalse
 				}
-			case OpAdd, OpSub:
-				kw.fk = fkFalse
+				sc.keyW[op.Key] = kw
+				continue
 			}
-			sc.keyW[op.Key] = kw
+			foldKeyW(sc.keyW, &wroteKeys, ops)
 		}
+		sc.wroteKeys = wroteKeys
 	}
-	sc.wroteKeys = wroteKeys
+	wroteKeys := sc.wroteKeys
 	if !hasUnits {
+		pm.BatchPhases.HostRouteSeconds += time.Since(routeStart).Seconds()
 		return nil
 	}
 
@@ -798,36 +993,42 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 	// putGroups allocates the tasklet-pin ids of the legacy
 	// replicated-put rule; the ids are negative below -1 so they can
 	// never collide with conflict-group roots (transaction indexes).
-	clear(sc.putGroups)
-	for i := range txns {
-		if metas[i].coordinated || len(txns[i].Ops) == 0 {
-			continue
-		}
-		unit := routedUnit{ops: txns[i].Ops, ti: i, group: metas[i].group}
-		target := metas[i].soleDPU
-		if len(unit.ops) == 1 && unit.group < 0 {
-			op := unit.ops[0]
-			switch op.Kind {
-			case OpGet:
-				if !sc.keyW[op.Key].dels {
-					if reps := pm.place.Replicas(op.Key); len(reps) > 0 {
-						if t := i % (len(reps) + 1); t > 0 {
-							target = reps[t-1]
+	// The engine's fused directory-free sweep routed everything in
+	// pass 1 already — without a directory there are no replicas (the
+	// Placement contract pins Replicas ≡ nil) and no put groups, so
+	// the routing switch below is all no-ops.
+	if !fusedRoute {
+		clear(sc.putGroups)
+		for i := range txns {
+			if metas[i].coordinated || len(txns[i].Ops) == 0 {
+				continue
+			}
+			unit := routedUnit{ops: txns[i].Ops, ti: i, group: metas[i].group}
+			target := metas[i].soleDPU
+			if len(unit.ops) == 1 && unit.group < 0 {
+				op := unit.ops[0]
+				switch op.Kind {
+				case OpGet:
+					if !sc.keyW[op.Key].dels {
+						if reps := pm.place.Replicas(op.Key); len(reps) > 0 {
+							if t := i % (len(reps) + 1); t > 0 {
+								target = reps[t-1]
+							}
 						}
 					}
-				}
-			case OpPut:
-				if kw := sc.keyW[op.Key]; pm.dir != nil && kw.puts > 1 && len(pm.dir.allReplicas(op.Key)) > 0 && !kw.dels {
-					id, ok := sc.putGroups[op.Key]
-					if !ok {
-						id = -2 - len(sc.putGroups)
-						sc.putGroups[op.Key] = id
+				case OpPut:
+					if kw := sc.keyW[op.Key]; pm.dir != nil && kw.puts > 1 && len(pm.dir.allReplicas(op.Key)) > 0 && !kw.dels {
+						id, ok := sc.putGroups[op.Key]
+						if !ok {
+							id = -2 - len(sc.putGroups)
+							sc.putGroups[op.Key] = id
+						}
+						unit.group = id
 					}
-					unit.group = id
 				}
 			}
+			sc.addUnit(target, unit)
 		}
-		sc.addUnit(target, unit)
 	}
 
 	// Pass 3: shadow ops for written replicated keys, coalesced into
@@ -890,7 +1091,20 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 	}
 	sc.dropAfter, sc.freshAfter, sc.staleAfter = dropAfter, freshAfter, staleAfter
 
-	slices.Sort(sc.dpuTouched)
+	if !pm.hostSerial && len(sc.dpuTouched)*8 >= len(sc.perDPU) {
+		// Dense batch: rebuilding the touched set by an ascending fleet
+		// scan beats sorting it (the 2500-DPU sweeps touch nearly every
+		// DPU every batch). Same set, same ascending order.
+		touched := sc.dpuTouched[:0]
+		for id := range sc.perDPU {
+			if len(sc.perDPU[id]) > 0 || sc.execBuckets[id] > 0 {
+				touched = append(touched, id)
+			}
+		}
+		sc.dpuTouched = touched
+	} else {
+		slices.Sort(sc.dpuTouched)
+	}
 	involved := sc.dpuTouched
 	clear(sc.shadowFailed)
 
@@ -899,7 +1113,9 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 	// transactions counted op by op.
 	maxOps, maxShadowOps := 0, 0
 	for _, id := range involved {
-		ops := 0
+		// Inline-applied shadow ops pre-seeded their bucket during pass
+		// 1 (perDPU holds no unit for them); routed units add on top.
+		ops := sc.execBuckets[id]
 		for _, u := range sc.perDPU[id] {
 			ops += len(u.ops)
 		}
@@ -934,22 +1150,40 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 		spec.IDs = simIDs
 		spec.AnalyticKernelSeconds = dpu.EstimateKernelSeconds(pm.opCycles, maxShadowOps, 0)
 	}
+	pm.BatchPhases.HostRouteSeconds += time.Since(routeStart).Seconds()
 	if err := pm.fleet.Round(spec); err != nil {
 		return err
+	}
+	// Shadow-op failures on simulated DPUs were staged per kernel
+	// context (tasklets of one DPU serialize cooperatively, so the
+	// staging needs no lock); fold them into the batch's failure set.
+	// Set-union semantics make the fold order irrelevant.
+	for _, id := range spec.IDs {
+		for _, k := range pm.exec[id].failed {
+			sc.shadowFailed[k] = true
+		}
 	}
 	if pm.sampled {
 		// Apply the unsimulated buckets on their host-side shadow
 		// shards — exact results, no cycles — then refresh the analytic
 		// per-op rate from what the simulated kernels just measured so
 		// the next round's floor tracks the live workload.
-		for _, id := range involved {
-			if pm.sim[id] {
-				continue
+		shadowStart := time.Now()
+		if pm.hostSerial {
+			for _, id := range involved {
+				if pm.sim[id] {
+					continue
+				}
+				if err := pm.shadowRunUnits(id, sc.perDPU[id], results); err != nil {
+					return err
+				}
 			}
-			if err := pm.shadowRunUnits(id, sc.perDPU[id], results); err != nil {
+		} else if !inlineShadow {
+			if err := pm.shadowApplyEngine(involved, sc.perDPU, results); err != nil {
 				return err
 			}
 		}
+		pm.BatchPhases.HostShadowSeconds += time.Since(shadowStart).Seconds()
 		var simSecs float64
 		simOps := 0
 		for _, id := range sc.simInvolved {
@@ -1015,6 +1249,7 @@ func (pm *PartitionedMap) executeRound(txns []Txn, metas []txnMeta, results []Tx
 // decided in-kernel) and a later window refreshes or reaps them;
 // copies of host-decided deletes are dropped in-round.
 func (pm *PartitionedMap) writebackRound(txns []Txn, metas []txnMeta, results []TxnResult, state map[uint64]uint64) error {
+	compileStart := time.Now()
 	sc := &pm.sc
 	for _, id := range sc.wbTouched {
 		sc.wbPerDPU[id] = sc.wbPerDPU[id][:0]
@@ -1088,6 +1323,7 @@ func (pm *PartitionedMap) writebackRound(txns []Txn, metas []txnMeta, results []
 	sc.dropAfter, sc.staleAfter = dropAfter, staleAfter
 
 	if len(sc.wbTouched) == 0 {
+		pm.BatchPhases.HostCompileSeconds += time.Since(compileStart).Seconds()
 		return nil
 	}
 	before := pm.fleet.Stats()
@@ -1132,18 +1368,25 @@ func (pm *PartitionedMap) writebackRound(txns []Txn, metas []txnMeta, results []
 		spec.IDs = simIDs
 		spec.AnalyticKernelSeconds = dpu.EstimateApplyKernelSeconds(pm.applyCycles, maxShadowInstrs, 0)
 	}
+	pm.BatchPhases.HostCompileSeconds += time.Since(compileStart).Seconds()
 	if err := pm.fleet.Round(spec); err != nil {
 		return err
 	}
 	if pm.sampled {
-		for _, id := range involved {
-			if pm.sim[id] {
-				continue
+		shadowStart := time.Now()
+		if pm.hostSerial {
+			for _, id := range involved {
+				if pm.sim[id] {
+					continue
+				}
+				if err := pm.shadowRunUnits(id, sc.wbPerDPU[id], results); err != nil {
+					return err
+				}
 			}
-			if err := pm.shadowRunUnits(id, sc.wbPerDPU[id], results); err != nil {
-				return err
-			}
+		} else if err := pm.shadowApplyEngine(involved, sc.wbPerDPU, results); err != nil {
+			return err
 		}
+		pm.BatchPhases.HostShadowSeconds += time.Since(shadowStart).Seconds()
 		var simSecs float64
 		simInstrs := 0
 		for _, id := range sc.wbSimIDs {
@@ -1192,6 +1435,7 @@ func (pm *PartitionedMap) runUnitProgram(id int, d *dpu.DPU, units []routedUnit)
 	e := pm.exec[id]
 	e.units = units
 	e.wbErr = nil
+	e.failed = e.failed[:0]
 	d.ResetRun()
 	n := pm.tasklets
 	if n > len(units) {
@@ -1280,9 +1524,10 @@ func (e *dpuExec) runTasklet(ti int, t *dpu.Tasklet) {
 					// per-DPU field needs no lock.
 					e.wbErr = res.Err
 				} else {
-					pm.shadowMu.Lock()
-					pm.sc.shadowFailed[op.Key] = true
-					pm.shadowMu.Unlock()
+					// Staged on this DPU's context (same no-lock argument
+					// as wbErr); executeRound folds the stages into
+					// shadowFailed after the round.
+					e.failed = append(e.failed, op.Key)
 				}
 			}
 			continue
